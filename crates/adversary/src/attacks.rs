@@ -1,0 +1,321 @@
+//! Concrete traffic-analysis attacks and their evaluation.
+//!
+//! Each attack follows the same shape: a *decision rule* consuming only
+//! adversary-visible observables, plus an `evaluate` routine that runs
+//! many trials against an [`ObservableModel`] and reports the empirical
+//! accuracy of the best version of that attack. Accuracy ≈ ½ means the
+//! attack learns nothing.
+
+use crate::model::{ObservableModel, RoundTruth};
+use rand::Rng;
+
+/// The §4.2 *offline/intersection* attack: compare `m2` between rounds
+/// where the target is online and rounds where the target is offline; if
+/// conversations stop when she leaves, she was talking.
+pub struct IntersectionAttack {
+    /// Rounds observed in each condition per trial.
+    pub window: usize,
+}
+
+impl IntersectionAttack {
+    /// The decision rule: guess "target was talking" iff the mean `m2`
+    /// while online exceeds the mean while offline by more than half an
+    /// exchange.
+    #[must_use]
+    pub fn guess(online_m2: &[u64], offline_m2: &[u64]) -> bool {
+        let mean = |xs: &[u64]| -> f64 {
+            if xs.is_empty() {
+                return 0.0;
+            }
+            xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+        };
+        mean(online_m2) - mean(offline_m2) > 0.5
+    }
+
+    /// Empirical accuracy over `trials` Monte-Carlo experiments: in each,
+    /// the target is talking with probability ½, the adversary watches
+    /// `window` online rounds and `window` offline rounds, then guesses.
+    ///
+    /// `background_pairs` are other users' conversations (the adversary's
+    /// uncertainty about them is *not* modelled — the paper conservatively
+    /// assumes the adversary knows all other users' behaviour, §9, so we
+    /// keep them constant).
+    pub fn evaluate<R: Rng>(
+        &self,
+        rng: &mut R,
+        model: &ObservableModel,
+        background_pairs: u64,
+        trials: usize,
+    ) -> f64 {
+        let mut correct = 0usize;
+        for _ in 0..trials {
+            let talking = rng.gen_bool(0.5);
+            let online_pairs = background_pairs + u64::from(talking);
+            let online: Vec<u64> = (0..self.window)
+                .map(|_| {
+                    model
+                        .sample(
+                            rng,
+                            RoundTruth {
+                                talking_pairs: online_pairs,
+                                lone_users: 0,
+                            },
+                        )
+                        .m2
+                })
+                .collect();
+            let offline: Vec<u64> = (0..self.window)
+                .map(|_| {
+                    model
+                        .sample(
+                            rng,
+                            RoundTruth {
+                                talking_pairs: background_pairs,
+                                lone_users: 0,
+                            },
+                        )
+                        .m2
+                })
+                .collect();
+            if Self::guess(&online, &offline) == talking {
+                correct += 1;
+            }
+        }
+        correct as f64 / trials as f64
+    }
+}
+
+/// The §4.2 *disruption* attack: discard every request except Alice's and
+/// Bob's at the (compromised) first server, then check at the
+/// (compromised) last server whether some dead drop still received two
+/// accesses.
+pub struct DisruptionAttack;
+
+impl DisruptionAttack {
+    /// Decision rule given the observed `m2` and a decision threshold
+    /// computed from the noise configuration.
+    #[must_use]
+    pub fn guess(observed_m2: u64, threshold: f64) -> bool {
+        observed_m2 as f64 > threshold
+    }
+
+    /// Empirical accuracy of the *optimal threshold* distinguisher.
+    ///
+    /// Samples `trials` rounds under each hypothesis (Alice↔Bob talking /
+    /// not), sweeps every possible threshold, and returns the best
+    /// accuracy — an upper estimate of what a single-round adversary can
+    /// do, to be compared against [`crate::bounds::max_accuracy`].
+    pub fn evaluate<R: Rng>(rng: &mut R, model: &ObservableModel, trials: usize) -> f64 {
+        let sample_m2 = |rng: &mut R, pairs: u64| -> u64 {
+            model
+                .sample(
+                    rng,
+                    RoundTruth {
+                        talking_pairs: pairs,
+                        lone_users: 0,
+                    },
+                )
+                .m2
+        };
+        let talking: Vec<u64> = (0..trials).map(|_| sample_m2(rng, 1)).collect();
+        let idle: Vec<u64> = (0..trials).map(|_| sample_m2(rng, 0)).collect();
+
+        // Optimal threshold over the union of observed values.
+        let mut candidates: Vec<u64> = talking.iter().chain(idle.iter()).copied().collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut best = 0.5;
+        for &threshold in &candidates {
+            // Guess "talking" iff m2 >= threshold.
+            let hits = talking.iter().filter(|&&x| x >= threshold).count()
+                + idle.iter().filter(|&&x| x < threshold).count();
+            let accuracy = hits as f64 / (2 * trials) as f64;
+            if accuracy > best {
+                best = accuracy;
+            }
+        }
+        best
+    }
+}
+
+/// Long-run statistical disclosure: correlate the target's online
+/// schedule with `m2` across many rounds (Danezis-style, paper §10).
+pub struct StatisticalDisclosureAttack;
+
+impl StatisticalDisclosureAttack {
+    /// Point-biserial correlation between the online indicator and `m2`.
+    ///
+    /// Returns 0 when either series is degenerate (all same value).
+    #[must_use]
+    pub fn correlation(online: &[bool], m2: &[u64]) -> f64 {
+        assert_eq!(online.len(), m2.len());
+        let n = online.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean_x = online.iter().filter(|&&b| b).count() as f64 / n;
+        let mean_y = m2.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_x = 0.0;
+        let mut var_y = 0.0;
+        for (&b, &v) in online.iter().zip(m2.iter()) {
+            let x = f64::from(u8::from(b)) - mean_x;
+            let y = v as f64 - mean_y;
+            cov += x * y;
+            var_x += x * x;
+            var_y += y * y;
+        }
+        if var_x == 0.0 || var_y == 0.0 {
+            return 0.0;
+        }
+        cov / (var_x.sqrt() * var_y.sqrt())
+    }
+
+    /// Empirical accuracy: per trial the target talks (with her partner
+    /// co-scheduled) or not, over `rounds` rounds with a random ~50%
+    /// online schedule; guess "talking" iff correlation > 0.5·(expected
+    /// correlation under talking).
+    pub fn evaluate<R: Rng>(
+        rng: &mut R,
+        model: &ObservableModel,
+        rounds: usize,
+        trials: usize,
+    ) -> f64 {
+        let mut correct = 0usize;
+        for _ in 0..trials {
+            let talking = rng.gen_bool(0.5);
+            let schedule: Vec<bool> = (0..rounds).map(|_| rng.gen_bool(0.5)).collect();
+            let m2: Vec<u64> = schedule
+                .iter()
+                .map(|&online| {
+                    model
+                        .sample(
+                            rng,
+                            RoundTruth {
+                                talking_pairs: u64::from(talking && online),
+                                lone_users: 0,
+                            },
+                        )
+                        .m2
+                })
+                .collect();
+            let corr = Self::correlation(&schedule, &m2);
+            // With no noise and talking, corr ≈ 1; threshold halfway.
+            if (corr > 0.5) == talking {
+                correct += 1;
+            }
+        }
+        correct as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::max_accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_dp::accounting::conversation_round;
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+    fn no_noise_model() -> ObservableModel {
+        ObservableModel {
+            noising_servers: 2,
+            noise: NoiseDistribution::new(1.0, 1.0),
+            mode: NoiseMode::Off,
+        }
+    }
+
+    fn vuvuzela_model() -> ObservableModel {
+        ObservableModel {
+            noising_servers: 2,
+            noise: NoiseDistribution::new(1000.0, 50.0),
+            mode: NoiseMode::Sampled,
+        }
+    }
+
+    #[test]
+    fn intersection_attack_wins_without_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attack = IntersectionAttack { window: 3 };
+        let accuracy = attack.evaluate(&mut rng, &no_noise_model(), 5, 400);
+        assert!(accuracy > 0.99, "no-noise accuracy {accuracy}");
+    }
+
+    #[test]
+    fn intersection_attack_blinded_by_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attack = IntersectionAttack { window: 3 };
+        let accuracy = attack.evaluate(&mut rng, &vuvuzela_model(), 5, 2000);
+        assert!(
+            (0.44..=0.56).contains(&accuracy),
+            "noised accuracy {accuracy} should be ≈ 0.5"
+        );
+    }
+
+    #[test]
+    fn disruption_attack_wins_without_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let accuracy = DisruptionAttack::evaluate(&mut rng, &no_noise_model(), 400);
+        assert!(accuracy > 0.99, "no-noise accuracy {accuracy}");
+    }
+
+    #[test]
+    fn disruption_attack_bounded_by_dp() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = vuvuzela_model();
+        let accuracy = DisruptionAttack::evaluate(&mut rng, &model, 4000);
+        // Per-round guarantee for (µ=1000, b=50) per server; the honest
+        // server's noise alone provides it.
+        let round = conversation_round(1000.0, 50.0);
+        let bound = max_accuracy(round.epsilon, round.delta);
+        // Allow Monte-Carlo (~±0.011 at 2·4000 samples) + threshold
+        // overfitting slack.
+        assert!(
+            accuracy <= bound + 0.02,
+            "accuracy {accuracy} exceeds DP bound {bound}"
+        );
+        assert!(accuracy < 0.56, "accuracy {accuracy} suspiciously high");
+    }
+
+    #[test]
+    fn disruption_threshold_rule_is_monotone() {
+        assert!(DisruptionAttack::guess(10, 5.0));
+        assert!(!DisruptionAttack::guess(3, 5.0));
+    }
+
+    #[test]
+    fn disclosure_attack_wins_without_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let accuracy = StatisticalDisclosureAttack::evaluate(&mut rng, &no_noise_model(), 40, 200);
+        assert!(accuracy > 0.95, "no-noise accuracy {accuracy}");
+    }
+
+    #[test]
+    fn disclosure_attack_blinded_by_noise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let accuracy = StatisticalDisclosureAttack::evaluate(&mut rng, &vuvuzela_model(), 40, 400);
+        assert!(
+            (0.40..=0.60).contains(&accuracy),
+            "noised accuracy {accuracy} should be ≈ 0.5"
+        );
+    }
+
+    #[test]
+    fn correlation_handles_degenerate_series() {
+        assert_eq!(
+            StatisticalDisclosureAttack::correlation(&[true, true], &[1, 1]),
+            0.0
+        );
+        assert_eq!(StatisticalDisclosureAttack::correlation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn correlation_detects_perfect_signal() {
+        let online = [true, false, true, false, true, false];
+        let m2 = [5u64, 4, 5, 4, 5, 4];
+        let corr = StatisticalDisclosureAttack::correlation(&online, &m2);
+        assert!((corr - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Theoretical limits on attack success implied by (ε, δ)-DP.
+//!
+//! If the observables are (ε, δ)-differentially private with respect to
+//! one user's actions, then *any* distinguisher deciding between two
+//! adjacent worlds with equal priors has accuracy at most
+//! `e^ε / (1 + e^ε) + δ`. The attack evaluations compare their empirical
+//! accuracy against this ceiling — the code-level restatement of the
+//! paper's plausible-deniability claim (§2.2, §6.4).
+
+/// The maximum accuracy of any equal-prior distinguisher against an
+/// (ε, δ)-DP mechanism.
+#[must_use]
+pub fn max_accuracy(epsilon: f64, delta: f64) -> f64 {
+    (epsilon.exp() / (1.0 + epsilon.exp()) + delta).min(1.0)
+}
+
+/// The corresponding advantage over random guessing (accuracy − ½).
+#[must_use]
+pub fn max_advantage(epsilon: f64, delta: f64) -> f64 {
+    max_accuracy(epsilon, delta) - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_epsilon_means_coin_flip() {
+        assert!((max_accuracy(0.0, 0.0) - 0.5).abs() < 1e-12);
+        assert!((max_advantage(0.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln2_bounds_two_thirds() {
+        // ε = ln 2 → accuracy ≤ 2/3, matching the paper's posterior
+        // example (50% prior → 67%).
+        let acc = max_accuracy(core::f64::consts::LN_2, 0.0);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_epsilon_saturates_at_one() {
+        assert_eq!(max_accuracy(100.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn delta_adds_linearly() {
+        let base = max_accuracy(0.1, 0.0);
+        assert!((max_accuracy(0.1, 1e-3) - base - 1e-3).abs() < 1e-12);
+    }
+}

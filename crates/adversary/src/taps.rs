@@ -1,0 +1,201 @@
+//! Reusable adversary taps for [`vuvuzela_net::link::Link`]s.
+
+use vuvuzela_net::link::{Tap, TapContext};
+
+/// Keeps only the requests at the given batch indices — the §4.2
+/// disruption attack's "throws away all requests except those from Alice
+/// and Bob". Meaningful on the clients→entry or entry→server-0 link,
+/// where batch order still identifies clients.
+pub struct KeepOnly {
+    /// Indices (into the forward batch) to let through.
+    pub indices: Vec<usize>,
+    /// Restrict interference to this round, passing other rounds
+    /// untouched; `None` applies every round.
+    pub only_round: Option<u64>,
+}
+
+impl Tap for KeepOnly {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            return;
+        }
+        if let Some(round) = self.only_round {
+            if ctx.round != round {
+                return;
+            }
+        }
+        let keep: Vec<Vec<u8>> = self
+            .indices
+            .iter()
+            .filter_map(|&i| batch.get(i).cloned())
+            .collect();
+        *batch = keep;
+    }
+}
+
+/// Blocks every request from one client index — "block network traffic
+/// from Alice" (§2.1).
+pub struct BlockClient {
+    /// The batch index of the victim on the tapped link.
+    pub index: usize,
+    /// Apply only from this round on (`None` = always).
+    pub from_round: Option<u64>,
+}
+
+impl Tap for BlockClient {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            return;
+        }
+        if let Some(from) = self.from_round {
+            if ctx.round < from {
+                return;
+            }
+        }
+        if self.index < batch.len() {
+            batch.remove(self.index);
+        }
+    }
+}
+
+/// Delays traffic by one round: requests captured in round r are removed
+/// and re-injected into round r+1 — the §1 "adversaries that can
+/// actively disrupt traffic (e.g., inject delays)" capability.
+///
+/// Against Vuvuzela this buys nothing: onion layers are bound to their
+/// round (per-round nonces), so replayed requests fail authentication at
+/// the next server and are replaced by noise. The `delay_is_equivalent_
+/// to_drop` integration test pins that property down.
+#[derive(Default)]
+pub struct DelayOneRound {
+    held: Vec<(u64, Vec<Vec<u8>>)>,
+}
+
+impl DelayOneRound {
+    /// Creates an empty delaying tap.
+    #[must_use]
+    pub fn new() -> DelayOneRound {
+        DelayOneRound::default()
+    }
+}
+
+impl Tap for DelayOneRound {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            return;
+        }
+        // Release anything captured in an earlier round.
+        let mut released = Vec::new();
+        self.held.retain(|(round, entries)| {
+            if *round < ctx.round {
+                released.extend(entries.iter().cloned());
+                false
+            } else {
+                true
+            }
+        });
+        // Capture the current batch, substitute the released one.
+        let captured = std::mem::replace(batch, released);
+        self.held.push((ctx.round, captured));
+    }
+}
+
+/// Records only the *sizes* of everything in flight — a cheap global
+/// passive observer for asserting the fixed-size invariants.
+#[derive(Default)]
+pub struct SizeRecorder {
+    /// `(round, direction-is-forward, sizes)` per observed batch.
+    pub batches: Vec<(u64, bool, Vec<usize>)>,
+}
+
+impl Tap for SizeRecorder {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        self.batches.push((
+            ctx.round,
+            matches!(ctx.direction, vuvuzela_net::Direction::Forward),
+            batch.iter().map(Vec::len).collect(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vuvuzela_net::link::Direction;
+    use vuvuzela_net::Link;
+
+    fn batch3() -> Vec<Vec<u8>> {
+        vec![vec![0], vec![1], vec![2]]
+    }
+
+    #[test]
+    fn keep_only_filters_forward_traffic() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(KeepOnly {
+            indices: vec![0, 2],
+            only_round: None,
+        })));
+        let out = link.transmit(0, Direction::Forward, batch3());
+        assert_eq!(out, vec![vec![0], vec![2]]);
+        // Backward traffic untouched.
+        let back = link.transmit(0, Direction::Backward, batch3());
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn keep_only_respects_round_filter() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(KeepOnly {
+            indices: vec![1],
+            only_round: Some(5),
+        })));
+        assert_eq!(link.transmit(4, Direction::Forward, batch3()).len(), 3);
+        assert_eq!(
+            link.transmit(5, Direction::Forward, batch3()),
+            vec![vec![1]]
+        );
+    }
+
+    #[test]
+    fn block_client_removes_one() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(BlockClient {
+            index: 1,
+            from_round: Some(2),
+        })));
+        assert_eq!(link.transmit(1, Direction::Forward, batch3()).len(), 3);
+        let out = link.transmit(2, Direction::Forward, batch3());
+        assert_eq!(out, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn delay_tap_shifts_batches_by_one_round() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DelayOneRound::new())));
+        // Round 0's batch is swallowed.
+        let out0 = link.transmit(0, Direction::Forward, vec![vec![0]]);
+        assert!(out0.is_empty());
+        // Round 1 receives round 0's traffic; round 1's is held.
+        let out1 = link.transmit(1, Direction::Forward, vec![vec![1]]);
+        assert_eq!(out1, vec![vec![0]]);
+        let out2 = link.transmit(2, Direction::Forward, vec![vec![2]]);
+        assert_eq!(out2, vec![vec![1]]);
+        // Backward traffic is untouched.
+        let back = link.transmit(2, Direction::Backward, vec![vec![9]]);
+        assert_eq!(back, vec![vec![9]]);
+    }
+
+    #[test]
+    fn size_recorder_sees_sizes_only() {
+        let mut link = Link::new("t");
+        let tap = std::sync::Arc::new(parking_lot_mutex(SizeRecorder::default()));
+        link.attach_tap(tap.clone());
+        let _ = link.transmit(9, Direction::Forward, vec![vec![0u8; 7], vec![0u8; 7]]);
+        let guard = tap.lock();
+        assert_eq!(guard.batches, vec![(9, true, vec![7, 7])]);
+    }
+
+    fn parking_lot_mutex<T>(t: T) -> parking_lot::Mutex<T> {
+        parking_lot::Mutex::new(t)
+    }
+}

@@ -1,0 +1,23 @@
+//! Comparison systems for Vuvuzela's evaluation.
+//!
+//! The paper positions Vuvuzela against two families (§1, §10):
+//!
+//! * **scalable but analyzable** — mixnets/onion routing without
+//!   principled cover traffic. [`no_noise`] configures Vuvuzela's own
+//!   pipeline with noise off: same crypto, same mixing, no differential
+//!   privacy. The attack suite demolishes it.
+//! * **private but unscalable** — Dissent/Riposte-style systems built on
+//!   broadcast, with per-round cost superlinear in users. [`broadcast`]
+//!   implements that strawman; the scaling benches show its O(n²) total
+//!   bytes against Vuvuzela's O(n).
+//!
+//! [`single_server`] additionally implements the §2.1 strawman (one
+//! trusted server, no mixing, no noise) whose observable dead-drop access
+//! patterns motivate the whole design (Figure 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod no_noise;
+pub mod single_server;

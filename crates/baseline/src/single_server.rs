@@ -1,0 +1,92 @@
+//! The §2.1 strawman: a single, fully trusted server (Figure 4).
+//!
+//! Clients deposit sealed messages into dead drops on one server with no
+//! mixing and no noise. Even with a *trusted* server and encrypted
+//! messages, the paper shows the access pattern alone betrays users: the
+//! server (or anyone who compromises it) sees **which client accessed
+//! which drop** — this module exposes exactly that observable so tests
+//! can demonstrate the leak that Vuvuzela closes.
+
+use rand::{CryptoRng, RngCore};
+use std::collections::HashMap;
+use vuvuzela_wire::conversation::{ExchangeRequest, ExchangeResponse};
+use vuvuzela_wire::deaddrop::DeadDropId;
+
+/// What the single server observes in one round — fatally, the mapping
+/// from client to dead drop.
+#[derive(Clone, Debug, Default)]
+pub struct StrawmanObservables {
+    /// `links[i] = (client index a, client index b)` for every pair of
+    /// clients that exchanged messages this round. This is the "Adversary
+    /// can see Alice and Bob talking" of Figure 4.
+    pub linked_pairs: Vec<(usize, usize)>,
+}
+
+/// One round of the strawman protocol.
+///
+/// Returns per-client responses and the observables — no noise to hide
+/// them, no mixing to unlink them.
+pub fn run_round<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    requests: &[ExchangeRequest],
+) -> (Vec<ExchangeResponse>, StrawmanObservables) {
+    let mut by_drop: HashMap<DeadDropId, Vec<usize>> = HashMap::new();
+    for (i, request) in requests.iter().enumerate() {
+        by_drop.entry(request.drop).or_default().push(i);
+    }
+
+    let mut responses: Vec<ExchangeResponse> = (0..requests.len())
+        .map(|_| ExchangeResponse::empty(rng))
+        .collect();
+    let mut observables = StrawmanObservables::default();
+
+    for accessors in by_drop.values() {
+        if accessors.len() == 2 {
+            let (a, b) = (accessors[0], accessors[1]);
+            observables.linked_pairs.push((a.min(b), a.max(b)));
+            responses[a] = ExchangeResponse {
+                sealed_message: requests[b].sealed_message.clone(),
+            };
+            responses[b] = ExchangeResponse {
+                sealed_message: requests[a].sealed_message.clone(),
+            };
+        }
+    }
+    observables.linked_pairs.sort_unstable();
+    (responses, observables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_wire::SEALED_MESSAGE_LEN;
+
+    fn request(drop_byte: u8) -> ExchangeRequest {
+        ExchangeRequest {
+            drop: DeadDropId([drop_byte; 16]),
+            sealed_message: vec![drop_byte; SEALED_MESSAGE_LEN],
+        }
+    }
+
+    #[test]
+    fn server_links_conversing_clients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Clients 0 and 2 talk; 1 and 3 are idle on random drops.
+        let requests = vec![request(7), request(1), request(7), request(2)];
+        let (responses, obs) = run_round(&mut rng, &requests);
+        // Messages flow correctly...
+        assert_eq!(responses[0].sealed_message, requests[2].sealed_message);
+        // ...but the server learns exactly who talked to whom.
+        assert_eq!(obs.linked_pairs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn idle_clients_are_visible_too() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let requests = vec![request(1), request(2)];
+        let (_, obs) = run_round(&mut rng, &requests);
+        assert!(obs.linked_pairs.is_empty(), "no conversations to link");
+    }
+}

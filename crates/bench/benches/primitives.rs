@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the cryptographic primitives.
+//!
+//! These are the quantities the paper's performance analysis is built on:
+//! "The most computationally expensive part of Vuvuzela's implementation
+//! is the repeated use of Diffie-Hellman in the wrapping and unwrapping
+//! of encryption layers" (§7). The `x25519` result here is the direct
+//! analogue of the paper's "340,000 Curve25519 operations per second"
+//! per 36-core machine (§8.2) — divide by 36 for a per-core comparison.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vuvuzela_crypto::x25519::Keypair;
+use vuvuzela_crypto::{aead, chacha20, onion, sealedbox, sha256};
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+fn bench_x25519(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x25519");
+    group.throughput(Throughput::Elements(1));
+    let scalar = [7u8; 32];
+    let point = [9u8; 32];
+    group.bench_function("scalar_mult", |b| {
+        b.iter(|| vuvuzela_crypto::x25519::x25519(black_box(&scalar), black_box(&point)))
+    });
+    let mut rng = StdRng::seed_from_u64(0);
+    let alice = Keypair::generate(&mut rng);
+    let bob = Keypair::generate(&mut rng);
+    group.bench_function("diffie_hellman", |b| {
+        b.iter(|| alice.secret.diffie_hellman(black_box(&bob.public)))
+    });
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = [1u8; 32];
+    let nonce = [2u8; 12];
+    let msg = [0u8; 240];
+    group.throughput(Throughput::Bytes(240));
+    group.bench_function("seal_240B", |b| {
+        b.iter(|| aead::seal(black_box(&key), &nonce, &[], black_box(&msg)))
+    });
+    let sealed = aead::seal(&key, &nonce, &[], &msg);
+    group.bench_function("open_240B", |b| {
+        b.iter(|| aead::open(black_box(&key), &nonce, &[], black_box(&sealed)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_chacha_sha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk");
+    let key = [1u8; 32];
+    let nonce = [2u8; 12];
+    let mut buf = vec![0u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("chacha20_4KB", |b| {
+        b.iter(|| chacha20::xor_stream(&key, 0, &nonce, black_box(&mut buf)))
+    });
+    group.bench_function("sha256_4KB", |b| b.iter(|| sha256::sha256(black_box(&buf))));
+    group.finish();
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onion");
+    let mut rng = StdRng::seed_from_u64(1);
+    let servers: Vec<Keypair> = (0..3).map(|_| Keypair::generate(&mut rng)).collect();
+    let pks: Vec<_> = servers.iter().map(|kp| kp.public).collect();
+    let payload = vec![0u8; 272];
+
+    group.bench_function("wrap_3_layers", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(2),
+            |mut r| onion::wrap(&mut r, &pks, 0, black_box(&payload)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let (wrapped, _) = onion::wrap(&mut rng, &pks, 0, &payload);
+    group.bench_function("peel_1_layer", |b| {
+        b.iter(|| {
+            onion::peel(
+                &servers[0].secret,
+                &servers[0].public,
+                0,
+                black_box(&wrapped),
+            )
+            .expect("valid layer")
+        })
+    });
+    group.finish();
+}
+
+fn bench_sealedbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sealedbox");
+    let mut rng = StdRng::seed_from_u64(3);
+    let recipient = Keypair::generate(&mut rng);
+    let invitation = [0u8; 32];
+    group.bench_function("seal_invitation", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(4),
+            |mut r| sealedbox::seal(&mut r, &recipient.public, black_box(&invitation)),
+            BatchSize::SmallInput,
+        )
+    });
+    let boxed = sealedbox::seal(&mut rng, &recipient.public, &invitation);
+    group.bench_function("trial_decrypt_hit", |b| {
+        b.iter(|| sealedbox::open(&recipient.secret, &recipient.public, black_box(&boxed)))
+    });
+    let other = Keypair::generate(&mut rng);
+    group.bench_function("trial_decrypt_miss", |b| {
+        b.iter(|| sealedbox::open(&other.secret, &other.public, black_box(&boxed)))
+    });
+    group.finish();
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise");
+    let dist = NoiseDistribution::new(300_000.0, 13_800.0);
+    group.bench_function("laplace_sample_x100", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut r| {
+                for _ in 0..100 {
+                    black_box(dist.sample_count(&mut r, NoiseMode::Sampled));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_x25519, bench_aead, bench_chacha_sha, bench_onion, bench_sealedbox, bench_laplace
+}
+criterion_main!(benches);

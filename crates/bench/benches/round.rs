@@ -1,0 +1,76 @@
+//! Criterion benchmarks for whole protocol rounds and server stages.
+//!
+//! `conversation_round/*` is the direct (scaled) analogue of the paper's
+//! Figure 9 measurements; `deaddrop_match` isolates the non-crypto
+//! matching stage to confirm DH dominates, as §8.2 claims.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vuvuzela_bench::workload::conversation_batch;
+use vuvuzela_core::deaddrops::ConversationDrops;
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+use vuvuzela_wire::conversation::ExchangeRequest;
+
+fn config(mu: f64) -> SystemConfig {
+    SystemConfig {
+        chain_len: 3,
+        conversation_noise: NoiseDistribution::new(mu, (mu / 20.0).max(1.0)),
+        dialing_noise: NoiseDistribution::new(1.0, 1.0),
+        noise_mode: NoiseMode::Deterministic,
+        workers: vuvuzela_net::parallel::default_workers(),
+        conversation_slots: 1,
+        retransmit_after: 2,
+    }
+}
+
+fn bench_conversation_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversation_round");
+    group.sample_size(10);
+    for (users, mu) in [(100u64, 50.0), (500, 200.0)] {
+        group.throughput(Throughput::Elements(users));
+        group.bench_function(format!("users{users}_mu{mu}"), |b| {
+            b.iter_batched(
+                || {
+                    let chain = Chain::new(config(mu), 1);
+                    let pks = chain.server_public_keys();
+                    let batch = conversation_batch(users, 0, &pks, 2, users);
+                    (chain, batch)
+                },
+                |(mut chain, batch)| chain.run_conversation_round(0, black_box(batch)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_deaddrop_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deaddrop_match");
+    for count in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(count));
+        group.bench_function(format!("requests{count}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let requests: Vec<ExchangeRequest> = (0..count)
+                        .map(|_| ExchangeRequest::noise(&mut rng))
+                        .collect();
+                    (StdRng::seed_from_u64(8), requests)
+                },
+                |(mut rng, requests)| ConversationDrops::exchange(&mut rng, black_box(&requests)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conversation_round, bench_deaddrop_match
+}
+criterion_main!(benches);

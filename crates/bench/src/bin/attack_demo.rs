@@ -1,0 +1,104 @@
+//! Attack demonstration (paper §2.1, §4.2, Figure 2).
+//!
+//! Evaluates the three traffic-analysis attacks against (a) the no-noise
+//! mixnet baseline and (b) Vuvuzela's noise, reporting empirical attacker
+//! accuracy against the DP-theoretic ceiling, plus the §6.4 posterior
+//! table (prior → posterior under ε).
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin attack_demo`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vuvuzela_adversary::attacks::{
+    DisruptionAttack, IntersectionAttack, StatisticalDisclosureAttack,
+};
+use vuvuzela_adversary::bounds::max_accuracy;
+use vuvuzela_adversary::model::ObservableModel;
+use vuvuzela_bench::report::{write_json, Table};
+use vuvuzela_dp::accounting::conversation_round;
+use vuvuzela_dp::planner::posterior_bound;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2015);
+    let trials = 4_000;
+
+    let no_noise = ObservableModel {
+        noising_servers: 2,
+        noise: NoiseDistribution::new(1.0, 1.0),
+        mode: NoiseMode::Off,
+    };
+    let vuvuzela = ObservableModel {
+        noising_servers: 2,
+        noise: NoiseDistribution::new(1_000.0, 50.0),
+        mode: NoiseMode::Sampled,
+    };
+    let round = conversation_round(1_000.0, 50.0);
+    let bound = max_accuracy(round.epsilon, round.delta);
+
+    let mut table = Table::new(&[
+        "attack",
+        "no-noise accuracy",
+        "Vuvuzela accuracy",
+        "DP ceiling (1 round)",
+    ]);
+
+    let intersection = IntersectionAttack { window: 5 };
+    let i_plain = intersection.evaluate(&mut rng, &no_noise, 5, trials);
+    let i_noised = intersection.evaluate(&mut rng, &vuvuzela, 5, trials);
+    table.row(&[
+        "intersection (offline diff)".into(),
+        format!("{i_plain:.3}"),
+        format!("{i_noised:.3}"),
+        format!("{bound:.3}"),
+    ]);
+
+    let d_plain = DisruptionAttack::evaluate(&mut rng, &no_noise, trials);
+    let d_noised = DisruptionAttack::evaluate(&mut rng, &vuvuzela, trials);
+    table.row(&[
+        "disruption (keep Alice+Bob)".into(),
+        format!("{d_plain:.3}"),
+        format!("{d_noised:.3}"),
+        format!("{bound:.3}"),
+    ]);
+
+    let s_plain = StatisticalDisclosureAttack::evaluate(&mut rng, &no_noise, 40, trials / 10);
+    let s_noised = StatisticalDisclosureAttack::evaluate(&mut rng, &vuvuzela, 40, trials / 10);
+    table.row(&[
+        "statistical disclosure (40 rounds)".into(),
+        format!("{s_plain:.3}"),
+        format!("{s_noised:.3}"),
+        "n/a (multi-round)".into(),
+    ]);
+
+    table.print("Attack accuracy: no-noise mixnet vs Vuvuzela (µ=1000, b=50 per server)");
+    println!(
+        "\n1.0 = adversary always right, 0.5 = coin flip. Vuvuzela's noise\n\
+         reduces every attack to ≈0.5, within the DP ceiling."
+    );
+
+    // §6.4 posterior-belief table.
+    let ln2 = core::f64::consts::LN_2;
+    let ln3 = 3.0f64.ln();
+    let mut posterior = Table::new(&["prior", "ε", "posterior (paper)", "posterior (ours)"]);
+    for (prior, eps, paper) in [(0.50, ln2, "67%"), (0.50, ln3, "75%"), (0.01, ln3, "3%")] {
+        posterior.row(&[
+            format!("{:.0}%", prior * 100.0),
+            format!("{eps:.3}"),
+            paper.into(),
+            format!("{:.1}%", posterior_bound(prior, eps) * 100.0),
+        ]);
+    }
+    posterior.print("§6.4 posterior beliefs after observing Vuvuzela");
+
+    write_json(
+        "attack_demo",
+        &serde_json::json!({
+            "trials": trials,
+            "dp_ceiling_one_round": bound,
+            "intersection": { "no_noise": i_plain, "vuvuzela": i_noised },
+            "disruption": { "no_noise": d_plain, "vuvuzela": d_noised },
+            "disclosure": { "no_noise": s_plain, "vuvuzela": s_noised },
+        }),
+    );
+}

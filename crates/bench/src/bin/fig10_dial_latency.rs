@@ -1,0 +1,118 @@
+//! Figure 10: dialing-round end-to-end latency vs online users.
+//!
+//! The paper: 5% of users dial each round, µ = 13,000 per drop, one
+//! invitation drop at evaluation scale (§7), sweeping 10 → 2M users
+//! (13 s → 50 s). We run 1:100 scale (µ = 130) and extrapolate like
+//! Figure 9.
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin fig10_dial_latency`
+//! (pass `--quick` for a reduced grid).
+
+use std::time::Instant;
+use vuvuzela_bench::report::{secs, write_json, Table};
+use vuvuzela_bench::workload::dialing_batch;
+use vuvuzela_bench::CostModel;
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+const SCALE: u64 = 100;
+const DIAL_FRACTION: f64 = 0.05;
+const NUM_DROPS: u32 = 1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mu_scaled = 130.0; // 13,000 / SCALE
+    let users_scaled: Vec<u64> = if quick {
+        vec![10, 2_500, 5_000]
+    } else {
+        vec![10, 2_500, 5_000, 10_000, 15_000, 20_000]
+    };
+
+    let model = CostModel::calibrate();
+    let mut table = Table::new(&[
+        "users (x100)",
+        "dialers",
+        "measured",
+        "model",
+        "overhead",
+        "paper-scale est.",
+    ]);
+    let mut points = Vec::new();
+    let mut overheads = Vec::new();
+
+    for &users in &users_scaled {
+        let dialers = ((users as f64) * DIAL_FRACTION).round() as u64;
+        let config = SystemConfig {
+            chain_len: 3,
+            conversation_noise: NoiseDistribution::new(1.0, 1.0),
+            dialing_noise: NoiseDistribution::new(mu_scaled, (mu_scaled / 20.0).max(1.0)),
+            noise_mode: NoiseMode::Deterministic,
+            workers: vuvuzela_net::parallel::default_workers(),
+            conversation_slots: 1,
+            retransmit_after: 2,
+        };
+        let mut chain = Chain::new(config, 1);
+        let pks = chain.server_public_keys();
+        let batch = dialing_batch(users, dialers, NUM_DROPS, 0, &pks, model.cores, users);
+
+        let start = Instant::now();
+        let _timing = chain.run_dialing_round(0, batch, NUM_DROPS);
+        let measured = start.elapsed().as_secs_f64();
+
+        let dh_only = model
+            .with_overhead(1.0)
+            .predict_dialing_secs(users, mu_scaled, NUM_DROPS, 3);
+        let overhead = measured / dh_only;
+        overheads.push(overhead);
+        let paper_est = CostModel::paper_hardware()
+            .with_overhead(overhead)
+            .predict_dialing_secs(users * SCALE, mu_scaled * SCALE as f64, NUM_DROPS, 3);
+
+        table.row(&[
+            users.to_string(),
+            dialers.to_string(),
+            secs(measured),
+            secs(dh_only),
+            format!("{overhead:.2}x"),
+            secs(paper_est),
+        ]);
+        points.push(serde_json::json!({
+            "users_scaled": users, "dialers": dialers,
+            "measured_secs": measured, "dh_model_secs": dh_only,
+            "overhead": overhead, "paper_scale_est_secs": paper_est,
+        }));
+    }
+
+    table.print("Figure 10 (1:100 scale): dialing latency vs online users (5% dialing)");
+    let mean_overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
+
+    // In the paper's Figure 10 "the conversation protocol is running
+    // concurrently with µ=300,000", so dialing rounds contend with ~1.2M
+    // conversation noise requests for the same CPUs. Our scaled runs have
+    // no concurrent conversation, so we model the contention as an
+    // additive constant *fitted at the 10-user endpoint* (13 s, where
+    // dialing's own work is negligible) and then *predict* the 2M-user
+    // endpoint from it.
+    let paper = CostModel::paper_hardware().with_overhead(2.0);
+    let dial_only_10 = paper.predict_dialing_secs(10, 13_000.0, NUM_DROPS, 3);
+    let contention = 13.0 - dial_only_10;
+    let predicted_2m = paper.predict_dialing_secs(2_000_000, 13_000.0, NUM_DROPS, 3) + contention;
+    println!(
+        "\nconcurrent-conversation contention fitted at 10 users: {:.1} s\n\
+         paper endpoints: 13 s at 10 users, 50 s at 2M users\n\
+         our model:       13.0 s (fitted) at 10 users, {} (predicted) at 2M users",
+        contention,
+        secs(predicted_2m),
+    );
+
+    write_json(
+        "fig10_dial_latency",
+        &serde_json::json!({
+            "scale": SCALE,
+            "mu_scaled": mu_scaled,
+            "dial_fraction": DIAL_FRACTION,
+            "points": points,
+            "mean_overhead": mean_overhead,
+        }),
+    );
+}

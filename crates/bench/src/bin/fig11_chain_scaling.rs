@@ -1,0 +1,99 @@
+//! Figure 11: conversation latency vs number of servers in the chain.
+//!
+//! The paper fixes 1M active users and µ = 300K, sweeping 1–6 servers;
+//! latency grows "roughly quadratically" because each of the s servers
+//! must process cover traffic from all previous servers (O(s) work for
+//! O(s) servers → O(s²)). We run 1:300 scale (3,333 users, µ = 1,000)
+//! and check the quadratic shape directly.
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin fig11_chain_scaling`
+
+use std::time::Instant;
+use vuvuzela_bench::report::{secs, write_json, Table};
+use vuvuzela_bench::workload::conversation_batch;
+use vuvuzela_bench::CostModel;
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+const SCALE: u64 = 300;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let users: u64 = 1_000_000 / SCALE;
+    let mu: f64 = 300_000.0 / SCALE as f64;
+    let chain_lengths: Vec<usize> = if quick {
+        vec![1, 2, 3, 4]
+    } else {
+        vec![1, 2, 3, 4, 5, 6]
+    };
+
+    let model = CostModel::calibrate();
+    let mut table = Table::new(&["servers", "measured", "model", "paper-scale est."]);
+    let mut points = Vec::new();
+
+    for &n in &chain_lengths {
+        let config = SystemConfig {
+            chain_len: n,
+            conversation_noise: NoiseDistribution::new(mu, (mu / 20.0).max(1.0)),
+            dialing_noise: NoiseDistribution::new(1.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: vuvuzela_net::parallel::default_workers(),
+            conversation_slots: 1,
+            retransmit_after: 2,
+        };
+        let mut chain = Chain::new(config, 1);
+        let pks = chain.server_public_keys();
+        let batch = conversation_batch(users, 0, &pks, model.cores, n as u64);
+
+        let start = Instant::now();
+        let _ = chain.run_conversation_round(0, batch);
+        let measured = start.elapsed().as_secs_f64();
+
+        let dh_only = model
+            .with_overhead(1.0)
+            .predict_conversation_secs(users, mu, n);
+        let overhead = measured / dh_only;
+        let paper_est = CostModel::paper_hardware()
+            .with_overhead(overhead)
+            .predict_conversation_secs(1_000_000, 300_000.0, n);
+
+        table.row(&[
+            n.to_string(),
+            secs(measured),
+            secs(dh_only),
+            secs(paper_est),
+        ]);
+        points.push(serde_json::json!({
+            "servers": n, "measured_secs": measured,
+            "dh_model_secs": dh_only, "paper_scale_est_secs": paper_est,
+        }));
+    }
+
+    table.print("Figure 11 (1:300 scale): latency vs servers, 1M-user equivalent");
+
+    // Quadratic-shape check: fit measured latency against a + b·s².
+    if points.len() >= 3 {
+        let first = points.first().expect("non-empty");
+        let last = points.last().expect("non-empty");
+        let (s1, t1) = (
+            first["servers"].as_u64().expect("int") as f64,
+            first["measured_secs"].as_f64().expect("float"),
+        );
+        let (s2, t2) = (
+            last["servers"].as_u64().expect("int") as f64,
+            last["measured_secs"].as_f64().expect("float"),
+        );
+        let growth = t2 / t1;
+        let linear = s2 / s1;
+        let quadratic = (s2 / s1).powi(2);
+        println!(
+            "\nshape: {s1:.0}→{s2:.0} servers grew latency {growth:.1}x \
+             (linear would be {linear:.1}x, quadratic {quadratic:.1}x)"
+        );
+    }
+
+    write_json(
+        "fig11_chain_scaling",
+        &serde_json::json!({ "scale": SCALE, "users_scaled": users, "mu_scaled": mu, "points": points }),
+    );
+}

@@ -1,0 +1,151 @@
+//! Figure 6: the (∆m1, ∆m2) sensitivity table.
+//!
+//! Empirically reproduces the paper's Figure 6 by running one noise-free
+//! conversation round through the *real* chain for every world, and
+//! differencing the observables between each of Alice's real actions and
+//! each cover story. Other users' behaviour is held fixed across the
+//! compared worlds, exactly as the differential-privacy adjacency
+//! requires (§6.2).
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin fig6_sensitivity`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vuvuzela_bench::report::{write_json, Table};
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_crypto::onion;
+use vuvuzela_crypto::x25519::Keypair;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+use vuvuzela_wire::conversation::{ConversationKeys, ExchangeRequest};
+use vuvuzela_wire::MESSAGE_LEN;
+
+/// Alice's possible behaviours in a round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Action {
+    Idle,
+    /// Exchange with a partner who reciprocates (b or c).
+    ConvRecip(usize),
+    /// Exchange with a partner who does not reciprocate (x or y).
+    ConvUnrecip(usize),
+}
+
+fn main() {
+    // Population: alice + b, c (always attempt an exchange with Alice) +
+    // x, y (never do; they run fake exchanges like idle users).
+    let mut rng = StdRng::seed_from_u64(42);
+    let alice = Keypair::generate(&mut rng);
+    let partners: Vec<Keypair> = (0..4).map(|_| Keypair::generate(&mut rng)).collect();
+    let (b, c, x, y) = (0usize, 1, 2, 3);
+
+    let real_actions = [
+        ("idle", Action::Idle),
+        ("conv b", Action::ConvRecip(b)),
+        ("conv x", Action::ConvUnrecip(x)),
+    ];
+    let cover_stories = [
+        ("idle", Action::Idle),
+        ("conv b", Action::ConvRecip(b)),
+        ("conv c", Action::ConvRecip(c)),
+        ("conv x", Action::ConvUnrecip(x)),
+        ("conv y", Action::ConvUnrecip(y)),
+    ];
+
+    // Observables for each distinct world Alice might inhabit.
+    let world = |action: Action| -> (u64, u64) { observe_world(&alice, &partners, action) };
+
+    let mut table = Table::new(&["cover \\ real", "idle", "conv b", "conv x"]);
+    let mut matrix = Vec::new();
+    for (cover_name, cover) in cover_stories {
+        let (m1_cover, m2_cover) = world(cover);
+        let mut cells = vec![cover_name.to_string()];
+        let mut row_json = Vec::new();
+        for (_, real) in &real_actions {
+            let (m1_real, m2_real) = world(*real);
+            let dm1 = m1_real as i64 - m1_cover as i64;
+            let dm2 = m2_real as i64 - m2_cover as i64;
+            cells.push(format!("{dm1:+}, {dm2:+}"));
+            row_json.push(serde_json::json!({ "dm1": dm1, "dm2": dm2 }));
+        }
+        table.row(&cells);
+        matrix.push(serde_json::json!({ "cover": cover_name, "cells": row_json }));
+    }
+
+    table.print("Figure 6: (∆m1, ∆m2) between Alice's real action and cover story");
+    println!(
+        "\npaper: |∆m1| ≤ 2 and |∆m2| ≤ 1 in every cell — the sensitivities\n\
+         Theorem 1 noises against."
+    );
+    write_json("fig6_sensitivity", &serde_json::json!({ "matrix": matrix }));
+}
+
+/// Runs one noise-free round where Alice takes `action` and returns
+/// (m1, m2).
+fn observe_world(alice: &Keypair, partners: &[Keypair], action: Action) -> (u64, u64) {
+    let config = SystemConfig {
+        chain_len: 3,
+        conversation_noise: NoiseDistribution::new(1.0, 1.0),
+        dialing_noise: NoiseDistribution::new(1.0, 1.0),
+        noise_mode: NoiseMode::Off,
+        workers: 2,
+        conversation_slots: 1,
+        retransmit_after: 2,
+    };
+    // Fixed chain/seed so only Alice's action varies between worlds.
+    let mut chain = Chain::new(config, 7);
+    let pks = chain.server_public_keys();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let round = 0u64;
+
+    let keys_with = |i: usize| -> ConversationKeys {
+        ConversationKeys::derive(&alice.secret, &alice.public, &partners[i].public)
+    };
+    let partner_keys = |i: usize| -> ConversationKeys {
+        ConversationKeys::derive(&partners[i].secret, &partners[i].public, &alice.public)
+    };
+
+    let mut requests: Vec<ExchangeRequest> = Vec::new();
+
+    // Alice's request.
+    let alice_request = match action {
+        Action::Idle => {
+            let fake = ConversationKeys::fake(&mut rng, &alice.secret, &alice.public);
+            ExchangeRequest {
+                drop: fake.drop_id(round),
+                sealed_message: fake.seal_message(round, &[0u8; MESSAGE_LEN]),
+            }
+        }
+        Action::ConvRecip(i) | Action::ConvUnrecip(i) => {
+            let keys = keys_with(i);
+            ExchangeRequest {
+                drop: keys.drop_id(round),
+                sealed_message: keys.seal_message(round, &[0u8; MESSAGE_LEN]),
+            }
+        }
+    };
+    requests.push(alice_request);
+
+    // b and c always attempt the exchange with Alice (fixed behaviour).
+    for i in [0usize, 1] {
+        let keys = partner_keys(i);
+        requests.push(ExchangeRequest {
+            drop: keys.drop_id(round),
+            sealed_message: keys.seal_message(round, &[0u8; MESSAGE_LEN]),
+        });
+    }
+    // x and y never reciprocate: they run fake exchanges (fixed).
+    for i in [2usize, 3] {
+        let fake = ConversationKeys::fake(&mut rng, &partners[i].secret, &partners[i].public);
+        requests.push(ExchangeRequest {
+            drop: fake.drop_id(round),
+            sealed_message: fake.seal_message(round, &[0u8; MESSAGE_LEN]),
+        });
+    }
+
+    let batch: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| onion::wrap(&mut rng, &pks, round, &r.encode()).0)
+        .collect();
+    let _ = chain.run_conversation_round(round, batch);
+    let (_, obs) = chain.conversation_observables()[0];
+    (obs.m1, obs.m2)
+}

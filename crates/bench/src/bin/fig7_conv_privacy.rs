@@ -1,0 +1,82 @@
+//! Figure 7: ε′ and δ′ after k conversation rounds.
+//!
+//! Regenerates both panels of Figure 7 for the paper's three noise
+//! configurations (µ = 150K/300K/450K with b = 7300/13800/20000,
+//! d = 10⁻⁵), plus the maximum number of rounds each supports at the
+//! ε′ = ln 2, δ′ = 10⁻⁴ target.
+//!
+//! Run: `cargo run --release -p vuvuzela-bench --bin fig7_conv_privacy`
+
+use vuvuzela_bench::report::{write_json, Table};
+use vuvuzela_dp::planner::{max_protected_rounds, privacy_series, PrivacyTarget};
+use vuvuzela_dp::Protocol;
+
+fn main() {
+    let configs = [
+        (150_000.0, 7_300.0),
+        (300_000.0, 13_800.0),
+        (450_000.0, 20_000.0),
+    ];
+    // The paper plots k from 10,000 to 1M on a log axis.
+    let ks: Vec<u64> = (0..=20)
+        .map(|i| (10_000.0 * (100.0f64).powf(f64::from(i) / 20.0)) as u64)
+        .collect();
+
+    let mut table = Table::new(&[
+        "k",
+        "e^eps' (mu=150K)",
+        "delta' (150K)",
+        "e^eps' (300K)",
+        "delta' (300K)",
+        "e^eps' (450K)",
+        "delta' (450K)",
+    ]);
+
+    let series: Vec<_> = configs
+        .iter()
+        .map(|&(mu, b)| privacy_series(Protocol::Conversation, mu, b, &ks, 1e-5))
+        .collect();
+
+    for (i, &k) in ks.iter().enumerate() {
+        let mut cells = vec![k.to_string()];
+        for s in &series {
+            cells.push(format!("{:.3}", s[i].e_epsilon));
+            cells.push(format!("{:.2e}", s[i].delta));
+        }
+        table.row(&cells);
+    }
+    table.print("Figure 7: privacy vs number of conversation rounds (d = 1e-5)");
+
+    let mut summary = Table::new(&["mu", "b", "max k @ (ln 2, 1e-4)", "paper claims"]);
+    let paper_claims = [70_000u64, 250_000, 500_000];
+    let mut json_rows = Vec::new();
+    for (&(mu, b), &claim) in configs.iter().zip(paper_claims.iter()) {
+        let k = max_protected_rounds(Protocol::Conversation, mu, b, PrivacyTarget::default());
+        summary.row(&[
+            format!("{mu:.0}"),
+            format!("{b:.0}"),
+            k.to_string(),
+            format!("≈{claim}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "mu": mu, "b": b, "max_rounds": k, "paper_rounds": claim,
+        }));
+    }
+    summary.print("Rounds supported at ε' = ln 2, δ' = 1e-4 (paper §6.4)");
+
+    write_json(
+        "fig7_conv_privacy",
+        &serde_json::json!({
+            "ks": ks,
+            "series": configs.iter().zip(series.iter()).map(|(&(mu, b), s)| {
+                serde_json::json!({
+                    "mu": mu, "b": b,
+                    "points": s.iter().map(|p| serde_json::json!({
+                        "k": p.k, "e_eps": p.e_epsilon, "delta": p.delta
+                    })).collect::<Vec<_>>(),
+                })
+            }).collect::<Vec<_>>(),
+            "summary": json_rows,
+        }),
+    );
+}

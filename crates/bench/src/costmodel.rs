@@ -1,0 +1,230 @@
+//! Calibrated cost model for paper-scale extrapolation.
+//!
+//! §8.2 of the paper derives a latency lower bound from first principles:
+//! "with two million users, each server must perform one Diffie-Hellman
+//! operation for each of the 3.2 million messages … the best-case
+//! end-to-end conversation round latency would be
+//! (3.2·10⁶ × 3)/(3.4·10⁵) ≈ 28 seconds", and reports the full system
+//! "within 2× of the cost of the inevitable cryptographic operations".
+//!
+//! [`CostModel`] reproduces exactly that arithmetic with *our* measured
+//! X25519 throughput, plus a finer per-stage count that also bills the
+//! noise-wrapping DH work. The figure binaries calibrate the model's
+//! overhead factor against real scaled rounds and then extrapolate.
+
+use std::time::Instant;
+use vuvuzela_crypto::x25519;
+
+/// A machine's cryptographic capability for Vuvuzela purposes.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// X25519 operations per second on one core.
+    pub dh_ops_per_sec_core: f64,
+    /// Cores assumed per server.
+    pub cores: usize,
+    /// Multiplier for everything that is not DH (serialization, AEAD,
+    /// shuffling, allocation). The paper observes ≈2× end to end;
+    /// calibrate with [`CostModel::with_overhead`] against measured
+    /// rounds.
+    pub overhead: f64,
+}
+
+impl CostModel {
+    /// Measures this machine's single-core X25519 throughput.
+    #[must_use]
+    pub fn calibrate() -> CostModel {
+        let scalar = [7u8; 32];
+        let mut u = [9u8; 32];
+        for _ in 0..20 {
+            u = x25519::x25519(&scalar, &u);
+        }
+        let iterations = 300u32;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            u = x25519::x25519(&scalar, &u);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(u);
+        CostModel {
+            dh_ops_per_sec_core: f64::from(iterations) / elapsed,
+            cores: vuvuzela_net::parallel::default_workers(),
+            overhead: 2.0, // paper's observed factor until calibrated
+        }
+    }
+
+    /// The paper's reference hardware: 340,000 DH ops/sec on a 36-core
+    /// c4.8xlarge (§8.2).
+    #[must_use]
+    pub fn paper_hardware() -> CostModel {
+        CostModel {
+            dh_ops_per_sec_core: 340_000.0 / 36.0,
+            cores: 36,
+            overhead: 2.0,
+        }
+    }
+
+    /// Returns the model with a different overhead factor.
+    #[must_use]
+    pub fn with_overhead(self, overhead: f64) -> CostModel {
+        CostModel { overhead, ..self }
+    }
+
+    /// Total DH throughput of one server.
+    #[must_use]
+    pub fn dh_ops_per_sec(&self) -> f64 {
+        self.dh_ops_per_sec_core * self.cores as f64
+    }
+
+    /// Messages reaching the last server in a conversation round:
+    /// `users + 2µ·(servers − 1)` (§8.2's "3.2 million messages").
+    #[must_use]
+    pub fn round_messages(users: u64, mu: f64, servers: usize) -> f64 {
+        users as f64 + 2.0 * mu * (servers.saturating_sub(1)) as f64
+    }
+
+    /// The paper's §8.2 lower-bound arithmetic: every server performs one
+    /// DH per message of the round, servers run strictly in sequence.
+    #[must_use]
+    pub fn paper_lower_bound_secs(&self, users: u64, mu: f64, servers: usize) -> f64 {
+        Self::round_messages(users, mu, servers) * servers as f64 / self.dh_ops_per_sec()
+    }
+
+    /// Detailed DH count across the whole chain for one conversation
+    /// round, including the wrapping of noise onions that the paper's
+    /// coarse bound folds into its "one op per message":
+    ///
+    /// * server `i` peels `users + 2µ·i` onions,
+    /// * server `i < n−1` wraps `2µ` noise onions with `n−1−i` layers.
+    #[must_use]
+    pub fn conversation_dh_ops(users: u64, mu: f64, servers: usize) -> f64 {
+        let n = servers;
+        let mut ops = 0.0;
+        for i in 0..n {
+            ops += users as f64 + 2.0 * mu * i as f64; // peels
+            if i + 1 < n {
+                ops += 2.0 * mu * (n - 1 - i) as f64; // noise wraps
+            }
+        }
+        ops
+    }
+
+    /// Predicted end-to-end conversation latency: detailed DH work,
+    /// sequential servers, times the overhead factor.
+    #[must_use]
+    pub fn predict_conversation_secs(&self, users: u64, mu: f64, servers: usize) -> f64 {
+        Self::conversation_dh_ops(users, mu, servers) / self.dh_ops_per_sec() * self.overhead
+    }
+
+    /// Predicted dialing-round latency: each server peels
+    /// `users + m·µ·i` invitations and wraps `m·µ` noise each
+    /// (`m` = drops).
+    #[must_use]
+    pub fn predict_dialing_secs(&self, users: u64, mu: f64, drops: u32, servers: usize) -> f64 {
+        let per_server_noise = f64::from(drops) * mu;
+        let n = servers;
+        let mut ops = 0.0;
+        for i in 0..n {
+            ops += users as f64 + per_server_noise * i as f64;
+            if i + 1 < n {
+                ops += per_server_noise * (n - 1 - i) as f64;
+            }
+        }
+        ops / self.dh_ops_per_sec() * self.overhead
+    }
+
+    /// Messages per second at a given scale (§1's "68,000 messages per
+    /// second for 1 million users").
+    ///
+    /// The paper's counting is reverse-engineered from its two data
+    /// points: `(2·users + 2µ) / latency` reproduces both 68,000 msgs/s
+    /// (1M users, 37 s) and 84,000 msgs/s (2M users, 55 s) to within 3%
+    /// — each user both sends and receives a message per round, plus one
+    /// server's worth of noise requests.
+    #[must_use]
+    pub fn throughput_msgs_per_sec(&self, users: u64, mu: f64, servers: usize) -> f64 {
+        (2.0 * users as f64 + 2.0 * mu) / self.predict_conversation_secs(users, mu, servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lower_bound_reproduces_28_seconds() {
+        // §8.2: 2M users, µ=300K, 3 servers, 340K ops/sec → ≈28 s.
+        let model = CostModel::paper_hardware();
+        let bound = model.paper_lower_bound_secs(2_000_000, 300_000.0, 3);
+        assert!(
+            (bound - 28.2).abs() < 0.5,
+            "lower bound {bound} should be ≈28 s"
+        );
+    }
+
+    #[test]
+    fn round_messages_match_paper() {
+        // "we get 3.2 million messages" at 2M users;
+        // "1.2 million requests when there are no users".
+        assert_eq!(
+            CostModel::round_messages(2_000_000, 300_000.0, 3),
+            3_200_000.0
+        );
+        assert_eq!(CostModel::round_messages(0, 300_000.0, 3), 1_200_000.0);
+    }
+
+    #[test]
+    fn paper_scale_prediction_brackets_measured_37s() {
+        // The paper measured 37 s at 1M users (within 2× of the 22 s
+        // lower bound there). With the ≈2× overhead our prediction
+        // should land in the right decade.
+        let model = CostModel::paper_hardware();
+        let secs = model.predict_conversation_secs(1_000_000, 300_000.0, 3);
+        assert!(
+            (20.0..=60.0).contains(&secs),
+            "predicted {secs}s should bracket the measured 37 s"
+        );
+    }
+
+    #[test]
+    fn latency_is_linear_in_users() {
+        let model = CostModel::paper_hardware();
+        let at_1m = model.predict_conversation_secs(1_000_000, 300_000.0, 3);
+        let at_2m = model.predict_conversation_secs(2_000_000, 300_000.0, 3);
+        let marginal = at_2m - at_1m;
+        let per_user = marginal / 1_000_000.0;
+        // Marginal cost per added user ≈ servers × overhead / rate.
+        let want = 3.0 * 2.0 / model.dh_ops_per_sec();
+        assert!((per_user - want).abs() / want < 1e-9);
+    }
+
+    #[test]
+    fn chain_scaling_is_superlinear() {
+        // Figure 11: roughly quadratic in servers (O(s²) work).
+        let model = CostModel::paper_hardware();
+        let at_2 = model.predict_conversation_secs(1_000_000, 300_000.0, 2);
+        let at_4 = model.predict_conversation_secs(1_000_000, 300_000.0, 4);
+        let at_6 = model.predict_conversation_secs(1_000_000, 300_000.0, 6);
+        assert!(at_4 / at_2 > 1.8, "4 vs 2 servers: {}", at_4 / at_2);
+        assert!(at_6 / at_2 > 3.0, "6 vs 2 servers: {}", at_6 / at_2);
+    }
+
+    #[test]
+    fn throughput_reproduces_headline_numbers() {
+        // §1: 68,000 msgs/s at 1M users; §8.2: 84,000 msgs/s at 2M.
+        let model = CostModel::paper_hardware();
+        let at_1m = model.throughput_msgs_per_sec(1_000_000, 300_000.0, 3);
+        let at_2m = model.throughput_msgs_per_sec(2_000_000, 300_000.0, 3);
+        assert!((55_000.0..=80_000.0).contains(&at_1m), "1M: {at_1m}");
+        assert!((70_000.0..=95_000.0).contains(&at_2m), "2M: {at_2m}");
+    }
+
+    #[test]
+    fn calibration_measures_something_sane() {
+        let model = CostModel::calibrate();
+        assert!(
+            model.dh_ops_per_sec_core > 100.0,
+            "implausibly slow: {} ops/s",
+            model.dh_ops_per_sec_core
+        );
+    }
+}

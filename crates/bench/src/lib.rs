@@ -1,0 +1,22 @@
+//! Shared machinery for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (§8); see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded results. This library provides:
+//!
+//! * [`costmodel`] — a calibrated Diffie-Hellman cost model implementing
+//!   the paper's own §8.2 arithmetic, used to extrapolate laptop-scale
+//!   measurements to the paper's 36-core/EC2 scale;
+//! * [`report`] — table printing and JSON dumping so every run leaves a
+//!   machine-readable artefact under `bench_results/`;
+//! * [`workload`] — synthetic client-batch generators shared by the
+//!   latency sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod report;
+pub mod workload;
+
+pub use costmodel::CostModel;

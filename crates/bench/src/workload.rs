@@ -1,0 +1,152 @@
+//! Synthetic client workloads for the latency sweeps.
+//!
+//! §8.1: "Every simulated user sends a message each conversation round to
+//! another user (although Vuvuzela's performance is the same regardless
+//! of whether users are actively communicating or are idle)." We generate
+//! user request batches the same way: paired users exchanging on shared
+//! dead drops, onion-wrapped in parallel.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use vuvuzela_core::noise::wrap_payloads;
+use vuvuzela_crypto::x25519::PublicKey;
+use vuvuzela_wire::conversation::ExchangeRequest;
+use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
+use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// Builds a conversation-round batch for `users` clients: consecutive
+/// pairs share a dead drop (everyone is talking, as in §8.1), with an
+/// odd user left lone. Returns onions ready for the chain.
+#[must_use]
+pub fn conversation_batch(
+    users: u64,
+    round: u64,
+    server_pks: &[PublicKey],
+    workers: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut payloads = Vec::with_capacity(users as usize);
+    let mut pair_drop = DeadDropId([0u8; 16]);
+    for i in 0..users {
+        if i % 2 == 0 {
+            pair_drop = DeadDropId::random(&mut rng);
+        }
+        let mut request = ExchangeRequest::noise(&mut rng);
+        request.drop = pair_drop;
+        payloads.push(request.encode());
+    }
+    wrap_payloads(&mut rng, payloads, server_pks, round, workers)
+}
+
+/// Builds a dialing-round batch: `dialers` real invitations spread over
+/// `num_drops` drops, the rest no-ops (§8.1 uses 5% dialers).
+#[must_use]
+pub fn dialing_batch(
+    users: u64,
+    dialers: u64,
+    num_drops: u32,
+    round: u64,
+    server_pks: &[PublicKey],
+    workers: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    assert!(dialers <= users);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut payloads = Vec::with_capacity(users as usize);
+    for i in 0..users {
+        let request = if i < dialers {
+            // A random-byte "invitation" is indistinguishable from a real
+            // sealed one and costs the same everywhere.
+            DialRequest {
+                drop: InvitationDropIndex(1 + (i % u64::from(num_drops)) as u32),
+                invitation: SealedInvitation::noise(&mut rng),
+            }
+        } else {
+            DialRequest::noop(&mut rng)
+        };
+        payloads.push(request.encode());
+    }
+    wrap_payloads(&mut rng, payloads, server_pks, round, workers)
+}
+
+/// A deterministic jumble of bytes for adversarial-input fuzzing.
+#[must_use]
+pub fn garbage_batch(count: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let len = i * 7919 % (max_len + 1);
+            let mut bytes = vec![0u8; len];
+            rng.fill_bytes(&mut bytes);
+            bytes
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vuvuzela_crypto::x25519::Keypair;
+
+    fn pks(n: usize) -> Vec<PublicKey> {
+        let mut rng = StdRng::seed_from_u64(0);
+        (0..n).map(|_| Keypair::generate(&mut rng).public).collect()
+    }
+
+    #[test]
+    fn conversation_batch_pairs_users() {
+        // Without wrapping (empty chain) we can inspect the payloads.
+        let batch = conversation_batch(6, 0, &[], 1, 1);
+        let drops: Vec<DeadDropId> = batch
+            .iter()
+            .map(|b| ExchangeRequest::decode(b).expect("valid").drop)
+            .collect();
+        assert_eq!(drops[0], drops[1]);
+        assert_eq!(drops[2], drops[3]);
+        assert_eq!(drops[4], drops[5]);
+        assert_ne!(drops[0], drops[2]);
+    }
+
+    #[test]
+    fn odd_user_is_lone() {
+        let batch = conversation_batch(3, 0, &[], 1, 2);
+        let drops: Vec<DeadDropId> = batch
+            .iter()
+            .map(|b| ExchangeRequest::decode(b).expect("valid").drop)
+            .collect();
+        assert_eq!(drops[0], drops[1]);
+        assert_ne!(drops[2], drops[0]);
+    }
+
+    #[test]
+    fn wrapped_batch_has_uniform_size() {
+        let server_pks = pks(3);
+        let batch = conversation_batch(4, 0, &server_pks, 2, 3);
+        let sizes: std::collections::HashSet<usize> = batch.iter().map(Vec::len).collect();
+        assert_eq!(sizes.len(), 1);
+    }
+
+    #[test]
+    fn dialing_batch_mixes_real_and_noop() {
+        let batch = dialing_batch(10, 2, 4, 0, &[], 1, 4);
+        let mut real = 0;
+        let mut noop = 0;
+        for b in &batch {
+            let request = DialRequest::decode(b).expect("valid");
+            if request.drop.is_noop() {
+                noop += 1;
+            } else {
+                real += 1;
+            }
+        }
+        assert_eq!((real, noop), (2, 8));
+    }
+
+    #[test]
+    fn garbage_is_varied() {
+        let batch = garbage_batch(10, 100, 5);
+        let lens: std::collections::HashSet<usize> = batch.iter().map(Vec::len).collect();
+        assert!(lens.len() > 3);
+    }
+}

@@ -1,0 +1,451 @@
+//! A complete Vuvuzela deployment: entry, chain, links, dead drops.
+//!
+//! [`Chain`] wires the [`crate::server::MixServer`]s together with
+//! byte-metered, tappable [`vuvuzela_net::Link`]s and drives whole rounds
+//! synchronously — mirroring the paper's observation that "one server
+//! cannot start processing a round until the previous server finishes"
+//! (§8.2), which makes end-to-end latency the sum of per-hop processing.
+
+use crate::config::SystemConfig;
+use crate::deaddrops::{ConversationDrops, InvitationDrops};
+use crate::observables::{ConversationObservables, DialingObservables};
+use crate::server::{MixServer, RoundKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use vuvuzela_crypto::x25519::{Keypair, PublicKey};
+use vuvuzela_net::link::{Direction, Link};
+use vuvuzela_wire::conversation::ExchangeRequest;
+use vuvuzela_wire::deaddrop::InvitationDropIndex;
+use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// Wall-clock timing of one conversation round, per stage.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTiming {
+    /// Per-server forward-pass time (peel + noise + shuffle), in chain
+    /// order.
+    pub forward: Vec<Duration>,
+    /// Dead-drop matching at the last server.
+    pub exchange: Duration,
+    /// Per-server backward-pass time (unshuffle + strip + wrap), in
+    /// *reverse* chain order (last server first).
+    pub backward: Vec<Duration>,
+    /// Total end-to-end time for the round.
+    pub total: Duration,
+}
+
+/// A full deployment: entry link, server chain, dead-drop stores, meters.
+pub struct Chain {
+    config: SystemConfig,
+    servers: Vec<MixServer>,
+    /// `links[0]` connects entry→server 0; `links[i]` connects
+    /// server i−1 → server i.
+    links: Vec<Link>,
+    /// Aggregated clients→entry link.
+    client_link: Link,
+    /// Meter standing in for the CDN that serves invitation-drop
+    /// downloads (§5.5).
+    cdn_link: Link,
+    rng: StdRng,
+    conversation_log: Vec<(u64, ConversationObservables)>,
+    dialing_log: Vec<(u64, DialingObservables)>,
+    /// The most recent dialing round's drops, downloadable by clients.
+    invitation_drops: Option<(u64, InvitationDrops)>,
+}
+
+impl Chain {
+    /// Builds a chain per `config`, with deterministic server keys and
+    /// RNGs derived from `seed`.
+    #[must_use]
+    pub fn new(config: SystemConfig, seed: u64) -> Chain {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keypairs: Vec<Keypair> = (0..config.chain_len)
+            .map(|_| Keypair::generate(&mut rng))
+            .collect();
+        let publics: Vec<PublicKey> = keypairs.iter().map(|kp| kp.public).collect();
+
+        let servers: Vec<MixServer> = keypairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                MixServer::new(
+                    i,
+                    config.chain_len,
+                    kp,
+                    publics[i + 1..].to_vec(),
+                    config.clone(),
+                    seed.wrapping_add(1 + i as u64),
+                )
+            })
+            .collect();
+
+        let links = (0..config.chain_len)
+            .map(|i| {
+                if i == 0 {
+                    Link::new("entry->server0")
+                } else {
+                    Link::new(format!("server{}->server{}", i - 1, i))
+                }
+            })
+            .collect();
+
+        Chain {
+            config,
+            servers,
+            links,
+            client_link: Link::new("clients->entry"),
+            cdn_link: Link::new("cdn->clients"),
+            rng: StdRng::seed_from_u64(seed.wrapping_add(0x5EED)),
+            conversation_log: Vec::new(),
+            dialing_log: Vec::new(),
+            invitation_drops: None,
+        }
+    }
+
+    /// The chain's public keys, in onion-wrapping order (server 0 first).
+    #[must_use]
+    pub fn server_public_keys(&self) -> Vec<PublicKey> {
+        self.servers.iter().map(MixServer::public_key).collect()
+    }
+
+    /// The deployment configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs one conversation round over an already-multiplexed batch of
+    /// client onions. Returns per-request replies (in batch order) and
+    /// stage timings.
+    pub fn run_conversation_round(
+        &mut self,
+        round: u64,
+        batch: Vec<Vec<u8>>,
+    ) -> (Vec<Vec<u8>>, RoundTiming) {
+        let start = Instant::now();
+        let mut timing = RoundTiming::default();
+
+        // Clients → entry (aggregate) → forward through every server.
+        let mut batch = self.client_link.transmit(round, Direction::Forward, batch);
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            batch = self.links[i].transmit(round, Direction::Forward, batch);
+            let t = Instant::now();
+            batch = server.forward(round, RoundKind::Conversation, batch);
+            timing.forward.push(t.elapsed());
+        }
+
+        // Dead-drop exchange at the last server (Algorithm 2 step 3b).
+        let t = Instant::now();
+        let requests: Vec<ExchangeRequest> = batch
+            .iter()
+            .map(|payload| {
+                ExchangeRequest::decode(payload)
+                    .unwrap_or_else(|_| ExchangeRequest::noise(&mut self.rng))
+            })
+            .collect();
+        let (responses, observables) = ConversationDrops::exchange(&mut self.rng, &requests);
+        self.conversation_log.push((round, observables));
+        let mut replies: Vec<Vec<u8>> = responses.iter().map(|r| r.encode()).collect();
+        timing.exchange = t.elapsed();
+
+        // Backward through the chain (step 4), then entry → clients.
+        for i in (0..self.servers.len()).rev() {
+            let t = Instant::now();
+            replies = self.servers[i].backward(round, replies);
+            timing.backward.push(t.elapsed());
+            replies = self.links[i].transmit(round, Direction::Backward, replies);
+        }
+        let replies = self
+            .client_link
+            .transmit(round, Direction::Backward, replies);
+
+        timing.total = start.elapsed();
+        (replies, timing)
+    }
+
+    /// Runs one dialing round (forward-only; §5). The resulting
+    /// invitation drops are retained for [`Chain::download_drop`].
+    pub fn run_dialing_round(
+        &mut self,
+        round: u64,
+        batch: Vec<Vec<u8>>,
+        num_drops: u32,
+    ) -> RoundTiming {
+        let start = Instant::now();
+        let mut timing = RoundTiming::default();
+        let kind = RoundKind::Dialing { num_drops };
+
+        let mut batch = self.client_link.transmit(round, Direction::Forward, batch);
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            batch = self.links[i].transmit(round, Direction::Forward, batch);
+            let t = Instant::now();
+            batch = server.forward(round, kind, batch);
+            timing.forward.push(t.elapsed());
+        }
+
+        // Deposit into the invitation drops; add the last server's own
+        // per-drop noise; publish for download.
+        let t = Instant::now();
+        let mut drops = InvitationDrops::new(num_drops);
+        for payload in &batch {
+            let request =
+                DialRequest::decode(payload).unwrap_or_else(|_| DialRequest::noop(&mut self.rng));
+            drops.deposit(request);
+        }
+        let last = self.servers.len() - 1;
+        let counts = self.servers[last].dialing_noise_counts(num_drops);
+        drops.add_noise(&mut self.rng, &counts);
+        self.dialing_log.push((round, drops.observables()));
+        // Dialing rounds are forward-only, so the per-server round state
+        // retained for a reply pass must be discarded explicitly.
+        for server in &mut self.servers {
+            server.abort_round(round);
+        }
+        self.invitation_drops = Some((round, drops));
+        timing.exchange = t.elapsed();
+
+        timing.total = start.elapsed();
+        timing
+    }
+
+    /// Downloads one invitation drop from the most recent dialing round,
+    /// metering the transfer on the CDN link (§5.5). Returns `None` if no
+    /// dialing round has completed or the index is invalid.
+    pub fn download_drop(&mut self, index: InvitationDropIndex) -> Option<Vec<SealedInvitation>> {
+        let (round, drops) = self.invitation_drops.as_ref()?;
+        let contents = drops.download(index)?.to_vec();
+        let batch: Vec<Vec<u8>> = contents.iter().map(|inv| inv.0.clone()).collect();
+        let _ = self.cdn_link.transmit(*round, Direction::Backward, batch);
+        Some(contents)
+    }
+
+    /// Number of real drops in the most recent dialing round.
+    #[must_use]
+    pub fn current_num_drops(&self) -> Option<u32> {
+        self.invitation_drops.as_ref().map(|(_, d)| d.num_drops())
+    }
+
+    /// Everything a compromised last server would have recorded about
+    /// conversation rounds: per-round (m1, m2) histograms.
+    #[must_use]
+    pub fn conversation_observables(&self) -> &[(u64, ConversationObservables)] {
+        &self.conversation_log
+    }
+
+    /// Per-round dialing observables (per-drop invitation counts).
+    #[must_use]
+    pub fn dialing_observables(&self) -> &[(u64, DialingObservables)] {
+        &self.dialing_log
+    }
+
+    /// Mutable access to an inter-server link (0 = entry→server 0) for
+    /// attaching adversary taps.
+    pub fn link_mut(&mut self, index: usize) -> &mut Link {
+        &mut self.links[index]
+    }
+
+    /// Mutable access to the aggregated clients→entry link.
+    pub fn client_link_mut(&mut self) -> &mut Link {
+        &mut self.client_link
+    }
+
+    /// The clients→entry link (metering).
+    #[must_use]
+    pub fn client_link(&self) -> &Link {
+        &self.client_link
+    }
+
+    /// The inter-server links (metering).
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The CDN link serving invitation downloads (metering).
+    #[must_use]
+    pub fn cdn_link(&self) -> &Link {
+        &self.cdn_link
+    }
+
+    /// Total bytes moved across all chain links (both directions),
+    /// excluding CDN downloads — the "server bandwidth" of §8.2.
+    #[must_use]
+    pub fn total_server_bytes(&self) -> u64 {
+        self.client_link.total_bytes() + self.links.iter().map(Link::total_bytes).sum::<u64>()
+    }
+
+    /// Diagnostic access to a server (e.g. malformed-request counters).
+    #[must_use]
+    pub fn server(&self, index: usize) -> &MixServer {
+        &self.servers[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use vuvuzela_crypto::onion;
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+    use vuvuzela_wire::{EXCHANGE_RESPONSE_LEN, SEALED_MESSAGE_LEN};
+
+    fn tiny_config(chain_len: usize) -> SystemConfig {
+        SystemConfig {
+            chain_len,
+            conversation_noise: NoiseDistribution::new(4.0, 1.0),
+            dialing_noise: NoiseDistribution::new(2.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+        }
+    }
+
+    #[test]
+    fn conversation_round_roundtrips_an_exchange() {
+        let mut chain = Chain::new(tiny_config(3), 1);
+        let pks = chain.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(99);
+
+        // Two clients agree (out of band) on a dead drop and deposit
+        // distinguishable messages.
+        let drop = vuvuzela_wire::deaddrop::DeadDropId([9u8; 16]);
+        let make = |fill: u8, rng: &mut StdRng| {
+            let request = ExchangeRequest {
+                drop,
+                sealed_message: vec![fill; SEALED_MESSAGE_LEN],
+            };
+            onion::wrap(rng, &pks, 0, &request.encode())
+        };
+        let (onion_a, keys_a) = make(0xAA, &mut rng);
+        let (onion_b, keys_b) = make(0xBB, &mut rng);
+
+        let (replies, timing) = chain.run_conversation_round(0, vec![onion_a, onion_b]);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(timing.forward.len(), 3);
+        assert_eq!(timing.backward.len(), 3);
+
+        let a_reply = onion::unwrap_reply_layers(&keys_a, 0, &replies[0]).expect("a unwraps");
+        let b_reply = onion::unwrap_reply_layers(&keys_b, 0, &replies[1]).expect("b unwraps");
+        assert_eq!(a_reply, vec![0xBB; EXCHANGE_RESPONSE_LEN]);
+        assert_eq!(b_reply, vec![0xAA; EXCHANGE_RESPONSE_LEN]);
+
+        // Observables: one drop accessed twice, noise singles/pairs from
+        // two noising servers (µ=4 → 4 singles + 2 pairs each).
+        let (_, obs) = chain.conversation_observables()[0];
+        assert_eq!(obs.total_requests, 2 + 2 * 8);
+        assert_eq!(obs.m2 as i64, 1 + 2 * 2, "real pair + 2 noise pairs/server");
+        assert_eq!(obs.m1, 2 * 4);
+    }
+
+    #[test]
+    fn lone_exchange_gets_undecryptable_filler() {
+        let mut chain = Chain::new(tiny_config(2), 2);
+        let pks = chain.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        let request = ExchangeRequest {
+            drop: vuvuzela_wire::deaddrop::DeadDropId([1u8; 16]),
+            sealed_message: vec![0x77; SEALED_MESSAGE_LEN],
+        };
+        let (onion0, keys) = onion::wrap(&mut rng, &pks, 3, &request.encode());
+        let (replies, _) = chain.run_conversation_round(3, vec![onion0]);
+        let reply = onion::unwrap_reply_layers(&keys, 3, &replies[0]).expect("unwraps");
+        assert_eq!(reply.len(), EXCHANGE_RESPONSE_LEN);
+        assert_ne!(reply, vec![0x77; EXCHANGE_RESPONSE_LEN], "not an echo");
+    }
+
+    #[test]
+    fn empty_round_still_carries_noise() {
+        let mut chain = Chain::new(tiny_config(3), 3);
+        let (replies, _) = chain.run_conversation_round(0, vec![]);
+        assert!(replies.is_empty());
+        let (_, obs) = chain.conversation_observables()[0];
+        // Two noising servers × (4 singles + 2 pairs × 2 requests) = 16.
+        assert_eq!(obs.total_requests, 16);
+    }
+
+    #[test]
+    fn single_server_chain_works() {
+        // chain_len = 1: the one server is the last server; no noise, no
+        // mixing — degenerate but must function (Figure 11's x = 1).
+        let mut chain = Chain::new(tiny_config(1), 4);
+        let pks = chain.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(6);
+        let request = ExchangeRequest::noise(&mut rng);
+        let (onion0, keys) = onion::wrap(&mut rng, &pks, 0, &request.encode());
+        let (replies, _) = chain.run_conversation_round(0, vec![onion0]);
+        let reply = onion::unwrap_reply_layers(&keys, 0, &replies[0]).expect("unwraps");
+        assert_eq!(reply.len(), EXCHANGE_RESPONSE_LEN);
+    }
+
+    #[test]
+    fn dialing_round_delivers_invitations() {
+        let mut chain = Chain::new(tiny_config(3), 7);
+        let pks = chain.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(8);
+
+        let caller = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let callee = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let num_drops = 2;
+        let target = InvitationDropIndex::for_recipient(&callee.public, num_drops);
+        let request = DialRequest {
+            drop: target,
+            invitation: vuvuzela_wire::dialing::SealedInvitation::seal(
+                &mut rng,
+                &caller.public,
+                &callee.public,
+            ),
+        };
+        let (onion0, _) = onion::wrap(&mut rng, &pks, 10, &request.encode());
+
+        let timing = chain.run_dialing_round(10, vec![onion0], num_drops);
+        assert_eq!(timing.forward.len(), 3);
+
+        let contents = chain.download_drop(target).expect("drop exists");
+        // 1 real + 3 servers × µ_dial(=2) noise.
+        assert_eq!(contents.len(), 1 + 6);
+        let mine: Vec<_> = contents
+            .iter()
+            .filter_map(|inv| inv.try_open(&callee.secret, &callee.public))
+            .collect();
+        assert_eq!(mine, vec![caller.public]);
+
+        // Observables: every drop got 3µ noise; the target also got the
+        // real invitation.
+        let (_, obs) = &chain.dialing_observables()[0];
+        assert_eq!(obs.counts.len(), 2);
+        assert_eq!(obs.counts.iter().sum::<u64>(), 2 * 6 + 1);
+
+        // CDN metering saw the download.
+        assert_eq!(
+            chain.cdn_link().backward_meter().bytes(),
+            (contents.len() * vuvuzela_wire::SEALED_INVITATION_LEN) as u64
+        );
+    }
+
+    #[test]
+    fn garbage_batch_does_not_crash_the_chain() {
+        let mut chain = Chain::new(tiny_config(2), 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut garbage = vec![0u8; 500];
+        rng.fill_bytes(&mut garbage);
+        let (replies, _) = chain.run_conversation_round(0, vec![garbage, vec![], vec![1, 2, 3]]);
+        assert_eq!(replies.len(), 3, "alignment preserved under garbage");
+        assert_eq!(chain.server(0).malformed_replaced, 3);
+    }
+
+    #[test]
+    fn bandwidth_meters_accumulate() {
+        let mut chain = Chain::new(tiny_config(2), 11);
+        let pks = chain.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(12);
+        let payload = ExchangeRequest::noise(&mut rng).encode();
+        let (onion0, _) = onion::wrap(&mut rng, &pks, 0, &payload);
+        let before = chain.total_server_bytes();
+        let _ = chain.run_conversation_round(0, vec![onion0]);
+        assert!(chain.total_server_bytes() > before);
+        // The server0→server1 link carries real + server0 noise.
+        assert!(chain.links()[1].forward_meter().messages() > 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deployment-wide configuration.
+
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+/// Configuration shared by every component of a Vuvuzela deployment.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of mix servers in the chain (the paper evaluates 1–6,
+    /// default 3 as in §8.1).
+    pub chain_len: usize,
+    /// Conversation cover-traffic distribution per noising server
+    /// (paper default µ = 300,000, b = 13,800 at production scale).
+    pub conversation_noise: NoiseDistribution,
+    /// Dialing cover-traffic distribution per server per invitation drop
+    /// (paper default µ = 13,000, b = 770).
+    pub dialing_noise: NoiseDistribution,
+    /// How noise counts are drawn. The paper's evaluation uses
+    /// deterministic noise "to not let noise affect the clarity of the
+    /// graphs" (§8.1); production uses sampling.
+    pub noise_mode: NoiseMode,
+    /// Worker threads per server for parallel cryptography.
+    pub workers: usize,
+    /// Conversation slots per client per round (§9 "Multiple
+    /// conversations": a fixed a-priori maximum; the paper's prototype
+    /// uses 1).
+    pub conversation_slots: usize,
+    /// Rounds a client waits for an ack before re-sending a message.
+    pub retransmit_after: u64,
+}
+
+impl Default for SystemConfig {
+    /// A laptop-scale configuration: 3 servers, deterministic noise with
+    /// a small µ, one conversation slot.
+    fn default() -> Self {
+        SystemConfig {
+            chain_len: 3,
+            conversation_noise: NoiseDistribution::new(50.0, 10.0),
+            dialing_noise: NoiseDistribution::new(10.0, 2.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: vuvuzela_net::parallel::default_workers(),
+            conversation_slots: 1,
+            retransmit_after: 2,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's production parameters (§8.1): 3 servers,
+    /// µ=300,000/b=13,800 conversation noise, µ=13,000/b=770 dialing
+    /// noise, sampled. Running a full round at this scale takes minutes
+    /// of CPU on a laptop — used by the extrapolating benchmarks, not by
+    /// tests.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        SystemConfig {
+            chain_len: 3,
+            conversation_noise: NoiseDistribution::new(300_000.0, 13_800.0),
+            dialing_noise: NoiseDistribution::new(13_000.0, 770.0),
+            noise_mode: NoiseMode::Sampled,
+            workers: vuvuzela_net::parallel::default_workers(),
+            conversation_slots: 1,
+            retransmit_after: 2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length chain or zero conversation slots, which
+    /// have no meaningful protocol interpretation.
+    pub fn validate(&self) {
+        assert!(self.chain_len >= 1, "chain must have at least one server");
+        assert!(
+            self.conversation_slots >= 1,
+            "clients need at least one conversation slot"
+        );
+        assert!(self.workers >= 1, "need at least one worker");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SystemConfig::default().validate();
+    }
+
+    #[test]
+    fn paper_scale_matches_section_8_1() {
+        let cfg = SystemConfig::paper_scale();
+        cfg.validate();
+        assert_eq!(cfg.chain_len, 3);
+        assert_eq!(cfg.conversation_noise.mu, 300_000.0);
+        assert_eq!(cfg.dialing_noise.mu, 13_000.0);
+        assert_eq!(cfg.noise_mode, NoiseMode::Sampled);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_chain_rejected() {
+        let cfg = SystemConfig {
+            chain_len: 0,
+            ..SystemConfig::default()
+        };
+        cfg.validate();
+    }
+}

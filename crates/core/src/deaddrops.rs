@@ -1,0 +1,275 @@
+//! The last server's dead-drop stores.
+//!
+//! [`ConversationDrops`] implements Algorithm 2 step 3b: match up the
+//! round's exchange requests per dead drop; pairs swap their sealed
+//! messages, singletons get indistinguishable random filler. Drops are
+//! ephemeral — the table lives for exactly one round (§3.1).
+//!
+//! [`InvitationDrops`] implements the dialing side (§5): `m` large drops
+//! accumulating sealed invitations (real + noise), downloadable in bulk.
+
+use crate::observables::{ConversationObservables, DialingObservables};
+use rand::{CryptoRng, RngCore};
+use std::collections::HashMap;
+use vuvuzela_wire::conversation::{ExchangeRequest, ExchangeResponse};
+use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
+use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// One round's conversation dead drops.
+#[derive(Default)]
+pub struct ConversationDrops;
+
+impl ConversationDrops {
+    /// Performs all exchanges for a round (Algorithm 2 step 3b).
+    ///
+    /// Returns one response per request, **in request order**, plus the
+    /// observables the adversary would read off the table.
+    ///
+    /// For a drop with exactly two accesses the responses carry each
+    /// other's deposited message. Any other access count yields random
+    /// filler for every accessor beyond the pairing rule: one access →
+    /// filler; three or more (only possible under adversarial injection)
+    /// → the first two exchange, the rest get filler, and the drop is
+    /// counted in `m_many`.
+    pub fn exchange<R: RngCore + CryptoRng>(
+        rng: &mut R,
+        requests: &[ExchangeRequest],
+    ) -> (Vec<ExchangeResponse>, ConversationObservables) {
+        let mut by_drop: HashMap<DeadDropId, Vec<usize>> = HashMap::with_capacity(requests.len());
+        for (index, request) in requests.iter().enumerate() {
+            by_drop.entry(request.drop).or_default().push(index);
+        }
+
+        let mut observables = ConversationObservables {
+            total_requests: requests.len() as u64,
+            ..Default::default()
+        };
+
+        // Start with filler everywhere; overwrite the paired slots.
+        let mut responses: Vec<ExchangeResponse> = (0..requests.len())
+            .map(|_| ExchangeResponse::empty(rng))
+            .collect();
+
+        for accessors in by_drop.values() {
+            match accessors.len() {
+                1 => observables.m1 += 1,
+                2 => {
+                    observables.m2 += 1;
+                    let (a, b) = (accessors[0], accessors[1]);
+                    responses[a] = ExchangeResponse {
+                        sealed_message: requests[b].sealed_message.clone(),
+                    };
+                    responses[b] = ExchangeResponse {
+                        sealed_message: requests[a].sealed_message.clone(),
+                    };
+                }
+                _ => {
+                    observables.m_many += 1;
+                    let (a, b) = (accessors[0], accessors[1]);
+                    responses[a] = ExchangeResponse {
+                        sealed_message: requests[b].sealed_message.clone(),
+                    };
+                    responses[b] = ExchangeResponse {
+                        sealed_message: requests[a].sealed_message.clone(),
+                    };
+                }
+            }
+        }
+
+        (responses, observables)
+    }
+}
+
+/// One dialing round's invitation dead drops.
+pub struct InvitationDrops {
+    /// `drops[i]` holds real drop `i + 1`'s invitations.
+    drops: Vec<Vec<SealedInvitation>>,
+    noop_writes: u64,
+}
+
+impl InvitationDrops {
+    /// Creates `num_drops` empty invitation drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_drops == 0` — a dialing round always has at least
+    /// one real drop.
+    #[must_use]
+    pub fn new(num_drops: u32) -> InvitationDrops {
+        assert!(num_drops > 0, "a dialing round needs at least one drop");
+        InvitationDrops {
+            drops: vec![Vec::new(); num_drops as usize],
+            noop_writes: 0,
+        }
+    }
+
+    /// Number of real drops.
+    #[must_use]
+    pub fn num_drops(&self) -> u32 {
+        self.drops.len() as u32
+    }
+
+    /// Deposits one dialing request. Writes to the no-op drop are counted
+    /// and discarded (§5.2); out-of-range drop indices (malformed or
+    /// adversarial) are treated as no-ops as well.
+    pub fn deposit(&mut self, request: DialRequest) {
+        let index = request.drop;
+        if index.is_noop() || index.0 as usize > self.drops.len() {
+            self.noop_writes += 1;
+            return;
+        }
+        self.drops[(index.0 - 1) as usize].push(request.invitation);
+    }
+
+    /// Adds `count` noise invitations to every real drop — the last
+    /// server's own cover traffic (§5.3: "every server (including the
+    /// last one) must add a random number of noise invitations to every
+    /// invitation dead drop").
+    pub fn add_noise<R: RngCore + CryptoRng>(&mut self, rng: &mut R, counts: &[u64]) {
+        assert_eq!(counts.len(), self.drops.len(), "one count per drop");
+        for (drop, &count) in self.drops.iter_mut().zip(counts.iter()) {
+            for _ in 0..count {
+                drop.push(SealedInvitation::noise(rng));
+            }
+        }
+    }
+
+    /// The published contents of one real drop (1-based index), i.e. what
+    /// a client downloads from the CDN. Returns `None` for the no-op drop
+    /// or out-of-range indices.
+    #[must_use]
+    pub fn download(&self, index: InvitationDropIndex) -> Option<&[SealedInvitation]> {
+        if index.is_noop() || index.0 as usize > self.drops.len() {
+            return None;
+        }
+        Some(&self.drops[(index.0 - 1) as usize])
+    }
+
+    /// The adversary's view: per-drop invitation counts.
+    #[must_use]
+    pub fn observables(&self) -> DialingObservables {
+        DialingObservables {
+            counts: self.drops.iter().map(|d| d.len() as u64).collect(),
+            noop_writes: self.noop_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_wire::SEALED_MESSAGE_LEN;
+
+    fn request(drop_byte: u8, fill: u8) -> ExchangeRequest {
+        ExchangeRequest {
+            drop: DeadDropId([drop_byte; 16]),
+            sealed_message: vec![fill; SEALED_MESSAGE_LEN],
+        }
+    }
+
+    #[test]
+    fn paired_requests_swap_messages() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let requests = vec![request(1, 0xAA), request(1, 0xBB)];
+        let (responses, obs) = ConversationDrops::exchange(&mut rng, &requests);
+        assert_eq!(responses[0].sealed_message, vec![0xBB; SEALED_MESSAGE_LEN]);
+        assert_eq!(responses[1].sealed_message, vec![0xAA; SEALED_MESSAGE_LEN]);
+        assert_eq!(obs.m1, 0);
+        assert_eq!(obs.m2, 1);
+        assert_eq!(obs.total_requests, 2);
+    }
+
+    #[test]
+    fn single_access_gets_filler() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let requests = vec![request(1, 0xAA)];
+        let (responses, obs) = ConversationDrops::exchange(&mut rng, &requests);
+        assert_ne!(responses[0].sealed_message, vec![0xAA; SEALED_MESSAGE_LEN]);
+        assert_eq!(responses[0].sealed_message.len(), SEALED_MESSAGE_LEN);
+        assert_eq!(obs.m1, 1);
+        assert_eq!(obs.m2, 0);
+    }
+
+    #[test]
+    fn mixed_round_histogram() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two pairs, three singles.
+        let requests = vec![
+            request(1, 1),
+            request(1, 2),
+            request(2, 3),
+            request(3, 4),
+            request(3, 5),
+            request(4, 6),
+            request(5, 7),
+        ];
+        let (_, obs) = ConversationDrops::exchange(&mut rng, &requests);
+        assert_eq!(obs.m1, 3);
+        assert_eq!(obs.m2, 2);
+        assert_eq!(obs.m_many, 0);
+        assert_eq!(obs.drops_touched(), 5);
+    }
+
+    #[test]
+    fn adversarial_triple_access() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let requests = vec![request(9, 1), request(9, 2), request(9, 3)];
+        let (responses, obs) = ConversationDrops::exchange(&mut rng, &requests);
+        assert_eq!(obs.m_many, 1);
+        // First two exchange; third gets filler.
+        assert_eq!(responses[0].sealed_message, vec![2; SEALED_MESSAGE_LEN]);
+        assert_eq!(responses[1].sealed_message, vec![1; SEALED_MESSAGE_LEN]);
+        assert_ne!(responses[2].sealed_message, vec![1; SEALED_MESSAGE_LEN]);
+        assert_ne!(responses[2].sealed_message, vec![2; SEALED_MESSAGE_LEN]);
+    }
+
+    #[test]
+    fn empty_round() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (responses, obs) = ConversationDrops::exchange(&mut rng, &[]);
+        assert!(responses.is_empty());
+        assert_eq!(obs, ConversationObservables::default());
+    }
+
+    #[test]
+    fn invitation_deposit_and_download() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut drops = InvitationDrops::new(3);
+        drops.deposit(DialRequest {
+            drop: InvitationDropIndex(2),
+            invitation: SealedInvitation::noise(&mut rng),
+        });
+        drops.deposit(DialRequest::noop(&mut rng));
+        let obs = drops.observables();
+        assert_eq!(obs.counts, vec![0, 1, 0]);
+        assert_eq!(obs.noop_writes, 1);
+        assert_eq!(
+            drops.download(InvitationDropIndex(2)).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(drops.download(InvitationDropIndex::NOOP).is_none());
+        assert!(drops.download(InvitationDropIndex(4)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_drop_counts_as_noop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut drops = InvitationDrops::new(2);
+        drops.deposit(DialRequest {
+            drop: InvitationDropIndex(99),
+            invitation: SealedInvitation::noise(&mut rng),
+        });
+        assert_eq!(drops.observables().noop_writes, 1);
+        assert_eq!(drops.observables().total_invitations(), 0);
+    }
+
+    #[test]
+    fn noise_lands_in_every_drop() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut drops = InvitationDrops::new(3);
+        drops.add_noise(&mut rng, &[5, 7, 2]);
+        assert_eq!(drops.observables().counts, vec![5, 7, 2]);
+    }
+}

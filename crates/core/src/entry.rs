@@ -1,0 +1,115 @@
+//! The untrusted entry server (paper §7).
+//!
+//! "We implement an additional entry server, whose job is to handle a
+//! large number of connections from clients, multiplex client requests
+//! into a single round that's sent to the chain of Vuvuzela servers, and
+//! to demultiplex the results to individual clients. The entry server is
+//! not trusted."
+//!
+//! Because every request is already onion-encrypted for the real chain,
+//! the entry server handles only opaque bytes; it contributes no noise
+//! and no shuffling, and a malicious entry server is just another network
+//! adversary (it can drop/delay/inject, all of which the taps model).
+
+/// Bookkeeping for demultiplexing one round's replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundLayout {
+    /// Number of requests each client submitted, in client order.
+    per_client: Vec<usize>,
+}
+
+impl RoundLayout {
+    /// Total requests across all clients.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.per_client.iter().sum()
+    }
+}
+
+/// Multiplexes per-client request lists into one batch for the chain,
+/// preserving client order, and records the layout for demultiplexing.
+#[must_use]
+pub fn multiplex(client_requests: Vec<Vec<Vec<u8>>>) -> (Vec<Vec<u8>>, RoundLayout) {
+    let per_client: Vec<usize> = client_requests.iter().map(Vec::len).collect();
+    let batch: Vec<Vec<u8>> = client_requests.into_iter().flatten().collect();
+    (batch, RoundLayout { per_client })
+}
+
+/// Splits the chain's replies back out per client.
+///
+/// If an adversary shrank the batch in flight, trailing clients receive
+/// `None` for their missing slots (they observe a dropped round, exactly
+/// as under a network-level DoS). Extra injected replies are discarded.
+#[must_use]
+pub fn demultiplex(layout: &RoundLayout, replies: Vec<Vec<u8>>) -> Vec<Vec<Option<Vec<u8>>>> {
+    let mut iter = replies.into_iter();
+    layout
+        .per_client
+        .iter()
+        .map(|&count| {
+            (0..count)
+                .map(|_| iter.next())
+                .collect::<Vec<Option<Vec<u8>>>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplex_preserves_order() {
+        let requests = vec![
+            vec![vec![1u8], vec![2]],
+            vec![vec![3]],
+            vec![],
+            vec![vec![4], vec![5]],
+        ];
+        let (batch, layout) = multiplex(requests);
+        assert_eq!(batch, vec![vec![1u8], vec![2], vec![3], vec![4], vec![5]]);
+        assert_eq!(layout.total(), 5);
+    }
+
+    #[test]
+    fn demultiplex_roundtrip() {
+        let requests = vec![vec![vec![1u8], vec![2]], vec![vec![3]], vec![vec![4]]];
+        let (batch, layout) = multiplex(requests);
+        let out = demultiplex(&layout, batch);
+        assert_eq!(
+            out,
+            vec![
+                vec![Some(vec![1u8]), Some(vec![2])],
+                vec![Some(vec![3])],
+                vec![Some(vec![4])],
+            ]
+        );
+    }
+
+    #[test]
+    fn short_reply_batch_yields_nones_at_tail() {
+        let (batch, layout) = multiplex(vec![vec![vec![1u8]], vec![vec![2]], vec![vec![3]]]);
+        let mut replies = batch;
+        replies.truncate(1); // adversary dropped two replies
+        let out = demultiplex(&layout, replies);
+        assert_eq!(out[0], vec![Some(vec![1u8])]);
+        assert_eq!(out[1], vec![None]);
+        assert_eq!(out[2], vec![None]);
+    }
+
+    #[test]
+    fn injected_extras_are_discarded() {
+        let (batch, layout) = multiplex(vec![vec![vec![1u8]]]);
+        let mut replies = batch;
+        replies.push(vec![9]); // injected
+        let out = demultiplex(&layout, replies);
+        assert_eq!(out, vec![vec![Some(vec![1u8])]]);
+    }
+
+    #[test]
+    fn empty_round() {
+        let (batch, layout) = multiplex(vec![]);
+        assert!(batch.is_empty());
+        assert!(demultiplex(&layout, batch).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! The Vuvuzela system: clients, the server chain, and the two protocols.
+//!
+//! This crate assembles the substrates ([`vuvuzela_crypto`],
+//! [`vuvuzela_dp`], [`vuvuzela_wire`], [`vuvuzela_net`]) into the system
+//! of the paper:
+//!
+//! * [`server`] — the mix servers (Algorithm 2): peel a layer, add cover
+//!   traffic, shuffle, forward; unshuffle, strip noise, re-encrypt on the
+//!   way back. The last server runs the dead-drop exchange instead of
+//!   forwarding.
+//! * [`deaddrops`] — the last server's conversation dead-drop table and
+//!   the dialing invitation drops.
+//! * [`noise`] — cover-traffic generation (Algorithm 2 step 2) for both
+//!   protocols, including onion-wrapping noise for downstream servers.
+//! * [`entry`] — the untrusted entry server (§7): multiplexes client
+//!   requests into a round and demultiplexes the results.
+//! * [`chain`] — a whole deployment wired together with metered,
+//!   tappable links; runs conversation and dialing rounds end to end.
+//! * [`client`] — the client state machine (Algorithm 1): real/fake
+//!   exchanges, message framing, retransmission, dialing and invitation
+//!   scanning.
+//! * [`observables`] — exactly what a compromised last server gets to
+//!   see; the interface the adversary crate consumes.
+//! * [`testkit`] — a high-level harness ([`testkit::TestNet`]) used by
+//!   tests, examples and benchmarks.
+//!
+//! ## Threat-model mapping
+//!
+//! | Paper capability (§2.3) | Code |
+//! |---|---|
+//! | observe/tamper with any link | [`vuvuzela_net::link::Tap`] on any [`chain::Chain`] link |
+//! | compromise the last server | read [`chain::Chain::conversation_observables`] / [`chain::Chain::dialing_observables`] |
+//! | compromise a first/mixing server | a tap *before* it (pre-mix traffic is attributable) plus the observables |
+//! | control clients | construct [`client::Client`]s directly or inject via taps |
+//! | see dead-drop access counts | [`observables::ConversationObservables`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod client;
+pub mod config;
+pub mod deaddrops;
+pub mod entry;
+pub mod keystore;
+pub mod noise;
+pub mod observables;
+pub mod server;
+pub mod testkit;
+
+pub use chain::Chain;
+pub use client::Client;
+pub use config::SystemConfig;

@@ -1,0 +1,259 @@
+//! Cover-traffic generation (paper Algorithm 2 step 2, §4.2, §5.3).
+//!
+//! Each mixing server manufactures noise requests that are bitwise
+//! indistinguishable from real ones and injects them into the round
+//! before shuffling. Noise created at chain position `i` must still
+//! traverse servers `i+1..n`, so it is onion-wrapped for exactly that
+//! suffix of the chain — this is why cover traffic is the dominant cost
+//! at small scale (§8.2) and why latency grows quadratically with chain
+//! length (Figure 11).
+
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
+use vuvuzela_crypto::onion;
+use vuvuzela_crypto::x25519::PublicKey;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+use vuvuzela_net::parallel::parallel_map;
+use vuvuzela_wire::conversation::ExchangeRequest;
+use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
+use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// A batch of generated cover traffic, ready to merge into the round.
+pub struct NoiseBatch {
+    /// The wrapped (or, for the last server, plain) request bytes.
+    pub onions: Vec<Vec<u8>>,
+    /// How many single-access noise requests were generated (⌈n1⌉).
+    pub singles: u64,
+    /// How many *pairs* of same-drop noise requests were generated
+    /// (⌈n2/2⌉); the pair contributes two onions.
+    pub pairs: u64,
+}
+
+/// Generates one round of conversation cover traffic for a server at the
+/// given chain position.
+///
+/// Samples `n1, n2 ~ ⌈max(0, Laplace(µ, b))⌉` and emits `n1` single
+/// accesses to random dead drops plus `⌈n2/2⌉` pairs of accesses to a
+/// shared random drop, each onion-wrapped for `remaining_chain` (the
+/// servers after this one). An empty `remaining_chain` yields plain
+/// encoded requests (used when substituting for malformed input at the
+/// last server).
+pub fn conversation_noise<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    remaining_chain: &[PublicKey],
+    round: u64,
+    dist: NoiseDistribution,
+    mode: NoiseMode,
+    workers: usize,
+) -> NoiseBatch {
+    let n1 = dist.sample_count(rng, mode);
+    let n2 = dist.sample_count(rng, mode);
+    let pairs = n2.div_ceil(2);
+
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity((n1 + 2 * pairs) as usize);
+    for _ in 0..n1 {
+        payloads.push(ExchangeRequest::noise(rng).encode());
+    }
+    for _ in 0..pairs {
+        // Two indistinguishable requests to the same random drop: this is
+        // what inflates m2.
+        let drop = DeadDropId::random(rng);
+        for _ in 0..2 {
+            let mut request = ExchangeRequest::noise(rng);
+            request.drop = drop;
+            payloads.push(request.encode());
+        }
+    }
+
+    NoiseBatch {
+        onions: wrap_payloads(rng, payloads, remaining_chain, round, workers),
+        singles: n1,
+        pairs,
+    }
+}
+
+/// Generates one round of dialing cover traffic: for every real
+/// invitation drop, `⌈max(0, Laplace(µ, b))⌉` noise invitations, each
+/// wrapped for the remaining chain (§5.3).
+pub fn dialing_noise<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    remaining_chain: &[PublicKey],
+    round: u64,
+    num_drops: u32,
+    dist: NoiseDistribution,
+    mode: NoiseMode,
+    workers: usize,
+) -> NoiseBatch {
+    let mut payloads = Vec::new();
+    let mut total = 0u64;
+    for drop in 1..=num_drops {
+        let count = dist.sample_count(rng, mode);
+        total += count;
+        for _ in 0..count {
+            let request = DialRequest {
+                drop: InvitationDropIndex(drop),
+                invitation: SealedInvitation::noise(rng),
+            };
+            payloads.push(request.encode());
+        }
+    }
+    NoiseBatch {
+        onions: wrap_payloads(rng, payloads, remaining_chain, round, workers),
+        singles: total,
+        pairs: 0,
+    }
+}
+
+/// Per-drop noise counts for the last server (which deposits directly
+/// into the drop table instead of wrapping onions).
+pub fn dialing_noise_counts<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    num_drops: u32,
+    dist: NoiseDistribution,
+    mode: NoiseMode,
+) -> Vec<u64> {
+    (0..num_drops)
+        .map(|_| dist.sample_count(rng, mode))
+        .collect()
+}
+
+/// Onion-wraps a batch of payloads for a chain suffix, in parallel.
+///
+/// Each item gets its own deterministic child RNG seeded from `rng`, so
+/// results are reproducible for a seeded parent while the expensive
+/// wrapping (one X25519 per layer per payload) spreads across `workers`
+/// threads.
+pub fn wrap_payloads<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    payloads: Vec<Vec<u8>>,
+    chain: &[PublicKey],
+    round: u64,
+    workers: usize,
+) -> Vec<Vec<u8>> {
+    if chain.is_empty() {
+        return payloads;
+    }
+    let seeded: Vec<([u8; 32], Vec<u8>)> = payloads
+        .into_iter()
+        .map(|p| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            (seed, p)
+        })
+        .collect();
+    parallel_map(seeded, workers, |(seed, payload)| {
+        let mut child = StdRng::from_seed(seed);
+        let (onion, _keys) = onion::wrap(&mut child, chain, round, &payload);
+        onion
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vuvuzela_crypto::x25519::Keypair;
+    use vuvuzela_wire::EXCHANGE_REQUEST_LEN;
+
+    #[test]
+    fn deterministic_counts_match_paper_accounting() {
+        // §8.2: "Each server in the chain, except for the last one, adds
+        // µ × 2 noise requests on average". With deterministic mode and
+        // µ even, singles + 2·pairs = 2µ exactly.
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = NoiseDistribution::new(50.0, 10.0);
+        let batch = conversation_noise(&mut rng, &[], 0, dist, NoiseMode::Deterministic, 1);
+        assert_eq!(batch.singles, 50);
+        assert_eq!(batch.pairs, 25);
+        assert_eq!(batch.onions.len(), 100);
+    }
+
+    #[test]
+    fn unwrapped_noise_is_valid_requests() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = NoiseDistribution::new(4.0, 1.0);
+        let batch = conversation_noise(&mut rng, &[], 7, dist, NoiseMode::Deterministic, 1);
+        for onion in &batch.onions {
+            assert_eq!(onion.len(), EXCHANGE_REQUEST_LEN);
+            let _ = ExchangeRequest::decode(onion).expect("noise decodes as a request");
+        }
+    }
+
+    #[test]
+    fn paired_noise_shares_drops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = NoiseDistribution::new(6.0, 1.0);
+        let batch = conversation_noise(&mut rng, &[], 0, dist, NoiseMode::Deterministic, 1);
+        let requests: Vec<ExchangeRequest> = batch
+            .onions
+            .iter()
+            .map(|o| ExchangeRequest::decode(o).expect("decode"))
+            .collect();
+        // Last 2·pairs requests come in same-drop pairs.
+        let pair_section = &requests[batch.singles as usize..];
+        assert_eq!(pair_section.len() as u64, 2 * batch.pairs);
+        for chunk in pair_section.chunks(2) {
+            assert_eq!(chunk[0].drop, chunk[1].drop);
+        }
+        // Singles all use distinct drops.
+        let singles = &requests[..batch.singles as usize];
+        let unique: std::collections::HashSet<_> = singles.iter().map(|r| r.drop).collect();
+        assert_eq!(unique.len(), singles.len());
+    }
+
+    #[test]
+    fn wrapped_noise_peels_down_the_chain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s1 = Keypair::generate(&mut rng);
+        let s2 = Keypair::generate(&mut rng);
+        let dist = NoiseDistribution::new(3.0, 1.0);
+        let batch = conversation_noise(
+            &mut rng,
+            &[s1.public, s2.public],
+            9,
+            dist,
+            NoiseMode::Deterministic,
+            2,
+        );
+        for onion in &batch.onions {
+            let (_, inner) =
+                vuvuzela_crypto::onion::peel(&s1.secret, &s1.public, 9, onion).expect("layer 1");
+            let (_, payload) =
+                vuvuzela_crypto::onion::peel(&s2.secret, &s2.public, 9, &inner).expect("layer 2");
+            let _ = ExchangeRequest::decode(&payload).expect("valid request inside");
+        }
+    }
+
+    #[test]
+    fn dialing_noise_covers_every_drop() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = NoiseDistribution::new(4.0, 1.0);
+        let batch = dialing_noise(&mut rng, &[], 0, 3, dist, NoiseMode::Deterministic, 1);
+        assert_eq!(batch.onions.len(), 12);
+        let mut per_drop = std::collections::HashMap::new();
+        for onion in &batch.onions {
+            let req = DialRequest::decode(onion).expect("decode");
+            *per_drop.entry(req.drop.0).or_insert(0u32) += 1;
+            assert!(!req.drop.is_noop(), "noise never targets the no-op drop");
+        }
+        assert_eq!(per_drop.len(), 3);
+        assert!(per_drop.values().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn noise_mode_off_is_silent() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dist = NoiseDistribution::new(100.0, 10.0);
+        let batch = conversation_noise(&mut rng, &[], 0, dist, NoiseMode::Off, 1);
+        assert!(batch.onions.is_empty());
+        let dial = dialing_noise(&mut rng, &[], 0, 5, dist, NoiseMode::Off, 1);
+        assert!(dial.onions.is_empty());
+    }
+
+    #[test]
+    fn last_server_noise_counts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = NoiseDistribution::new(9.0, 2.0);
+        let counts = dialing_noise_counts(&mut rng, 4, dist, NoiseMode::Deterministic);
+        assert_eq!(counts, vec![9, 9, 9, 9]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The variables an adversary can observe (paper §4.2, §6.1).
+//!
+//! Vuvuzela's central design move is that after encryption, padding,
+//! mixing and fixed rates, *only these counts remain visible* to an
+//! adversary who has compromised the last server:
+//!
+//! * conversations: `m1` (dead drops accessed once) and `m2` (dead drops
+//!   accessed twice) — plus the set of connected clients;
+//! * dialing: the number of invitations in each invitation dead drop.
+//!
+//! The structs here are produced by the last server every round and are
+//! the *only* channel through which the adversary crate reads protocol
+//! state — keeping the simulated attacks honest.
+
+/// What a compromised last server learns from one conversation round
+/// (after noise): the dead-drop access histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConversationObservables {
+    /// Dead drops accessed exactly once this round (`m1`).
+    pub m1: u64,
+    /// Dead drops accessed exactly twice (`m2`) — i.e. successful
+    /// exchanges, real or noise.
+    pub m2: u64,
+    /// Dead drops accessed three or more times. Honest clients never
+    /// collide (128-bit random IDs), so anything here was manufactured by
+    /// an adversary injecting requests (§4.2 footnote 6).
+    pub m_many: u64,
+    /// Total requests that reached the last server (users + noise).
+    pub total_requests: u64,
+}
+
+impl ConversationObservables {
+    /// Total dead drops touched this round.
+    #[must_use]
+    pub fn drops_touched(&self) -> u64 {
+        self.m1 + self.m2 + self.m_many
+    }
+}
+
+/// What an adversary learns from one dialing round: invitation counts per
+/// dead drop (observable from response sizes or by downloading the drops,
+/// §5.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DialingObservables {
+    /// `counts[i]` is the number of invitations in real drop `i + 1`
+    /// (drop indices are 1-based on the wire; index 0 is the no-op drop,
+    /// reported separately).
+    pub counts: Vec<u64>,
+    /// Writes to the no-op drop (idle clients plus anything an adversary
+    /// injected there).
+    pub noop_writes: u64,
+}
+
+impl DialingObservables {
+    /// Total invitations across all real drops.
+    #[must_use]
+    pub fn total_invitations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversation_totals() {
+        let obs = ConversationObservables {
+            m1: 10,
+            m2: 4,
+            m_many: 1,
+            total_requests: 19,
+        };
+        assert_eq!(obs.drops_touched(), 15);
+    }
+
+    #[test]
+    fn dialing_totals() {
+        let obs = DialingObservables {
+            counts: vec![3, 0, 7],
+            noop_writes: 90,
+        };
+        assert_eq!(obs.total_invitations(), 10);
+    }
+}

@@ -1,0 +1,535 @@
+//! The mix server (paper Algorithm 2).
+//!
+//! A [`MixServer`] at chain position `i` processes each round in two
+//! passes:
+//!
+//! * **forward** — decrypt its onion layer from every request (step 1),
+//!   generate cover traffic wrapped for the rest of the chain (step 2),
+//!   shuffle everything with a fresh secret permutation, and hand the
+//!   batch to the next hop (step 3a). The *last* server skips noise and
+//!   shuffling; its peeled payloads go to the dead-drop exchange
+//!   (step 3b) run by [`crate::chain::Chain`].
+//! * **backward** — un-shuffle the replies (π⁻¹), discard the ones
+//!   belonging to its own noise, and encrypt each remaining reply under
+//!   the layer key captured on the way in (step 4).
+//!
+//! Malformed requests (failed decryption, wrong size) are *replaced* by
+//! locally generated noise so the batch keeps its shape; on the way back
+//! the affected position carries random bytes, which the client simply
+//! fails to decrypt. This keeps request/reply alignment under active
+//! attack without leaking which entries were dropped.
+
+use crate::config::SystemConfig;
+use crate::noise::{self, NoiseBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+use vuvuzela_crypto::onion::{self, LayerKey};
+use vuvuzela_crypto::x25519::{Keypair, PublicKey};
+use vuvuzela_net::parallel::parallel_map;
+use vuvuzela_wire::conversation::ExchangeRequest;
+use vuvuzela_wire::dialing::DialRequest;
+
+/// Which protocol a round belongs to; decides the noise recipe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundKind {
+    /// Conversation round (Algorithm 2's n1/n2 noise).
+    Conversation,
+    /// Dialing round with the given number of real invitation drops
+    /// (per-drop noise, §5.3).
+    Dialing {
+        /// Number of real invitation dead drops this round.
+        num_drops: u32,
+    },
+}
+
+/// Per-round bookkeeping kept between the forward and backward passes.
+struct RoundState {
+    /// Layer key per incoming request (`None` for requests this server
+    /// had to replace with noise).
+    layer_keys: Vec<Option<LayerKey>>,
+    /// The shuffle: `outgoing[j] = merged[permutation[j]]`.
+    permutation: Vec<usize>,
+    /// Requests received from upstream (clients or previous server).
+    incoming_len: usize,
+}
+
+/// One server in the Vuvuzela chain.
+pub struct MixServer {
+    position: usize,
+    chain_len: usize,
+    keypair: Keypair,
+    downstream: Vec<PublicKey>,
+    config: SystemConfig,
+    rng: StdRng,
+    rounds: HashMap<u64, RoundState>,
+    /// Cumulative count of requests this server replaced because they
+    /// failed to authenticate (diagnostic; also exercised by tests).
+    pub malformed_replaced: u64,
+}
+
+impl MixServer {
+    /// Creates the server at `position` (0-based) in a chain of
+    /// `chain_len`, with a deterministic RNG seed for reproducibility.
+    ///
+    /// `downstream` lists the public keys of the servers *after* this one
+    /// (empty for the last server); noise is wrapped for exactly that
+    /// suffix.
+    #[must_use]
+    pub fn new(
+        position: usize,
+        chain_len: usize,
+        keypair: Keypair,
+        downstream: Vec<PublicKey>,
+        config: SystemConfig,
+        seed: u64,
+    ) -> MixServer {
+        assert!(position < chain_len, "position out of range");
+        assert_eq!(
+            downstream.len(),
+            chain_len - position - 1,
+            "downstream must list the chain suffix"
+        );
+        MixServer {
+            position,
+            chain_len,
+            keypair,
+            downstream,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            rounds: HashMap::new(),
+            malformed_replaced: 0,
+        }
+    }
+
+    /// This server's long-term public key (known to all clients, §2.3).
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public
+    }
+
+    /// Whether this is the final server (the dead-drop host).
+    #[must_use]
+    pub fn is_last(&self) -> bool {
+        self.position == self.chain_len - 1
+    }
+
+    /// Chain position, 0-based.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Forward pass: peel, (for mixing servers) noise + shuffle.
+    ///
+    /// Returns the batch for the next hop — or, for the last server, the
+    /// fully peeled request payloads in arrival order.
+    pub fn forward(&mut self, round: u64, kind: RoundKind, batch: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let incoming_len = batch.len();
+
+        // Step 1: decrypt our layer of every request, in parallel.
+        let secret_bytes = *self.keypair.secret.as_bytes();
+        let public = self.keypair.public;
+        let peeled: Vec<Result<(LayerKey, Vec<u8>), vuvuzela_crypto::CryptoError>> =
+            parallel_map(batch, self.config.workers, |layer| {
+                let secret = vuvuzela_crypto::x25519::SecretKey::from_bytes(secret_bytes);
+                onion::peel(&secret, &public, round, &layer)
+            });
+
+        let mut layer_keys: Vec<Option<LayerKey>> = Vec::with_capacity(incoming_len);
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(incoming_len);
+        for result in peeled {
+            match result {
+                Ok((key, inner)) => {
+                    layer_keys.push(Some(key));
+                    payloads.push(inner);
+                }
+                Err(_) => {
+                    self.malformed_replaced += 1;
+                    layer_keys.push(None);
+                    payloads.push(self.substitute_payload(round, kind));
+                }
+            }
+        }
+
+        if self.is_last() {
+            // Step 3b happens in the chain; remember keys for the replies.
+            self.rounds.insert(
+                round,
+                RoundState {
+                    layer_keys,
+                    permutation: Vec::new(),
+                    incoming_len,
+                },
+            );
+            return payloads;
+        }
+
+        // Step 2: cover traffic for the rest of the chain.
+        let noise = self.generate_noise(round, kind);
+        payloads.extend(noise.onions);
+
+        // Step 3a: secret shuffle of real + noise requests.
+        let permutation = random_permutation(&mut self.rng, payloads.len());
+        let shuffled: Vec<Vec<u8>> = permutation.iter().map(|&i| payloads[i].clone()).collect();
+
+        self.rounds.insert(
+            round,
+            RoundState {
+                layer_keys,
+                permutation,
+                incoming_len,
+            },
+        );
+        shuffled
+    }
+
+    /// Backward pass (step 4): un-shuffle, strip own noise, re-encrypt.
+    ///
+    /// If an adversary shrank or grew the reply batch in flight, the
+    /// permutation can no longer be meaningfully inverted; the server
+    /// treats the whole round's replies as lost and returns uniform
+    /// filler, so clients see a dropped round (a DoS, which the threat
+    /// model permits) rather than misrouted plaintext or a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for a round with no stored forward state — a
+    /// harness bug, not adversarial input.
+    pub fn backward(&mut self, round: u64, replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let state = self
+            .rounds
+            .remove(&round)
+            .expect("backward() without matching forward()");
+
+        if !state.permutation.is_empty() && replies.len() != state.permutation.len() {
+            // Tampered reply batch: alignment is unrecoverable. Emit
+            // uniform filler of the correct outgoing size for every
+            // upstream request.
+            self.malformed_replaced += state.incoming_len as u64;
+            let out_size = vuvuzela_wire::EXCHANGE_RESPONSE_LEN
+                + (self.chain_len - self.position) * onion::REPLY_LAYER_OVERHEAD;
+            return (0..state.incoming_len)
+                .map(|_| {
+                    let mut filler = vec![0u8; out_size];
+                    self.rng.fill_bytes(&mut filler);
+                    filler
+                })
+                .collect();
+        }
+
+        let restored: Vec<Vec<u8>> = if state.permutation.is_empty() {
+            replies
+        } else {
+            let mut restored = vec![Vec::new(); replies.len()];
+            for (j, reply) in replies.into_iter().enumerate() {
+                restored[state.permutation[j]] = reply;
+            }
+            restored
+        };
+
+        // Drop replies addressed to our own noise (they sit past the
+        // original incoming prefix) and wrap the rest.
+        let reply_size = restored.first().map_or(0, Vec::len);
+        let tasks: Vec<(Option<LayerKey>, Vec<u8>)> = state
+            .layer_keys
+            .into_iter()
+            .zip(restored.into_iter().take(state.incoming_len))
+            .collect();
+        let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
+
+        // Wrap in parallel; invalid slots get random bytes of the right
+        // size so the batch stays uniform.
+        let seeds: Vec<(Option<LayerKey>, Vec<u8>, [u8; 32])> = tasks
+            .into_iter()
+            .map(|(key, reply)| {
+                let mut seed = [0u8; 32];
+                self.rng.fill_bytes(&mut seed);
+                (key, reply, seed)
+            })
+            .collect();
+        parallel_map(seeds, self.config.workers, |(key, reply, seed)| match key {
+            Some(key) => onion::wrap_reply_layer(&key, round, &reply),
+            None => {
+                let mut filler = vec![0u8; out_size];
+                StdRng::from_seed(seed).fill_bytes(&mut filler);
+                filler
+            }
+        })
+    }
+
+    /// Abandons any state for `round` (e.g. when an adversary blackholes
+    /// the round and no replies will ever come back).
+    pub fn abort_round(&mut self, round: u64) {
+        self.rounds.remove(&round);
+    }
+
+    /// Noise counts for the last server's direct dialing-drop injection.
+    pub fn dialing_noise_counts(&mut self, num_drops: u32) -> Vec<u64> {
+        noise::dialing_noise_counts(
+            &mut self.rng,
+            num_drops,
+            self.config.dialing_noise,
+            self.config.noise_mode,
+        )
+    }
+
+    fn generate_noise(&mut self, round: u64, kind: RoundKind) -> NoiseBatch {
+        match kind {
+            RoundKind::Conversation => noise::conversation_noise(
+                &mut self.rng,
+                &self.downstream,
+                round,
+                self.config.conversation_noise,
+                self.config.noise_mode,
+                self.config.workers,
+            ),
+            RoundKind::Dialing { num_drops } => noise::dialing_noise(
+                &mut self.rng,
+                &self.downstream,
+                round,
+                num_drops,
+                self.config.dialing_noise,
+                self.config.noise_mode,
+                self.config.workers,
+            ),
+        }
+    }
+
+    /// A replacement payload for a malformed request: a fresh noise
+    /// request wrapped for the remaining chain (or plain at the last
+    /// server), so downstream servers cannot tell anything was replaced.
+    fn substitute_payload(&mut self, round: u64, kind: RoundKind) -> Vec<u8> {
+        let payload = match kind {
+            RoundKind::Conversation => ExchangeRequest::noise(&mut self.rng).encode(),
+            RoundKind::Dialing { .. } => DialRequest::noop(&mut self.rng).encode(),
+        };
+        let mut wrapped =
+            noise::wrap_payloads(&mut self.rng, vec![payload], &self.downstream, round, 1);
+        wrapped.pop().expect("one payload in, one out")
+    }
+}
+
+/// A uniformly random permutation of `0..len` (Fisher–Yates).
+fn random_permutation<R: Rng>(rng: &mut R, len: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+    fn test_config(mu: f64) -> SystemConfig {
+        SystemConfig {
+            chain_len: 2,
+            conversation_noise: NoiseDistribution::new(mu, 1.0),
+            dialing_noise: NoiseDistribution::new(2.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+        }
+    }
+
+    fn two_server_chain(mu: f64) -> (MixServer, MixServer) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp0 = Keypair::generate(&mut rng);
+        let kp1 = Keypair::generate(&mut rng);
+        let s0 = MixServer::new(0, 2, kp0, vec![kp1.public], test_config(mu), 1);
+        let s1 = MixServer::new(1, 2, kp1, vec![], test_config(mu), 2);
+        (s0, s1)
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for len in [0usize, 1, 2, 10, 1000] {
+            let perm = random_permutation(&mut rng, len);
+            let mut seen = vec![false; len];
+            for &p in &perm {
+                assert!(!seen[p], "duplicate index {p}");
+                seen[p] = true;
+            }
+            assert!(seen.into_iter().all(|s| s));
+        }
+    }
+
+    #[test]
+    fn forward_backward_roundtrip_preserves_order() {
+        let (mut s0, mut s1) = two_server_chain(4.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let chain_pks = [s0.public_key(), s1.public_key()];
+
+        // Three clients with distinguishable payloads.
+        let payloads: Vec<Vec<u8>> = (0..3u8)
+            .map(|i| {
+                let mut request = ExchangeRequest::noise(&mut rng);
+                request.sealed_message[0] = i;
+                request.encode()
+            })
+            .collect();
+        let onions: Vec<Vec<u8>> = payloads
+            .iter()
+            .map(|p| onion::wrap(&mut rng, &chain_pks, 5, p).0)
+            .collect();
+
+        let mid = s0.forward(5, RoundKind::Conversation, onions);
+        // 3 real + 2µ noise (µ=4 → 4 singles + 2 pairs = 8).
+        assert_eq!(mid.len(), 3 + 8);
+
+        let last = s1.forward(5, RoundKind::Conversation, mid);
+        assert_eq!(last.len(), 11, "last server does not add noise");
+
+        // Echo each request back as its own reply.
+        let replies = s1.backward(5, last);
+        assert_eq!(replies.len(), 11);
+        let client_replies = s0.backward(5, replies);
+        assert_eq!(client_replies.len(), 3, "noise replies stripped");
+        // Sizes uniform.
+        let sizes: std::collections::HashSet<usize> = client_replies.iter().map(Vec::len).collect();
+        assert_eq!(sizes.len(), 1);
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        // With noise off and many requests, the odds of the identity
+        // permutation are negligible; check outgoing != incoming order by
+        // peeling at the next server.
+        let (_, mut s1) = two_server_chain(0.0);
+        let mut cfg_off = test_config(0.0);
+        cfg_off.noise_mode = NoiseMode::Off;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s0_off = MixServer::new(
+            0,
+            2,
+            Keypair::generate(&mut rng),
+            vec![s1.public_key()],
+            cfg_off,
+            3,
+        );
+        let chain_pks = [s0_off.public_key(), s1.public_key()];
+        let onions: Vec<Vec<u8>> = (0..64u8)
+            .map(|i| {
+                let mut request = ExchangeRequest::noise(&mut rng);
+                request.sealed_message[0] = i;
+                onion::wrap(&mut rng, &chain_pks, 1, &request.encode()).0
+            })
+            .collect();
+
+        let mid = s0_off.forward(1, RoundKind::Conversation, onions);
+        assert_eq!(mid.len(), 64);
+        let peeled = s1.forward(1, RoundKind::Conversation, mid);
+        let order: Vec<u8> = peeled
+            .iter()
+            .map(|p| ExchangeRequest::decode(p).expect("valid").sealed_message[0])
+            .collect();
+        let identity: Vec<u8> = (0..64u8).collect();
+        assert_ne!(order, identity, "permutation left batch in order");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity, "permutation lost/duplicated entries");
+    }
+
+    #[test]
+    fn malformed_requests_are_replaced_not_dropped() {
+        let (mut s0, mut s1) = two_server_chain(2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let chain_pks = [s0.public_key(), s1.public_key()];
+
+        let payload = ExchangeRequest::noise(&mut rng).encode();
+        let good = onion::wrap(&mut rng, &chain_pks, 2, &payload).0;
+        let garbage = vec![0xFFu8; good.len()];
+        let short = vec![1u8, 2, 3];
+
+        let mid = s0.forward(2, RoundKind::Conversation, vec![good, garbage, short]);
+        assert_eq!(s0.malformed_replaced, 2);
+        // Batch keeps its shape: 3 requests + 2µ noise.
+        assert_eq!(mid.len(), 3 + 4);
+        // Everything downstream still peels.
+        let peeled = s1.forward(2, RoundKind::Conversation, mid);
+        assert_eq!(peeled.len(), 7);
+        for p in &peeled {
+            let _ = ExchangeRequest::decode(p).expect("all payloads valid downstream");
+        }
+
+        // Backward: the malformed clients get filler of uniform size.
+        let replies = s1.backward(2, peeled);
+        let back = s0.backward(2, replies);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].len(), back[1].len());
+        assert_eq!(back[1].len(), back[2].len());
+    }
+
+    #[test]
+    fn tampered_reply_batch_yields_uniform_filler() {
+        // An adversary dropping replies on a backward link must not
+        // panic the server or misroute plaintext: every upstream slot
+        // gets correctly sized filler.
+        let (mut s0, mut s1) = two_server_chain(2.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let chain_pks = [s0.public_key(), s1.public_key()];
+        let onions: Vec<Vec<u8>> = (0..3)
+            .map(|_| {
+                let payload = ExchangeRequest::noise(&mut rng).encode();
+                onion::wrap(&mut rng, &chain_pks, 6, &payload).0
+            })
+            .collect();
+        let mid = s0.forward(6, RoundKind::Conversation, onions);
+        let peeled = s1.forward(6, RoundKind::Conversation, mid);
+        let mut replies = s1.backward(6, peeled);
+        replies.truncate(2); // adversary drops replies in flight
+
+        let out = s0.backward(6, replies);
+        assert_eq!(out.len(), 3, "one filler per upstream request");
+        let sizes: std::collections::HashSet<usize> = out.iter().map(Vec::len).collect();
+        assert_eq!(sizes.len(), 1, "uniform filler size");
+        // Outgoing size from the first server: 256 + 2 layers × 16.
+        assert_eq!(
+            *sizes.iter().next().expect("one size"),
+            vuvuzela_wire::EXCHANGE_RESPONSE_LEN + 2 * onion::REPLY_LAYER_OVERHEAD
+        );
+        assert_eq!(s0.malformed_replaced, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward() without matching forward()")]
+    fn backward_without_forward_panics() {
+        let (mut s0, _) = two_server_chain(1.0);
+        let _ = s0.backward(99, vec![]);
+    }
+
+    #[test]
+    fn abort_round_clears_state() {
+        let (mut s0, _s1) = two_server_chain(1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let chain_pks = [s0.public_key(), _s1.public_key()];
+        let payload = ExchangeRequest::noise(&mut rng).encode();
+        let onion0 = onion::wrap(&mut rng, &chain_pks, 3, &payload).0;
+        let _ = s0.forward(3, RoundKind::Conversation, vec![onion0]);
+        s0.abort_round(3);
+        assert!(s0.rounds.is_empty());
+    }
+
+    #[test]
+    fn dialing_forward_adds_per_drop_noise() {
+        let (mut s0, mut s1) = two_server_chain(1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let chain_pks = [s0.public_key(), s1.public_key()];
+        let payload = DialRequest::noop(&mut rng).encode();
+        let onion0 = onion::wrap(&mut rng, &chain_pks, 4, &payload).0;
+
+        let mid = s0.forward(4, RoundKind::Dialing { num_drops: 3 }, vec![onion0]);
+        // 1 real + 3 drops × µ_dial(=2) noise.
+        assert_eq!(mid.len(), 1 + 6);
+        let peeled = s1.forward(4, RoundKind::Dialing { num_drops: 3 }, mid);
+        for p in &peeled {
+            let _ = DialRequest::decode(p).expect("valid dial request");
+        }
+    }
+}

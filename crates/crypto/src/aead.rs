@@ -1,0 +1,194 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the "indistinguishable encryption scheme" required by the paper
+//! (§4.1): ciphertexts are pseudorandom, fixed-length expansions of their
+//! plaintexts, so exchange requests for real conversations, fake requests
+//! and server-generated noise are bitwise indistinguishable.
+
+use crate::chacha20;
+use crate::poly1305::Poly1305;
+use crate::{ct_eq, CryptoError};
+
+/// AEAD key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// AEAD nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// AEAD authentication-tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Derives the Poly1305 one-time key: the first 32 bytes of the ChaCha20
+/// block with counter 0 (RFC 8439 §2.6).
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20::block(key, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+/// Feeds `aad ‖ pad16 ‖ ct ‖ pad16 ‖ le64(|aad|) ‖ le64(|ct|)` into the
+/// authenticator, per RFC 8439 §2.8.
+fn mac_transcript(poly: &mut Poly1305, aad: &[u8], ciphertext: &[u8]) {
+    const ZEROS: [u8; 16] = [0; 16];
+    poly.update(aad);
+    poly.update(&ZEROS[..(16 - aad.len() % 16) % 16]);
+    poly.update(ciphertext);
+    poly.update(&ZEROS[..(16 - ciphertext.len() % 16) % 16]);
+    poly.update(&(aad.len() as u64).to_le_bytes());
+    poly.update(&(ciphertext.len() as u64).to_le_bytes());
+}
+
+/// Encrypts `plaintext` with associated data `aad`, returning
+/// `ciphertext ‖ tag` (`plaintext.len() + TAG_LEN` bytes).
+#[must_use]
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    chacha20::xor_stream(key, 1, nonce, &mut out);
+
+    let mut poly = Poly1305::new(&poly_key(key, nonce));
+    mac_transcript(&mut poly, aad, &out);
+    out.extend_from_slice(&poly.finalize());
+    out
+}
+
+/// Decrypts `ciphertext ‖ tag` produced by [`seal`], verifying the tag and
+/// associated data.
+///
+/// # Errors
+///
+/// [`CryptoError::BadLength`] if the input is shorter than a tag;
+/// [`CryptoError::DecryptFailed`] if authentication fails.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    boxed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if boxed.len() < TAG_LEN {
+        return Err(CryptoError::BadLength {
+            expected: TAG_LEN,
+            got: boxed.len(),
+        });
+    }
+    let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
+
+    let mut poly = Poly1305::new(&poly_key(key, nonce));
+    mac_transcript(&mut poly, aad, ciphertext);
+    if !ct_eq(&poly.finalize(), tag) {
+        return Err(CryptoError::DecryptFailed);
+    }
+
+    let mut plaintext = ciphertext.to_vec();
+    chacha20::xor_stream(key, 1, nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+/// The ciphertext length for a given plaintext length.
+#[must_use]
+pub const fn sealed_len(plaintext_len: usize) -> usize {
+    plaintext_len + TAG_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
+            .collect()
+    }
+
+    /// RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let mut key = [0u8; 32];
+        for (i, byte) in key.iter_mut().enumerate() {
+            *byte = 0x80 + i as u8;
+        }
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad = hex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+
+        let sealed = seal(&key, &nonce, &aad, plaintext);
+        let want_ct = hex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let want_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(&sealed[..plaintext.len()], &want_ct[..]);
+        assert_eq!(&sealed[plaintext.len()..], &want_tag[..]);
+
+        let opened = open(&key, &nonce, &aad, &sealed).expect("tag verifies");
+        assert_eq!(&opened[..], &plaintext[..]);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [0x11u8; 32];
+        let nonce = [0x22u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 240, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = seal(&key, &nonce, b"aad", &pt);
+            assert_eq!(sealed.len(), sealed_len(len));
+            let opened = open(&key, &nonce, b"aad", &sealed).expect("roundtrip");
+            assert_eq!(opened, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"attack at dawn");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                open(&key, &nonce, b"", &bad),
+                Err(CryptoError::DecryptFailed),
+                "flip at byte {i} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"round-7", b"hello");
+        assert!(open(&key, &nonce, b"round-8", &sealed).is_err());
+        assert!(open(&key, &nonce, b"round-7", &sealed).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_fails() {
+        let sealed = seal(&[1u8; 32], &[2u8; 12], b"", b"hello");
+        assert!(open(&[3u8; 32], &[2u8; 12], b"", &sealed).is_err());
+        assert!(open(&[1u8; 32], &[4u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn too_short_input_is_bad_length() {
+        assert_eq!(
+            open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 5]),
+            Err(CryptoError::BadLength {
+                expected: TAG_LEN,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn ciphertexts_are_distinct_across_nonces() {
+        let key = [9u8; 32];
+        let a = seal(&key, &[0u8; 12], b"", b"same message");
+        let b = seal(&key, &[1u8; 12], b"", b"same message");
+        assert_ne!(a, b);
+    }
+}

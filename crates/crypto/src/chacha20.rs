@@ -1,0 +1,156 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//!
+//! Used by [`crate::aead`] for payload encryption and, keyed from a seed,
+//! as the deterministic expander behind dead-drop derivation test fixtures.
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (the RFC 8439 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block for the given key, block
+/// counter and nonce.
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream (starting at `counter`) into `data` in
+/// place. Encryption and decryption are the same operation.
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (block_index, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, counter.wrapping_add(block_index as u32), nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
+            .collect()
+    }
+
+    fn test_key() -> [u8; 32] {
+        let mut key = [0u8; 32];
+        for (i, byte) in key.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+        key
+    }
+
+    /// RFC 8439 §2.3.2: block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = test_key();
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let got = block(&key, 1, &nonce);
+        let want = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(&got[..], &want[..]);
+    }
+
+    /// RFC 8439 §2.4.2: full encryption test ("Ladies and Gentlemen...").
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = test_key();
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        let want = hex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, want);
+
+        // Decryption round-trips.
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(&data[..], &plaintext[..]);
+    }
+
+    #[test]
+    fn stream_is_counter_consistent() {
+        // Encrypting a long buffer must equal encrypting per-block with
+        // manually advanced counters.
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let mut long = vec![0u8; 200];
+        xor_stream(&key, 5, &nonce, &mut long);
+
+        let mut manual = vec![0u8; 200];
+        for (i, chunk) in manual.chunks_mut(64).enumerate() {
+            xor_stream(&key, 5 + i as u32, &nonce, chunk);
+        }
+        assert_eq!(long, manual);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_stream(&key, 0, &[0u8; 12], &mut a);
+        xor_stream(&key, 0, &[1u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+}

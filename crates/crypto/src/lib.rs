@@ -1,0 +1,120 @@
+//! From-scratch cryptographic primitives for Vuvuzela.
+//!
+//! Vuvuzela (van den Hooff et al., SOSP 2015) relies on a small set of
+//! standard primitives: Curve25519 Diffie-Hellman for per-round ephemeral
+//! key agreement, an indistinguishable authenticated symmetric cipher for
+//! message payloads and onion layers, and a hash for dead-drop derivation.
+//! This crate implements all of them in pure safe Rust:
+//!
+//! * [`x25519`] — RFC 7748 X25519 over a 51-bit-limb field implementation.
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — RFC 8439 ChaCha20-Poly1305.
+//! * [`sha256`] / [`hkdf`] — FIPS 180-4 SHA-256, RFC 2104 HMAC, RFC 5869
+//!   HKDF.
+//! * [`onion`] — the layered encryption used by Vuvuzela's mixnet chain
+//!   (paper §4.1, Algorithm 1 step 2 / Algorithm 2 steps 1 and 4).
+//! * [`sealedbox`] — anonymous public-key boxes for dialing invitations
+//!   (paper §5.2).
+//!
+//! Every primitive carries the RFC known-answer tests in its module.
+//!
+//! # Security note
+//!
+//! The field and scalar arithmetic use the standard constant-time-friendly
+//! algorithms (Montgomery ladder with conditional swaps, branch-free limb
+//! arithmetic), but this code has not been audited and makes no hard
+//! constant-time guarantee on every compiler/target; it reproduces the
+//! *functional* behaviour and cost structure of the paper's prototype.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod field;
+pub mod hkdf;
+pub mod onion;
+pub mod poly1305;
+pub mod sealedbox;
+pub mod sha256;
+pub mod x25519;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An authenticated decryption failed: the ciphertext or tag was
+    /// malformed or tampered with.
+    DecryptFailed,
+    /// An input buffer had an invalid length for the operation.
+    BadLength {
+        /// The length the operation required.
+        expected: usize,
+        /// The length that was provided.
+        got: usize,
+    },
+    /// An onion had fewer layers than the chain expected.
+    TooFewLayers,
+    /// A Diffie-Hellman exchange produced the all-zero point (non-contributory
+    /// key exchange; indicates a malicious low-order public key).
+    DegenerateSharedSecret,
+}
+
+impl core::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CryptoError::DecryptFailed => write!(f, "authenticated decryption failed"),
+            CryptoError::BadLength { expected, got } => {
+                write!(f, "bad input length: expected {expected}, got {got}")
+            }
+            CryptoError::TooFewLayers => write!(f, "onion has too few layers"),
+            CryptoError::DegenerateSharedSecret => {
+                write!(f, "Diffie-Hellman produced an all-zero shared secret")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Compares two byte slices in constant time (with respect to contents;
+/// the comparison short-circuits only on *length* mismatch, which is public).
+///
+/// Used for MAC verification so that an attacker cannot learn tag prefixes
+/// through timing.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_matches() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CryptoError::BadLength {
+            expected: 32,
+            got: 16,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("16"));
+        assert!(!CryptoError::DecryptFailed.to_string().is_empty());
+        assert!(!CryptoError::TooFewLayers.to_string().is_empty());
+        assert!(!CryptoError::DegenerateSharedSecret.to_string().is_empty());
+    }
+}

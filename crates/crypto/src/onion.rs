@@ -1,0 +1,324 @@
+//! Layered ("onion") encryption for the Vuvuzela server chain.
+//!
+//! Implements Algorithm 1 step 2 (client-side wrapping), Algorithm 2
+//! step 1 (server-side peeling) and Algorithm 2 step 4 / Algorithm 1
+//! step 3 (the reply path) from the paper.
+//!
+//! Wire layout of one request layer:
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────────┐
+//! │ ephemeral pk (32B) │ ChaCha20-Poly1305(inner) (…+16B) │
+//! └────────────────────┴──────────────────────────────────┘
+//! ```
+//!
+//! The client generates a fresh X25519 keypair *per layer per round*; the
+//! layer key is `HKDF(DH(eph_sk, server_pk))`. The same layer key encrypts
+//! the server's reply on the way back (with a direction-separated nonce),
+//! which is the "temporary key for that server to use to encrypt the
+//! user's result on the way back" of §4.1. Each request layer therefore
+//! adds [`LAYER_OVERHEAD`] bytes, and each reply layer adds
+//! [`REPLY_LAYER_OVERHEAD`] bytes.
+
+use crate::aead;
+use crate::hkdf::hkdf;
+use crate::x25519::{Keypair, PublicKey, SecretKey};
+use crate::CryptoError;
+use rand::{CryptoRng, RngCore};
+
+/// Bytes added per onion layer on the request path (ephemeral public key
+/// plus AEAD tag).
+pub const LAYER_OVERHEAD: usize = 32 + aead::TAG_LEN;
+
+/// Bytes added per onion layer on the reply path (AEAD tag only; the key
+/// was established on the way in).
+pub const REPLY_LAYER_OVERHEAD: usize = aead::TAG_LEN;
+
+/// HKDF domain-separation label for onion layer keys.
+const LAYER_INFO: &[u8] = b"vuvuzela/onion/layer/v1";
+
+/// Direction of travel through the chain, used for nonce separation so the
+/// request and reply under one layer key never share a nonce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → last server.
+    Request,
+    /// Last server → client.
+    Reply,
+}
+
+/// Builds the deterministic per-round nonce for one direction.
+///
+/// Safe because every layer key is fresh per round: a (key, nonce) pair is
+/// never reused.
+#[must_use]
+pub fn round_nonce(round: u64, direction: Direction) -> [u8; aead::NONCE_LEN] {
+    let mut nonce = [0u8; aead::NONCE_LEN];
+    nonce[0] = match direction {
+        Direction::Request => 0x01,
+        Direction::Reply => 0x02,
+    };
+    nonce[4..12].copy_from_slice(&round.to_le_bytes());
+    nonce
+}
+
+/// The symmetric key shared between a client and one server for one round.
+#[derive(Clone)]
+pub struct LayerKey(pub [u8; 32]);
+
+impl core::fmt::Debug for LayerKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LayerKey(..)")
+    }
+}
+
+/// Derives a layer key from a DH exchange, rejecting degenerate (all-zero)
+/// shared secrets produced by low-order public keys.
+///
+/// # Errors
+///
+/// [`CryptoError::DegenerateSharedSecret`] when the DH output is zero.
+pub fn derive_layer_key(
+    my_secret: &SecretKey,
+    their_public: &PublicKey,
+    eph_public: &PublicKey,
+    server_public: &PublicKey,
+) -> Result<LayerKey, CryptoError> {
+    let shared = my_secret.diffie_hellman(their_public);
+    if shared.0 == [0u8; 32] {
+        return Err(CryptoError::DegenerateSharedSecret);
+    }
+    // Salt binds the key to the specific (ephemeral, server) pair.
+    let mut salt = [0u8; 64];
+    salt[..32].copy_from_slice(eph_public.as_bytes());
+    salt[32..].copy_from_slice(server_public.as_bytes());
+    Ok(LayerKey(hkdf(&salt, &shared.0, LAYER_INFO)))
+}
+
+/// Client side: onion-wraps `payload` for the given server chain.
+///
+/// `server_pks[0]` is the first server (outermost layer). Returns the wire
+/// bytes and the per-layer keys (ordered like `server_pks`) needed to
+/// decrypt the reply with [`unwrap_reply_layers`].
+pub fn wrap<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    server_pks: &[PublicKey],
+    round: u64,
+    payload: &[u8],
+) -> (Vec<u8>, Vec<LayerKey>) {
+    let nonce = round_nonce(round, Direction::Request);
+    let mut keys = Vec::with_capacity(server_pks.len());
+    // Generate layer keys in forward order so `keys[i]` belongs to server i.
+    let mut headers: Vec<(PublicKey, LayerKey)> = Vec::with_capacity(server_pks.len());
+    for server_pk in server_pks {
+        let eph = Keypair::generate(rng);
+        let key = derive_layer_key(&eph.secret, server_pk, &eph.public, server_pk)
+            .expect("freshly generated ephemeral key cannot be low-order");
+        headers.push((eph.public, key.clone()));
+        keys.push(key);
+    }
+
+    // Encrypt from the innermost (last server) outwards.
+    let mut onion = payload.to_vec();
+    for (eph_pk, key) in headers.iter().rev() {
+        let sealed = aead::seal(&key.0, &nonce, &[], &onion);
+        let mut layer = Vec::with_capacity(32 + sealed.len());
+        layer.extend_from_slice(eph_pk.as_bytes());
+        layer.extend_from_slice(&sealed);
+        onion = layer;
+    }
+    (onion, keys)
+}
+
+/// The exact on-the-wire size of a request onion for a given inner payload
+/// size and chain length.
+#[must_use]
+pub const fn wrapped_len(payload_len: usize, chain_len: usize) -> usize {
+    payload_len + chain_len * LAYER_OVERHEAD
+}
+
+/// The size of a fully-wrapped reply for a given result payload size.
+#[must_use]
+pub const fn reply_len(payload_len: usize, chain_len: usize) -> usize {
+    payload_len + chain_len * REPLY_LAYER_OVERHEAD
+}
+
+/// Server side: peels one onion layer.
+///
+/// Returns the layer key (to be kept for the reply path) and the inner
+/// onion destined for the next server.
+///
+/// # Errors
+///
+/// * [`CryptoError::BadLength`] if the layer is too short to contain a key
+///   and a tag.
+/// * [`CryptoError::DegenerateSharedSecret`] for low-order ephemeral keys.
+/// * [`CryptoError::DecryptFailed`] if authentication fails.
+pub fn peel(
+    server_secret: &SecretKey,
+    server_public: &PublicKey,
+    round: u64,
+    layer: &[u8],
+) -> Result<(LayerKey, Vec<u8>), CryptoError> {
+    if layer.len() < LAYER_OVERHEAD {
+        return Err(CryptoError::BadLength {
+            expected: LAYER_OVERHEAD,
+            got: layer.len(),
+        });
+    }
+    let mut eph_bytes = [0u8; 32];
+    eph_bytes.copy_from_slice(&layer[..32]);
+    let eph_pk = PublicKey::from_bytes(eph_bytes);
+    let key = derive_layer_key(server_secret, &eph_pk, &eph_pk, server_public)?;
+    let nonce = round_nonce(round, Direction::Request);
+    let inner = aead::open(&key.0, &nonce, &[], &layer[32..])?;
+    Ok((key, inner))
+}
+
+/// Server side: wraps a reply payload under a layer key captured by
+/// [`peel`] on the request path.
+#[must_use]
+pub fn wrap_reply_layer(key: &LayerKey, round: u64, payload: &[u8]) -> Vec<u8> {
+    let nonce = round_nonce(round, Direction::Reply);
+    aead::seal(&key.0, &nonce, &[], payload)
+}
+
+/// Client side: unwraps all reply layers (server 1's layer is outermost).
+///
+/// # Errors
+///
+/// [`CryptoError::DecryptFailed`] / [`CryptoError::BadLength`] if any layer
+/// fails to authenticate.
+pub fn unwrap_reply_layers(
+    keys: &[LayerKey],
+    round: u64,
+    reply: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let nonce = round_nonce(round, Direction::Reply);
+    let mut current = reply.to_vec();
+    for key in keys {
+        current = aead::open(&key.0, &nonce, &[], &current)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize, rng: &mut StdRng) -> Vec<Keypair> {
+        (0..n).map(|_| Keypair::generate(rng)).collect()
+    }
+
+    #[test]
+    fn wrap_peel_roundtrip_three_servers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let servers = chain(3, &mut rng);
+        let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+        let payload = b"dead drop request".to_vec();
+
+        let (mut onion, keys) = wrap(&mut rng, &pks, 42, &payload);
+        assert_eq!(onion.len(), wrapped_len(payload.len(), 3));
+        assert_eq!(keys.len(), 3);
+
+        let mut server_keys = Vec::new();
+        for kp in &servers {
+            let (k, inner) = peel(&kp.secret, &kp.public, 42, &onion).expect("peel");
+            server_keys.push(k);
+            onion = inner;
+        }
+        assert_eq!(onion, payload);
+
+        // Reply path: last server seals first, then back through the chain.
+        let mut reply = b"dead drop result".to_vec();
+        for k in server_keys.iter().rev() {
+            reply = wrap_reply_layer(k, 42, &reply);
+        }
+        assert_eq!(reply.len(), reply_len(16, 3));
+        let out = unwrap_reply_layers(&keys, 42, &reply).expect("unwrap replies");
+        assert_eq!(out, b"dead drop result");
+    }
+
+    #[test]
+    fn single_server_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let server = Keypair::generate(&mut rng);
+        let (onion, keys) = wrap(&mut rng, &[server.public], 0, b"x");
+        let (k, inner) = peel(&server.secret, &server.public, 0, &onion).expect("peel");
+        assert_eq!(inner, b"x");
+        let reply = wrap_reply_layer(&k, 0, b"y");
+        assert_eq!(unwrap_reply_layers(&keys, 0, &reply).expect("reply"), b"y");
+    }
+
+    #[test]
+    fn wrong_round_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let server = Keypair::generate(&mut rng);
+        let (onion, _) = wrap(&mut rng, &[server.public], 7, b"payload");
+        assert!(peel(&server.secret, &server.public, 8, &onion).is_err());
+    }
+
+    #[test]
+    fn wrong_server_fails() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Keypair::generate(&mut rng);
+        let b = Keypair::generate(&mut rng);
+        let (onion, _) = wrap(&mut rng, &[a.public], 7, b"payload");
+        assert!(peel(&b.secret, &b.public, 7, &onion).is_err());
+    }
+
+    #[test]
+    fn tampered_layer_fails() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let server = Keypair::generate(&mut rng);
+        let (mut onion, _) = wrap(&mut rng, &[server.public], 7, b"payload");
+        let last = onion.len() - 1;
+        onion[last] ^= 1;
+        assert!(peel(&server.secret, &server.public, 7, &onion).is_err());
+    }
+
+    #[test]
+    fn too_short_layer_is_bad_length() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let server = Keypair::generate(&mut rng);
+        let err = peel(&server.secret, &server.public, 0, &[0u8; 10]).unwrap_err();
+        assert!(matches!(err, CryptoError::BadLength { .. }));
+    }
+
+    #[test]
+    fn low_order_ephemeral_is_rejected_not_panicking() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let server = Keypair::generate(&mut rng);
+        // An attacker-crafted layer with an all-zero "ephemeral key".
+        let mut forged = vec![0u8; LAYER_OVERHEAD + 8];
+        forged[32..].fill(0xAB);
+        let err = peel(&server.secret, &server.public, 0, &forged).unwrap_err();
+        assert_eq!(err, CryptoError::DegenerateSharedSecret);
+    }
+
+    #[test]
+    fn request_and_reply_nonces_differ() {
+        assert_ne!(
+            round_nonce(5, Direction::Request),
+            round_nonce(5, Direction::Reply)
+        );
+        assert_ne!(
+            round_nonce(5, Direction::Request),
+            round_nonce(6, Direction::Request)
+        );
+    }
+
+    #[test]
+    fn onions_are_unlinkable_across_wraps() {
+        // Same payload, same chain, two wraps: every byte of the onion
+        // should differ (fresh ephemerals + pseudorandom ciphertexts).
+        let mut rng = StdRng::seed_from_u64(8);
+        let servers = chain(2, &mut rng);
+        let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+        let (a, _) = wrap(&mut rng, &pks, 1, b"same payload");
+        let (b, _) = wrap(&mut rng, &pks, 1, b"same payload");
+        assert_ne!(a, b);
+    }
+}

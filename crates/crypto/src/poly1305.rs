@@ -1,0 +1,261 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limbs and 64-bit intermediates (the widely
+//! deployed "donna-32" strategy), which is straightforward to verify
+//! against the RFC arithmetic while staying allocation-free.
+
+/// Poly1305 key length (r ‖ s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+const MASK_26: u32 = (1 << 26) - 1;
+
+/// Incremental Poly1305 state.
+///
+/// Usable either one-shot via [`poly1305`] or incrementally via
+/// [`Poly1305::update`] / [`Poly1305::finalize`], which is what the AEAD
+/// construction needs (aad ‖ padding ‖ ciphertext ‖ padding ‖ lengths).
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialises the authenticator with a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Poly1305 {
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        // Clamp r per RFC 8439 §2.5.
+        let r = [
+            le32(&key[0..4]) & 0x03ff_ffff,
+            (le32(&key[3..7]) >> 2) & 0x03ff_ff03,
+            (le32(&key[6..10]) >> 4) & 0x03ff_c0ff,
+            (le32(&key[9..13]) >> 6) & 0x03f0_3fff,
+            (le32(&key[12..16]) >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            le32(&key[16..20]),
+            le32(&key[20..24]),
+            le32(&key[24..28]),
+            le32(&key[28..32]),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs one 16-byte block. `hibit` is 1<<24 for full blocks and 0
+    /// for the padded final partial block.
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let h = &mut self.h;
+        h[0] = h[0].wrapping_add(le32(&block[0..4]) & MASK_26);
+        h[1] = h[1].wrapping_add((le32(&block[3..7]) >> 2) & MASK_26);
+        h[2] = h[2].wrapping_add((le32(&block[6..10]) >> 4) & MASK_26);
+        h[3] = h[3].wrapping_add((le32(&block[9..13]) >> 6) & MASK_26);
+        h[4] = h[4].wrapping_add((le32(&block[12..16]) >> 8) | hibit);
+
+        let r = &self.r;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+        let m = |a: u32, b: u32| u64::from(a) * u64::from(b);
+
+        let d0 = m(h[0], r[0]) + m(h[1], s4) + m(h[2], s3) + m(h[3], s2) + m(h[4], s1);
+        let d1 = m(h[0], r[1]) + m(h[1], r[0]) + m(h[2], s4) + m(h[3], s3) + m(h[4], s2);
+        let d2 = m(h[0], r[2]) + m(h[1], r[1]) + m(h[2], r[0]) + m(h[3], s4) + m(h[4], s3);
+        let d3 = m(h[0], r[3]) + m(h[1], r[2]) + m(h[2], r[1]) + m(h[3], r[0]) + m(h[4], s4);
+        let d4 = m(h[0], r[4]) + m(h[1], r[3]) + m(h[2], r[2]) + m(h[3], r[1]) + m(h[4], r[0]);
+
+        let mut c: u64;
+        c = d0 >> 26;
+        h[0] = (d0 as u32) & MASK_26;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h[1] = (d1 as u32) & MASK_26;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h[2] = (d2 as u32) & MASK_26;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h[3] = (d3 as u32) & MASK_26;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h[4] = (d4 as u32) & MASK_26;
+        h[0] = h[0].wrapping_add((c as u32) * 5);
+        let c32 = h[0] >> 26;
+        h[0] &= MASK_26;
+        h[1] = h[1].wrapping_add(c32);
+    }
+
+    /// Feeds message bytes into the authenticator.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1 << 24);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1 << 24);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1; // RFC padding byte for a partial block
+            self.process_block(&block, 0);
+        }
+
+        let h = &mut self.h;
+        // Fully carry h.
+        let mut c: u32;
+        c = h[1] >> 26;
+        h[1] &= MASK_26;
+        h[2] = h[2].wrapping_add(c);
+        c = h[2] >> 26;
+        h[2] &= MASK_26;
+        h[3] = h[3].wrapping_add(c);
+        c = h[3] >> 26;
+        h[3] &= MASK_26;
+        h[4] = h[4].wrapping_add(c);
+        c = h[4] >> 26;
+        h[4] &= MASK_26;
+        h[0] = h[0].wrapping_add(c * 5);
+        c = h[0] >> 26;
+        h[0] &= MASK_26;
+        h[1] = h[1].wrapping_add(c);
+
+        // Compute g = h + 5 - 2^130 and select it iff h >= p.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..5 {
+            let t = h[i].wrapping_add(carry);
+            carry = t >> 26;
+            g[i] = t & MASK_26;
+        }
+        // carry is the bit at 2^130; select g when it is 1.
+        let mask = carry.wrapping_neg(); // all-ones iff h >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Pack h into 128 bits and add s mod 2^128.
+        let packed = [
+            h[0] | (h[1] << 26),
+            (h[1] >> 6) | (h[2] << 20),
+            (h[2] >> 12) | (h[3] << 14),
+            (h[3] >> 18) | (h[4] << 8),
+        ];
+        let mut tag = [0u8; TAG_LEN];
+        let mut carry64 = 0u64;
+        for i in 0..4 {
+            let v = u64::from(packed[i]) + u64::from(self.s[i]) + carry64;
+            tag[4 * i..4 * i + 4].copy_from_slice(&(v as u32).to_le_bytes());
+            carry64 = v >> 32;
+        }
+        tag
+    }
+}
+
+/// One-shot Poly1305: authenticates `data` under the one-time `key`.
+#[must_use]
+pub fn poly1305(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+    let mut st = Poly1305::new(key);
+    st.update(data);
+    st.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
+            .collect()
+    }
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag_vector() {
+        let key_bytes = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        let want = hex("a8061dc1305136c6c22b8baf0c0127a9");
+        assert_eq!(&tag[..], &want[..]);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let data: Vec<u8> = (0..255u8).collect();
+        let oneshot = poly1305(&key, &data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk in [1usize, 3, 15, 16, 17, 31, 64] {
+            let mut st = Poly1305::new(&key);
+            for piece in data.chunks(chunk) {
+                st.update(piece);
+            }
+            assert_eq!(st.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [9u8; 32];
+        // Tag of empty message is just s (h stays 0).
+        let tag = poly1305(&key, b"");
+        assert_eq!(&tag[..], &key[16..32]);
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key = [1u8; 32];
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hellp"));
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hello\0"));
+    }
+
+    /// Exercises the h >= p final-reduction branch.
+    #[test]
+    fn final_reduction_edge() {
+        // r = 2 (0x02 survives clamping), s = 0. A full block of 0xff plus
+        // the high bit is n = 2^128 + (2^128 - 1) = 2^129 - 1, so
+        // h = 2n = 2^130 - 2 >= p, and h mod (2^130 - 5) = 3; the tag is
+        // h + s = 3.
+        let mut key = [0u8; 32];
+        key[0] = 2;
+        let tag = poly1305(&key, &[0xffu8; 16]);
+        let mut want = [0u8; 16];
+        want[0] = 0x03;
+        assert_eq!(tag, want);
+    }
+}

@@ -1,0 +1,289 @@
+//! X25519 Diffie-Hellman key exchange (RFC 7748).
+//!
+//! Vuvuzela performs one fresh X25519 exchange per onion layer per round
+//! (paper Algorithm 1 step 2 and Algorithm 2 step 1) — this function
+//! dominates server CPU time (paper §8.2), so its cost model is the basis
+//! for the throughput/latency extrapolations in the benchmark harness.
+
+use crate::field::Fe;
+use rand::{CryptoRng, RngCore};
+
+/// The length in bytes of scalars, public keys and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+/// The X25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// A Curve25519 secret scalar.
+///
+/// Stored unclamped; clamping happens inside the ladder, per RFC 7748.
+#[derive(Clone)]
+pub struct SecretKey([u8; 32]);
+
+/// A Curve25519 public key (Montgomery u-coordinate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A 32-byte Diffie-Hellman shared secret.
+///
+/// Callers should pass this through a KDF ([`crate::hkdf`]) before using it
+/// as a cipher key; [`crate::onion`] does so internally.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SharedSecret(pub [u8; 32]);
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SecretKey(..)") // never print key material
+    }
+}
+
+impl core::fmt::Debug for SharedSecret {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SharedSecret(..)")
+    }
+}
+
+impl core::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl SecretKey {
+    /// Generates a fresh random secret key.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> SecretKey {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        SecretKey(bytes)
+    }
+
+    /// Builds a secret key from raw bytes (useful for tests and key
+    /// derivation); the bytes are clamped when used.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> SecretKey {
+        SecretKey(bytes)
+    }
+
+    /// The raw (unclamped) scalar bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Derives the corresponding public key: `X25519(sk, 9)`.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(x25519(&self.0, &BASE_POINT))
+    }
+
+    /// Computes the Diffie-Hellman shared secret with a peer public key.
+    ///
+    /// The all-zero output (low-order peer point) is *not* rejected here —
+    /// Vuvuzela's onion layer rejects it at KDF time so the mixnet can still
+    /// count the malformed request. See
+    /// [`CryptoError::DegenerateSharedSecret`](crate::CryptoError).
+    #[must_use]
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> SharedSecret {
+        SharedSecret(x25519(&self.0, &peer.0))
+    }
+}
+
+impl PublicKey {
+    /// Builds a public key from its 32-byte u-coordinate encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> PublicKey {
+        PublicKey(bytes)
+    }
+
+    /// The raw u-coordinate bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// A keypair convenience bundle.
+#[derive(Clone, Debug)]
+pub struct Keypair {
+    /// The secret half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+impl Keypair {
+    /// Generates a fresh random keypair.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> Keypair {
+        let secret = SecretKey::generate(rng);
+        let public = secret.public_key();
+        Keypair { secret, public }
+    }
+}
+
+/// Clamps a scalar per RFC 7748 §5: clear the low 3 bits, clear bit 255,
+/// set bit 254.
+#[must_use]
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 function: scalar multiplication on the Montgomery curve,
+/// implemented with the RFC 7748 ladder.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex");
+        }
+        out
+    }
+
+    /// RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = hex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = hex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let want = hex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(&scalar, &u), want);
+    }
+
+    /// RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = hex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = hex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let want = hex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(x25519(&scalar, &u), want);
+    }
+
+    /// RFC 7748 §5.2 iterated ladder, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = BASE_POINT;
+        let u = BASE_POINT;
+        let want = hex32("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        assert_eq!(x25519(&k, &u), want);
+    }
+
+    /// RFC 7748 §5.2 iterated ladder, 1000 iterations (slow-ish; still
+    /// comfortably fast at opt-level >= 1).
+    #[test]
+    fn rfc7748_iterated_1000() {
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        for _ in 0..1000 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        let want = hex32("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+        assert_eq!(k, want);
+    }
+
+    /// RFC 7748 §6.1 Diffie-Hellman test vectors (Alice/Bob).
+    #[test]
+    fn rfc7748_dh_alice_bob() {
+        let alice_sk = SecretKey::from_bytes(hex32(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        ));
+        let bob_sk = SecretKey::from_bytes(hex32(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        ));
+        let alice_pk = alice_sk.public_key();
+        let bob_pk = bob_sk.public_key();
+        assert_eq!(
+            alice_pk.0,
+            hex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob_pk.0,
+            hex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let k1 = alice_sk.diffie_hellman(&bob_pk);
+        let k2 = bob_sk.diffie_hellman(&alice_pk);
+        let want = hex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+        assert_eq!(k1.0, want);
+        assert_eq!(k2.0, want);
+    }
+
+    #[test]
+    fn dh_is_commutative_for_random_keys() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let a = Keypair::generate(&mut rng);
+            let b = Keypair::generate(&mut rng);
+            assert_eq!(
+                a.secret.diffie_hellman(&b.public).0,
+                b.secret.diffie_hellman(&a.public).0
+            );
+        }
+    }
+
+    #[test]
+    fn low_order_point_yields_zero_secret() {
+        let sk = SecretKey::from_bytes([0x42; 32]);
+        let zero_point = PublicKey::from_bytes([0u8; 32]);
+        assert_eq!(sk.diffie_hellman(&zero_point).0, [0u8; 32]);
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let sk = SecretKey::from_bytes([0xAA; 32]);
+        let dbg = format!("{sk:?}");
+        assert!(!dbg.contains("aa"), "secret bytes must not leak via Debug");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the field arithmetic and primitives.
+//!
+//! The 51-bit-limb field implementation is the foundation under every
+//! onion layer; these properties (ring laws, canonical encoding,
+//! inversion) would catch the classic carry/reduction bugs that
+//! hand-rolled curve arithmetic is prone to.
+
+use proptest::prelude::*;
+use vuvuzela_crypto::field::Fe;
+use vuvuzela_crypto::{chacha20, poly1305, sha256};
+
+/// Strategy: arbitrary canonical field elements (from 32 bytes, top bit
+/// masked by the decoder).
+fn fe_strategy() -> impl Strategy<Value = Fe> {
+    any::<[u8; 32]>().prop_map(|b| Fe::from_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in fe_strategy(), b in fe_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in fe_strategy(), b in fe_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn addition_associates(a in fe_strategy(), b in fe_strategy(), c in fe_strategy()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn multiplication_associates(a in fe_strategy(), b in fe_strategy(), c in fe_strategy()) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in fe_strategy(), b in fe_strategy(), c in fe_strategy()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn add_sub_cancel(a in fe_strategy(), b in fe_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+        prop_assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn square_matches_self_multiplication(a in fe_strategy()) {
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn inversion_roundtrips(a in fe_strategy()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), Fe::ONE);
+        prop_assert_eq!(a.invert().invert(), a);
+    }
+
+    #[test]
+    fn encoding_is_canonical_fixed_point(a in fe_strategy()) {
+        // to_bytes ∘ from_bytes is idempotent: encodings are canonical.
+        let bytes = a.to_bytes();
+        prop_assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+        // And canonical encodings are < p (top byte ≤ 0x7f trivially;
+        // full check: re-decoding preserves equality).
+        prop_assert_eq!(Fe::from_bytes(&bytes), a);
+    }
+
+    #[test]
+    fn identities(a in fe_strategy()) {
+        prop_assert_eq!(a.add(&Fe::ZERO), a);
+        prop_assert_eq!(a.mul(&Fe::ONE), a);
+        prop_assert_eq!(a.mul(&Fe::ZERO), Fe::ZERO);
+        prop_assert_eq!(a.sub(&a), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_small_is_repeated_addition(a in fe_strategy(), n in 0u32..50) {
+        let mut sum = Fe::ZERO;
+        for _ in 0..n {
+            sum = sum.add(&a);
+        }
+        prop_assert_eq!(a.mul_small(n), sum);
+    }
+
+    /// ChaCha20 is length-preserving XOR: double application is identity.
+    #[test]
+    fn chacha_is_involution(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut buf = data.clone();
+        chacha20::xor_stream(&key, counter, &nonce, &mut buf);
+        chacha20::xor_stream(&key, counter, &nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Poly1305 incremental equals one-shot for arbitrary chunkings.
+    #[test]
+    fn poly1305_chunking_invariant(
+        key in any::<[u8; 32]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        split in 0usize..200,
+    ) {
+        let oneshot = poly1305::poly1305(&key, &data);
+        let cut = split.min(data.len());
+        let mut st = poly1305::Poly1305::new(&key);
+        st.update(&data[..cut]);
+        st.update(&data[cut..]);
+        prop_assert_eq!(st.finalize(), oneshot);
+    }
+
+    /// SHA-256 incremental equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        split in 0usize..300,
+    ) {
+        let oneshot = sha256::sha256(&data);
+        let cut = split.min(data.len());
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+}

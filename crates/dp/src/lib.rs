@@ -1,0 +1,27 @@
+//! Differential-privacy machinery for Vuvuzela (paper §6).
+//!
+//! Vuvuzela's privacy argument has three moving parts, each a module here:
+//!
+//! * [`laplace`] — the noise mechanism itself: `⌈max(0, Laplace(µ, b))⌉`
+//!   samples that servers turn into cover traffic (Algorithm 2 step 2).
+//! * [`accounting`] — closed-form (ε, δ) for one round (Theorem 1 /
+//!   Lemma 3 for conversations, §6.5 for dialing) and advanced composition
+//!   across k rounds (Theorem 2, after Dwork–Roth Thm 3.20).
+//! * [`planner`] — the inverse problem: given a target (ε′, δ′) and a noise
+//!   mean µ, find the scale b that protects the most rounds (the parameter
+//!   sweep of §6.4), plus the Bayesian-posterior interpretation used in the
+//!   paper's examples.
+//!
+//! The figure-series generators for the paper's Figures 7 and 8 live in
+//! [`planner::privacy_series`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod laplace;
+pub mod planner;
+
+pub use accounting::{compose, ComposedPrivacy, Protocol, RoundPrivacy};
+pub use laplace::{NoiseDistribution, NoiseMode};
+pub use planner::{max_protected_rounds, posterior_bound, tune_scale, PrivacyTarget};

@@ -1,0 +1,28 @@
+//! Simulated network substrate for Vuvuzela experiments.
+//!
+//! The paper evaluates Vuvuzela on EC2 VMs connected by 10 Gbps links and
+//! notes that "network latency has little effect on Vuvuzela's
+//! performance, as each round is largely dominated by the CPU cost of
+//! cryptography on the servers and by the bandwidth for transferring all
+//! of the encrypted requests in a round" (§8.1). This crate therefore
+//! models the network as explicit, observable *links* rather than sockets:
+//!
+//! * [`meter`] — per-link byte/message counters, the source of every
+//!   bandwidth number in EXPERIMENTS.md.
+//! * [`link`] — a [`link::Link`] carries batches of opaque ciphertexts
+//!   between hops and hands each batch to an optional [`link::Tap`],
+//!   which models the paper's §2.3 adversary: it can *monitor, block,
+//!   delay, or inject* traffic on any link.
+//! * [`parallel`] — a scoped-thread `parallel_map` used by servers to
+//!   spread per-request Diffie-Hellman work across cores, mirroring the
+//!   36-core parallelism of the paper's prototype.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod meter;
+pub mod parallel;
+
+pub use link::{Direction, Link, RecordingTap, Tap, TapContext};
+pub use meter::Meter;

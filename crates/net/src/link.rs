@@ -1,0 +1,235 @@
+//! Observable, tamperable links between protocol hops.
+//!
+//! Every hop-to-hop transfer in the simulated deployment goes through a
+//! [`Link`]. A link meters traffic and exposes it to an optional [`Tap`]
+//! — the in-code embodiment of the paper's network adversary, who "can
+//! monitor, block, delay, or inject traffic on any network link" (§2.3).
+//! Taps receive the batch *by mutable reference* and may do anything to
+//! it; whatever remains is what the next hop sees.
+
+use crate::meter::Meter;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Direction of a transfer over a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Towards the last server (requests).
+    Forward,
+    /// Towards the clients (responses).
+    Backward,
+}
+
+/// Metadata handed to a tap alongside each batch.
+#[derive(Clone, Debug)]
+pub struct TapContext {
+    /// Human-readable link name, e.g. `"entry->server0"`.
+    pub link: String,
+    /// Protocol round the batch belongs to.
+    pub round: u64,
+    /// Transfer direction.
+    pub direction: Direction,
+}
+
+/// An adversary's vantage point on one link.
+///
+/// Implementations may record (passive global observer), delete or reorder
+/// entries (blocking), stash entries for later rounds (delaying), or push
+/// new entries (injection). Honest operation is simply having no tap.
+pub trait Tap: Send {
+    /// Inspect and/or mutate a batch in flight.
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>);
+}
+
+/// A tap that copies everything it sees and tampers with nothing — the
+/// global *passive* adversary.
+#[derive(Default)]
+pub struct RecordingTap {
+    /// Every observed batch: (context, sizes and contents of each entry).
+    pub observations: Vec<(TapContext, Vec<Vec<u8>>)>,
+}
+
+impl RecordingTap {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> RecordingTap {
+        RecordingTap::default()
+    }
+
+    /// Total number of messages observed across all batches.
+    #[must_use]
+    pub fn total_messages(&self) -> usize {
+        self.observations.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+impl Tap for RecordingTap {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        self.observations.push((ctx.clone(), batch.clone()));
+    }
+}
+
+/// A byte-metered, tappable link between two hops.
+pub struct Link {
+    name: String,
+    forward_meter: Arc<Meter>,
+    backward_meter: Arc<Meter>,
+    tap: Option<Arc<Mutex<dyn Tap>>>,
+}
+
+impl Link {
+    /// Creates a link with the given diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Link {
+        Link {
+            name: name.into(),
+            forward_meter: Arc::new(Meter::new()),
+            backward_meter: Arc::new(Meter::new()),
+            tap: None,
+        }
+    }
+
+    /// Attaches an adversary tap. At most one tap per link; a coalition
+    /// multiplexes inside its own `Tap` implementation.
+    pub fn attach_tap(&mut self, tap: Arc<Mutex<dyn Tap>>) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes the tap, restoring an unobserved link.
+    pub fn detach_tap(&mut self) {
+        self.tap = None;
+    }
+
+    /// Transfers a batch across the link: meters it, lets the tap
+    /// interfere, and returns what arrives at the far end.
+    #[must_use]
+    pub fn transmit(
+        &self,
+        round: u64,
+        direction: Direction,
+        mut batch: Vec<Vec<u8>>,
+    ) -> Vec<Vec<u8>> {
+        let meter = match direction {
+            Direction::Forward => &self.forward_meter,
+            Direction::Backward => &self.backward_meter,
+        };
+        let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
+        meter.record_batch(batch.len() as u64, bytes);
+
+        if let Some(tap) = &self.tap {
+            let ctx = TapContext {
+                link: self.name.clone(),
+                round,
+                direction,
+            };
+            tap.lock().intercept(&ctx, &mut batch);
+        }
+        batch
+    }
+
+    /// The link's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Meter for the request direction.
+    #[must_use]
+    pub fn forward_meter(&self) -> &Arc<Meter> {
+        &self.forward_meter
+    }
+
+    /// Meter for the response direction.
+    #[must_use]
+    pub fn backward_meter(&self) -> &Arc<Meter> {
+        &self.backward_meter
+    }
+
+    /// Total bytes both ways.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.forward_meter.bytes() + self.backward_meter.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untapped_link_passes_through_and_meters() {
+        let link = Link::new("a->b");
+        let batch = vec![vec![1u8; 10], vec![2u8; 20]];
+        let out = link.transmit(0, Direction::Forward, batch.clone());
+        assert_eq!(out, batch);
+        assert_eq!(link.forward_meter().bytes(), 30);
+        assert_eq!(link.forward_meter().messages(), 2);
+        assert_eq!(link.backward_meter().bytes(), 0);
+    }
+
+    #[test]
+    fn recording_tap_sees_everything() {
+        let mut link = Link::new("a->b");
+        let tap = Arc::new(Mutex::new(RecordingTap::new()));
+        link.attach_tap(tap.clone());
+        let _ = link.transmit(3, Direction::Forward, vec![vec![0u8; 5]]);
+        let _ = link.transmit(3, Direction::Backward, vec![vec![0u8; 7], vec![0u8; 7]]);
+
+        let guard = tap.lock();
+        assert_eq!(guard.observations.len(), 2);
+        assert_eq!(guard.total_messages(), 3);
+        assert_eq!(guard.observations[0].0.round, 3);
+        assert_eq!(guard.observations[0].0.direction, Direction::Forward);
+        assert_eq!(guard.observations[1].0.direction, Direction::Backward);
+    }
+
+    /// A blocking tap: models "block traffic from all clients except Alice
+    /// and Bob" (§2.1).
+    struct KeepFirstN(usize);
+    impl Tap for KeepFirstN {
+        fn intercept(&mut self, _ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+            batch.truncate(self.0);
+        }
+    }
+
+    #[test]
+    fn blocking_tap_drops_traffic() {
+        let mut link = Link::new("clients->entry");
+        link.attach_tap(Arc::new(Mutex::new(KeepFirstN(1))));
+        let out = link.transmit(0, Direction::Forward, vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(out, vec![vec![1]]);
+        // Metering happens before interference: the adversary cannot hide
+        // traffic from our own accounting.
+        assert_eq!(link.forward_meter().messages(), 3);
+    }
+
+    /// An injecting tap: models request injection.
+    struct Inject(Vec<u8>);
+    impl Tap for Inject {
+        fn intercept(&mut self, _ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+            batch.push(self.0.clone());
+        }
+    }
+
+    #[test]
+    fn injecting_tap_adds_traffic() {
+        let mut link = Link::new("x");
+        link.attach_tap(Arc::new(Mutex::new(Inject(vec![9, 9]))));
+        let out = link.transmit(0, Direction::Forward, vec![vec![1]]);
+        assert_eq!(out, vec![vec![1], vec![9, 9]]);
+    }
+
+    #[test]
+    fn detach_restores_passthrough() {
+        let mut link = Link::new("x");
+        link.attach_tap(Arc::new(Mutex::new(KeepFirstN(0))));
+        assert!(link
+            .transmit(0, Direction::Forward, vec![vec![1]])
+            .is_empty());
+        link.detach_tap();
+        assert_eq!(
+            link.transmit(1, Direction::Forward, vec![vec![1]]),
+            vec![vec![1]]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Scoped-thread data parallelism for server-side cryptography.
+//!
+//! The paper's servers are 36-core machines that parallelise the
+//! per-request Diffie-Hellman work ("Each 36-core machine can perform
+//! about 340,000 Curve25519 Diffie-Hellman operations per second", §8.2).
+//! [`parallel_map`] gives our simulated servers the same shape: it splits
+//! a batch across a fixed worker count with order-preserving results and
+//! no dependencies beyond `std::thread::scope`.
+
+/// Applies `f` to every item, splitting the work across `workers` OS
+/// threads, and returns results in input order.
+///
+/// Falls back to a plain sequential map when `workers <= 1` or the input
+/// is small enough that spawning would dominate.
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    const MIN_ITEMS_PER_WORKER: usize = 32;
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1)).min(n / MIN_ITEMS_PER_WORKER + 1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Chunk the input, keeping per-chunk order; reassemble in order.
+    let chunk_size = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+
+    let f = &f;
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// The number of workers to use by default: the machine's available
+/// parallelism, as the paper's servers use all cores.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(input.clone(), 4, |x| x * 2);
+        let want: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches() {
+        let input: Vec<u32> = (0..100).collect();
+        assert_eq!(
+            parallel_map(input.clone(), 1, |x| x + 1),
+            parallel_map(input, 8, |x| x + 1)
+        );
+    }
+
+    #[test]
+    fn small_inputs_do_not_over_spawn() {
+        // Just a smoke test: 3 items with 8 workers must still work.
+        assert_eq!(parallel_map(vec![1, 2, 3], 8, |x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_parallel_equals_sequential() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let seq: u64 = input.iter().map(|x| x % 7).sum();
+        let par: u64 = parallel_map(input, default_workers(), |x| x % 7)
+            .into_iter()
+            .sum();
+        assert_eq!(seq, par);
+    }
+}

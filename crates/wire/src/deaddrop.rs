@@ -1,0 +1,164 @@
+//! Dead-drop identifiers (paper §3.1, Algorithm 1 step 1a).
+//!
+//! Conversation dead drops are 128-bit IDs derived pseudo-randomly per
+//! round from the pair's shared secret, so an adversary can neither
+//! predict them nor correlate them across rounds. Invitation dead drops
+//! (dialing) are small indices derived from the *recipient's public key*,
+//! which is exactly why they need per-drop noise (§5.3).
+
+use crate::DEAD_DROP_ID_LEN;
+use rand::{CryptoRng, RngCore};
+use vuvuzela_crypto::hkdf::hmac_sha256;
+use vuvuzela_crypto::sha256::sha256;
+use vuvuzela_crypto::x25519::PublicKey;
+
+/// A 128-bit conversation dead-drop identifier.
+///
+/// "Dead drops are named by 128-bit IDs, so honest clients should never
+/// collide in the dead drops they choose." (§3.1)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeadDropId(pub [u8; DEAD_DROP_ID_LEN]);
+
+impl core::fmt::Debug for DeadDropId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "DeadDropId({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl DeadDropId {
+    /// Derives the dead drop for a given round from a 32-byte drop seed
+    /// (itself derived from the conversation's shared secret):
+    /// `b = H(s, r)` of Algorithm 1, realised as HMAC-SHA256 truncated to
+    /// 128 bits.
+    #[must_use]
+    pub fn for_round(drop_seed: &[u8; 32], round: u64) -> DeadDropId {
+        let mac = hmac_sha256(drop_seed, &round.to_le_bytes());
+        let mut id = [0u8; DEAD_DROP_ID_LEN];
+        id.copy_from_slice(&mac[..DEAD_DROP_ID_LEN]);
+        DeadDropId(id)
+    }
+
+    /// Draws a uniformly random dead drop — used for fake client requests
+    /// (Algorithm 1 step 1b) and server noise (Algorithm 2 step 2).
+    pub fn random<R: RngCore + CryptoRng>(rng: &mut R) -> DeadDropId {
+        let mut id = [0u8; DEAD_DROP_ID_LEN];
+        rng.fill_bytes(&mut id);
+        DeadDropId(id)
+    }
+}
+
+/// The index of an invitation dead drop within a dialing round that uses
+/// `m` drops (paper §5.1: invitations for public key `pk` go to drop
+/// `H(pk) mod m`).
+///
+/// Index `0` is reserved as the **no-op drop**: clients that are not
+/// dialing anyone this round write there (§5.2), and no recipient ever
+/// reads it. Real drops are `1..=m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InvitationDropIndex(pub u32);
+
+impl InvitationDropIndex {
+    /// The distinguished no-op drop.
+    pub const NOOP: InvitationDropIndex = InvitationDropIndex(0);
+
+    /// The invitation drop that receives invitations addressed to `pk`
+    /// when the round uses `num_drops` real drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_drops` is zero; rounds always have at least one
+    /// real drop.
+    #[must_use]
+    pub fn for_recipient(pk: &PublicKey, num_drops: u32) -> InvitationDropIndex {
+        assert!(num_drops > 0, "a dialing round needs at least one drop");
+        let digest = sha256(pk.as_bytes());
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&digest[..8]);
+        let h = u64::from_le_bytes(word);
+        // Real drops are 1..=num_drops; 0 is the no-op drop.
+        InvitationDropIndex(1 + (h % u64::from(num_drops)) as u32)
+    }
+
+    /// Whether this is the no-op drop.
+    #[must_use]
+    pub fn is_noop(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_crypto::x25519::Keypair;
+
+    #[test]
+    fn drop_ids_change_every_round() {
+        let seed = [7u8; 32];
+        let a = DeadDropId::for_round(&seed, 1);
+        let b = DeadDropId::for_round(&seed, 2);
+        assert_ne!(a, b);
+        // ... but are deterministic for the same round.
+        assert_eq!(a, DeadDropId::for_round(&seed, 1));
+    }
+
+    #[test]
+    fn different_pairs_never_collide_in_practice() {
+        let a = DeadDropId::for_round(&[1u8; 32], 9);
+        let b = DeadDropId::for_round(&[2u8; 32], 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_drops_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = DeadDropId::random(&mut rng);
+        let b = DeadDropId::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn invitation_drop_is_stable_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [1u32, 2, 7, 64] {
+            for _ in 0..20 {
+                let kp = Keypair::generate(&mut rng);
+                let idx = InvitationDropIndex::for_recipient(&kp.public, m);
+                assert!(idx.0 >= 1 && idx.0 <= m, "index {} for m={m}", idx.0);
+                assert!(!idx.is_noop());
+                assert_eq!(idx, InvitationDropIndex::for_recipient(&kp.public, m));
+            }
+        }
+    }
+
+    #[test]
+    fn invitation_drops_spread_across_buckets() {
+        // With m=4 and 200 keys, every bucket should be hit.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let kp = Keypair::generate(&mut rng);
+            seen.insert(InvitationDropIndex::for_recipient(&kp.public, 4).0);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn noop_drop_is_reserved() {
+        assert!(InvitationDropIndex::NOOP.is_noop());
+        assert_eq!(InvitationDropIndex::NOOP.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drop")]
+    fn zero_drops_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = Keypair::generate(&mut rng);
+        let _ = InvitationDropIndex::for_recipient(&kp.public, 0);
+    }
+}

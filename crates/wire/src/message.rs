@@ -1,0 +1,219 @@
+//! Client-level framing inside the 240-byte conversation payload.
+//!
+//! The paper leaves retransmission "to a higher level (in the client
+//! itself)" (§3.1). This module defines that level: a tiny header with a
+//! message kind, a sequence number, a cumulative ack, and a length-
+//! prefixed text body, zero-padded to exactly [`MESSAGE_LEN`] bytes so
+//! that framing never changes the wire size.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! ┌──────┬─────────┬─────────┬─────────┬──────────────┬─────────┐
+//! │ kind │ seq u64 │ ack u64 │ len u16 │ body ≤221 B  │ zeros   │
+//! │ 1 B  │ 8 B     │ 8 B     │ 2 B     │              │         │
+//! └──────┴─────────┴─────────┴─────────┴──────────────┴─────────┘
+//! ```
+
+use crate::{expect_len, WireError, MESSAGE_LEN};
+
+/// Header bytes taken by the framing.
+pub const HEADER_LEN: usize = 1 + 8 + 8 + 2;
+
+/// The maximum text body per conversation message.
+pub const MAX_BODY_LEN: usize = MESSAGE_LEN - HEADER_LEN;
+
+/// The kind of a framed client message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageKind {
+    /// No user data this round; carries only the ack (the "empty message"
+    /// of Algorithm 1 when the user "has not typed anything").
+    KeepAlive,
+    /// Carries user data in the body.
+    Data,
+}
+
+impl MessageKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            MessageKind::KeepAlive => 0,
+            MessageKind::Data => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<MessageKind, WireError> {
+        match b {
+            0 => Ok(MessageKind::KeepAlive),
+            1 => Ok(MessageKind::Data),
+            _ => Err(WireError::Malformed("unknown message kind")),
+        }
+    }
+}
+
+/// A framed client-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FramedMessage {
+    /// Message kind.
+    pub kind: MessageKind,
+    /// Sender's sequence number for this data message (undefined but
+    /// present for keep-alives; set to the next seq to be sent).
+    pub seq: u64,
+    /// Cumulative acknowledgement: all partner messages with
+    /// `seq < ack` have been received.
+    pub ack: u64,
+    /// The text body (empty for keep-alives).
+    pub body: Vec<u8>,
+}
+
+impl FramedMessage {
+    /// Builds a data message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` exceeds [`MAX_BODY_LEN`]; callers split longer
+    /// texts into multiple rounds (fixed message sizes are load-bearing
+    /// for privacy, so there is no oversized escape hatch).
+    #[must_use]
+    pub fn data(seq: u64, ack: u64, body: &[u8]) -> FramedMessage {
+        assert!(
+            body.len() <= MAX_BODY_LEN,
+            "body {} exceeds MAX_BODY_LEN {MAX_BODY_LEN}",
+            body.len()
+        );
+        FramedMessage {
+            kind: MessageKind::Data,
+            seq,
+            ack,
+            body: body.to_vec(),
+        }
+    }
+
+    /// Builds a keep-alive carrying only an ack.
+    #[must_use]
+    pub fn keep_alive(next_seq: u64, ack: u64) -> FramedMessage {
+        FramedMessage {
+            kind: MessageKind::KeepAlive,
+            seq: next_seq,
+            ack,
+            body: Vec::new(),
+        }
+    }
+
+    /// Encodes to exactly [`MESSAGE_LEN`] bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; MESSAGE_LEN];
+        out[0] = self.kind.to_byte();
+        out[1..9].copy_from_slice(&self.seq.to_le_bytes());
+        out[9..17].copy_from_slice(&self.ack.to_le_bytes());
+        out[17..19].copy_from_slice(&(self.body.len() as u16).to_le_bytes());
+        out[HEADER_LEN..HEADER_LEN + self.body.len()].copy_from_slice(&self.body);
+        out
+    }
+
+    /// Decodes a padded [`MESSAGE_LEN`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadLength`] for wrong buffer sizes and
+    /// [`WireError::Malformed`] for invalid kind or length fields.
+    pub fn decode(buf: &[u8]) -> Result<FramedMessage, WireError> {
+        expect_len(buf, MESSAGE_LEN)?;
+        let kind = MessageKind::from_byte(buf[0])?;
+        let mut u64buf = [0u8; 8];
+        u64buf.copy_from_slice(&buf[1..9]);
+        let seq = u64::from_le_bytes(u64buf);
+        u64buf.copy_from_slice(&buf[9..17]);
+        let ack = u64::from_le_bytes(u64buf);
+        let len = u16::from_le_bytes([buf[17], buf[18]]) as usize;
+        if len > MAX_BODY_LEN {
+            return Err(WireError::Malformed("body length exceeds payload area"));
+        }
+        if kind == MessageKind::KeepAlive && len != 0 {
+            return Err(WireError::Malformed("keep-alive with non-empty body"));
+        }
+        Ok(FramedMessage {
+            kind,
+            seq,
+            ack,
+            body: buf[HEADER_LEN..HEADER_LEN + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let msg = FramedMessage::data(42, 17, b"meet at the usual place");
+        let buf = msg.encode();
+        assert_eq!(buf.len(), MESSAGE_LEN);
+        assert_eq!(FramedMessage::decode(&buf).expect("decode"), msg);
+    }
+
+    #[test]
+    fn keep_alive_roundtrip() {
+        let msg = FramedMessage::keep_alive(3, 9);
+        let decoded = FramedMessage::decode(&msg.encode()).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.kind, MessageKind::KeepAlive);
+        assert!(decoded.body.is_empty());
+    }
+
+    #[test]
+    fn empty_and_max_bodies() {
+        for len in [0usize, 1, MAX_BODY_LEN] {
+            let body = vec![b'x'; len];
+            let msg = FramedMessage::data(0, 0, &body);
+            assert_eq!(FramedMessage::decode(&msg.encode()).expect("ok").body, body);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_BODY_LEN")]
+    fn oversized_body_panics() {
+        let _ = FramedMessage::data(0, 0, &vec![0u8; MAX_BODY_LEN + 1]);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        // Wrong length.
+        assert!(matches!(
+            FramedMessage::decode(&[0u8; 10]),
+            Err(WireError::BadLength { .. })
+        ));
+        // Bad kind byte.
+        let mut buf = FramedMessage::keep_alive(0, 0).encode();
+        buf[0] = 9;
+        assert!(matches!(
+            FramedMessage::decode(&buf),
+            Err(WireError::Malformed(_))
+        ));
+        // Length field pointing past the payload area.
+        let mut buf = FramedMessage::data(0, 0, b"hi").encode();
+        buf[17..19].copy_from_slice(&(MAX_BODY_LEN as u16 + 1).to_le_bytes());
+        assert!(matches!(
+            FramedMessage::decode(&buf),
+            Err(WireError::Malformed(_))
+        ));
+        // Keep-alive with body length.
+        let mut buf = FramedMessage::keep_alive(0, 0).encode();
+        buf[17] = 1;
+        assert!(matches!(
+            FramedMessage::decode(&buf),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn encoding_is_always_fixed_size() {
+        for len in [0usize, 7, 100, MAX_BODY_LEN] {
+            assert_eq!(
+                FramedMessage::data(1, 2, &vec![0u8; len]).encode().len(),
+                MESSAGE_LEN
+            );
+        }
+    }
+}

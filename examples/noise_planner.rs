@@ -1,0 +1,93 @@
+//! Noise planner: the operator-facing tool for choosing (µ, b).
+//!
+//! Given a privacy target (ε′, δ′) and how many rounds of protection a
+//! deployment needs, this walks the paper's §6.4 methodology: sweep the
+//! Laplace scale b for each candidate mean µ, report the protected-round
+//! coverage, and translate ε′ into the posterior-belief language of the
+//! paper ("plausible deniability").
+//!
+//! Run: `cargo run --release --example noise_planner -- [rounds]`
+//! (default 250,000 rounds — the paper's standard configuration)
+
+use vuvuzela::dp::planner::{max_protected_rounds, posterior_bound, tune_scale, PrivacyTarget};
+use vuvuzela::dp::Protocol;
+
+fn main() {
+    let rounds_needed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(250_000);
+    let target = PrivacyTarget::default();
+
+    println!("target: ε' = ln 2, δ' = 1e-4 after {rounds_needed} conversation rounds\n");
+
+    // Sweep candidate means until one covers the requested rounds.
+    println!(
+        "{:>10} {:>10} {:>14} {:>9}",
+        "µ", "best b", "rounds covered", "enough?"
+    );
+    let mut chosen = None;
+    for i in 1..=12 {
+        let mu = 50_000.0 * f64::from(i);
+        let tuned = tune_scale(Protocol::Conversation, mu, target);
+        let enough = tuned.rounds >= rounds_needed;
+        println!(
+            "{:>10.0} {:>10.0} {:>14} {:>9}",
+            mu,
+            tuned.b,
+            tuned.rounds,
+            if enough { "yes" } else { "no" }
+        );
+        if enough && chosen.is_none() {
+            chosen = Some((mu, tuned));
+        }
+        if enough {
+            break;
+        }
+    }
+
+    match chosen {
+        Some((mu, tuned)) => {
+            println!(
+                "\nplan: µ = {mu:.0}, b = {:.0} per noising server (conversation protocol)",
+                tuned.b
+            );
+            println!(
+                "cost: ≈{:.0} cover requests per mixing server per round, forever — \n\
+                 independent of the user count (§6.4).",
+                2.0 * mu
+            );
+            let dial = tune_scale(Protocol::Dialing, mu / 20.0, target);
+            println!(
+                "dialing: µ = {:.0}, b = {:.0} covers {} dialing rounds",
+                mu / 20.0,
+                dial.b,
+                dial.rounds
+            );
+            println!("\nwhat ε' = ln 2 buys (posterior after {rounds_needed} rounds):");
+            for prior in [0.01, 0.25, 0.5] {
+                println!(
+                    "  adversary prior {:>4.0}% → posterior ≤ {:.1}%",
+                    prior * 100.0,
+                    posterior_bound(prior, target.epsilon) * 100.0
+                );
+            }
+        }
+        None => {
+            println!(
+                "\nno µ ≤ 600,000 covers {rounds_needed} rounds; raise µ or lower the target."
+            );
+        }
+    }
+
+    // Show the paper's three reference points for context.
+    println!("\npaper's reference configurations (§6.4):");
+    for (mu, b) in [
+        (150_000.0, 7_300.0),
+        (300_000.0, 13_800.0),
+        (450_000.0, 20_000.0),
+    ] {
+        let k = max_protected_rounds(Protocol::Conversation, mu, b, target);
+        println!("  µ={mu:>7.0} b={b:>6.0} → {k} rounds at (ln 2, 1e-4)");
+    }
+}

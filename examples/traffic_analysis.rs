@@ -1,0 +1,122 @@
+//! Traffic analysis in action: the §4.2 attacks against a noiseless
+//! mixnet, and why they fail against Vuvuzela.
+//!
+//! Part 1 runs the *disruption attack* end to end through the real
+//! chain: a coalition controlling the first and last servers drops every
+//! request except Alice's and Bob's, then reads the dead-drop histogram.
+//! Without noise this is a perfect oracle; with noise the histogram is
+//! dominated by cover traffic.
+//!
+//! Part 2 evaluates all three attacks statistically (10,000+ trials at
+//! the observable level) and compares attacker accuracy with the
+//! differential-privacy ceiling.
+//!
+//! Run: `cargo run --release --example traffic_analysis`
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vuvuzela::adversary::attacks::{DisruptionAttack, IntersectionAttack};
+use vuvuzela::adversary::bounds::max_accuracy;
+use vuvuzela::adversary::model::ObservableModel;
+use vuvuzela::adversary::taps::KeepOnly;
+use vuvuzela::baseline::no_noise;
+use vuvuzela::core::testkit::TestNet;
+use vuvuzela::core::SystemConfig;
+use vuvuzela::dp::accounting::conversation_round;
+use vuvuzela::dp::{NoiseDistribution, NoiseMode};
+
+fn main() {
+    println!("=== Part 1: disruption attack through the real chain ===\n");
+    for (label, noised) in [("no-noise mixnet", false), ("Vuvuzela", true)] {
+        let m2 = run_disruption(noised, true);
+        let m2_idle = run_disruption(noised, false);
+        println!("{label:>16}: m2 with Alice↔Bob talking = {m2}, with Alice idle = {m2_idle}");
+        if !noised {
+            println!(
+                "{:>16}  → the single-round histogram is a perfect conversation oracle",
+                ""
+            );
+        } else {
+            println!(
+                "{:>16}  → both values sit inside the noise distribution; one sample says nothing",
+                ""
+            );
+        }
+    }
+
+    println!("\n=== Part 2: attack accuracy over many trials (observable model) ===\n");
+    let mut rng = StdRng::seed_from_u64(99);
+    let no_noise_model = ObservableModel {
+        noising_servers: 2,
+        noise: NoiseDistribution::new(1.0, 1.0),
+        mode: NoiseMode::Off,
+    };
+    let vuvuzela_model = ObservableModel {
+        noising_servers: 2,
+        noise: NoiseDistribution::new(1_000.0, 50.0),
+        mode: NoiseMode::Sampled,
+    };
+    let round = conversation_round(1_000.0, 50.0);
+    let ceiling = max_accuracy(round.epsilon, round.delta);
+
+    let attack = IntersectionAttack { window: 5 };
+    println!(
+        "intersection attack: no-noise {:.1}%, Vuvuzela {:.1}% (DP ceiling {:.1}%)",
+        100.0 * attack.evaluate(&mut rng, &no_noise_model, 5, 4000),
+        100.0 * attack.evaluate(&mut rng, &vuvuzela_model, 5, 4000),
+        100.0 * ceiling
+    );
+    println!(
+        "disruption attack:   no-noise {:.1}%, Vuvuzela {:.1}% (DP ceiling {:.1}%)",
+        100.0 * DisruptionAttack::evaluate(&mut rng, &no_noise_model, 4000),
+        100.0 * DisruptionAttack::evaluate(&mut rng, &vuvuzela_model, 4000),
+        100.0 * ceiling
+    );
+    println!("\n50% = coin flip; the noise pushes a perfect oracle down to the DP bound.");
+}
+
+/// Runs one round with the disruption tap installed; returns the
+/// last-server m2 the attacking coalition observes.
+fn run_disruption(noised: bool, talking: bool) -> u64 {
+    let base = SystemConfig {
+        conversation_noise: NoiseDistribution::new(40.0, 8.0),
+        ..SystemConfig::default()
+    };
+    let config = if noised {
+        base
+    } else {
+        no_noise::config_from(&base)
+    };
+    let mut net = TestNet::builder().config(config).seed(21).build();
+
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    for i in 0..6 {
+        let u = net.add_user(format!("user{i}"));
+        let _ = u;
+    }
+    if talking {
+        net.dial(alice, bob);
+        net.run_dialing_round();
+        net.accept_all_invitations();
+    }
+
+    // The compromised first server keeps only Alice's and Bob's requests
+    // (clients 0 and 1 in batch order on the clients→entry link).
+    net.chain_mut()
+        .client_link_mut()
+        .attach_tap(Arc::new(Mutex::new(KeepOnly {
+            indices: vec![0, 1],
+            only_round: None,
+        })));
+
+    net.run_conversation_round();
+    let (_, obs) = *net
+        .chain()
+        .conversation_observables()
+        .last()
+        .expect("one round ran");
+    obs.m2
+}

@@ -1,0 +1,100 @@
+//! The paper's motivating scenario (§1): a source talks to a reporter
+//! while a global adversary watches **every** network link.
+//!
+//! We attach a recording tap to every link in the deployment — the
+//! in-code version of "an adversary that observes all network traffic" —
+//! run a conversation, and then audit what the adversary captured:
+//! fixed-size ciphertexts, counts independent of who is talking, and a
+//! noised access histogram whose information leakage is bounded by
+//! differential privacy.
+//!
+//! Run: `cargo run --release --example whistleblower`
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vuvuzela::core::testkit::TestNet;
+use vuvuzela::dp::accounting::conversation_round;
+use vuvuzela::dp::planner::posterior_bound;
+use vuvuzela::net::RecordingTap;
+
+fn main() {
+    let mu = 50.0;
+    let mut net = TestNet::builder().servers(3).noise_mu(mu).seed(11).build();
+    let source = net.add_user("source");
+    let reporter = net.add_user("reporter");
+    let _bystander = net.add_user("bystander");
+
+    // Global passive adversary: a tap on every link.
+    let taps: Vec<Arc<Mutex<RecordingTap>>> = (0..4)
+        .map(|_| Arc::new(Mutex::new(RecordingTap::new())))
+        .collect();
+    {
+        let chain = net.chain_mut();
+        chain.client_link_mut().attach_tap(taps[0].clone());
+        for i in 0..3 {
+            let tap: Arc<Mutex<dyn vuvuzela::net::Tap>> = taps[i + 1].clone();
+            chain.link_mut(i).attach_tap(tap);
+        }
+    }
+
+    // The source dials the reporter and leaks the story.
+    net.dial(source, reporter);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(
+        source,
+        reporter,
+        b"meet tomorrow. documents attached rounds 2-9.",
+    );
+    net.run_conversation_round();
+
+    assert_eq!(net.received(reporter).len(), 1);
+    println!("reporter received the message.\n");
+
+    // ---- Audit the adversary's view. ----
+    println!("adversary's captured view, link by link:");
+    for (i, tap) in taps.iter().enumerate() {
+        let guard = tap.lock();
+        for (ctx, batch) in &guard.observations {
+            let sizes: std::collections::BTreeSet<usize> = batch.iter().map(Vec::len).collect();
+            println!(
+                "  link {} [{}] round {} {:?}: {} ciphertexts, distinct sizes {:?}",
+                i,
+                ctx.link,
+                ctx.round,
+                ctx.direction,
+                batch.len(),
+                sizes
+            );
+        }
+    }
+
+    println!(
+        "\nevery batch is uniform-size ciphertext; the bystander's fake request\n\
+         is bit-for-bit indistinguishable from the source's real one."
+    );
+
+    // The only leak: the noised (m1, m2) histogram, bounded by DP.
+    let (_, obs) = net.chain().conversation_observables()[0];
+    let dist = net.chain().config().conversation_noise;
+    let round = conversation_round(dist.mu, dist.b);
+    println!(
+        "\nlast-server histogram: m1={}, m2={} (noise µ={} per server)",
+        obs.m1, obs.m2, dist.mu
+    );
+    println!(
+        "per-round guarantee at this toy µ: ε={:.3}, δ={:.2e}",
+        round.epsilon, round.delta
+    );
+    for prior in [0.1, 0.5, 0.9] {
+        println!(
+            "  adversary prior {:>4.0}% that source↔reporter are talking → posterior ≤ {:.1}%",
+            prior * 100.0,
+            posterior_bound(prior, round.epsilon) * 100.0
+        );
+    }
+    println!(
+        "\n(production parameters µ=300,000, b=13,800 give ε'=ln 2 over 250,000\n\
+         messages — the reporter and source are covered for years of contact.)"
+    );
+}

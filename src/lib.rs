@@ -1,0 +1,51 @@
+//! # Vuvuzela
+//!
+//! A Rust reproduction of *"Vuvuzela: Scalable Private Messaging Resistant
+//! to Traffic Analysis"* (van den Hooff, Lazar, Zaharia, Zeldovich —
+//! SOSP 2015): a metadata-private text-messaging system that hides **who
+//! is talking to whom** from an adversary that observes all network
+//! traffic and controls all but one server.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`crypto`] | From-scratch X25519, ChaCha20-Poly1305, SHA-256, HKDF, onion encryption, sealed boxes |
+//! | [`dp`] | Truncated Laplace noise, (ε, δ) accounting, advanced composition, noise planner |
+//! | [`wire`] | Fixed-size message formats, dead-drop IDs, encode/decode |
+//! | [`net`] | Simulated byte-metered network with adversary taps |
+//! | [`core`] | Clients, the server chain, conversation + dialing protocols |
+//! | [`adversary`] | Traffic-analysis attacks and the observables they see |
+//! | [`baseline`] | Comparison systems: no-noise mixnet, broadcast messenger, single trusted server |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete two-user conversation over
+//! a three-server chain. The short version:
+//!
+//! ```
+//! use vuvuzela::core::testkit::TestNet;
+//!
+//! // A three-server chain with deterministic noise, two users.
+//! let mut net = TestNet::builder().servers(3).noise_mu(50.0).build();
+//! let alice = net.add_user("alice");
+//! let bob = net.add_user("bob");
+//!
+//! // Alice dials Bob; both enter the conversation; they exchange a round.
+//! net.dial(alice, bob);
+//! net.run_dialing_round();
+//! net.accept_all_invitations();
+//! net.queue_message(alice, bob, b"hello, Bob!");
+//! net.run_conversation_round();
+//! assert_eq!(net.received(bob), vec![b"hello, Bob!".to_vec()]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use vuvuzela_adversary as adversary;
+pub use vuvuzela_baseline as baseline;
+pub use vuvuzela_core as core;
+pub use vuvuzela_crypto as crypto;
+pub use vuvuzela_dp as dp;
+pub use vuvuzela_net as net;
+pub use vuvuzela_wire as wire;

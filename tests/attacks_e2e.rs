@@ -1,0 +1,190 @@
+//! End-to-end adversary tests: the attacks of §2.1/§4.2 executed against
+//! the real chain (taps + compromised-last-server observables), showing
+//! the leak without noise and its absence with noise.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vuvuzela::adversary::taps::{BlockClient, KeepOnly};
+use vuvuzela::baseline::no_noise;
+use vuvuzela::core::testkit::TestNet;
+use vuvuzela::core::SystemConfig;
+use vuvuzela::dp::{NoiseDistribution, NoiseMode};
+
+fn make_net(noise: bool, seed: u64, extra_users: usize) -> TestNet {
+    let base = SystemConfig {
+        conversation_noise: NoiseDistribution::new(30.0, 6.0),
+        noise_mode: NoiseMode::Sampled,
+        ..SystemConfig::default()
+    };
+    let config = if noise {
+        base
+    } else {
+        no_noise::config_from(&base)
+    };
+    let mut net = TestNet::builder().config(config).seed(seed).build();
+    for i in 0..extra_users {
+        net.add_user(format!("extra{i}"));
+    }
+    net
+}
+
+/// §4.2 disruption attack against the no-noise baseline: a compromised
+/// first server keeps only Alice and Bob; the last-server histogram is a
+/// perfect oracle for whether they converse.
+#[test]
+fn disruption_attack_is_an_oracle_without_noise() {
+    for talking in [true, false] {
+        let mut net = make_net(false, 31, 0);
+        let alice = net.add_user("alice");
+        let bob = net.add_user("bob");
+        for i in 0..6 {
+            net.add_user(format!("bg{i}"));
+        }
+        if talking {
+            net.dial(alice, bob);
+            net.run_dialing_round();
+            net.accept_all_invitations();
+        }
+        net.chain_mut()
+            .client_link_mut()
+            .attach_tap(Arc::new(Mutex::new(KeepOnly {
+                indices: vec![0, 1],
+                only_round: None,
+            })));
+        net.run_conversation_round();
+        let (_, obs) = *net
+            .chain()
+            .conversation_observables()
+            .last()
+            .expect("round ran");
+        assert_eq!(
+            obs.m2,
+            u64::from(talking),
+            "without noise, m2 equals the ground truth exactly"
+        );
+    }
+}
+
+/// The same attack against Vuvuzela: the histogram is dominated by cover
+/// traffic, and the talking/idle worlds overlap.
+#[test]
+fn disruption_attack_is_smothered_by_noise() {
+    let observe = |talking: bool, seed: u64| -> u64 {
+        let mut net = make_net(true, seed, 0);
+        let alice = net.add_user("alice");
+        let bob = net.add_user("bob");
+        for i in 0..6 {
+            net.add_user(format!("bg{i}"));
+        }
+        if talking {
+            net.dial(alice, bob);
+        }
+        // Both worlds run the dialing round (idle Alice sends a no-op),
+        // keeping the servers' RNG streams aligned so that with equal
+        // seeds the *only* difference between worlds is the conversation.
+        net.run_dialing_round();
+        net.accept_all_invitations();
+        net.chain_mut()
+            .client_link_mut()
+            .attach_tap(Arc::new(Mutex::new(KeepOnly {
+                indices: vec![0, 1],
+                only_round: None,
+            })));
+        net.run_conversation_round();
+        net.chain()
+            .conversation_observables()
+            .last()
+            .expect("round ran")
+            .1
+            .m2
+    };
+
+    // With identical seeds, the noise is identical, so the gap between
+    // worlds is exactly the 1 exchange — buried among ~30 noise pairs.
+    let talking = observe(true, 37);
+    let idle = observe(false, 37);
+    assert!(talking >= 20, "noise dominates: m2={talking}");
+    assert_eq!(
+        talking - idle,
+        1,
+        "one-exchange sensitivity, as Figure 6 says"
+    );
+
+    // Across different rounds (fresh noise), the distributions overlap:
+    // an idle-world sample can exceed a talking-world sample.
+    let mut seen_inversion = false;
+    for seed in 0..24u64 {
+        let t = observe(true, 100 + seed);
+        let i = observe(false, 200 + seed);
+        if i >= t {
+            seen_inversion = true;
+            break;
+        }
+    }
+    assert!(
+        seen_inversion,
+        "sampled noise should make idle-world m2 sometimes exceed talking-world m2"
+    );
+}
+
+/// §2.1's blocking attack: knock Alice offline and watch the counts.
+/// Without noise the m2 drop gives her away; the assertion documents the
+/// leak this repo's noise exists to close.
+#[test]
+fn blocking_attack_reveals_conversation_without_noise() {
+    let mut net = make_net(false, 41, 0);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let _c = net.add_user("c");
+    let _d = net.add_user("d");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    net.run_conversation_round(); // round 0: alice online
+    net.chain_mut()
+        .client_link_mut()
+        .attach_tap(Arc::new(Mutex::new(BlockClient {
+            index: 0, // alice is client 0 on the aggregated link
+            from_round: Some(1),
+        })));
+    net.run_conversation_round(); // round 1: alice blocked
+
+    let obs = net.chain().conversation_observables();
+    let m2_online = obs[0].1.m2;
+    let m2_blocked = obs[1].1.m2;
+    assert_eq!(m2_online, 1);
+    assert_eq!(
+        m2_blocked, 0,
+        "blocking Alice kills the pair — visible leak"
+    );
+}
+
+/// Availability under DoS (§2.3): knocking one user off the network
+/// degrades *her* conversation but honest pairs keep exchanging
+/// messages. (Edge blocking is equivalent to the victim being offline;
+/// in-network blocking additionally garbles reply routing for everyone
+/// behind the entry's positional demux — covered by the tap tests.)
+#[test]
+fn blocking_one_user_does_not_break_others() {
+    let mut net = make_net(true, 43, 0);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let carol = net.add_user("carol");
+    let dave = net.add_user("dave");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.dial(carol, dave);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    net.set_online(alice, false); // adversary blocks Alice at her uplink
+
+    net.queue_message(carol, dave, b"unaffected");
+    net.queue_message(bob, alice, b"never arrives");
+    for _ in 0..3 {
+        net.run_conversation_round();
+    }
+    assert_eq!(net.received(dave), vec![b"unaffected".to_vec()]);
+    assert!(net.received(alice).is_empty());
+}

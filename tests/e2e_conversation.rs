@@ -1,0 +1,222 @@
+//! End-to-end integration tests: full dial → converse lifecycles across
+//! the real chain, exercising every crate together.
+
+use vuvuzela::core::testkit::TestNet;
+use vuvuzela::dp::NoiseMode;
+
+fn net(servers: usize, seed: u64) -> TestNet {
+    TestNet::builder()
+        .servers(servers)
+        .noise_mu(8.0)
+        .dialing_mu(4.0)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn full_lifecycle_dial_accept_converse() {
+    let mut net = net(3, 1);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    assert_eq!(
+        net.client(bob).pending_invitations().len(),
+        1,
+        "bob got exactly one invitation"
+    );
+    net.accept_all_invitations();
+
+    net.queue_message(alice, bob, b"first");
+    net.run_conversation_round();
+    net.queue_message(bob, alice, b"second");
+    net.run_conversation_round();
+
+    assert_eq!(net.received(bob), vec![b"first".to_vec()]);
+    assert_eq!(net.received(alice), vec![b"second".to_vec()]);
+}
+
+#[test]
+fn works_for_every_chain_length_paper_evaluates() {
+    // Figure 11 sweeps 1..6 servers; message flow must hold for each.
+    for servers in 1..=6 {
+        let mut net = net(servers, servers as u64);
+        let alice = net.add_user("alice");
+        let bob = net.add_user("bob");
+        net.dial(alice, bob);
+        net.run_dialing_round();
+        net.accept_all_invitations();
+        net.queue_message(alice, bob, b"ping");
+        net.run_conversation_round();
+        assert_eq!(
+            net.received(bob),
+            vec![b"ping".to_vec()],
+            "chain length {servers}"
+        );
+    }
+}
+
+#[test]
+fn many_pairs_converse_simultaneously() {
+    let mut net = net(3, 7);
+    let users: Vec<_> = (0..10).map(|i| net.add_user(format!("user{i}"))).collect();
+
+    // 5 disjoint pairs.
+    for pair in users.chunks(2) {
+        net.dial(pair[0], pair[1]);
+    }
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    for (i, pair) in users.chunks(2).enumerate() {
+        net.queue_message(pair[0], pair[1], format!("msg-{i}").as_bytes());
+    }
+    net.run_conversation_round();
+
+    for (i, pair) in users.chunks(2).enumerate() {
+        assert_eq!(
+            net.received(pair[1]),
+            vec![format!("msg-{i}").into_bytes()],
+            "pair {i}"
+        );
+    }
+}
+
+#[test]
+fn long_conversation_stays_ordered_under_pipelining() {
+    let mut net = net(3, 9);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    let messages: Vec<Vec<u8>> = (0..12u8).map(|i| vec![b'#', i]).collect();
+    for m in &messages {
+        net.queue_message(alice, bob, m);
+    }
+    // Window is 4: pipelined over several rounds.
+    for _ in 0..16 {
+        net.run_conversation_round();
+    }
+    assert_eq!(net.received(bob), messages);
+}
+
+#[test]
+fn retransmission_survives_multi_round_outage() {
+    let mut net = net(3, 11);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    net.queue_message(alice, bob, b"resilient");
+    net.set_online(bob, false);
+    for _ in 0..5 {
+        net.run_conversation_round();
+    }
+    assert!(net.received(bob).is_empty());
+    net.set_online(bob, true);
+    for _ in 0..4 {
+        net.run_conversation_round();
+    }
+    assert_eq!(net.received(bob), vec![b"resilient".to_vec()]);
+}
+
+#[test]
+fn bidirectional_conversation_interleaves() {
+    let mut net = net(2, 13);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+
+    for i in 0..4u8 {
+        net.queue_message(alice, bob, &[b'a', i]);
+        net.queue_message(bob, alice, &[b'b', i]);
+    }
+    for _ in 0..6 {
+        net.run_conversation_round();
+    }
+    assert_eq!(
+        net.received(bob),
+        (0..4u8).map(|i| vec![b'a', i]).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        net.received(alice),
+        (0..4u8).map(|i| vec![b'b', i]).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dialing_multiple_rounds_reaches_multiple_callees() {
+    let mut net = net(3, 17);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let carol = net.add_user("carol");
+
+    // Alice only has one slot by default — ending one conversation frees
+    // the slot for the next (§5: "a user may end one conversation to
+    // make room for another").
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(alice, bob, b"to bob");
+    net.run_conversation_round();
+    assert_eq!(net.received(bob), vec![b"to bob".to_vec()]);
+
+    let bob_pk = net.client(bob).public_key();
+    net.client_mut(alice)
+        .end_conversation(&bob_pk)
+        .expect("end");
+    net.dial(alice, carol);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(alice, carol, b"to carol");
+    net.run_conversation_round();
+    assert_eq!(net.received(carol), vec![b"to carol".to_vec()]);
+}
+
+#[test]
+fn sampled_noise_mode_also_delivers() {
+    // Everything above uses deterministic noise; production samples.
+    let mut net = TestNet::builder()
+        .servers(3)
+        .noise_mu(8.0)
+        .dialing_mu(4.0)
+        .noise_mode(NoiseMode::Sampled)
+        .seed(19)
+        .build();
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(alice, bob, b"sampled");
+    net.run_conversation_round();
+    assert_eq!(net.received(bob), vec![b"sampled".to_vec()]);
+}
+
+#[test]
+fn declined_invitation_never_connects() {
+    let mut net = net(3, 23);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+
+    let alice_pk = net.client(alice).public_key();
+    net.client_mut(bob).decline_invitation(&alice_pk);
+
+    // Alice (who pre-entered the conversation) sends into the void: Bob
+    // never joins the drop, so nothing is delivered to him.
+    net.queue_message(alice, bob, b"hello?");
+    for _ in 0..3 {
+        net.run_conversation_round();
+    }
+    assert!(net.received(bob).is_empty());
+    assert!(net.received(alice).is_empty());
+}

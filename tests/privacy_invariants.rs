@@ -1,0 +1,219 @@
+//! Integration tests for the privacy invariants of §3.2/§4.1/§6.1:
+//! fixed sizes, activity-independent traffic, correct noise accounting,
+//! and indistinguishability of the adversary's view across worlds.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vuvuzela::adversary::taps::SizeRecorder;
+use vuvuzela::core::testkit::TestNet;
+use vuvuzela::net::Tap;
+
+fn tapped_net(seed: u64) -> (TestNet, Vec<Arc<Mutex<SizeRecorder>>>) {
+    let mut net = TestNet::builder()
+        .servers(3)
+        .noise_mu(6.0)
+        .dialing_mu(3.0)
+        .seed(seed)
+        .build();
+    let mut taps = Vec::new();
+    {
+        let chain = net.chain_mut();
+        let tap = Arc::new(Mutex::new(SizeRecorder::default()));
+        taps.push(tap.clone());
+        chain.client_link_mut().attach_tap(tap);
+        for i in 0..3 {
+            let tap = Arc::new(Mutex::new(SizeRecorder::default()));
+            taps.push(tap.clone());
+            let dyn_tap: Arc<Mutex<dyn Tap>> = tap.clone();
+            chain.link_mut(i).attach_tap(dyn_tap);
+        }
+    }
+    (net, taps)
+}
+
+/// "Vuvuzela ensures that message sizes ... are independent of user
+/// activity" — every batch on every link is single-sized.
+#[test]
+fn all_link_traffic_is_uniform_size() {
+    let (mut net, taps) = tapped_net(1);
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let _idle = net.add_user("idle");
+
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(alice, bob, b"payload");
+    net.run_conversation_round();
+    net.run_conversation_round();
+
+    for (i, tap) in taps.iter().enumerate() {
+        let guard = tap.lock();
+        assert!(!guard.batches.is_empty(), "tap {i} saw traffic");
+        for (round, forward, sizes) in &guard.batches {
+            let distinct: std::collections::HashSet<usize> = sizes.iter().copied().collect();
+            assert!(
+                distinct.len() <= 1,
+                "tap {i} round {round} forward={forward}: mixed sizes {distinct:?}"
+            );
+        }
+    }
+}
+
+/// The adversary's byte-level view is *identical in shape* whether the
+/// two users converse or idle: same batch counts, same sizes.
+#[test]
+fn traffic_shape_is_independent_of_conversations() {
+    let observe = |talking: bool, seed: u64| -> Vec<(u64, bool, Vec<usize>)> {
+        let (mut net, taps) = tapped_net(seed);
+        let alice = net.add_user("alice");
+        let bob = net.add_user("bob");
+        if talking {
+            net.dial(alice, bob);
+        }
+        net.run_dialing_round();
+        net.accept_all_invitations();
+        if talking {
+            net.queue_message(alice, bob, b"secret");
+        }
+        net.run_conversation_round();
+        // Collapse all taps into one trace of (round, dir, sizes).
+        taps.iter().flat_map(|t| t.lock().batches.clone()).collect()
+    };
+
+    // Same seed ⇒ same noise; only Alice/Bob's actions differ.
+    let talking = observe(true, 42);
+    let idle = observe(false, 42);
+    assert_eq!(talking.len(), idle.len(), "same number of transfers");
+    for (a, b) in talking.iter().zip(idle.iter()) {
+        assert_eq!(a.0, b.0, "round");
+        assert_eq!(a.1, b.1, "direction");
+        assert_eq!(a.2.len(), b.2.len(), "batch size");
+        assert_eq!(
+            a.2.first(),
+            b.2.first(),
+            "message size (round {}, forward {})",
+            a.0,
+            a.1
+        );
+    }
+}
+
+/// Deterministic noise mode produces exactly the §8.2 accounting:
+/// each non-last server adds 2µ requests.
+#[test]
+fn noise_accounting_matches_paper() {
+    let mu = 10.0;
+    let mut net = TestNet::builder().servers(3).noise_mu(mu).seed(3).build();
+    let _u1 = net.add_user("u1");
+    let _u2 = net.add_user("u2");
+    net.run_conversation_round();
+
+    let (_, obs) = net.chain().conversation_observables()[0];
+    // 2 users + 2 noising servers × 2µ.
+    assert_eq!(obs.total_requests, 2 + 2 * (2.0 * mu) as u64);
+    // All noise: µ singles + µ/2 pairs per noising server; users idle → 2 lone.
+    assert_eq!(obs.m1, 2 * (mu as u64) + 2);
+    assert_eq!(obs.m2, 2 * (mu as u64 / 2));
+    assert_eq!(obs.m_many, 0, "honest clients never collide");
+}
+
+/// The observable-level model used for attack statistics agrees exactly
+/// with the real chain under deterministic noise.
+#[test]
+fn observable_model_cross_validates_against_chain() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela::adversary::model::{ObservableModel, RoundTruth};
+    use vuvuzela::dp::{NoiseDistribution, NoiseMode};
+
+    let mu = 8.0;
+    let mut net = TestNet::builder().servers(3).noise_mu(mu).seed(5).build();
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let _lone = net.add_user("lone");
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.run_conversation_round();
+    let (_, chain_obs) = *net
+        .chain()
+        .conversation_observables()
+        .last()
+        .expect("round");
+
+    let model = ObservableModel {
+        noising_servers: 2,
+        noise: NoiseDistribution::new(mu, 1.0),
+        mode: NoiseMode::Deterministic,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let model_obs = model.sample(
+        &mut rng,
+        RoundTruth {
+            talking_pairs: 1,
+            lone_users: 1,
+        },
+    );
+    assert_eq!(chain_obs.m1, model_obs.m1);
+    assert_eq!(chain_obs.m2, model_obs.m2);
+}
+
+/// Dialing: every drop gets noise from every server — even drops nobody
+/// wrote a real invitation to (§5.3).
+#[test]
+fn dialing_noise_covers_unused_drops() {
+    let mu_dial = 5.0;
+    let mut net = TestNet::builder()
+        .servers(3)
+        .noise_mu(4.0)
+        .dialing_mu(mu_dial)
+        .invitation_drops(4)
+        .seed(7)
+        .build();
+    let _a = net.add_user("a");
+    let _b = net.add_user("b");
+    net.run_dialing_round(); // nobody dials
+
+    let (_, obs) = &net.chain().dialing_observables()[0];
+    assert_eq!(obs.counts.len(), 4);
+    for (i, &count) in obs.counts.iter().enumerate() {
+        assert_eq!(
+            count,
+            3 * mu_dial as u64,
+            "drop {i} must hold exactly 3 servers × µ noise"
+        );
+    }
+    // The two idle users wrote to the no-op drop.
+    assert_eq!(obs.noop_writes, 2);
+}
+
+/// Garbage and truncated onions must never break the round for honest
+/// users (availability under client misbehaviour, §2.3).
+#[test]
+fn malformed_clients_cannot_break_honest_ones() {
+    use vuvuzela::net::Tap;
+    struct GarbageInjector;
+    impl Tap for GarbageInjector {
+        fn intercept(&mut self, ctx: &vuvuzela::net::TapContext, batch: &mut Vec<Vec<u8>>) {
+            if matches!(ctx.direction, vuvuzela::net::Direction::Forward) {
+                batch.push(vec![0xFF; 100]); // junk "request"
+                batch.push(Vec::new());
+            }
+        }
+    }
+
+    let mut net = TestNet::builder().servers(3).noise_mu(4.0).seed(9).build();
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    net.chain_mut()
+        .client_link_mut()
+        .attach_tap(Arc::new(Mutex::new(GarbageInjector)));
+
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    net.queue_message(alice, bob, b"still works");
+    net.run_conversation_round();
+    assert_eq!(net.received(bob), vec![b"still works".to_vec()]);
+}

@@ -1,0 +1,227 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vuvuzela::crypto::x25519::{Keypair, SecretKey};
+use vuvuzela::crypto::{aead, onion, sealedbox};
+use vuvuzela::wire::conversation::{ConversationKeys, ExchangeRequest};
+use vuvuzela::wire::message::{FramedMessage, MAX_BODY_LEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// X25519 key exchange commutes for arbitrary secret keys.
+    #[test]
+    fn dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sk_a = SecretKey::from_bytes(a);
+        let sk_b = SecretKey::from_bytes(b);
+        let pk_a = sk_a.public_key();
+        let pk_b = sk_b.public_key();
+        prop_assert_eq!(
+            sk_a.diffie_hellman(&pk_b).0,
+            sk_b.diffie_hellman(&pk_a).0
+        );
+    }
+
+    /// AEAD round-trips arbitrary payloads and AAD.
+    #[test]
+    fn aead_roundtrip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let sealed = aead::seal(&key, &nonce, &aad, &payload);
+        prop_assert_eq!(sealed.len(), payload.len() + aead::TAG_LEN);
+        let opened = aead::open(&key, &nonce, &aad, &sealed).expect("authentic");
+        prop_assert_eq!(opened, payload);
+    }
+
+    /// Flipping any single bit of a sealed AEAD box breaks authentication.
+    #[test]
+    fn aead_any_bitflip_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..80,
+        flip_bit in 0u8..8,
+    ) {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = aead::seal(&key, &nonce, b"", &payload);
+        let index = flip_byte % sealed.len();
+        sealed[index] ^= 1 << flip_bit;
+        prop_assert!(aead::open(&key, &nonce, b"", &sealed).is_err());
+    }
+
+    /// Onion wrap/peel round-trips for every chain length the paper
+    /// evaluates (1–6) and arbitrary payloads.
+    #[test]
+    fn onion_roundtrip(
+        chain_len in 1usize..=6,
+        round in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let servers: Vec<Keypair> = (0..chain_len).map(|_| Keypair::generate(&mut rng)).collect();
+        let pks: Vec<_> = servers.iter().map(|kp| kp.public).collect();
+
+        let (mut onion_bytes, _keys) = onion::wrap(&mut rng, &pks, round, &payload);
+        prop_assert_eq!(onion_bytes.len(), onion::wrapped_len(payload.len(), chain_len));
+        for kp in &servers {
+            let (_, inner) = onion::peel(&kp.secret, &kp.public, round, &onion_bytes)
+                .expect("peels");
+            onion_bytes = inner;
+        }
+        prop_assert_eq!(&onion_bytes, &payload);
+
+        // Reply path symmetry: peel a fresh onion to capture layer keys,
+        // wrap the reply innermost-first as the chain does, and unwrap
+        // with the client's copies.
+        let (mut fresh, client_keys) = onion::wrap(&mut rng, &pks, round, &payload);
+        let mut server_keys = Vec::new();
+        for kp in &servers {
+            let (k, inner) = onion::peel(&kp.secret, &kp.public, round, &fresh).expect("peel");
+            server_keys.push(k);
+            fresh = inner;
+        }
+        let mut wrapped = payload.clone();
+        for k in server_keys.iter().rev() {
+            wrapped = onion::wrap_reply_layer(k, round, &wrapped);
+        }
+        let reply = onion::unwrap_reply_layers(&client_keys, round, &wrapped).expect("unwrap");
+        prop_assert_eq!(&reply, &payload);
+    }
+
+    /// Sealed boxes round-trip and never open under the wrong key.
+    #[test]
+    fn sealedbox_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recipient = Keypair::generate(&mut rng);
+        let wrong = Keypair::generate(&mut rng);
+        let boxed = sealedbox::seal(&mut rng, &recipient.public, &payload);
+        prop_assert_eq!(
+            sealedbox::open(&recipient.secret, &recipient.public, &boxed).expect("opens"),
+            payload
+        );
+        prop_assert!(sealedbox::open(&wrong.secret, &wrong.public, &boxed).is_err());
+    }
+
+    /// FramedMessage encode/decode round-trips arbitrary frames.
+    #[test]
+    fn framed_message_roundtrip(
+        seq in any::<u64>(),
+        ack in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..MAX_BODY_LEN),
+    ) {
+        let msg = FramedMessage::data(seq, ack, &body);
+        let decoded = FramedMessage::decode(&msg.encode()).expect("decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Conversation keys agree on drops and decrypt each other's messages
+    /// for arbitrary rounds.
+    #[test]
+    fn conversation_keys_agree(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+        text in proptest::collection::vec(any::<u8>(), 0..240),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alice = Keypair::generate(&mut rng);
+        let bob = Keypair::generate(&mut rng);
+        let ka = ConversationKeys::derive(&alice.secret, &alice.public, &bob.public);
+        let kb = ConversationKeys::derive(&bob.secret, &bob.public, &alice.public);
+        prop_assert_eq!(ka.drop_id(round), kb.drop_id(round));
+        let sealed = ka.seal_message(round, &text);
+        let opened = kb.open_message(round, &sealed).expect("partner opens");
+        prop_assert_eq!(&opened[..text.len()], &text[..]);
+    }
+
+    /// ExchangeRequest wire format round-trips.
+    #[test]
+    fn exchange_request_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = ExchangeRequest::noise(&mut rng);
+        prop_assert_eq!(ExchangeRequest::decode(&request.encode()).expect("decodes"), request);
+    }
+
+    /// Entry multiplex/demultiplex is the identity for arbitrary shapes.
+    #[test]
+    fn entry_mux_roundtrip(
+        shape in proptest::collection::vec(0usize..4, 0..12),
+    ) {
+        let requests: Vec<Vec<Vec<u8>>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| vec![i as u8, j as u8]).collect())
+            .collect();
+        let (batch, layout) = vuvuzela::core::entry::multiplex(requests.clone());
+        let out = vuvuzela::core::entry::demultiplex(&layout, batch);
+        for (client, (orig, got)) in requests.iter().zip(out.iter()).enumerate() {
+            prop_assert_eq!(orig.len(), got.len(), "client {}", client);
+            for (o, g) in orig.iter().zip(got.iter()) {
+                prop_assert_eq!(Some(o), g.as_ref(), "client {}", client);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The dead-drop exchange returns a response per request, preserves
+    /// sizes, and pairs exactly the requests that share a drop.
+    #[test]
+    fn deaddrop_exchange_properties(
+        // A multiset of drop assignments: request i targets drop d_i ∈ 0..6.
+        assignment in proptest::collection::vec(0u8..6, 0..24),
+        seed in any::<u64>(),
+    ) {
+        use vuvuzela::core::deaddrops::ConversationDrops;
+        use vuvuzela::wire::deaddrop::DeadDropId;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests: Vec<ExchangeRequest> = assignment
+            .iter()
+            .map(|&d| {
+                let mut request = ExchangeRequest::noise(&mut rng);
+                request.drop = DeadDropId([d; 16]);
+                request
+            })
+            .collect();
+        let (responses, obs) = ConversationDrops::exchange(&mut rng, &requests);
+        prop_assert_eq!(responses.len(), requests.len());
+        prop_assert_eq!(obs.total_requests as usize, requests.len());
+
+        // Histogram must match a hand count.
+        let mut counts = std::collections::HashMap::new();
+        for &d in &assignment {
+            *counts.entry(d).or_insert(0u64) += 1;
+        }
+        let m1 = counts.values().filter(|&&c| c == 1).count() as u64;
+        let m2 = counts.values().filter(|&&c| c == 2).count() as u64;
+        let many = counts.values().filter(|&&c| c > 2).count() as u64;
+        prop_assert_eq!(obs.m1, m1);
+        prop_assert_eq!(obs.m2, m2);
+        prop_assert_eq!(obs.m_many, many);
+
+        // Exact pairs swap contents.
+        for (&drop, &count) in &counts {
+            if count == 2 {
+                let indices: Vec<usize> = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d == drop)
+                    .map(|(i, _)| i)
+                    .collect();
+                let (a, b) = (indices[0], indices[1]);
+                prop_assert_eq!(&responses[a].sealed_message, &requests[b].sealed_message);
+                prop_assert_eq!(&responses[b].sealed_message, &requests[a].sealed_message);
+            }
+        }
+    }
+}
