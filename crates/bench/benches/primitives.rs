@@ -18,16 +18,28 @@ use vuvuzela_dp::{NoiseDistribution, NoiseMode};
 fn bench_x25519(c: &mut Criterion) {
     let mut group = c.benchmark_group("x25519");
     group.throughput(Throughput::Elements(1));
-    let scalar = [7u8; 32];
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut scalar = [7u8; 32];
+    rand::RngCore::fill_bytes(&mut rng, &mut scalar);
     let point = [9u8; 32];
     group.bench_function("scalar_mult", |b| {
         b.iter(|| vuvuzela_crypto::x25519::x25519(black_box(&scalar), black_box(&point)))
     });
-    let mut rng = StdRng::seed_from_u64(0);
+    // The fixed-base comb table vs the ladder on the same job (ephemeral
+    // keygen): the tentpole speedup behind noise generation and client
+    // wrapping.
+    group.bench_function("scalar_mult_base_table", |b| {
+        b.iter(|| vuvuzela_crypto::x25519::x25519_base(black_box(&scalar)))
+    });
     let alice = Keypair::generate(&mut rng);
     let bob = Keypair::generate(&mut rng);
     group.bench_function("diffie_hellman", |b| {
         b.iter(|| alice.secret.diffie_hellman(black_box(&bob.public)))
+    });
+    let table =
+        vuvuzela_crypto::x25519::DhTable::new(&bob.public).expect("honest key is on the curve");
+    group.bench_function("diffie_hellman_table", |b| {
+        b.iter(|| table.diffie_hellman(black_box(&alice.secret)))
     });
     group.finish();
 }

@@ -3,6 +3,12 @@
 //! `conversation_round/*` is the direct (scaled) analogue of the paper's
 //! Figure 9 measurements; `deaddrop_match` isolates the non-crypto
 //! matching stage to confirm DH dominates, as §8.2 claims.
+//!
+//! `forward_pass/*` holds the zero-copy round pipeline against the
+//! pre-refactor per-`Vec` reference at 10,000 onions, chain length 3
+//! (acceptance target: ≥ 2× throughput on the noising hop; see
+//! `bench_round_pipeline` for the committed JSON artefact and the full
+//! methodology).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -10,7 +16,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use vuvuzela_bench::workload::conversation_batch;
 use vuvuzela_core::deaddrops::ConversationDrops;
+use vuvuzela_core::roundbuf::RoundBuffer;
+use vuvuzela_core::server::{MixServer, RoundKind};
 use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_crypto::x25519::Keypair;
 use vuvuzela_dp::{NoiseDistribution, NoiseMode};
 use vuvuzela_wire::conversation::ExchangeRequest;
 
@@ -47,6 +56,61 @@ fn bench_conversation_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flat `RoundBuffer` pipeline vs the per-`Vec` reference on the first
+/// (noising) server's forward pass: 10k onions, chain 3, µ = 5000
+/// (the paper's fixed-µ noise regime scaled 1:60).
+fn bench_forward_pass(c: &mut Criterion) {
+    const ONIONS: u64 = 10_000;
+    const MU: f64 = 5_000.0;
+    let seed = 42;
+
+    let build_server = || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keypairs: Vec<Keypair> = (0..3).map(|_| Keypair::generate(&mut rng)).collect();
+        let publics: Vec<_> = keypairs.iter().map(|kp| kp.public).collect();
+        let mut iter = keypairs.into_iter();
+        let first = iter.next().expect("chain has a first server");
+        (
+            MixServer::new(0, 3, first, publics[1..].to_vec(), config(MU), seed + 1),
+            publics,
+        )
+    };
+    let (_, pks) = build_server();
+    let batch = conversation_batch(
+        ONIONS,
+        0,
+        &pks,
+        vuvuzela_net::parallel::default_workers(),
+        7,
+    );
+    let width = batch[0].len();
+
+    let mut group = c.benchmark_group("forward_pass");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ONIONS));
+    group.bench_function("flat_10k", |b| {
+        b.iter_batched(
+            || {
+                let (server, _) = build_server();
+                let (buf, _) = RoundBuffer::from_vecs(&batch, width, width);
+                (server, buf)
+            },
+            |(mut server, buf)| server.forward_buf(0, RoundKind::Conversation, black_box(buf)),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("per_vec_reference_10k", |b| {
+        b.iter_batched(
+            || (build_server().0, batch.clone()),
+            |(mut server, batch)| {
+                server.forward_reference(0, RoundKind::Conversation, black_box(batch))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
 fn bench_deaddrop_match(c: &mut Criterion) {
     let mut group = c.benchmark_group("deaddrop_match");
     for count in [1_000u64, 10_000] {
@@ -71,6 +135,6 @@ fn bench_deaddrop_match(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_conversation_round, bench_deaddrop_match
+    targets = bench_conversation_round, bench_forward_pass, bench_deaddrop_match
 }
 criterion_main!(benches);

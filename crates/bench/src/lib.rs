@@ -11,6 +11,40 @@
 //!   machine-readable artefact under `bench_results/`;
 //! * [`workload`] — synthetic client-batch generators shared by the
 //!   latency sweeps.
+//!
+//! # Round-pipeline benchmark methodology
+//!
+//! The zero-copy refactor is measured two ways, both at **10,000 onions,
+//! chain length 3**:
+//!
+//! * `benches/round.rs` (`cargo bench -p vuvuzela-bench --bench round`)
+//!   — criterion timings of the first (noising) server's forward pass,
+//!   `forward_pass/flat_10k` vs `forward_pass/per_vec_reference_10k`;
+//! * `src/bin/bench_round_pipeline.rs` (`cargo run --release -p
+//!   vuvuzela-bench --bin bench_round_pipeline`) — the committed
+//!   machine-readable artefact `BENCH_round_pipeline.json` at the repo
+//!   root: onions/sec and allocations/onion for both paths (allocation
+//!   counts via a counting global allocator), best of three passes, with
+//!   a byte-identity assertion between the paths before any timing.
+//!
+//! Shared choices, and why:
+//!
+//! * **the reference path is the seed implementation**, preserved as
+//!   `MixServer::forward_reference` (allocating peel, per-`Vec` noise
+//!   with ladder keygen and ladder DH, shuffle by cloning). It consumes
+//!   the server RNG identically to the flat path, so its outputs are
+//!   asserted byte-identical — the comparison isolates implementation
+//!   cost, not behaviour;
+//! * **µ = 5,000 deterministic** — the paper's µ = 300,000 (§8.1) scaled
+//!   1:60. µ is a fixed privacy parameter (it does *not* shrink with the
+//!   user count), which is why cover traffic dominates server cost at
+//!   small scale (§8.2); cover ≈ 1× real traffic here is the modest end
+//!   of that regime;
+//! * **the noising hop is the headline number** because it carries every
+//!   cost the refactor targets (peel + noise generation + shuffle); the
+//!   full three-hop pass is also reported — later hops are peel-bound
+//!   (variable-base DH, which no precomputation can accelerate), so its
+//!   ratio is structurally lower.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

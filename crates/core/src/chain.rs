@@ -9,15 +9,38 @@
 use crate::config::SystemConfig;
 use crate::deaddrops::{ConversationDrops, InvitationDrops};
 use crate::observables::{ConversationObservables, DialingObservables};
+use crate::roundbuf::RoundBuffer;
 use crate::server::{MixServer, RoundKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
+use vuvuzela_crypto::onion;
 use vuvuzela_crypto::x25519::{Keypair, PublicKey};
 use vuvuzela_net::link::{Direction, Link};
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// Moves a flat round buffer across a link: meters it, and only pays the
+/// per-message conversion when an adversary tap is actually attached
+/// (taps see and mutate `Vec<Vec<u8>>` batches, as the threat model's
+/// "monitor, block, delay, or inject" interface always has).
+fn transmit_buf(link: &Link, round: u64, direction: Direction, buf: RoundBuffer) -> RoundBuffer {
+    link.record(
+        direction,
+        buf.len() as u64,
+        (buf.len() * buf.width()) as u64,
+    );
+    if !link.has_tap() {
+        return buf;
+    }
+    let mut batch = buf.to_vecs();
+    link.tap_intercept(round, direction, &mut batch);
+    // Entries the tap resized can no longer be valid onions; rebuilding
+    // zero-fills them and downstream peeling replaces them with noise.
+    let (rebuilt, _mismatched) = RoundBuffer::from_vecs(&batch, buf.stride(), buf.width());
+    rebuilt
+}
 
 /// Wall-clock timing of one conversation round, per stage.
 #[derive(Clone, Debug, Default)]
@@ -118,6 +141,9 @@ impl Chain {
     /// Runs one conversation round over an already-multiplexed batch of
     /// client onions. Returns per-request replies (in batch order) and
     /// stage timings.
+    ///
+    /// The round runs end-to-end on a flat [`RoundBuffer`] arena — the
+    /// per-message vectors exist only at this client boundary.
     pub fn run_conversation_round(
         &mut self,
         round: u64,
@@ -125,43 +151,57 @@ impl Chain {
     ) -> (Vec<Vec<u8>>, RoundTiming) {
         let start = Instant::now();
         let mut timing = RoundTiming::default();
+        let kind = RoundKind::Conversation;
 
-        // Clients → entry (aggregate) → forward through every server.
-        let mut batch = self.client_link.transmit(round, Direction::Forward, batch);
+        // Clients → entry (aggregate): still per-message vectors, so a tap
+        // on the client link observes clients' raw bytes (including any
+        // malformed sizes) and the meter counts true lengths, exactly as
+        // pre-refactor. The flat arena starts past the entry.
+        let batch = self.client_link.transmit(round, Direction::Forward, batch);
+        let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
+        let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
         for (i, server) in self.servers.iter_mut().enumerate() {
-            batch = self.links[i].transmit(round, Direction::Forward, batch);
+            buf = transmit_buf(&self.links[i], round, Direction::Forward, buf);
             let t = Instant::now();
-            batch = server.forward(round, RoundKind::Conversation, batch);
+            buf = server.forward_buf(round, kind, buf);
             timing.forward.push(t.elapsed());
         }
 
         // Dead-drop exchange at the last server (Algorithm 2 step 3b).
         let t = Instant::now();
-        let requests: Vec<ExchangeRequest> = batch
-            .iter()
-            .map(|payload| {
-                ExchangeRequest::decode(payload)
+        let requests: Vec<ExchangeRequest> = (0..buf.len())
+            .map(|i| {
+                ExchangeRequest::decode(buf.slot(i))
                     .unwrap_or_else(|_| ExchangeRequest::noise(&mut self.rng))
             })
             .collect();
         let (responses, observables) = ConversationDrops::exchange(&mut self.rng, &requests);
         self.conversation_log.push((round, observables));
-        let mut replies: Vec<Vec<u8>> = responses.iter().map(|r| r.encode()).collect();
+        // The reply buffer reserves the whole chain's layer overhead up
+        // front, so every hop's in-place reply wrap fits in its slot.
+        let reply_stride = vuvuzela_wire::EXCHANGE_RESPONSE_LEN
+            + self.config.chain_len * onion::REPLY_LAYER_OVERHEAD;
+        let mut replies = RoundBuffer::with_capacity(
+            reply_stride,
+            vuvuzela_wire::EXCHANGE_RESPONSE_LEN,
+            responses.len(),
+        );
+        for response in &responses {
+            replies.push_with(|slot| slot.copy_from_slice(&response.sealed_message));
+        }
         timing.exchange = t.elapsed();
 
         // Backward through the chain (step 4), then entry → clients.
         for i in (0..self.servers.len()).rev() {
             let t = Instant::now();
-            replies = self.servers[i].backward(round, replies);
+            replies = self.servers[i].backward_buf(round, replies);
             timing.backward.push(t.elapsed());
-            replies = self.links[i].transmit(round, Direction::Backward, replies);
+            replies = transmit_buf(&self.links[i], round, Direction::Backward, replies);
         }
-        let replies = self
-            .client_link
-            .transmit(round, Direction::Backward, replies);
+        let replies = transmit_buf(&self.client_link, round, Direction::Backward, replies);
 
         timing.total = start.elapsed();
-        (replies, timing)
+        (replies.to_vecs(), timing)
     }
 
     /// Runs one dialing round (forward-only; §5). The resulting
@@ -176,11 +216,14 @@ impl Chain {
         let mut timing = RoundTiming::default();
         let kind = RoundKind::Dialing { num_drops };
 
-        let mut batch = self.client_link.transmit(round, Direction::Forward, batch);
+        // Client link first (raw vectors — see run_conversation_round).
+        let batch = self.client_link.transmit(round, Direction::Forward, batch);
+        let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
+        let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
         for (i, server) in self.servers.iter_mut().enumerate() {
-            batch = self.links[i].transmit(round, Direction::Forward, batch);
+            buf = transmit_buf(&self.links[i], round, Direction::Forward, buf);
             let t = Instant::now();
-            batch = server.forward(round, kind, batch);
+            buf = server.forward_buf(round, kind, buf);
             timing.forward.push(t.elapsed());
         }
 
@@ -188,9 +231,9 @@ impl Chain {
         // per-drop noise; publish for download.
         let t = Instant::now();
         let mut drops = InvitationDrops::new(num_drops);
-        for payload in &batch {
-            let request =
-                DialRequest::decode(payload).unwrap_or_else(|_| DialRequest::noop(&mut self.rng));
+        for i in 0..buf.len() {
+            let request = DialRequest::decode(buf.slot(i))
+                .unwrap_or_else(|_| DialRequest::noop(&mut self.rng));
             drops.deposit(request);
         }
         let last = self.servers.len() - 1;

@@ -45,9 +45,11 @@ pub mod entry;
 pub mod keystore;
 pub mod noise;
 pub mod observables;
+pub mod roundbuf;
 pub mod server;
 pub mod testkit;
 
 pub use chain::Chain;
 pub use client::Client;
 pub use config::SystemConfig;
+pub use roundbuf::RoundBuffer;

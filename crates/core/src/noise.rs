@@ -8,12 +8,14 @@
 //! at small scale (§8.2) and why latency grows quadratically with chain
 //! length (Figure 11).
 
+use crate::roundbuf::RoundBuffer;
 use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 use vuvuzela_crypto::onion;
 use vuvuzela_crypto::x25519::PublicKey;
 use vuvuzela_dp::{NoiseDistribution, NoiseMode};
 use vuvuzela_net::parallel::parallel_map;
+use vuvuzela_net::WorkerPool;
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
@@ -102,6 +104,135 @@ pub fn dialing_noise<R: RngCore + CryptoRng>(
         singles: total,
         pairs: 0,
     }
+}
+
+/// Zero-copy variant of [`conversation_noise`]: appends the noise onions
+/// directly to `batch` (payload written into its slot, onion built there
+/// in place) instead of returning per-onion vectors. Draws from `rng` in
+/// exactly the same order as the allocating version, so a seeded run is
+/// byte-identical either way — the pipeline-equivalence property tests
+/// rely on this.
+///
+/// Returns `(singles, pairs)` as [`NoiseBatch`] would.
+///
+/// # Panics
+///
+/// Panics if `batch.width()` does not equal the wrapped noise size for
+/// `remaining_chain` — noise must be indistinguishable from the real
+/// requests already in the batch.
+pub fn conversation_noise_into<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    batch: &mut RoundBuffer,
+    remaining_chain: &[onion::PrecomputedServer],
+    round: u64,
+    dist: NoiseDistribution,
+    mode: NoiseMode,
+    workers: usize,
+) -> (u64, u64) {
+    assert_eq!(
+        batch.width(),
+        vuvuzela_wire::EXCHANGE_REQUEST_LEN + remaining_chain.len() * onion::LAYER_OVERHEAD,
+        "noise onions must match the batch's current width"
+    );
+    let n1 = dist.sample_count(rng, mode);
+    let n2 = dist.sample_count(rng, mode);
+    let pairs = n2.div_ceil(2);
+    let payload_offset = 32 * remaining_chain.len();
+
+    let first_noise = batch.len();
+    for _ in 0..n1 {
+        batch.push_with(|slot| {
+            ExchangeRequest::noise_into(rng, None, &mut slot[payload_offset..]);
+        });
+    }
+    for _ in 0..pairs {
+        // Two indistinguishable requests to the same random drop: this is
+        // what inflates m2.
+        let drop = DeadDropId::random(rng);
+        for _ in 0..2 {
+            batch.push_with(|slot| {
+                ExchangeRequest::noise_into(rng, Some(&drop), &mut slot[payload_offset..]);
+            });
+        }
+    }
+
+    wrap_slots_in_place(rng, batch, first_noise, remaining_chain, round, workers);
+    (n1, pairs)
+}
+
+/// Zero-copy variant of [`dialing_noise`]; see
+/// [`conversation_noise_into`] for the contract. Returns the total noise
+/// count.
+#[allow(clippy::too_many_arguments)] // mirrors `dialing_noise` plus the buffer
+pub fn dialing_noise_into<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    batch: &mut RoundBuffer,
+    remaining_chain: &[onion::PrecomputedServer],
+    round: u64,
+    num_drops: u32,
+    dist: NoiseDistribution,
+    mode: NoiseMode,
+    workers: usize,
+) -> u64 {
+    assert_eq!(
+        batch.width(),
+        vuvuzela_wire::DIAL_REQUEST_LEN + remaining_chain.len() * onion::LAYER_OVERHEAD,
+        "noise onions must match the batch's current width"
+    );
+    let payload_offset = 32 * remaining_chain.len();
+    let first_noise = batch.len();
+    let mut total = 0u64;
+    for drop in 1..=num_drops {
+        let count = dist.sample_count(rng, mode);
+        total += count;
+        for _ in 0..count {
+            batch.push_with(|slot| {
+                DialRequest::noise_into(
+                    rng,
+                    InvitationDropIndex(drop),
+                    &mut slot[payload_offset..],
+                );
+            });
+        }
+    }
+    wrap_slots_in_place(rng, batch, first_noise, remaining_chain, round, workers);
+    total
+}
+
+/// Onion-wraps `batch` slots `first..len` in place: each slot already
+/// holds its payload at offset `32 * chain.len()` (where
+/// [`onion::wrap_into`] expects it) and is sealed for the chain suffix in
+/// parallel. Seeds are drawn per slot from `rng` in slot order, exactly
+/// like [`wrap_payloads`] does for the allocating path.
+fn wrap_slots_in_place<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    batch: &mut RoundBuffer,
+    first: usize,
+    chain: &[onion::PrecomputedServer],
+    round: u64,
+    workers: usize,
+) {
+    if chain.is_empty() || batch.len() == first {
+        return;
+    }
+    let count = batch.len() - first;
+    let width = batch.width();
+    let payload_len = width - chain.len() * onion::LAYER_OVERHEAD;
+    let seeds: Vec<[u8; 32]> = (0..count)
+        .map(|_| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            seed
+        })
+        .collect();
+
+    let stride = batch.stride();
+    let arena = batch.arena_mut();
+    let region = &mut arena[first * stride..];
+    WorkerPool::shared().map_strides_mut(region, stride, workers, |i, slot| {
+        let mut child = StdRng::from_seed(seeds[i]);
+        onion::wrap_noise_into(&mut child, chain, round, &mut slot[..width], payload_len);
+    });
 }
 
 /// Per-drop noise counts for the last server (which deposits directly

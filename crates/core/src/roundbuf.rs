@@ -1,0 +1,321 @@
+//! Flat, fixed-stride storage for a round's worth of onions.
+//!
+//! Every message in a Vuvuzela round has exactly one size by design
+//! (paper §3.2: "message sizes … are independent of user activity"), so a
+//! round's batch never needs one heap allocation per onion. A
+//! [`RoundBuffer`] holds the whole batch in a single contiguous arena of
+//! `stride`-sized slots:
+//!
+//! ```text
+//! ┌────────── slot 0 ─────────┬────────── slot 1 ─────────┬─ …
+//! │ onion bytes │ headroom    │ onion bytes │ headroom    │
+//! │ ← width  →  │             │ ← width  →  │             │
+//! └──────┴──────┴──────┴──────┴──────┴──────┴──────┴──────┴─ …
+//! ```
+//!
+//! * `stride` is fixed at construction: the largest size a slot will ever
+//!   need this round (the full onion on the forward path; response +
+//!   whole-chain reply overhead on the backward path).
+//! * `width` is the current logical message size, uniform across slots.
+//!   Peeling a layer shrinks `width` by [`onion::LAYER_OVERHEAD`] without
+//!   moving slots; wrapping a reply layer grows it by
+//!   [`onion::REPLY_LAYER_OVERHEAD`] into the reserved headroom.
+//! * the mix permutation is applied by [`RoundBuffer::permute`] — an
+//!   in-place cycle walk with one `stride`-sized scratch slot — instead
+//!   of cloning every payload.
+//!
+//! Together with [`vuvuzela_net::WorkerPool::map_strides_mut`], which
+//! parallelises over exactly these slots, this is the zero-copy data
+//! plane of the round pipeline; [`crate::server::MixServer::forward_buf`]
+//! is its main consumer. Conversions to/from `Vec<Vec<u8>>` exist only
+//! for the client boundary, adversary taps and the pre-refactor
+//! reference path.
+
+/// A round's batch as one flat arena; see the module docs.
+#[derive(Clone)]
+pub struct RoundBuffer {
+    data: Vec<u8>,
+    stride: usize,
+    width: usize,
+    len: usize,
+}
+
+impl core::fmt::Debug for RoundBuffer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RoundBuffer")
+            .field("len", &self.len)
+            .field("width", &self.width)
+            .field("stride", &self.stride)
+            .finish()
+    }
+}
+
+impl RoundBuffer {
+    /// An empty buffer whose slots hold up to `stride` bytes, starting at
+    /// logical width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > stride` or `stride == 0`.
+    #[must_use]
+    pub fn new(stride: usize, width: usize) -> RoundBuffer {
+        assert!(stride > 0, "stride must be positive");
+        assert!(width <= stride, "width cannot exceed stride");
+        RoundBuffer {
+            data: Vec::new(),
+            stride,
+            width,
+            len: 0,
+        }
+    }
+
+    /// Like [`RoundBuffer::new`] with arena capacity for `slots` slots.
+    #[must_use]
+    pub fn with_capacity(stride: usize, width: usize, slots: usize) -> RoundBuffer {
+        let mut buf = RoundBuffer::new(stride, width);
+        buf.data.reserve(slots * stride);
+        buf
+    }
+
+    /// Builds a buffer from per-message vectors (the client / tap
+    /// boundary). Messages that are not exactly `width` bytes cannot be
+    /// valid onions; their slots are zero-filled, which downstream
+    /// processing rejects as malformed (an all-zero ephemeral key is
+    /// low-order), and their indices are returned.
+    pub fn from_vecs(msgs: &[Vec<u8>], stride: usize, width: usize) -> (RoundBuffer, Vec<usize>) {
+        let mut buf = RoundBuffer::with_capacity(stride, width, msgs.len());
+        let mut mismatched = Vec::new();
+        for (i, msg) in msgs.iter().enumerate() {
+            if msg.len() == width {
+                buf.push_with(|slot| slot.copy_from_slice(msg));
+            } else {
+                mismatched.push(i);
+                buf.push_with(|_| {});
+            }
+        }
+        (buf, mismatched)
+    }
+
+    /// Copies the batch out into per-message vectors (client boundary and
+    /// adversary taps only — allocates one `Vec` per slot).
+    #[must_use]
+    pub fn to_vecs(&self) -> Vec<Vec<u8>> {
+        (0..self.len).map(|i| self.slot(i).to_vec()).collect()
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current logical message size.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Fixed slot capacity.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Changes the logical width (after peeling or reply-wrapping a
+    /// layer, which act on every slot uniformly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > stride`.
+    pub fn set_width(&mut self, width: usize) {
+        assert!(width <= self.stride, "width cannot exceed stride");
+        self.width = width;
+    }
+
+    /// The `width` bytes of slot `i`.
+    #[must_use]
+    pub fn slot(&self, i: usize) -> &[u8] {
+        let start = i * self.stride;
+        &self.data[start..start + self.width]
+    }
+
+    /// Mutable access to the `width` bytes of slot `i`.
+    pub fn slot_mut(&mut self, i: usize) -> &mut [u8] {
+        let start = i * self.stride;
+        &mut self.data[start..start + self.width]
+    }
+
+    /// Appends a zeroed slot and lets `f` fill its `width` bytes.
+    pub fn push_with(&mut self, f: impl FnOnce(&mut [u8])) {
+        self.data.resize(self.data.len() + self.stride, 0);
+        self.len += 1;
+        let i = self.len - 1;
+        f(self.slot_mut(i));
+    }
+
+    /// Drops all slots past the first `n` (used to strip a server's own
+    /// noise replies after un-shuffling).
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len {
+            self.len = n;
+            self.data.truncate(n * self.stride);
+        }
+    }
+
+    /// The whole arena (all slots at full `stride`), for parallel
+    /// stride-window processing.
+    pub fn arena_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Applies a permutation by index remapping: afterwards slot `j`
+    /// holds what slot `perm[j]` held before (`out[j] = in[perm[j]]`,
+    /// matching the shuffle semantics of the mix servers). In-place cycle
+    /// walk: one `stride`-sized scratch buffer, each slot moved exactly
+    /// once — no per-slot allocation or batch clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len` (debug-asserted
+    /// via the visited map in release builds too — a corrupted
+    /// permutation must never silently misroute onions).
+    pub fn permute(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.len, "permutation length mismatch");
+        let stride = self.stride;
+        let width = self.width;
+        let mut visited = vec![false; self.len];
+        let mut scratch = vec![0u8; width];
+        for start in 0..self.len {
+            if visited[start] || perm[start] == start {
+                visited[start] = true;
+                continue;
+            }
+            // Walk the cycle containing `start`, pulling each source slot
+            // into place: slot j <- slot perm[j].
+            scratch.copy_from_slice(&self.data[start * stride..start * stride + width]);
+            let mut j = start;
+            loop {
+                let src = perm[j];
+                assert!(!visited[j], "perm is not a bijection");
+                visited[j] = true;
+                if src == start {
+                    self.data[j * stride..j * stride + width].copy_from_slice(&scratch);
+                    break;
+                }
+                self.data
+                    .copy_within(src * stride..src * stride + width, j * stride);
+                j = src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vuvuzela_crypto::onion;
+
+    fn filled(stride: usize, width: usize, n: usize) -> RoundBuffer {
+        let mut buf = RoundBuffer::new(stride, width);
+        for i in 0..n {
+            buf.push_with(|slot| slot.fill(i as u8));
+        }
+        buf
+    }
+
+    #[test]
+    fn push_and_read_slots() {
+        let buf = filled(64, 48, 5);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.width(), 48);
+        for i in 0..5 {
+            assert_eq!(buf.slot(i), vec![i as u8; 48].as_slice());
+        }
+    }
+
+    #[test]
+    fn width_shrink_preserves_prefixes() {
+        let mut buf = filled(64, 48, 3);
+        buf.set_width(16);
+        for i in 0..3 {
+            assert_eq!(buf.slot(i), vec![i as u8; 16].as_slice());
+        }
+    }
+
+    #[test]
+    fn from_vecs_flags_mismatched_sizes() {
+        let msgs = vec![vec![7u8; 10], vec![8u8; 9], vec![9u8; 10], vec![]];
+        let (buf, bad) = RoundBuffer::from_vecs(&msgs, 12, 10);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(bad, vec![1, 3]);
+        assert_eq!(buf.slot(0), vec![7u8; 10].as_slice());
+        assert_eq!(buf.slot(1), vec![0u8; 10].as_slice(), "mismatch zeroed");
+        assert_eq!(buf.to_vecs()[2], vec![9u8; 10]);
+    }
+
+    #[test]
+    fn roundtrip_to_vecs() {
+        let buf = filled(32, 32, 4);
+        let vecs = buf.to_vecs();
+        let (back, bad) = RoundBuffer::from_vecs(&vecs, 32, 32);
+        assert!(bad.is_empty());
+        assert_eq!(back.to_vecs(), vecs);
+    }
+
+    #[test]
+    fn permute_matches_clone_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [0usize, 1, 2, 3, 8, 64, 257] {
+            let buf = filled(24, 20, n);
+            let reference = buf.to_vecs();
+            // Random permutation (Fisher–Yates).
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let mut shuffled = buf;
+            shuffled.permute(&perm);
+            let want: Vec<Vec<u8>> = perm.iter().map(|&p| reference[p].clone()).collect();
+            assert_eq!(shuffled.to_vecs(), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn permute_rejects_duplicates() {
+        let mut buf = filled(8, 8, 3);
+        buf.permute(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut buf = filled(16, 16, 6);
+        buf.truncate(2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.to_vecs().len(), 2);
+        buf.truncate(5); // growing truncate is a no-op
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn reply_growth_fits_in_stride() {
+        // Simulates the backward path: width grows by REPLY_LAYER_OVERHEAD
+        // per hop into reserved headroom.
+        let mut buf = RoundBuffer::new(256 + 3 * onion::REPLY_LAYER_OVERHEAD, 256);
+        buf.push_with(|slot| slot.fill(0xAB));
+        for hop in 1..=3 {
+            let w = buf.width();
+            buf.set_width(w + onion::REPLY_LAYER_OVERHEAD);
+            assert_eq!(buf.width(), 256 + hop * onion::REPLY_LAYER_OVERHEAD);
+        }
+    }
+}

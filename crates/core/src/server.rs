@@ -13,6 +13,18 @@
 //!   belonging to its own noise, and encrypt each remaining reply under
 //!   the layer key captured on the way in (step 4).
 //!
+//! The production data path ([`MixServer::forward_buf`] /
+//! [`MixServer::backward_buf`]) runs on the flat
+//! [`RoundBuffer`](crate::roundbuf::RoundBuffer) arena: layers are peeled
+//! and replies wrapped **in place**, the shuffle is applied by index
+//! remapping instead of cloning payloads, and the per-slot crypto spreads
+//! over the persistent [`vuvuzela_net::WorkerPool`]. The original
+//! per-`Vec` implementation is retained as
+//! [`MixServer::forward_reference`] / [`MixServer::backward_reference`]:
+//! it consumes the server RNG in exactly the same order, which the
+//! pipeline-equivalence property tests assert byte for byte, and it is
+//! the baseline the round benchmarks measure the flat path against.
+//!
 //! Malformed requests (failed decryption, wrong size) are *replaced* by
 //! locally generated noise so the batch keeps its shape; on the way back
 //! the affected position carries random bytes, which the client simply
@@ -21,12 +33,14 @@
 
 use crate::config::SystemConfig;
 use crate::noise::{self, NoiseBatch};
+use crate::roundbuf::RoundBuffer;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
 use vuvuzela_crypto::onion::{self, LayerKey};
 use vuvuzela_crypto::x25519::{Keypair, PublicKey};
 use vuvuzela_net::parallel::parallel_map;
+use vuvuzela_net::WorkerPool;
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::dialing::DialRequest;
 
@@ -41,6 +55,17 @@ pub enum RoundKind {
         /// Number of real invitation dead drops this round.
         num_drops: u32,
     },
+}
+
+impl RoundKind {
+    /// The plaintext request size carried inside the innermost layer.
+    #[must_use]
+    pub fn payload_len(self) -> usize {
+        match self {
+            RoundKind::Conversation => vuvuzela_wire::EXCHANGE_REQUEST_LEN,
+            RoundKind::Dialing { .. } => vuvuzela_wire::DIAL_REQUEST_LEN,
+        }
+    }
 }
 
 /// Per-round bookkeeping kept between the forward and backward passes.
@@ -60,6 +85,9 @@ pub struct MixServer {
     chain_len: usize,
     keypair: Keypair,
     downstream: Vec<PublicKey>,
+    /// One precomputed DH table per downstream server, built once at
+    /// construction and reused for every noise onion of every round.
+    downstream_precomp: Vec<onion::PrecomputedServer>,
     config: SystemConfig,
     rng: StdRng,
     rounds: HashMap<u64, RoundState>,
@@ -90,11 +118,16 @@ impl MixServer {
             chain_len - position - 1,
             "downstream must list the chain suffix"
         );
+        let downstream_precomp = downstream
+            .iter()
+            .map(|pk| onion::PrecomputedServer::new(*pk))
+            .collect();
         MixServer {
             position,
             chain_len,
             keypair,
             downstream,
+            downstream_precomp,
             config,
             rng: StdRng::seed_from_u64(seed),
             rounds: HashMap::new(),
@@ -120,35 +153,58 @@ impl MixServer {
         self.position
     }
 
-    /// Forward pass: peel, (for mixing servers) noise + shuffle.
+    /// The onion size this server expects on its incoming forward link.
+    #[must_use]
+    pub fn incoming_width(&self, kind: RoundKind) -> usize {
+        onion::wrapped_len(kind.payload_len(), self.chain_len - self.position)
+    }
+
+    /// Forward pass on the flat round arena: peel every layer in place in
+    /// parallel, replace malformed entries with substitute noise, append
+    /// cover traffic, and apply the secret shuffle by index remapping.
     ///
     /// Returns the batch for the next hop — or, for the last server, the
     /// fully peeled request payloads in arrival order.
-    pub fn forward(&mut self, round: u64, kind: RoundKind, batch: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    pub fn forward_buf(
+        &mut self,
+        round: u64,
+        kind: RoundKind,
+        mut batch: RoundBuffer,
+    ) -> RoundBuffer {
         let incoming_len = batch.len();
+        let width = batch.width();
+        debug_assert_eq!(width, self.incoming_width(kind), "unexpected onion width");
 
-        // Step 1: decrypt our layer of every request, in parallel.
-        let secret_bytes = *self.keypair.secret.as_bytes();
+        // Step 1: decrypt our layer of every request, in parallel and in
+        // place. The secret key is reconstructed once, outside the
+        // per-onion closure.
+        let secret = self.keypair.secret.clone();
         let public = self.keypair.public;
-        let peeled: Vec<Result<(LayerKey, Vec<u8>), vuvuzela_crypto::CryptoError>> =
-            parallel_map(batch, self.config.workers, |layer| {
-                let secret = vuvuzela_crypto::x25519::SecretKey::from_bytes(secret_bytes);
-                onion::peel(&secret, &public, round, &layer)
-            });
+        let stride = batch.stride();
+        let layer_keys: Vec<Option<LayerKey>> = WorkerPool::shared().map_strides_mut(
+            batch.arena_mut(),
+            stride,
+            self.config.workers,
+            |_, slot| {
+                onion::peel_in_place(&secret, &public, round, slot, width)
+                    .ok()
+                    .map(|(key, _)| key)
+            },
+        );
+        batch.set_width(width - onion::LAYER_OVERHEAD);
 
-        let mut layer_keys: Vec<Option<LayerKey>> = Vec::with_capacity(incoming_len);
-        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(incoming_len);
-        for result in peeled {
-            match result {
-                Ok((key, inner)) => {
-                    layer_keys.push(Some(key));
-                    payloads.push(inner);
-                }
-                Err(_) => {
-                    self.malformed_replaced += 1;
-                    layer_keys.push(None);
-                    payloads.push(self.substitute_payload(round, kind));
-                }
+        // Replace malformed entries (sequential: rare, and it draws from
+        // the server RNG whose order must be deterministic).
+        for (i, key) in layer_keys.iter().enumerate() {
+            if key.is_none() {
+                self.malformed_replaced += 1;
+                substitute_into(
+                    &self.downstream_precomp,
+                    round,
+                    kind,
+                    batch.slot_mut(i),
+                    &mut self.rng,
+                );
             }
         }
 
@@ -162,14 +218,171 @@ impl MixServer {
                     incoming_len,
                 },
             );
+            return batch;
+        }
+
+        // Step 2: cover traffic for the rest of the chain, generated
+        // straight into the arena.
+        self.generate_noise_into(round, kind, &mut batch);
+
+        // Step 3a: secret shuffle of real + noise requests, by index
+        // remapping — no payload clones.
+        let permutation = random_permutation(&mut self.rng, batch.len());
+        batch.permute(&permutation);
+
+        self.rounds.insert(
+            round,
+            RoundState {
+                layer_keys,
+                permutation,
+                incoming_len,
+            },
+        );
+        batch
+    }
+
+    /// Backward pass (step 4) on the flat arena: un-shuffle by inverse
+    /// index remapping, strip this server's own noise, and wrap every
+    /// reply in place under the stored layer key.
+    ///
+    /// If an adversary shrank or grew the reply batch in flight, the
+    /// permutation can no longer be meaningfully inverted; the server
+    /// treats the whole round's replies as lost and returns uniform
+    /// filler, so clients see a dropped round (a DoS, which the threat
+    /// model permits) rather than misrouted plaintext or a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for a round with no stored forward state — a
+    /// harness bug, not adversarial input.
+    pub fn backward_buf(&mut self, round: u64, mut replies: RoundBuffer) -> RoundBuffer {
+        let state = self
+            .rounds
+            .remove(&round)
+            .expect("backward() without matching forward()");
+
+        if !state.permutation.is_empty() && replies.len() != state.permutation.len() {
+            // Tampered reply batch: alignment is unrecoverable. Emit
+            // uniform filler of the correct outgoing size for every
+            // upstream request.
+            self.malformed_replaced += state.incoming_len as u64;
+            let out_size = vuvuzela_wire::EXCHANGE_RESPONSE_LEN
+                + (self.chain_len - self.position) * onion::REPLY_LAYER_OVERHEAD;
+            let stride = out_size + self.position * onion::REPLY_LAYER_OVERHEAD;
+            let mut filler = RoundBuffer::with_capacity(stride, out_size, state.incoming_len);
+            let rng = &mut self.rng;
+            for _ in 0..state.incoming_len {
+                filler.push_with(|slot| rng.fill_bytes(slot));
+            }
+            return filler;
+        }
+
+        if !state.permutation.is_empty() {
+            // Un-shuffle: restored[permutation[j]] = replies[j], i.e. a
+            // pull by the inverse permutation.
+            let mut inverse = vec![0usize; state.permutation.len()];
+            for (j, &p) in state.permutation.iter().enumerate() {
+                inverse[p] = j;
+            }
+            replies.permute(&inverse);
+        }
+        // This server's own noise replies sit past the original incoming
+        // prefix after un-shuffling; injected extras past it are dropped
+        // the same way the reference path's `take(incoming_len)` does.
+        replies.truncate(state.incoming_len);
+
+        // Wrap in parallel, in place; invalid slots get filler derived
+        // from one per-round seed (no per-reply seed allocations).
+        let reply_size = replies.width();
+        let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
+        let mut filler_seed = [0u8; 32];
+        self.rng.fill_bytes(&mut filler_seed);
+        let keys = &state.layer_keys;
+        let stride = replies.stride();
+        WorkerPool::shared().map_strides_mut(
+            replies.arena_mut(),
+            stride,
+            self.config.workers,
+            |i, slot| match keys.get(i).and_then(Option::as_ref) {
+                Some(key) => {
+                    let sealed = onion::wrap_reply_in_place(key, round, slot, reply_size);
+                    debug_assert_eq!(sealed, out_size);
+                }
+                None => filler_bytes(&filler_seed, i, &mut slot[..out_size]),
+            },
+        );
+        replies.set_width(out_size);
+        replies
+    }
+
+    /// The pre-refactor forward pass over per-onion `Vec`s: allocating
+    /// peel, noise returned as vectors, shuffle by cloning. Kept as the
+    /// reference implementation — it consumes the server RNG in exactly
+    /// the same order as [`MixServer::forward_buf`], so equal seeds must
+    /// give byte-identical batches (asserted by the pipeline-equivalence
+    /// tests), and it is the baseline the round benchmarks compare
+    /// against.
+    pub fn forward_reference(
+        &mut self,
+        round: u64,
+        kind: RoundKind,
+        batch: Vec<Vec<u8>>,
+    ) -> Vec<Vec<u8>> {
+        let incoming_len = batch.len();
+        let width = self.incoming_width(kind);
+
+        let secret = self.keypair.secret.clone();
+        let public = self.keypair.public;
+        let peeled: Vec<Option<(LayerKey, Vec<u8>)>> =
+            parallel_map(batch, self.config.workers, |layer| {
+                if layer.len() != width {
+                    // The flat path can only carry uniform sizes; classify
+                    // mismatches identically here.
+                    return None;
+                }
+                onion::peel(&secret, &public, round, &layer).ok()
+            });
+
+        let mut layer_keys: Vec<Option<LayerKey>> = Vec::with_capacity(incoming_len);
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(incoming_len);
+        let inner_width = width - onion::LAYER_OVERHEAD;
+        for result in peeled {
+            match result {
+                Some((key, inner)) => {
+                    layer_keys.push(Some(key));
+                    payloads.push(inner);
+                }
+                None => {
+                    self.malformed_replaced += 1;
+                    layer_keys.push(None);
+                    let mut slot = vec![0u8; inner_width];
+                    substitute_into(
+                        &self.downstream_precomp,
+                        round,
+                        kind,
+                        &mut slot,
+                        &mut self.rng,
+                    );
+                    payloads.push(slot);
+                }
+            }
+        }
+
+        if self.is_last() {
+            self.rounds.insert(
+                round,
+                RoundState {
+                    layer_keys,
+                    permutation: Vec::new(),
+                    incoming_len,
+                },
+            );
             return payloads;
         }
 
-        // Step 2: cover traffic for the rest of the chain.
         let noise = self.generate_noise(round, kind);
         payloads.extend(noise.onions);
 
-        // Step 3a: secret shuffle of real + noise requests.
         let permutation = random_permutation(&mut self.rng, payloads.len());
         let shuffled: Vec<Vec<u8>> = permutation.iter().map(|&i| payloads[i].clone()).collect();
 
@@ -184,28 +397,16 @@ impl MixServer {
         shuffled
     }
 
-    /// Backward pass (step 4): un-shuffle, strip own noise, re-encrypt.
-    ///
-    /// If an adversary shrank or grew the reply batch in flight, the
-    /// permutation can no longer be meaningfully inverted; the server
-    /// treats the whole round's replies as lost and returns uniform
-    /// filler, so clients see a dropped round (a DoS, which the threat
-    /// model permits) rather than misrouted plaintext or a crash.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called for a round with no stored forward state — a
-    /// harness bug, not adversarial input.
-    pub fn backward(&mut self, round: u64, replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    /// The pre-refactor backward pass over per-onion `Vec`s; reference
+    /// twin of [`MixServer::backward_buf`] (same RNG order, byte-identical
+    /// results for equal seeds).
+    pub fn backward_reference(&mut self, round: u64, replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         let state = self
             .rounds
             .remove(&round)
             .expect("backward() without matching forward()");
 
         if !state.permutation.is_empty() && replies.len() != state.permutation.len() {
-            // Tampered reply batch: alignment is unrecoverable. Emit
-            // uniform filler of the correct outgoing size for every
-            // upstream request.
             self.malformed_replaced += state.incoming_len as u64;
             let out_size = vuvuzela_wire::EXCHANGE_RESPONSE_LEN
                 + (self.chain_len - self.position) * onion::REPLY_LAYER_OVERHEAD;
@@ -228,34 +429,43 @@ impl MixServer {
             restored
         };
 
-        // Drop replies addressed to our own noise (they sit past the
-        // original incoming prefix) and wrap the rest.
         let reply_size = restored.first().map_or(0, Vec::len);
-        let tasks: Vec<(Option<LayerKey>, Vec<u8>)> = state
+        let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
+        let mut filler_seed = [0u8; 32];
+        self.rng.fill_bytes(&mut filler_seed);
+        let tasks: Vec<(usize, Option<LayerKey>, Vec<u8>)> = state
             .layer_keys
             .into_iter()
             .zip(restored.into_iter().take(state.incoming_len))
+            .enumerate()
+            .map(|(i, (key, reply))| (i, key, reply))
             .collect();
-        let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
-
-        // Wrap in parallel; invalid slots get random bytes of the right
-        // size so the batch stays uniform.
-        let seeds: Vec<(Option<LayerKey>, Vec<u8>, [u8; 32])> = tasks
-            .into_iter()
-            .map(|(key, reply)| {
-                let mut seed = [0u8; 32];
-                self.rng.fill_bytes(&mut seed);
-                (key, reply, seed)
-            })
-            .collect();
-        parallel_map(seeds, self.config.workers, |(key, reply, seed)| match key {
+        parallel_map(tasks, self.config.workers, |(i, key, reply)| match key {
             Some(key) => onion::wrap_reply_layer(&key, round, &reply),
             None => {
                 let mut filler = vec![0u8; out_size];
-                StdRng::from_seed(seed).fill_bytes(&mut filler);
+                filler_bytes(&filler_seed, i, &mut filler);
                 filler
             }
         })
+    }
+
+    /// Compatibility wrapper over [`MixServer::forward_buf`] for callers
+    /// still holding per-onion `Vec`s (tests, attack harnesses). Converts
+    /// at the boundary; the round itself runs on the flat arena.
+    pub fn forward(&mut self, round: u64, kind: RoundKind, batch: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let width = self.incoming_width(kind);
+        let (buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+        self.forward_buf(round, kind, buf).to_vecs()
+    }
+
+    /// Compatibility wrapper over [`MixServer::backward_buf`]; see
+    /// [`MixServer::forward`].
+    pub fn backward(&mut self, round: u64, replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let width = replies.first().map_or(0, Vec::len);
+        let stride = (width + onion::REPLY_LAYER_OVERHEAD).max(1);
+        let (buf, _mismatched) = RoundBuffer::from_vecs(&replies, stride, width);
+        self.backward_buf(round, buf).to_vecs()
     }
 
     /// Abandons any state for `round` (e.g. when an adversary blackholes
@@ -296,18 +506,78 @@ impl MixServer {
         }
     }
 
-    /// A replacement payload for a malformed request: a fresh noise
-    /// request wrapped for the remaining chain (or plain at the last
-    /// server), so downstream servers cannot tell anything was replaced.
-    fn substitute_payload(&mut self, round: u64, kind: RoundKind) -> Vec<u8> {
-        let payload = match kind {
-            RoundKind::Conversation => ExchangeRequest::noise(&mut self.rng).encode(),
-            RoundKind::Dialing { .. } => DialRequest::noop(&mut self.rng).encode(),
-        };
-        let mut wrapped =
-            noise::wrap_payloads(&mut self.rng, vec![payload], &self.downstream, round, 1);
-        wrapped.pop().expect("one payload in, one out")
+    fn generate_noise_into(&mut self, round: u64, kind: RoundKind, batch: &mut RoundBuffer) {
+        match kind {
+            RoundKind::Conversation => {
+                noise::conversation_noise_into(
+                    &mut self.rng,
+                    batch,
+                    &self.downstream_precomp,
+                    round,
+                    self.config.conversation_noise,
+                    self.config.noise_mode,
+                    self.config.workers,
+                );
+            }
+            RoundKind::Dialing { num_drops } => {
+                noise::dialing_noise_into(
+                    &mut self.rng,
+                    batch,
+                    &self.downstream_precomp,
+                    round,
+                    num_drops,
+                    self.config.dialing_noise,
+                    self.config.noise_mode,
+                    self.config.workers,
+                );
+            }
+        }
     }
+}
+
+/// Writes a replacement for a malformed request into `slot`: a fresh
+/// noise request wrapped for the remaining chain (or plain at the last
+/// server), so downstream servers cannot tell anything was replaced.
+/// Shared by the flat and reference paths so both consume the RNG
+/// identically.
+fn substitute_into(
+    downstream: &[onion::PrecomputedServer],
+    round: u64,
+    kind: RoundKind,
+    slot: &mut [u8],
+    rng: &mut StdRng,
+) {
+    let offset = 32 * downstream.len();
+    match kind {
+        RoundKind::Conversation => {
+            ExchangeRequest::noise(rng).encode_into(&mut slot[offset..]);
+        }
+        RoundKind::Dialing { .. } => {
+            DialRequest::noop(rng).encode_into(&mut slot[offset..]);
+        }
+    }
+    if !downstream.is_empty() {
+        // One child RNG per wrapped payload, as the bulk noise path does,
+        // so seeded runs stay reproducible.
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut child = StdRng::from_seed(seed);
+        onion::wrap_noise_into(&mut child, downstream, round, slot, kind.payload_len());
+    }
+}
+
+/// Deterministic filler for reply slots whose request was replaced: a
+/// cheap per-slot stream derived from one per-round seed. The client
+/// cannot decrypt it either way; deriving from `(seed, index)` keeps the
+/// parallel wrap free of per-reply allocations and RNG-order coupling.
+fn filler_bytes(round_seed: &[u8; 32], index: usize, out: &mut [u8]) {
+    let mut seed = *round_seed;
+    seed[..8].copy_from_slice(
+        &(index as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .to_le_bytes(),
+    );
+    StdRng::from_seed(seed).fill_bytes(out);
 }
 
 /// A uniformly random permutation of `0..len` (Fisher–Yates).
@@ -531,5 +801,60 @@ mod tests {
         for p in &peeled {
             let _ = DialRequest::decode(p).expect("valid dial request");
         }
+    }
+
+    /// The heart of the refactor's safety argument: for identical seeds
+    /// the flat arena pipeline and the per-`Vec` reference path must
+    /// produce byte-identical batches in both directions.
+    #[test]
+    fn flat_and_reference_paths_are_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let (mut flat0, mut flat1) = two_server_chain(3.0);
+        let (mut ref0, mut ref1) = two_server_chain(3.0);
+        let chain_pks = [flat0.public_key(), flat1.public_key()];
+
+        let onions: Vec<Vec<u8>> = (0..5)
+            .map(|_| {
+                let payload = ExchangeRequest::noise(&mut rng).encode();
+                onion::wrap(&mut rng, &chain_pks, 8, &payload).0
+            })
+            .collect();
+        // Corrupt one onion so the substitute path is exercised too.
+        let mut onions = onions;
+        onions[2][40] ^= 0xFF;
+
+        let width = flat0.incoming_width(RoundKind::Conversation);
+        let (buf, _) = RoundBuffer::from_vecs(&onions, width, width);
+
+        let mid_ref = ref0.forward_reference(8, RoundKind::Conversation, onions);
+        let mid_flat = flat0.forward_buf(8, RoundKind::Conversation, buf);
+        assert_eq!(mid_flat.to_vecs(), mid_ref, "first hop diverged");
+
+        let (mid_buf, _) = RoundBuffer::from_vecs(&mid_ref, mid_flat.width(), mid_flat.width());
+        let last_ref = ref1.forward_reference(8, RoundKind::Conversation, mid_ref);
+        let last_flat = flat1.forward_buf(8, RoundKind::Conversation, mid_buf);
+        assert_eq!(last_flat.to_vecs(), last_ref, "second hop diverged");
+        assert_eq!(flat0.malformed_replaced, ref0.malformed_replaced);
+
+        // Echo the payloads back as replies and compare the return path.
+        let replies_ref = ref1.backward_reference(8, last_ref);
+        let mut reply_buf = RoundBuffer::new(
+            last_flat.width() + 2 * onion::REPLY_LAYER_OVERHEAD,
+            last_flat.width(),
+        );
+        for i in 0..last_flat.len() {
+            let bytes = last_flat.slot(i);
+            reply_buf.push_with(|slot| slot.copy_from_slice(bytes));
+        }
+        let replies_flat = flat1.backward_buf(8, reply_buf);
+        assert_eq!(
+            replies_flat.to_vecs(),
+            replies_ref,
+            "last-hop replies diverged"
+        );
+
+        let back_ref = ref0.backward_reference(8, replies_ref);
+        let back_flat = flat0.backward_buf(8, replies_flat);
+        assert_eq!(back_flat.to_vecs(), back_ref, "first-hop replies diverged");
     }
 }

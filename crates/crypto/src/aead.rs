@@ -51,6 +51,74 @@ pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext:
     out
 }
 
+/// Encrypts in place: the plaintext occupies `buf[..plaintext_len]`, and
+/// the ciphertext and tag are written over `buf[..plaintext_len + TAG_LEN]`
+/// without allocating. Returns the sealed length (`plaintext_len +
+/// TAG_LEN`).
+///
+/// Byte-for-byte identical output to [`seal`]; the allocating version is
+/// kept as the reference the property tests compare against.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than `plaintext_len + TAG_LEN` — a caller
+/// bug (the round buffers reserve layer headroom up front), not
+/// adversarial input.
+pub fn seal_in_place(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut [u8],
+    plaintext_len: usize,
+) -> usize {
+    let sealed = plaintext_len + TAG_LEN;
+    assert!(
+        buf.len() >= sealed,
+        "seal_in_place needs {TAG_LEN} bytes of tag headroom"
+    );
+    chacha20::xor_stream(key, 1, nonce, &mut buf[..plaintext_len]);
+
+    let mut poly = Poly1305::new(&poly_key(key, nonce));
+    mac_transcript(&mut poly, aad, &buf[..plaintext_len]);
+    buf[plaintext_len..sealed].copy_from_slice(&poly.finalize());
+    sealed
+}
+
+/// Decrypts `buf[..boxed_len]` (= `ciphertext ‖ tag` as produced by
+/// [`seal`] / [`seal_in_place`]) in place, verifying tag and associated
+/// data. On success the plaintext occupies `buf[..boxed_len - TAG_LEN]`
+/// and its length is returned; on failure `buf` is left untouched.
+///
+/// # Errors
+///
+/// [`CryptoError::BadLength`] if the input is shorter than a tag;
+/// [`CryptoError::DecryptFailed`] if authentication fails.
+pub fn open_in_place(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut [u8],
+    boxed_len: usize,
+) -> Result<usize, CryptoError> {
+    if boxed_len < TAG_LEN || buf.len() < boxed_len {
+        return Err(CryptoError::BadLength {
+            expected: TAG_LEN,
+            got: boxed_len.min(buf.len()),
+        });
+    }
+    let plaintext_len = boxed_len - TAG_LEN;
+    let (ciphertext, tag) = buf[..boxed_len].split_at(plaintext_len);
+
+    let mut poly = Poly1305::new(&poly_key(key, nonce));
+    mac_transcript(&mut poly, aad, ciphertext);
+    if !ct_eq(&poly.finalize(), tag) {
+        return Err(CryptoError::DecryptFailed);
+    }
+
+    chacha20::xor_stream(key, 1, nonce, &mut buf[..plaintext_len]);
+    Ok(plaintext_len)
+}
+
 /// Decrypts `ciphertext ‖ tag` produced by [`seal`], verifying the tag and
 /// associated data.
 ///
@@ -182,6 +250,67 @@ only one tip for the future, sunscreen would be it.";
                 got: 5
             })
         );
+    }
+
+    #[test]
+    fn in_place_seal_matches_allocating_seal() {
+        let key = [0x42u8; 32];
+        let nonce = [0x17u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 240, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let reference = seal(&key, &nonce, b"aad", &pt);
+
+            let mut buf = vec![0u8; len + TAG_LEN + 8]; // extra headroom ok
+            buf[..len].copy_from_slice(&pt);
+            let sealed = seal_in_place(&key, &nonce, b"aad", &mut buf, len);
+            assert_eq!(sealed, sealed_len(len));
+            assert_eq!(&buf[..sealed], &reference[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn in_place_open_matches_allocating_open() {
+        let key = [0x42u8; 32];
+        let nonce = [0x17u8; 12];
+        for len in [0usize, 1, 16, 240, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+            let mut sealed = seal(&key, &nonce, b"", &pt);
+            let boxed_len = sealed.len();
+            let n = open_in_place(&key, &nonce, b"", &mut sealed, boxed_len).expect("opens");
+            assert_eq!(n, len);
+            assert_eq!(&sealed[..n], &pt[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn in_place_open_rejects_tampering_and_leaves_buf_intact() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = seal(&key, &nonce, b"", b"attack at dawn");
+        let boxed_len = sealed.len();
+        sealed[3] ^= 1;
+        let before = sealed.clone();
+        assert_eq!(
+            open_in_place(&key, &nonce, b"", &mut sealed, boxed_len),
+            Err(CryptoError::DecryptFailed)
+        );
+        assert_eq!(sealed, before, "failed open must not decrypt in place");
+    }
+
+    #[test]
+    fn in_place_open_short_input_is_bad_length() {
+        let mut buf = [0u8; 32];
+        assert!(matches!(
+            open_in_place(&[0u8; 32], &[0u8; 12], b"", &mut buf, 5),
+            Err(CryptoError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag headroom")]
+    fn in_place_seal_without_headroom_panics() {
+        let mut buf = [0u8; 20];
+        let _ = seal_in_place(&[0u8; 32], &[0u8; 12], b"", &mut buf, 10);
     }
 
     #[test]

@@ -210,8 +210,8 @@ impl Fe {
     pub fn mul_small(&self, n: u32) -> Fe {
         let n = u128::from(n);
         let mut t = [0u128; 5];
-        for i in 0..5 {
-            t[i] = u128::from(self.0[i]) * n;
+        for (wide, limb) in t.iter_mut().zip(self.0.iter()) {
+            *wide = u128::from(*limb) * n;
         }
         Fe::reduce_wide(t)
     }

@@ -76,19 +76,23 @@ pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Vuvuzela never derives more than 64 bytes at a time.
 pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], okm: &mut [u8]) {
     assert!(okm.len() <= 255 * DIGEST_LEN, "HKDF-Expand output too long");
-    let mut t: Vec<u8> = Vec::new();
+    // T(0) is empty; afterwards T(i) is the previous block. Fixed buffer:
+    // this runs once per onion layer, so it must not allocate.
+    let mut t = [0u8; DIGEST_LEN];
+    let mut t_len = 0usize;
     let mut counter = 1u8;
     let mut written = 0;
     while written < okm.len() {
         let mut hm = HmacSha256::new(prk);
-        hm.update(&t);
+        hm.update(&t[..t_len]);
         hm.update(info);
         hm.update(&[counter]);
         let block = hm.finalize();
         let take = (okm.len() - written).min(DIGEST_LEN);
         okm[written..written + take].copy_from_slice(&block[..take]);
         written += take;
-        t = block.to_vec();
+        t = block;
+        t_len = DIGEST_LEN;
         counter = counter.wrapping_add(1);
     }
 }

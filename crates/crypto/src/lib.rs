@@ -30,6 +30,7 @@
 
 pub mod aead;
 pub mod chacha20;
+pub(crate) mod edwards;
 pub mod field;
 pub mod hkdf;
 pub mod onion;

@@ -22,7 +22,7 @@
 
 use crate::aead;
 use crate::hkdf::hkdf;
-use crate::x25519::{Keypair, PublicKey, SecretKey};
+use crate::x25519::{DhTable, Keypair, PublicKey, SecretKey, SharedSecret};
 use crate::CryptoError;
 use rand::{CryptoRng, RngCore};
 
@@ -84,7 +84,24 @@ pub fn derive_layer_key(
     eph_public: &PublicKey,
     server_public: &PublicKey,
 ) -> Result<LayerKey, CryptoError> {
-    let shared = my_secret.diffie_hellman(their_public);
+    layer_key_from_shared(
+        &my_secret.diffie_hellman(their_public),
+        eph_public,
+        server_public,
+    )
+}
+
+/// The KDF half of [`derive_layer_key`], for callers that computed the
+/// shared secret through a precomputed table.
+///
+/// # Errors
+///
+/// [`CryptoError::DegenerateSharedSecret`] when the DH output is zero.
+pub fn layer_key_from_shared(
+    shared: &SharedSecret,
+    eph_public: &PublicKey,
+    server_public: &PublicKey,
+) -> Result<LayerKey, CryptoError> {
     if shared.0 == [0u8; 32] {
         return Err(CryptoError::DegenerateSharedSecret);
     }
@@ -95,11 +112,51 @@ pub fn derive_layer_key(
     Ok(LayerKey(hkdf(&salt, &shared.0, LAYER_INFO)))
 }
 
+/// A chain server's public key plus (when the key lies on the curve
+/// proper) a precomputed Edwards comb table accelerating the per-onion
+/// `eph_sk · server_pk` Diffie-Hellman. Built once per long-lived server
+/// key; used by the bulk noise-wrapping path, which performs this DH for
+/// every cover onion, every round.
+pub struct PrecomputedServer {
+    /// The server's long-term public key.
+    pub public: PublicKey,
+    table: Option<DhTable>,
+}
+
+impl PrecomputedServer {
+    /// Precomputes for one server key (falls back to the plain ladder at
+    /// use time if the key is a twist point, which honest servers never
+    /// publish).
+    #[must_use]
+    pub fn new(public: PublicKey) -> PrecomputedServer {
+        PrecomputedServer {
+            table: DhTable::new(&public),
+            public,
+        }
+    }
+
+    /// `eph_sk · server_pk` with its field inversion deferred, through
+    /// the table when available (ladder fallbacks resolve trivially:
+    /// their inversion already happened inside the ladder).
+    fn shared_with_pending(&self, eph_secret: &SecretKey) -> crate::edwards::PendingU {
+        match &self.table {
+            Some(table) => table.diffie_hellman_pending(eph_secret),
+            None => crate::edwards::PendingU::resolved(&eph_secret.diffie_hellman(&self.public).0),
+        }
+    }
+}
+
 /// Client side: onion-wraps `payload` for the given server chain.
 ///
 /// `server_pks[0]` is the first server (outermost layer). Returns the wire
 /// bytes and the per-layer keys (ordered like `server_pks`) needed to
 /// decrypt the reply with [`unwrap_reply_layers`].
+///
+/// This is the **pre-refactor reference path**: ladder keygen, one heap
+/// allocation per layer. [`wrap_into`] / [`wrap_into_with`] produce
+/// byte-identical onions (equal RNG state) without the allocations and
+/// with table-accelerated scalar multiplication; the equivalence property
+/// tests and the round benchmarks hold the two sides against each other.
 pub fn wrap<R: RngCore + CryptoRng>(
     rng: &mut R,
     server_pks: &[PublicKey],
@@ -111,7 +168,7 @@ pub fn wrap<R: RngCore + CryptoRng>(
     // Generate layer keys in forward order so `keys[i]` belongs to server i.
     let mut headers: Vec<(PublicKey, LayerKey)> = Vec::with_capacity(server_pks.len());
     for server_pk in server_pks {
-        let eph = Keypair::generate(rng);
+        let eph = Keypair::generate_reference(rng);
         let key = derive_layer_key(&eph.secret, server_pk, &eph.public, server_pk)
             .expect("freshly generated ephemeral key cannot be low-order");
         headers.push((eph.public, key.clone()));
@@ -128,6 +185,132 @@ pub fn wrap<R: RngCore + CryptoRng>(
         onion = layer;
     }
     (onion, keys)
+}
+
+/// Client side: onion-wraps a payload **in place**, without allocating.
+///
+/// The caller places the payload at
+/// `buf[32 * chain_len .. 32 * chain_len + payload_len]` and provides at
+/// least [`wrapped_len`]`(payload_len, chain_len)` bytes of buffer; on
+/// return the finished onion occupies `buf[..wrapped_len(..)]`. Output is
+/// byte-identical to [`wrap`] for the same RNG state (the allocating
+/// version is kept as the reference the property tests compare against).
+///
+/// Returns the per-layer keys, ordered like `server_pks`.
+///
+/// # Panics
+///
+/// Panics if `buf` is too short — a caller bug, since every round buffer
+/// reserves the full onion stride up front.
+pub fn wrap_into<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    server_pks: &[PublicKey],
+    round: u64,
+    buf: &mut [u8],
+    payload_len: usize,
+) -> Vec<LayerKey> {
+    // Transient untabled servers: the per-layer DH falls back to the
+    // ladder, everything else shares the stack-batched core.
+    let servers: Vec<PrecomputedServer> = server_pks
+        .iter()
+        .map(|pk| PrecomputedServer {
+            public: *pk,
+            table: None,
+        })
+        .collect();
+    wrap_into_with(rng, &servers, round, buf, payload_len)
+}
+
+/// Like [`wrap_into`], but performing each layer's Diffie-Hellman through
+/// the servers' precomputed comb tables — the bulk cover-traffic path,
+/// where the same chain suffix is wrapped thousands of times per round.
+/// Byte-identical output and RNG consumption.
+pub fn wrap_into_with<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    servers: &[PrecomputedServer],
+    round: u64,
+    buf: &mut [u8],
+    payload_len: usize,
+) -> Vec<LayerKey> {
+    let mut keys = [[0u8; 32]; MAX_CHAIN];
+    wrap_with_core(rng, servers, round, buf, payload_len, &mut keys);
+    keys[..servers.len()].iter().map(|k| LayerKey(*k)).collect()
+}
+
+/// [`wrap_into_with`] for callers that discard the layer keys — the bulk
+/// cover-traffic path, which never sees a reply to its own noise. Runs
+/// entirely on the stack (zero heap allocations per onion); identical RNG
+/// consumption and output bytes.
+///
+/// # Panics
+///
+/// Panics if `buf` is too short or the chain exceeds [`MAX_CHAIN`]
+/// servers.
+pub fn wrap_noise_into<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    servers: &[PrecomputedServer],
+    round: u64,
+    buf: &mut [u8],
+    payload_len: usize,
+) {
+    let mut keys = [[0u8; 32]; MAX_CHAIN];
+    wrap_with_core(rng, servers, round, buf, payload_len, &mut keys);
+}
+
+/// Longest chain the stack-batched wrapping paths support (the paper
+/// evaluates up to 6 servers).
+pub const MAX_CHAIN: usize = 16;
+
+/// Shared core of [`wrap_into_with`] / [`wrap_noise_into`]: draws all
+/// ephemeral secrets first (the same RNG order as `wrap`), runs every
+/// layer's keygen and DH with the field inversions deferred — 2·chain_len
+/// scalar multiplications share a single inversion, the whole batch on
+/// the stack — then seals innermost-outwards in place: each layer
+/// encrypts where it stands, appends its tag, and prefixes its ephemeral
+/// key. Layer keys are written to `keys_out[..servers.len()]`.
+fn wrap_with_core<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    servers: &[PrecomputedServer],
+    round: u64,
+    buf: &mut [u8],
+    payload_len: usize,
+    keys_out: &mut [[u8; 32]; MAX_CHAIN],
+) {
+    let chain_len = servers.len();
+    assert!(chain_len <= MAX_CHAIN, "chain too long for stack batching");
+    let total = wrapped_len(payload_len, chain_len);
+    assert!(buf.len() >= total, "wrapping needs the full onion stride");
+
+    let nonce = round_nonce(round, Direction::Request);
+    let mut secret_bytes = [[0u8; 32]; MAX_CHAIN];
+    for secret in secret_bytes.iter_mut().take(chain_len) {
+        rng.fill_bytes(secret);
+    }
+    let mut pending = [crate::edwards::PendingU::PLACEHOLDER; 2 * MAX_CHAIN];
+    for (i, server) in servers.iter().enumerate() {
+        let secret = SecretKey::from_bytes(secret_bytes[i]);
+        pending[2 * i] = crate::x25519::x25519_base_pending(secret.as_bytes());
+        pending[2 * i + 1] = server.shared_with_pending(&secret);
+    }
+    let mut resolved = [[0u8; 32]; 2 * MAX_CHAIN];
+    crate::x25519::resolve_pending_into(&pending[..2 * chain_len], &mut resolved[..2 * chain_len]);
+
+    for (i, server) in servers.iter().enumerate() {
+        let eph_public = PublicKey::from_bytes(resolved[2 * i]);
+        let shared = SharedSecret(resolved[2 * i + 1]);
+        keys_out[i] = layer_key_from_shared(&shared, &eph_public, &server.public)
+            .expect("freshly generated ephemeral key cannot be low-order")
+            .0;
+    }
+
+    let mut start = 32 * chain_len;
+    let mut content_len = payload_len;
+    for i in (0..chain_len).rev() {
+        let sealed = aead::seal_in_place(&keys_out[i], &nonce, &[], &mut buf[start..], content_len);
+        buf[start - 32..start].copy_from_slice(&resolved[2 * i]);
+        start -= 32;
+        content_len = sealed + 32;
+    }
 }
 
 /// The exact on-the-wire size of a request onion for a given inner payload
@@ -175,12 +358,69 @@ pub fn peel(
     Ok((key, inner))
 }
 
+/// Server side: peels one onion layer **in place**.
+///
+/// The layer occupies `slot[..width]`; on success the inner onion is
+/// moved to `slot[..width - LAYER_OVERHEAD]` and the layer key is
+/// returned. On failure the slot contents are unspecified but the same
+/// length, and nothing was decrypted (authentication runs first).
+///
+/// Byte-identical results to [`peel`], which is kept as the allocating
+/// reference.
+///
+/// # Errors
+///
+/// Same conditions as [`peel`].
+pub fn peel_in_place(
+    server_secret: &SecretKey,
+    server_public: &PublicKey,
+    round: u64,
+    slot: &mut [u8],
+    width: usize,
+) -> Result<(LayerKey, usize), CryptoError> {
+    if width < LAYER_OVERHEAD || slot.len() < width {
+        return Err(CryptoError::BadLength {
+            expected: LAYER_OVERHEAD,
+            got: width.min(slot.len()),
+        });
+    }
+    let mut eph_bytes = [0u8; 32];
+    eph_bytes.copy_from_slice(&slot[..32]);
+    let eph_pk = PublicKey::from_bytes(eph_bytes);
+    let key = derive_layer_key(server_secret, &eph_pk, &eph_pk, server_public)?;
+    let nonce = round_nonce(round, Direction::Request);
+    let inner_len = aead::open_in_place(&key.0, &nonce, &[], &mut slot[32..], width - 32)?;
+    // Slide the inner onion to the front of the slot so the next layer
+    // starts at offset 0 again.
+    slot.copy_within(32..32 + inner_len, 0);
+    Ok((key, inner_len))
+}
+
 /// Server side: wraps a reply payload under a layer key captured by
 /// [`peel`] on the request path.
 #[must_use]
 pub fn wrap_reply_layer(key: &LayerKey, round: u64, payload: &[u8]) -> Vec<u8> {
     let nonce = round_nonce(round, Direction::Reply);
     aead::seal(&key.0, &nonce, &[], payload)
+}
+
+/// Server side: wraps a reply layer **in place**. The payload occupies
+/// `slot[..payload_len]`; the sealed reply overwrites
+/// `slot[..payload_len + REPLY_LAYER_OVERHEAD]` and its length is
+/// returned. Byte-identical to [`wrap_reply_layer`].
+///
+/// # Panics
+///
+/// Panics if the slot lacks [`REPLY_LAYER_OVERHEAD`] bytes of headroom —
+/// reply buffers reserve the full chain's overhead up front.
+pub fn wrap_reply_in_place(
+    key: &LayerKey,
+    round: u64,
+    slot: &mut [u8],
+    payload_len: usize,
+) -> usize {
+    let nonce = round_nonce(round, Direction::Reply);
+    aead::seal_in_place(&key.0, &nonce, &[], slot, payload_len)
 }
 
 /// Client side: unwraps all reply layers (server 1's layer is outermost).
@@ -308,6 +548,110 @@ mod tests {
             round_nonce(5, Direction::Request),
             round_nonce(6, Direction::Request)
         );
+    }
+
+    #[test]
+    fn wrap_into_matches_wrap_bytewise() {
+        for chain_len in 1..=4usize {
+            let mut rng = StdRng::seed_from_u64(100 + chain_len as u64);
+            let servers = chain(chain_len, &mut rng);
+            let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+            let payload = b"equivalence payload".to_vec();
+
+            // Identical RNG states feed both paths.
+            let mut rng_a = StdRng::seed_from_u64(7_000 + chain_len as u64);
+            let mut rng_b = rng_a.clone();
+            let (reference, ref_keys) = wrap(&mut rng_a, &pks, 9, &payload);
+
+            let mut buf = vec![0u8; wrapped_len(payload.len(), chain_len)];
+            buf[32 * chain_len..32 * chain_len + payload.len()].copy_from_slice(&payload);
+            let keys = wrap_into(&mut rng_b, &pks, 9, &mut buf, payload.len());
+
+            assert_eq!(buf, reference, "chain_len {chain_len}");
+            assert_eq!(keys.len(), ref_keys.len());
+            for (a, b) in keys.iter().zip(ref_keys.iter()) {
+                assert_eq!(a.0, b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_into_with_tables_matches_wrap_bytewise() {
+        for chain_len in 1..=3usize {
+            let mut rng = StdRng::seed_from_u64(400 + chain_len as u64);
+            let servers = chain(chain_len, &mut rng);
+            let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+            let precomp: Vec<PrecomputedServer> =
+                pks.iter().map(|pk| PrecomputedServer::new(*pk)).collect();
+            let payload = b"table-accelerated".to_vec();
+
+            let mut rng_a = StdRng::seed_from_u64(9_000 + chain_len as u64);
+            let mut rng_b = rng_a.clone();
+            let (reference, ref_keys) = wrap(&mut rng_a, &pks, 3, &payload);
+
+            let mut buf = vec![0u8; wrapped_len(payload.len(), chain_len)];
+            buf[32 * chain_len..32 * chain_len + payload.len()].copy_from_slice(&payload);
+            let keys = wrap_into_with(&mut rng_b, &precomp, 3, &mut buf, payload.len());
+
+            assert_eq!(buf, reference, "chain_len {chain_len}");
+            for (a, b) in keys.iter().zip(ref_keys.iter()) {
+                assert_eq!(a.0, b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn peel_in_place_matches_peel() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let servers = chain(3, &mut rng);
+        let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+        let (onion_bytes, _) = wrap(&mut rng, &pks, 4, b"roundtrip me");
+
+        let mut flat = onion_bytes.clone();
+        let mut reference = onion_bytes;
+        let mut width = flat.len();
+        for kp in &servers {
+            let (ref_key, ref_inner) = peel(&kp.secret, &kp.public, 4, &reference).expect("peel");
+            let (key, new_width) =
+                peel_in_place(&kp.secret, &kp.public, 4, &mut flat, width).expect("peel_in_place");
+            assert_eq!(key.0, ref_key.0);
+            assert_eq!(new_width, ref_inner.len());
+            assert_eq!(&flat[..new_width], &ref_inner[..]);
+            width = new_width;
+            reference = ref_inner;
+        }
+        assert_eq!(&flat[..width], b"roundtrip me");
+    }
+
+    #[test]
+    fn peel_in_place_rejects_what_peel_rejects() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let server = Keypair::generate(&mut rng);
+        let (mut onion_bytes, _) = wrap(&mut rng, &[server.public], 7, b"payload");
+        let width = onion_bytes.len();
+        onion_bytes[width - 1] ^= 1;
+        assert!(peel_in_place(&server.secret, &server.public, 7, &mut onion_bytes, width).is_err());
+        let mut short = [0u8; 10];
+        assert!(matches!(
+            peel_in_place(&server.secret, &server.public, 0, &mut short, 10),
+            Err(CryptoError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn wrap_reply_in_place_matches_wrap_reply_layer() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let server = Keypair::generate(&mut rng);
+        let (onion_bytes, _) = wrap(&mut rng, &[server.public], 2, b"req");
+        let (key, _) = peel(&server.secret, &server.public, 2, &onion_bytes).expect("peel");
+
+        let payload = b"reply body".to_vec();
+        let reference = wrap_reply_layer(&key, 2, &payload);
+
+        let mut slot = vec![0u8; payload.len() + REPLY_LAYER_OVERHEAD];
+        slot[..payload.len()].copy_from_slice(&payload);
+        let sealed = wrap_reply_in_place(&key, 2, &mut slot, payload.len());
+        assert_eq!(&slot[..sealed], &reference[..]);
     }
 
     #[test]

@@ -137,7 +137,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let me = Keypair::generate(&mut rng);
         let other = Keypair::generate(&mut rng);
-        let drop_contents = vec![
+        let drop_contents = [
             seal(&mut rng, &other.public, b"not for me"),
             seal(&mut rng, &me.public, b"for me!"),
             seal(&mut rng, &other.public, b"also not for me"),

@@ -131,3 +131,114 @@ proptest! {
         prop_assert_eq!(h.finalize(), oneshot);
     }
 }
+
+mod in_place {
+    //! The in-place AEAD/onion fast paths must be byte-identical to the
+    //! allocating reference versions for arbitrary inputs — the round
+    //! pipeline's correctness rests on this.
+
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_crypto::x25519::{Keypair, PublicKey};
+    use vuvuzela_crypto::{aead, onion};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn seal_in_place_matches_seal(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            aad in proptest::collection::vec(any::<u8>(), 0..48),
+            payload in proptest::collection::vec(any::<u8>(), 0..400),
+        ) {
+            let reference = aead::seal(&key, &nonce, &aad, &payload);
+            let mut buf = vec![0u8; payload.len() + aead::TAG_LEN];
+            buf[..payload.len()].copy_from_slice(&payload);
+            let sealed = aead::seal_in_place(&key, &nonce, &aad, &mut buf, payload.len());
+            prop_assert_eq!(sealed, reference.len());
+            prop_assert_eq!(&buf[..sealed], &reference[..]);
+        }
+
+        #[test]
+        fn open_in_place_matches_open(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            aad in proptest::collection::vec(any::<u8>(), 0..48),
+            payload in proptest::collection::vec(any::<u8>(), 0..400),
+            flip in any::<Option<(u16, u8)>>(),
+        ) {
+            let mut boxed = aead::seal(&key, &nonce, &aad, &payload);
+            if let Some((byte, bit)) = flip {
+                let i = byte as usize % boxed.len();
+                boxed[i] ^= 1 << (bit % 8);
+            }
+            let reference = aead::open(&key, &nonce, &aad, &boxed);
+            let mut buf = boxed.clone();
+            let boxed_len = buf.len();
+            match aead::open_in_place(&key, &nonce, &aad, &mut buf, boxed_len) {
+                Ok(n) => {
+                    let opened = reference.expect("reference agrees on success");
+                    prop_assert_eq!(&buf[..n], &opened[..]);
+                }
+                Err(e) => {
+                    prop_assert_eq!(reference.expect_err("reference agrees on failure"), e);
+                    prop_assert_eq!(&buf, &boxed, "failed open must not mutate");
+                }
+            }
+        }
+
+        #[test]
+        fn onion_wrap_into_and_peel_in_place_match_reference(
+            chain_len in 1usize..=5,
+            round in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..300),
+            seed in any::<u64>(),
+        ) {
+            let mut key_rng = StdRng::seed_from_u64(seed);
+            let servers: Vec<Keypair> =
+                (0..chain_len).map(|_| Keypair::generate(&mut key_rng)).collect();
+            let pks: Vec<PublicKey> = servers.iter().map(|kp| kp.public).collect();
+
+            // Same RNG state for both wrap paths → identical onions.
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let mut rng_b = rng_a.clone();
+            let (reference, _) = onion::wrap(&mut rng_a, &pks, round, &payload);
+            let mut flat = vec![0u8; onion::wrapped_len(payload.len(), chain_len)];
+            flat[32 * chain_len..32 * chain_len + payload.len()].copy_from_slice(&payload);
+            let _keys = onion::wrap_into(&mut rng_b, &pks, round, &mut flat, payload.len());
+            prop_assert_eq!(&flat, &reference);
+
+            // Peel both ways down the whole chain.
+            let mut width = flat.len();
+            let mut reference_onion = reference;
+            for kp in &servers {
+                let (ref_key, ref_inner) =
+                    onion::peel(&kp.secret, &kp.public, round, &reference_onion).expect("peel");
+                let (key, new_width) =
+                    onion::peel_in_place(&kp.secret, &kp.public, round, &mut flat, width)
+                        .expect("peel_in_place");
+                prop_assert_eq!(key.0, ref_key.0);
+                prop_assert_eq!(&flat[..new_width], &ref_inner[..]);
+                width = new_width;
+                reference_onion = ref_inner;
+            }
+            prop_assert_eq!(&flat[..width], &payload[..]);
+        }
+
+        #[test]
+        fn reply_wrap_in_place_matches_reference(
+            round in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..300),
+            key_bytes in any::<[u8; 32]>(),
+        ) {
+            let key = onion::LayerKey(key_bytes);
+            let reference = onion::wrap_reply_layer(&key, round, &payload);
+            let mut slot = vec![0u8; payload.len() + onion::REPLY_LAYER_OVERHEAD];
+            slot[..payload.len()].copy_from_slice(&payload);
+            let sealed = onion::wrap_reply_in_place(&key, round, &mut slot, payload.len());
+            prop_assert_eq!(&slot[..sealed], &reference[..]);
+        }
+    }
+}

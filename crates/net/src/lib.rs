@@ -13,11 +13,14 @@
 //!   between hops and hands each batch to an optional [`link::Tap`],
 //!   which models the paper's §2.3 adversary: it can *monitor, block,
 //!   delay, or inject* traffic on any link.
-//! * [`parallel`] — a scoped-thread `parallel_map` used by servers to
-//!   spread per-request Diffie-Hellman work across cores, mirroring the
-//!   36-core parallelism of the paper's prototype.
+//! * [`parallel`] — a persistent [`parallel::WorkerPool`] (spawned once,
+//!   reused across rounds) that spreads per-request Diffie-Hellman work
+//!   across cores, mirroring the 36-core parallelism of the paper's
+//!   prototype without paying thread spawn/join on every round.
 
-#![forbid(unsafe_code)]
+// `parallel` contains the workspace's only unsafe code (the pool's
+// scoped-execution core); everything else in this crate must stay safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod link;
@@ -26,3 +29,4 @@ pub mod parallel;
 
 pub use link::{Direction, Link, RecordingTap, Tap, TapContext};
 pub use meter::Meter;
+pub use parallel::WorkerPool;

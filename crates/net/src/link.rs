@@ -109,22 +109,41 @@ impl Link {
         direction: Direction,
         mut batch: Vec<Vec<u8>>,
     ) -> Vec<Vec<u8>> {
+        let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
+        self.record(direction, batch.len() as u64, bytes);
+        self.tap_intercept(round, direction, &mut batch);
+        batch
+    }
+
+    /// Meters a transfer without materialising per-message vectors — the
+    /// zero-copy round pipeline's entry point (its batches live in one
+    /// flat arena owned by the caller).
+    pub fn record(&self, direction: Direction, messages: u64, bytes: u64) {
         let meter = match direction {
             Direction::Forward => &self.forward_meter,
             Direction::Backward => &self.backward_meter,
         };
-        let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
-        meter.record_batch(batch.len() as u64, bytes);
+        meter.record_batch(messages, bytes);
+    }
 
+    /// Whether an adversary tap is attached (callers carrying flat
+    /// buffers only pay the per-message conversion when one is).
+    #[must_use]
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// Runs the attached tap (if any) over a batch. Metering is the
+    /// caller's responsibility via [`Link::record`].
+    pub fn tap_intercept(&self, round: u64, direction: Direction, batch: &mut Vec<Vec<u8>>) {
         if let Some(tap) = &self.tap {
             let ctx = TapContext {
                 link: self.name.clone(),
                 round,
                 direction,
             };
-            tap.lock().intercept(&ctx, &mut batch);
+            tap.lock().intercept(&ctx, batch);
         }
-        batch
     }
 
     /// The link's diagnostic name.

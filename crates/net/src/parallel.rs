@@ -1,17 +1,374 @@
-//! Scoped-thread data parallelism for server-side cryptography.
+//! A persistent worker pool for server-side cryptography.
 //!
 //! The paper's servers are 36-core machines that parallelise the
 //! per-request Diffie-Hellman work ("Each 36-core machine can perform
 //! about 340,000 Curve25519 Diffie-Hellman operations per second", §8.2).
-//! [`parallel_map`] gives our simulated servers the same shape: it splits
-//! a batch across a fixed worker count with order-preserving results and
-//! no dependencies beyond `std::thread::scope`.
+//! The original implementation here spawned fresh OS threads inside
+//! every `parallel_map` call via `std::thread::scope`; at one call per
+//! server per round direction that put thread spawn/join latency on the
+//! round's critical path. [`WorkerPool`] replaces it:
+//!
+//! * **spawn once** — a fixed set of worker threads is created the first
+//!   time the pool is touched and reused for every subsequent round;
+//! * **chunked stride scheduling** — each call publishes a single atomic
+//!   cursor over `0..n`; workers (and the calling thread, which always
+//!   participates) repeatedly claim `chunk`-sized index ranges until the
+//!   cursor runs past `n`, so load balances even when some onions fail
+//!   fast (malformed input) and others run full crypto;
+//! * **zero-copy slicing** — [`WorkerPool::map_strides_mut`] hands each
+//!   worker disjoint `&mut` windows of one flat buffer, which is what the
+//!   round pipeline's `RoundBuffer` arena needs; no per-item `Vec`s cross
+//!   threads.
+//!
+//! [`parallel_map`] keeps its original order-preserving signature but now
+//! runs on the shared pool.
+//!
+//! This module contains the workspace's only `unsafe` code, confined to
+//! the classic scoped-execution argument: a call's closure and buffers
+//! are borrowed only between enqueue and the completion wait in the same
+//! stack frame, and the completion wait does not return until every index
+//! has been processed and no worker will touch the call's data again
+//! (workers only reach the data through index ranges claimed *before*
+//! the cursor ran out). Disjointness of `&mut` windows is guaranteed by
+//! handing each index to exactly one worker.
 
-/// Applies `f` to every item, splitting the work across `workers` OS
-/// threads, and returns results in input order.
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased parallel call state shared between the caller and the
+/// workers. `ctx` points at a closure living in the caller's stack frame;
+/// see the module docs for the lifetime argument.
+struct Call {
+    /// Invokes the caller's closure for one index.
+    invoke: unsafe fn(*const (), usize),
+    ctx: *const (),
+    /// Next unclaimed index.
+    cursor: AtomicUsize,
+    total: usize,
+    /// Indices claimed per `fetch_add`.
+    chunk: usize,
+    /// Items not yet finished; completion signal when it reaches zero.
+    pending: AtomicUsize,
+    /// The first panic message from any worker, re-raised by the caller.
+    panic_msg: Mutex<Option<String>>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` is only dereferenced through `invoke`, which was
+// instantiated for a `Sync` closure type, and only while the owning call
+// frame is blocked in `run` (see module docs).
+unsafe impl Send for Call {}
+unsafe impl Sync for Call {}
+
+impl Call {
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Acquire) >= self.total
+    }
+
+    /// Claims and processes chunks until the cursor runs out.
+    fn work(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::AcqRel);
+            if start >= self.total {
+                return;
+            }
+            let end = (start + self.chunk).min(self.total);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: each index is claimed by exactly one thread,
+                    // and the caller keeps the closure alive until
+                    // `pending` reaches zero.
+                    unsafe { (self.invoke)(self.ctx, i) };
+                }
+            }));
+            if let Err(payload) = outcome {
+                // Keep the original message so the caller's re-panic is as
+                // informative as the scoped-thread join it replaced.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let mut slot = self.panic_msg.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(msg);
+            }
+            if self.pending.fetch_sub(end - start, Ordering::AcqRel) == end - start {
+                // Last items completed: wake the caller. Taking the lock
+                // orders the wake after the caller's `pending` check.
+                let _guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Call>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads; see the module docs.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` worker threads (the calling thread of
+    /// every operation also works, so total parallelism is `threads + 1`).
+    #[must_use]
+    pub fn new(threads: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vuvuzela-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// The process-wide shared pool, spawned on first use and sized to
+    /// the machine (`available_parallelism − 1` workers + the caller).
+    ///
+    /// All mix servers in a simulated deployment share this pool: the
+    /// chain processes rounds strictly sequentially (§8.2), so per-server
+    /// pools would only oversubscribe the machine.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+        SHARED.get_or_init(|| WorkerPool::new(default_workers().saturating_sub(1)))
+    }
+
+    /// Worker-thread count (excluding the participating caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Core primitive: invokes `f(i)` for every `i` in `0..total` across
+    /// the pool, claiming `chunk` indices at a time. Blocks until all
+    /// indices are processed. `parallelism` caps how many chunks exist
+    /// (use `usize::MAX` for "whole pool").
+    fn run<F: Fn(usize) + Sync>(&self, total: usize, parallelism: usize, f: &F) {
+        if total == 0 {
+            return;
+        }
+        let parallelism = parallelism.clamp(1, self.threads + 1);
+        // Several chunks per strand, so threads that draw cheap work (e.g.
+        // onions that fail authentication immediately) come back for more
+        // instead of idling behind one static partition.
+        const CHUNKS_PER_STRAND: usize = 4;
+        let chunk = total.div_ceil(parallelism * CHUNKS_PER_STRAND).max(1);
+        if parallelism == 1 || total <= chunk {
+            for i in 0..total {
+                f(i);
+            }
+            return;
+        }
+
+        unsafe fn invoke<F: Fn(usize)>(ctx: *const (), i: usize) {
+            // SAFETY: `ctx` was created from `&F` below and is still live
+            // (the caller is blocked in this frame).
+            let f = unsafe { &*ctx.cast::<F>() };
+            f(i);
+        }
+
+        let call = Arc::new(Call {
+            invoke: invoke::<F>,
+            ctx: (f as *const F).cast(),
+            cursor: AtomicUsize::new(0),
+            total,
+            chunk,
+            pending: AtomicUsize::new(total),
+            panic_msg: Mutex::new(None),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(Arc::clone(&call));
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is a worker too.
+        call.work();
+
+        // Wait for stragglers.
+        {
+            let mut guard = call.done.lock().unwrap_or_else(|e| e.into_inner());
+            while call.pending.load(Ordering::Acquire) != 0 {
+                guard = call.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        // Tidy the queue (workers also skip exhausted calls lazily).
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.retain(|c| !Arc::ptr_eq(c, &call));
+        }
+
+        let panic_msg = call
+            .panic_msg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(msg) = panic_msg {
+            panic!("worker pool closure panicked: {msg}");
+        }
+    }
+
+    /// Applies `f` to every `stride`-sized window of `data` in parallel
+    /// and returns `f`'s results in window order. Window `i` is
+    /// `data[i * stride .. (i + 1) * stride]`; a final partial window is
+    /// passed as-is. This is the zero-copy entry point the round
+    /// pipeline's flat buffers use.
+    ///
+    /// `parallelism` caps concurrency (the configured per-server worker
+    /// count); results are in window order regardless.
+    pub fn map_strides_mut<R, F>(
+        &self,
+        data: &mut [u8],
+        stride: usize,
+        parallelism: usize,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut [u8]) -> R + Sync,
+    {
+        assert!(stride > 0, "stride must be positive");
+        let total = data.len().div_ceil(stride);
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(total, || None);
+
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let len = data.len();
+            let results_ptr = SendPtr(results.as_mut_ptr());
+            let worker = |i: usize| {
+                let start = i * stride;
+                let end = (start + stride).min(len);
+                // SAFETY: windows are disjoint (one per index, each index
+                // claimed once) and `data` outlives the blocking `run`.
+                let window =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                let r = f(i, window);
+                // SAFETY: slot `i` is written by exactly one thread.
+                unsafe { *results_ptr.get().add(i) = Some(r) };
+            };
+            self.run(total, parallelism, &worker);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every window processed"))
+            .collect()
+    }
+
+    /// Order-preserving parallel map over an owned `Vec`.
+    pub fn map_vec<T, U, F>(&self, mut items: Vec<T>, parallelism: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let total = items.len();
+        let mut slots: Vec<Option<T>> = items.drain(..).map(Some).collect();
+        let mut results: Vec<Option<U>> = Vec::new();
+        results.resize_with(total, || None);
+
+        {
+            let items_ptr = SendPtr(slots.as_mut_ptr());
+            let results_ptr = SendPtr(results.as_mut_ptr());
+            let worker = |i: usize| {
+                // SAFETY: slot `i` is taken and written by exactly one
+                // thread; both vectors outlive the blocking `run`.
+                let item = unsafe { (*items_ptr.get().add(i)).take() }.expect("item present");
+                let r = f(item);
+                unsafe { *results_ptr.get().add(i) = Some(r) };
+            };
+            self.run(total, parallelism, &worker);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every item processed"))
+            .collect()
+    }
+}
+
+/// A raw pointer that asserts cross-thread usability; the pool's
+/// disjoint-index discipline makes each use race-free.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let call = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                while queue.front().is_some_and(|c| c.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(call) = queue.front() {
+                    break Arc::clone(call);
+                }
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        call.work();
+    }
+}
+
+/// Applies `f` to every item, spreading the work across the shared
+/// [`WorkerPool`] with at most `workers` concurrent strands, and returns
+/// results in input order.
 ///
 /// Falls back to a plain sequential map when `workers <= 1` or the input
-/// is small enough that spawning would dominate.
+/// is small enough that cross-thread handoff would dominate.
 pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
 where
     T: Send,
@@ -24,28 +381,7 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-
-    // Chunk the input, keeping per-chunk order; reassemble in order.
-    let chunk_size = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk_size));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-
-    let f = &f;
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("parallel_map worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    WorkerPool::shared().map_vec(items, workers, f)
 }
 
 /// The number of workers to use by default: the machine's available
@@ -60,6 +396,7 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn preserves_order() {
@@ -86,7 +423,6 @@ mod tests {
 
     #[test]
     fn small_inputs_do_not_over_spawn() {
-        // Just a smoke test: 3 items with 8 workers must still work.
         assert_eq!(parallel_map(vec![1, 2, 3], 8, |x| x), vec![1, 2, 3]);
     }
 
@@ -98,5 +434,69 @@ mod tests {
             .into_iter()
             .sum();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Two consecutive calls must not deadlock or leak work between
+        // rounds — the shared pool's whole point.
+        let a = parallel_map((0..500u64).collect::<Vec<_>>(), 4, |x| x + 1);
+        let b = parallel_map((0..500u64).collect::<Vec<_>>(), 4, |x| x + 2);
+        assert_eq!(a[499], 500);
+        assert_eq!(b[499], 501);
+    }
+
+    #[test]
+    fn map_strides_mut_mutates_disjoint_windows() {
+        let pool = WorkerPool::shared();
+        let mut data = vec![0u8; 64 * 10 + 7]; // final partial window
+        let results = pool.map_strides_mut(&mut data, 64, usize::MAX, |i, window| {
+            for b in window.iter_mut() {
+                *b = i as u8 + 1;
+            }
+            window.len()
+        });
+        assert_eq!(results.len(), 11);
+        assert_eq!(results[10], 7, "partial tail window length");
+        for (i, chunk) in data.chunks(64).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8 + 1), "window {i}");
+        }
+    }
+
+    #[test]
+    fn dedicated_pool_shuts_down_cleanly() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let out = pool.map_vec(items, usize::MAX, |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 256);
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
+        drop(pool); // joins workers; must not hang
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..200u64).collect::<Vec<_>>(), 4, |x| {
+                assert!(x != 100, "boom at index 100");
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        // Sequential fallback propagates the raw payload (&str); the
+        // pooled path re-raises with a formatted String. Both must carry
+        // the original text.
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom at index 100"),
+            "original panic message preserved, got: {msg}"
+        );
     }
 }

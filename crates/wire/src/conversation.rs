@@ -51,6 +51,19 @@ impl ExchangeRequest {
         out
     }
 
+    /// Serialises into the first [`EXCHANGE_REQUEST_LEN`] bytes of `out`
+    /// without allocating (the flat round buffers write payloads straight
+    /// into their slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`EXCHANGE_REQUEST_LEN`].
+    pub fn encode_into(&self, out: &mut [u8]) {
+        debug_assert_eq!(self.sealed_message.len(), SEALED_MESSAGE_LEN);
+        out[..DEAD_DROP_ID_LEN].copy_from_slice(&self.drop.0);
+        out[DEAD_DROP_ID_LEN..EXCHANGE_REQUEST_LEN].copy_from_slice(&self.sealed_message);
+    }
+
     /// Parses the fixed wire form.
     ///
     /// # Errors
@@ -77,6 +90,23 @@ impl ExchangeRequest {
             drop: DeadDropId::random(rng),
             sealed_message: sealed,
         }
+    }
+
+    /// Writes an encoded noise request straight into `out` without
+    /// allocating. Draws from `rng` in exactly the order [`Self::noise`]
+    /// does (sealed message first, then drop), so the bytes match
+    /// `Self::noise(rng).encode_into(out)` for equal RNG states. When
+    /// `shared_drop` is given the drawn drop is discarded and replaced —
+    /// the paired-noise case, mirroring `noise()` + a `drop` overwrite.
+    pub fn noise_into<R: RngCore + CryptoRng>(
+        rng: &mut R,
+        shared_drop: Option<&DeadDropId>,
+        out: &mut [u8],
+    ) {
+        rng.fill_bytes(&mut out[DEAD_DROP_ID_LEN..EXCHANGE_REQUEST_LEN]);
+        let drawn = DeadDropId::random(rng);
+        let drop = shared_drop.unwrap_or(&drawn);
+        out[..DEAD_DROP_ID_LEN].copy_from_slice(&drop.0);
     }
 }
 

@@ -83,6 +83,30 @@ impl DialRequest {
         out
     }
 
+    /// Serialises into the first [`DIAL_REQUEST_LEN`] bytes of `out`
+    /// without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`DIAL_REQUEST_LEN`].
+    pub fn encode_into(&self, out: &mut [u8]) {
+        debug_assert_eq!(self.invitation.0.len(), SEALED_INVITATION_LEN);
+        out[..4].copy_from_slice(&self.drop.0.to_le_bytes());
+        out[4..DIAL_REQUEST_LEN].copy_from_slice(&self.invitation.0);
+    }
+
+    /// Writes an encoded noise dial request for `drop` straight into
+    /// `out` without allocating; RNG-stream-compatible with constructing
+    /// a [`SealedInvitation::noise`] request and encoding it.
+    pub fn noise_into<R: RngCore + CryptoRng>(
+        rng: &mut R,
+        drop: InvitationDropIndex,
+        out: &mut [u8],
+    ) {
+        out[..4].copy_from_slice(&drop.0.to_le_bytes());
+        rng.fill_bytes(&mut out[4..DIAL_REQUEST_LEN]);
+    }
+
     /// Parses the fixed wire form.
     ///
     /// # Errors

@@ -1,0 +1,391 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! Implements the slice of proptest this workspace uses: the
+//! [`proptest!`] macro, `any::<T>()` for integers and byte arrays,
+//! integer-range strategies, [`collection::vec`], `prop_map`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for an offline build:
+//!
+//! * cases are generated from a fixed deterministic RNG (reproducible
+//!   runs; no persisted failure seeds);
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message directly;
+//! * rejected cases (`prop_assume!`) are retried up to a bounded number
+//!   of attempts.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "arbitrary value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u32(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen::<f64>()
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            rand::RngCore::fill_bytes(rng, &mut out);
+            out
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rand::RngCore::next_u32(rng) & 1 == 1 {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+        fn arbitrary(rng: &mut TestRng) -> (A, B) {
+            (A::arbitrary(rng), B::arbitrary(rng))
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary, C: Arbitrary> Arbitrary for (A, B, C) {
+        fn arbitrary(rng: &mut TestRng) -> (A, B, C) {
+            (A::arbitrary(rng), B::arbitrary(rng), C::arbitrary(rng))
+        }
+    }
+
+    /// Strategy generating arbitrary values of `T` (see [`super::any`]).
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Returns the canonical strategy for arbitrary values of `T`.
+#[must_use]
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length range for generated collections (half-open upstream
+    /// semantics: `0..64` allows lengths 0 through 63).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<E> {
+        element: E,
+        len: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<E: Strategy>(element: E, len: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let n = rng.gen_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case execution configuration and control flow.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not produce a pass/fail verdict.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` and should be retried.
+        Reject,
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property-based tests: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)] // the closure scopes `return Err(Reject)`
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = <$crate::strategy::TestRng as ::rand::SeedableRng>::seed_from_u64(
+                0x5EED ^ (stringify!($name).len() as u64) << 32,
+            );
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+            while passed < config.cases {
+                assert!(
+                    attempts < max_attempts,
+                    "too many rejected cases in {}",
+                    stringify!($name)
+                );
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(u64::from(a) + u64::from(b), u64::from(b) + u64::from(a));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn arrays_generate(bytes in any::<[u8; 32]>()) {
+            prop_assert_eq!(bytes.len(), 32);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        inner();
+    }
+}

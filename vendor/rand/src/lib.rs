@@ -1,0 +1,347 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! ships the tiny slice of `rand`'s API that the Vuvuzela reproduction
+//! actually uses: the [`RngCore`]/[`CryptoRng`]/[`SeedableRng`]/[`Rng`]
+//! traits and a deterministic [`rngs::StdRng`].
+//!
+//! `StdRng` here is a ChaCha8 generator (the real `rand` uses ChaCha12),
+//! seeded either from 32 bytes or via SplitMix64 expansion of a `u64`.
+//! It is deterministic across platforms, which is all the simulation,
+//! tests and benchmarks rely on — they never assume the exact stream of
+//! the upstream crate, only reproducibility under a fixed seed.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Marker trait for generators suitable for cryptographic use.
+///
+/// As in upstream `rand`, this is a claim made by the implementor.
+pub trait CryptoRng {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 as
+    /// upstream `rand` does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a uniform value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from an RNG (the `Standard` distribution).
+pub trait Standard {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, as upstream.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a uniform integer can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Unbiased uniform draw in `[0, span)` by rejection (Lemire-style
+/// threshold on the widening multiply).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (u128::from(x)) * (u128::from(span));
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span || span.is_power_of_two() {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{CryptoRng, RngCore, SeedableRng};
+
+    /// A deterministic ChaCha8-based generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Clone)]
+    pub struct StdRng {
+        /// ChaCha state words 4..=11 (the key); constants and counter are
+        /// reconstructed per block.
+        key: [u32; 8],
+        counter: u64,
+        buf: [u8; 64],
+        /// Next unread byte in `buf`; 64 means "refill".
+        pos: usize,
+    }
+
+    impl core::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "StdRng(..)")
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut x = [0u32; 16];
+            x[0] = 0x6170_7865;
+            x[1] = 0x3320_646e;
+            x[2] = 0x7962_2d32;
+            x[3] = 0x6b20_6574;
+            x[4..12].copy_from_slice(&self.key);
+            x[12] = self.counter as u32;
+            x[13] = (self.counter >> 32) as u32;
+            x[14] = 0;
+            x[15] = 0;
+            let input = x;
+            for _ in 0..4 {
+                // 8 rounds: 4 double-rounds.
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            for (i, (o, inp)) in x.iter().zip(input.iter()).enumerate() {
+                self.buf[i * 4..(i + 1) * 4].copy_from_slice(&o.wrapping_add(*inp).to_le_bytes());
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.pos = 0;
+        }
+    }
+
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                let mut w = [0u8; 4];
+                w.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+                *k = u32::from_le_bytes(w);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 64],
+                pos: 64,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut w = [0u8; 4];
+            self.fill_bytes(&mut w);
+            u32::from_le_bytes(w)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut w = [0u8; 8];
+            self.fill_bytes(&mut w);
+            u64::from_le_bytes(w)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut out = 0;
+            while out < dest.len() {
+                if self.pos == 64 {
+                    self.refill();
+                }
+                let take = (dest.len() - out).min(64 - self.pos);
+                dest[out..out + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                out += take;
+            }
+        }
+    }
+
+    impl CryptoRng for StdRng {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fill_bytes_covers_every_byte() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 257];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+        }
+        assert_eq!(rng.gen_range(4..=4u64), 4);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn from_seed_uses_full_seed() {
+        let mut s1 = [0u8; 32];
+        let mut s2 = [0u8; 32];
+        s2[31] = 1;
+        let mut a = StdRng::from_seed(s1);
+        let mut b = StdRng::from_seed(s2);
+        assert_ne!(a.next_u64(), b.next_u64());
+        s1[31] = 1;
+        let mut c = StdRng::from_seed(s1);
+        let mut d = StdRng::from_seed(s2);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+}

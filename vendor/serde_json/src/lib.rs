@@ -1,0 +1,437 @@
+//! Vendored, API-compatible subset of `serde_json`.
+//!
+//! Provides the [`Value`] tree, the [`json!`] macro (objects, arrays,
+//! nested literals and expression values) and [`to_string_pretty`] —
+//! the slice of `serde_json` the benchmark harness uses to write its
+//! machine-readable artefacts. No `serde` derive support; conversions go
+//! through `From<T> for Value` impls instead.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integer or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (keys kept sorted for deterministic artefacts).
+    Object(BTreeMap<String, Value>),
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::I64(v as i64)) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let v = v as u64;
+                if let Ok(i) = i64::try_from(v) {
+                    Value::Number(Number::I64(i))
+                } else {
+                    Value::Number(Number::U64(v))
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(f64::from(v)))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Value::from)
+    }
+}
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+impl<T: Clone> From<&[T]> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Infinity; serialize as null like serde_json
+            // does for lossy writers.
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+impl Value {
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I64(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&PAD.repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&PAD.repeat(indent + 1));
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shared `null` used by the `Index` impls for missing keys, mirroring
+/// `serde_json`'s panic-free indexing.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization error (this subset cannot actually fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails in this subset; the `Result` mirrors the upstream API.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-like syntax: literals, `[...]` arrays,
+/// `{"key": value}` objects, and arbitrary Rust expressions convertible
+/// via `From<T> for Value`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::json_internal!(@array [] $($tt)+)
+    };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::json_internal!(@object map () $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal token-muncher for [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: collect element values into a Vec ----
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(::std::vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({ $($obj)* })] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([ $($arr)* ])] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::from($value)] $($($rest)*)?)
+    };
+    // ---- objects: `"key": value` pairs; values may be nested literals ----
+    (@object $map:ident ()) => {};
+    (@object $map:ident () $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($obj)* }));
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    (@object $map:ident () $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($arr)* ]));
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    (@object $map:ident () $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_internal!(@object $map () $($($rest)*)?);
+    };
+    (@object $map:ident () $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::from($value));
+        $crate::json_internal!(@object $map () $($rest)*);
+    };
+    (@object $map:ident () $key:literal : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::from($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(json!(3u64), Value::Number(Number::I64(3)));
+        assert_eq!(json!(2.5), Value::Number(Number::F64(2.5)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(null), Value::Null);
+        let opt: Option<u64> = None;
+        assert_eq!(json!(opt), Value::Null);
+        assert_eq!(json!(Some(4u32)), Value::Number(Number::I64(4)));
+    }
+
+    #[test]
+    fn objects_nested_and_exprs() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let n = 7u64;
+        let v = json!({
+            "rows": rows,
+            "count": n + 1,
+            "nested": { "x": 1.5, "y": [1, 2, 3] },
+            "list": (0..3).map(|i| json!({"i": i})).collect::<Vec<_>>(),
+            "nothing": null,
+        });
+        let s = to_string_pretty(&v).expect("serializes");
+        assert!(s.contains("\"count\": 8"));
+        assert!(s.contains("\"x\": 1.5"));
+        assert!(s.contains("\"nothing\": null"));
+        assert!(s.contains("\"i\": 2"));
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let v = json!(u64::MAX);
+        assert_eq!(v, Value::Number(Number::U64(u64::MAX)));
+        assert_eq!(
+            to_string_pretty(&v).expect("serializes"),
+            u64::MAX.to_string()
+        );
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({"b": [1], "a": "x\"y"});
+        let s = to_string_pretty(&v).expect("serializes");
+        // Keys sorted, strings escaped, two-space indent.
+        assert_eq!(s, "{\n  \"a\": \"x\\\"y\",\n  \"b\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&json!({})).expect("ok"), "{}");
+        assert_eq!(to_string_pretty(&json!([])).expect("ok"), "[]");
+    }
+
+    #[test]
+    fn float_formatting_keeps_integral_marker() {
+        // 7e6 must not serialize as a bare integer-looking float ambiguity.
+        let s = to_string_pretty(&json!(7e6)).expect("ok");
+        assert_eq!(s, "7000000.0");
+    }
+}
