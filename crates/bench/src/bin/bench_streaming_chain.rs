@@ -1,0 +1,410 @@
+//! Streaming-scheduler throughput artefact: sequential `Chain` vs the
+//! overlapped `StreamingChain` on identical multi-round schedules.
+//!
+//! Two numbers are reported per worker configuration:
+//!
+//! * **measured** — wall-clock rounds/sec for each scheduler on this
+//!   machine. On a box with fewer cores than pipeline stages the
+//!   overlapped schedule cannot beat the sequential one (the work is
+//!   CPU-bound and identical); the measurement is still the honest
+//!   ground truth for the machine it ran on and doubles as the CI
+//!   regression gate.
+//! * **sustained model** — the steady-state pipeline throughput implied
+//!   by the *measured per-hop stage times* of the same run: a streaming
+//!   schedule completes one round per `max(stage busy time)` once the
+//!   pipe is full, versus `sum(stage times)` sequentially (§8.2's
+//!   latency-is-the-sum observation, inverted for throughput). This is
+//!   the number that scales with cores ≥ stages; both are committed so
+//!   the artefact is meaningful on any machine.
+//!
+//! Both schedulers are first held to byte-identical outputs for the whole
+//! schedule (the same property the `streaming_equivalence` tests check).
+//!
+//! Also emits `BENCH_dialing_round.json`: a dialing-round schedule at
+//! the paper's µ = 13,000 noise per drop (§8.1), the heaviest per-onion
+//! workload in the system.
+//!
+//! Regenerate with
+//! `cargo run --release -p vuvuzela-bench --bin bench_streaming_chain`.
+//! Set `VUVUZELA_BENCH_SMOKE=1` for the CI smoke variant (tiny sizes,
+//! `workers = 2`, exits non-zero if streaming throughput regresses below
+//! sequential on a multi-core machine).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use vuvuzela_bench::workload::{conversation_batch, dialing_batch};
+use vuvuzela_core::chain::RoundTiming;
+use vuvuzela_core::pipeline::StreamingChain;
+use vuvuzela_core::{Chain, SystemConfig};
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+const CHAIN_LEN: usize = 3;
+const DIAL_MU: f64 = 13_000.0;
+
+struct Sizes {
+    onions: u64,
+    mu: f64,
+    rounds: usize,
+    workers: Vec<usize>,
+    dial_users: u64,
+    dial_rounds: usize,
+    smoke: bool,
+}
+
+fn sizes() -> Sizes {
+    let env_u64 = |key: &str, default: u64| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    if std::env::var("VUVUZELA_BENCH_SMOKE").is_ok() {
+        Sizes {
+            onions: env_u64("VUVUZELA_BENCH_ONIONS", 120),
+            mu: 60.0,
+            rounds: 4,
+            workers: vec![2],
+            dial_users: 0, // smoke skips the heavy dialing artefact
+            dial_rounds: 0,
+            smoke: true,
+        }
+    } else {
+        Sizes {
+            onions: env_u64("VUVUZELA_BENCH_ONIONS", 2_000),
+            mu: 1_000.0,
+            rounds: env_u64("VUVUZELA_BENCH_ROUNDS", 6) as usize,
+            workers: vec![1, 2, 4],
+            dial_users: env_u64("VUVUZELA_BENCH_DIAL_USERS", 400),
+            dial_rounds: env_u64("VUVUZELA_BENCH_DIAL_ROUNDS", 2) as usize,
+            smoke: false,
+        }
+    }
+}
+
+fn config(workers: usize, mu: f64) -> SystemConfig {
+    SystemConfig {
+        chain_len: CHAIN_LEN,
+        conversation_noise: NoiseDistribution::new(mu, mu / 20.0 + 1.0),
+        dialing_noise: NoiseDistribution::new(DIAL_MU, 770.0),
+        noise_mode: NoiseMode::Deterministic,
+        workers,
+        conversation_slots: 1,
+        retransmit_after: 2,
+    }
+}
+
+/// Per-stage busy time implied by one round's timings: forward pass plus
+/// the matching backward pass (`timing.backward` is recorded last-server
+/// first) plus the tail's exchange.
+fn stage_busy_secs(timing: &RoundTiming) -> Vec<f64> {
+    let n = timing.forward.len();
+    (0..n)
+        .map(|i| {
+            let mut busy = timing.forward[i].as_secs_f64();
+            if let Some(b) = timing.backward.get(n - 1 - i) {
+                busy += b.as_secs_f64();
+            }
+            if i == n - 1 {
+                busy += timing.exchange.as_secs_f64();
+            }
+            busy
+        })
+        .collect()
+}
+
+struct SchedulerResult {
+    wall_secs: f64,
+    timings: Vec<RoundTiming>,
+}
+
+fn run_sequential(
+    workers: usize,
+    mu: f64,
+    seed: u64,
+    schedule: &[(u64, Vec<Vec<u8>>)],
+) -> (SchedulerResult, Vec<Vec<Vec<u8>>>) {
+    let mut chain = Chain::new(config(workers, mu), seed);
+    let start = Instant::now();
+    let mut replies = Vec::new();
+    let mut timings = Vec::new();
+    for (round, batch) in schedule {
+        let (r, t) = chain.run_conversation_round(*round, batch.clone());
+        replies.push(r);
+        timings.push(t);
+    }
+    (
+        SchedulerResult {
+            wall_secs: start.elapsed().as_secs_f64(),
+            timings,
+        },
+        replies,
+    )
+}
+
+fn run_streaming(
+    workers: usize,
+    mu: f64,
+    seed: u64,
+    schedule: &[(u64, Vec<Vec<u8>>)],
+) -> (SchedulerResult, Vec<Vec<Vec<u8>>>) {
+    let mut chain = StreamingChain::new(config(workers, mu), seed);
+    let start = Instant::now();
+    let out = chain.run_conversation_rounds(schedule.to_vec());
+    let wall_secs = start.elapsed().as_secs_f64();
+    let (replies, timings): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+    (SchedulerResult { wall_secs, timings }, replies)
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+fn main() {
+    let sizes = sizes();
+    let seed = 42;
+    let cores = vuvuzela_net::parallel::default_workers();
+    println!(
+        "streaming-chain bench: {} onions/round, {} rounds, chain {CHAIN_LEN}, mu {}, {} core(s)",
+        sizes.onions, sizes.rounds, sizes.mu, cores
+    );
+
+    // One shared client workload per round (batches are scheduler-independent).
+    let pks = Chain::new(config(1, sizes.mu), seed).server_public_keys();
+    let schedule: Vec<(u64, Vec<Vec<u8>>)> = (0..sizes.rounds as u64)
+        .map(|round| {
+            (
+                round,
+                conversation_batch(sizes.onions, round, &pks, cores, 7 + round),
+            )
+        })
+        .collect();
+
+    let mut configs = Vec::new();
+    let mut gate_failed = false;
+    let iterations = if sizes.smoke { 2 } else { 3 };
+    for &workers in &sizes.workers {
+        // Best-of-N wall clock per scheduler (single-core boxes have
+        // ±10% run-to-run noise); outputs must agree on every iteration.
+        let mut seq: Option<SchedulerResult> = None;
+        let mut stream: Option<SchedulerResult> = None;
+        for _ in 0..iterations {
+            let (s, seq_replies) = run_sequential(workers, sizes.mu, seed, &schedule);
+            let (p, stream_replies) = run_streaming(workers, sizes.mu, seed, &schedule);
+            assert_eq!(
+                seq_replies, stream_replies,
+                "streaming and sequential outputs diverged (workers {workers})"
+            );
+            if seq.as_ref().is_none_or(|best| s.wall_secs < best.wall_secs) {
+                seq = Some(s);
+            }
+            if stream
+                .as_ref()
+                .is_none_or(|best| p.wall_secs < best.wall_secs)
+            {
+                stream = Some(p);
+            }
+        }
+        let seq = seq.expect("at least one iteration");
+        let stream = stream.expect("at least one iteration");
+
+        let seq_period = mean(seq.timings.iter().map(|t| t.total.as_secs_f64()));
+        let n_stages = CHAIN_LEN;
+        let mean_stage_busy: Vec<f64> = (0..n_stages)
+            .map(|i| mean(seq.timings.iter().map(|t| stage_busy_secs(t)[i])))
+            .collect();
+        let pipeline_period = mean_stage_busy.iter().cloned().fold(0.0f64, f64::max);
+        let sustained_model = seq_period / pipeline_period;
+
+        let seq_rate = sizes.rounds as f64 / seq.wall_secs;
+        let stream_rate = sizes.rounds as f64 / stream.wall_secs;
+        let measured = stream_rate / seq_rate;
+        println!(
+            "workers {workers}: sequential {seq_rate:.3} rounds/s, streaming {stream_rate:.3} rounds/s \
+             (measured {measured:.2}x, sustained model {sustained_model:.2}x)"
+        );
+
+        if sizes.smoke {
+            // CI gate: outputs byte-identical (asserted above) and no
+            // real throughput regression where the machine can overlap
+            // stages. The measured ratio legitimately hovers near 1.0×
+            // when cores < chain_len and wall clocks carry ±10%
+            // run-to-run noise even best-of-2, so the gate trips only on
+            // a regression outside that band.
+            let threshold = if cores >= 2 { 0.9 } else { 0.5 };
+            if measured < threshold {
+                eprintln!(
+                    "SMOKE FAIL: streaming measured {measured:.2}x < {threshold:.2}x \
+                     (cores {cores}, workers {workers})"
+                );
+                gate_failed = true;
+            }
+        }
+
+        configs.push(serde_json::json!({
+            "workers": workers,
+            "sequential": {
+                "wall_secs": seq.wall_secs,
+                "rounds_per_sec": seq_rate,
+                "mean_round_secs": seq_period,
+                "mean_stage_busy_secs": mean_stage_busy,
+            },
+            "streaming": {
+                "wall_secs": stream.wall_secs,
+                "rounds_per_sec": stream_rate,
+                "mean_stream_total_secs": mean(stream.timings.iter().map(|t| t.total.as_secs_f64())),
+            },
+            "measured_speedup": measured,
+            "sustained_speedup_model": sustained_model,
+        }));
+    }
+
+    if sizes.smoke {
+        if gate_failed {
+            std::process::exit(1);
+        }
+        println!("smoke gate passed");
+        return;
+    }
+
+    let sustained_at_2 = configs
+        .iter()
+        .find(|c| c["workers"].as_u64() == Some(2))
+        .map(|c| c["sustained_speedup_model"].as_f64().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let json = serde_json::json!({
+        "onions": sizes.onions,
+        "chain_len": CHAIN_LEN,
+        "mu": sizes.mu,
+        "rounds": sizes.rounds,
+        "machine_cores": cores,
+        "configs": configs,
+        "sustained_speedup": sustained_at_2,
+        "note": "sustained_speedup is the steady-state pipeline model derived from measured \
+                 per-hop stage times (one round per max stage time vs the sum of stage times); \
+                 measured_speedup is raw wall clock on this machine, which cannot exceed 1.0 \
+                 when cores < chain_len because the work is CPU-bound and identical.",
+    });
+    let root = workspace_root();
+    let path = root.join("BENCH_streaming_chain.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write BENCH_streaming_chain.json");
+    println!("[artefact] {}", path.display());
+
+    // ---- Dialing-round artefact (µ = 13,000 noise per drop, §8.1) ----
+    if sizes.dial_rounds > 0 {
+        let num_drops = 1u32;
+        println!(
+            "\ndialing bench: {} users, {} rounds, mu {DIAL_MU} per drop, {num_drops} drop(s)",
+            sizes.dial_users, sizes.dial_rounds
+        );
+        let dial_schedule: Vec<(u64, Vec<Vec<u8>>)> = (0..sizes.dial_rounds as u64)
+            .map(|round| {
+                (
+                    round,
+                    dialing_batch(
+                        sizes.dial_users,
+                        sizes.dial_users / 20,
+                        num_drops,
+                        round,
+                        &pks,
+                        cores,
+                        99 + round,
+                    ),
+                )
+            })
+            .collect();
+
+        let workers = 2;
+        let mut seq_chain = Chain::new(config(workers, sizes.mu), seed);
+        let start = Instant::now();
+        let mut seq_timings = Vec::new();
+        for (round, batch) in &dial_schedule {
+            seq_timings.push(seq_chain.run_dialing_round(*round, batch.clone(), num_drops));
+        }
+        let seq_wall = start.elapsed().as_secs_f64();
+
+        let mut stream_chain = StreamingChain::new(config(workers, sizes.mu), seed);
+        let start = Instant::now();
+        let stream_timings = stream_chain.run_dialing_rounds(dial_schedule.clone(), num_drops);
+        let stream_wall = start.elapsed().as_secs_f64();
+
+        // Observables must agree (full byte-equivalence is covered by the
+        // streaming_equivalence proptests; drops are too large to diff here).
+        let mut got = stream_chain.chain().dialing_observables().to_vec();
+        got.sort_by_key(|(r, _)| *r);
+        assert_eq!(
+            got.as_slice(),
+            seq_chain.dialing_observables(),
+            "dialing observables diverged"
+        );
+
+        // Forward-only pipeline model: one round per slowest hop
+        // (+ deposit at the tail) vs the sum of hops.
+        let mean_stage: Vec<f64> = (0..CHAIN_LEN)
+            .map(|i| {
+                mean(seq_timings.iter().map(|t| {
+                    t.forward[i].as_secs_f64()
+                        + if i == CHAIN_LEN - 1 {
+                            t.exchange.as_secs_f64()
+                        } else {
+                            0.0
+                        }
+                }))
+            })
+            .collect();
+        let seq_period = mean(seq_timings.iter().map(|t| t.total.as_secs_f64()));
+        let pipeline_period = mean_stage.iter().cloned().fold(0.0f64, f64::max);
+
+        let seq_rate = sizes.dial_rounds as f64 / seq_wall;
+        let stream_rate = sizes.dial_rounds as f64 / stream_wall;
+        println!(
+            "dialing: sequential {seq_rate:.3} rounds/s, streaming {stream_rate:.3} rounds/s \
+             (measured {:.2}x, sustained model {:.2}x)",
+            stream_rate / seq_rate,
+            seq_period / pipeline_period
+        );
+
+        let dial_json = serde_json::json!({
+            "users": sizes.dial_users,
+            "dialers": sizes.dial_users / 20,
+            "num_drops": num_drops,
+            "mu_per_drop": DIAL_MU,
+            "chain_len": CHAIN_LEN,
+            "rounds": sizes.dial_rounds,
+            "workers": workers,
+            "machine_cores": cores,
+            "sequential": {
+                "wall_secs": seq_wall,
+                "rounds_per_sec": seq_rate,
+                "mean_round_secs": seq_period,
+                "mean_stage_busy_secs": mean_stage,
+            },
+            "streaming": {
+                "wall_secs": stream_wall,
+                "rounds_per_sec": stream_rate,
+            },
+            "measured_speedup": stream_rate / seq_rate,
+            "sustained_speedup_model": seq_period / pipeline_period,
+            "stream_timings_total_secs":
+                stream_timings.iter().map(|t| t.total.as_secs_f64()).collect::<Vec<_>>(),
+        });
+        let path = root.join("BENCH_dialing_round.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&dial_json).expect("serialize"),
+        )
+        .expect("write BENCH_dialing_round.json");
+        println!("[artefact] {}", path.display());
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use vuvuzela_core::noise::wrap_payloads;
+use vuvuzela_core::noise::wrap_payloads_precomputed;
 use vuvuzela_crypto::x25519::PublicKey;
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
@@ -36,7 +36,7 @@ pub fn conversation_batch(
         request.drop = pair_drop;
         payloads.push(request.encode());
     }
-    wrap_payloads(&mut rng, payloads, server_pks, round, workers)
+    wrap_payloads_precomputed(&mut rng, payloads, server_pks, round, workers)
 }
 
 /// Builds a dialing-round batch: `dialers` real invitations spread over
@@ -67,7 +67,7 @@ pub fn dialing_batch(
         };
         payloads.push(request.encode());
     }
-    wrap_payloads(&mut rng, payloads, server_pks, round, workers)
+    wrap_payloads_precomputed(&mut rng, payloads, server_pks, round, workers)
 }
 
 /// A deterministic jumble of bytes for adversarial-input fuzzing.

@@ -5,12 +5,21 @@
 //! synchronously — mirroring the paper's observation that "one server
 //! cannot start processing a round until the previous server finishes"
 //! (§8.2), which makes end-to-end latency the sum of per-hop processing.
+//! [`crate::pipeline::StreamingChain`] lifts exactly that restriction
+//! for *throughput* (hops overlap across in-flight rounds) while
+//! producing byte-identical per-round results; the synchronous chain
+//! stays as the reference path it is verified against.
+//!
+//! All of a round's harness-level randomness (noise substitutes for
+//! undecodable exchange payloads, the dead-drop store's coin flips) is
+//! drawn from a per-round RNG derived from the chain seed, so the two
+//! schedulers agree no matter how rounds interleave.
 
 use crate::config::SystemConfig;
 use crate::deaddrops::{ConversationDrops, InvitationDrops};
 use crate::observables::{ConversationObservables, DialingObservables};
 use crate::roundbuf::RoundBuffer;
-use crate::server::{MixServer, RoundKind};
+use crate::server::{round_rng, MixServer, RoundKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -21,25 +30,38 @@ use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
 
+/// Domain separator distinguishing the chain-level per-round RNG (drop
+/// exchange, undecodable-payload substitutes) from the servers' own.
+pub(crate) const CHAIN_RNG_DOMAIN: u64 = 0x5EED_C4A1_4000_0000;
+
 /// Moves a flat round buffer across a link: meters it, and only pays the
 /// per-message conversion when an adversary tap is actually attached
 /// (taps see and mutate `Vec<Vec<u8>>` batches, as the threat model's
 /// "monitor, block, delay, or inject" interface always has).
-fn transmit_buf(link: &Link, round: u64, direction: Direction, buf: RoundBuffer) -> RoundBuffer {
+///
+/// Returns the buffer that arrives at the far end plus the number of
+/// entries the tap resized: those can no longer be valid onions, so the
+/// rebuild zero-fills their slots (downstream peeling replaces them with
+/// noise) and the count is surfaced on [`Chain::tap_resized`].
+pub(crate) fn transmit_buf(
+    link: &Link,
+    round: u64,
+    direction: Direction,
+    buf: RoundBuffer,
+) -> (RoundBuffer, u64) {
     link.record(
+        round,
         direction,
         buf.len() as u64,
         (buf.len() * buf.width()) as u64,
     );
     if !link.has_tap() {
-        return buf;
+        return (buf, 0);
     }
     let mut batch = buf.to_vecs();
     link.tap_intercept(round, direction, &mut batch);
-    // Entries the tap resized can no longer be valid onions; rebuilding
-    // zero-fills them and downstream peeling replaces them with noise.
-    let (rebuilt, _mismatched) = RoundBuffer::from_vecs(&batch, buf.stride(), buf.width());
-    rebuilt
+    let (rebuilt, mismatched) = RoundBuffer::from_vecs(&batch, buf.stride(), buf.width());
+    (rebuilt, mismatched.len() as u64)
 }
 
 /// Wall-clock timing of one conversation round, per stage.
@@ -58,22 +80,34 @@ pub struct RoundTiming {
 }
 
 /// A full deployment: entry link, server chain, dead-drop stores, meters.
+///
+/// Fields are `pub(crate)` so [`crate::pipeline::StreamingChain`] can
+/// drive the *same* deployment (same servers, links, seeds) through an
+/// overlapped schedule.
 pub struct Chain {
-    config: SystemConfig,
-    servers: Vec<MixServer>,
+    pub(crate) config: SystemConfig,
+    pub(crate) servers: Vec<MixServer>,
     /// `links[0]` connects entry→server 0; `links[i]` connects
     /// server i−1 → server i.
-    links: Vec<Link>,
+    pub(crate) links: Vec<Link>,
     /// Aggregated clients→entry link.
-    client_link: Link,
+    pub(crate) client_link: Link,
     /// Meter standing in for the CDN that serves invitation-drop
     /// downloads (§5.5).
-    cdn_link: Link,
-    rng: StdRng,
-    conversation_log: Vec<(u64, ConversationObservables)>,
-    dialing_log: Vec<(u64, DialingObservables)>,
+    pub(crate) cdn_link: Link,
+    /// Base seed for the chain-level per-round RNG.
+    pub(crate) seed: u64,
+    pub(crate) conversation_log: Vec<(u64, ConversationObservables)>,
+    pub(crate) dialing_log: Vec<(u64, DialingObservables)>,
     /// The most recent dialing round's drops, downloadable by clients.
-    invitation_drops: Option<(u64, InvitationDrops)>,
+    pub(crate) invitation_drops: Option<(u64, InvitationDrops)>,
+    /// Total entries adversary taps resized across flat-buffer
+    /// transfers — every hop link plus the entry→clients reply leg
+    /// (their slots were zero-filled on rebuild; see [`transmit_buf`]).
+    /// The clients→entry request leg is excluded: its entry sizes are
+    /// client-controlled, so a mismatch there cannot be attributed to a
+    /// tap.
+    pub(crate) tap_resized: u64,
 }
 
 impl Chain {
@@ -119,11 +153,18 @@ impl Chain {
             links,
             client_link: Link::new("clients->entry"),
             cdn_link: Link::new("cdn->clients"),
-            rng: StdRng::seed_from_u64(seed.wrapping_add(0x5EED)),
+            seed,
             conversation_log: Vec::new(),
             dialing_log: Vec::new(),
             invitation_drops: None,
+            tap_resized: 0,
         }
+    }
+
+    /// The RNG for one round's chain-level randomness; a pure function
+    /// of `(seed, round)`, shared with the streaming scheduler.
+    pub(crate) fn chain_round_rng(seed: u64, round: u64) -> StdRng {
+        round_rng(seed ^ CHAIN_RNG_DOMAIN, round)
     }
 
     /// The chain's public keys, in onion-wrapping order (server 0 first).
@@ -161,7 +202,9 @@ impl Chain {
         let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
         let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
         for (i, server) in self.servers.iter_mut().enumerate() {
-            buf = transmit_buf(&self.links[i], round, Direction::Forward, buf);
+            let (arrived, resized) = transmit_buf(&self.links[i], round, Direction::Forward, buf);
+            self.tap_resized += resized;
+            buf = arrived;
             let t = Instant::now();
             buf = server.forward_buf(round, kind, buf);
             timing.forward.push(t.elapsed());
@@ -169,26 +212,10 @@ impl Chain {
 
         // Dead-drop exchange at the last server (Algorithm 2 step 3b).
         let t = Instant::now();
-        let requests: Vec<ExchangeRequest> = (0..buf.len())
-            .map(|i| {
-                ExchangeRequest::decode(buf.slot(i))
-                    .unwrap_or_else(|_| ExchangeRequest::noise(&mut self.rng))
-            })
-            .collect();
-        let (responses, observables) = ConversationDrops::exchange(&mut self.rng, &requests);
+        let mut rng = Chain::chain_round_rng(self.seed, round);
+        let (mut replies, observables) =
+            exchange_conversation(&mut rng, self.config.chain_len, &buf);
         self.conversation_log.push((round, observables));
-        // The reply buffer reserves the whole chain's layer overhead up
-        // front, so every hop's in-place reply wrap fits in its slot.
-        let reply_stride = vuvuzela_wire::EXCHANGE_RESPONSE_LEN
-            + self.config.chain_len * onion::REPLY_LAYER_OVERHEAD;
-        let mut replies = RoundBuffer::with_capacity(
-            reply_stride,
-            vuvuzela_wire::EXCHANGE_RESPONSE_LEN,
-            responses.len(),
-        );
-        for response in &responses {
-            replies.push_with(|slot| slot.copy_from_slice(&response.sealed_message));
-        }
         timing.exchange = t.elapsed();
 
         // Backward through the chain (step 4), then entry → clients.
@@ -196,9 +223,14 @@ impl Chain {
             let t = Instant::now();
             replies = self.servers[i].backward_buf(round, replies);
             timing.backward.push(t.elapsed());
-            replies = transmit_buf(&self.links[i], round, Direction::Backward, replies);
+            let (arrived, resized) =
+                transmit_buf(&self.links[i], round, Direction::Backward, replies);
+            self.tap_resized += resized;
+            replies = arrived;
         }
-        let replies = transmit_buf(&self.client_link, round, Direction::Backward, replies);
+        let (replies, resized) =
+            transmit_buf(&self.client_link, round, Direction::Backward, replies);
+        self.tap_resized += resized;
 
         timing.total = start.elapsed();
         (replies.to_vecs(), timing)
@@ -221,7 +253,9 @@ impl Chain {
         let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
         let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
         for (i, server) in self.servers.iter_mut().enumerate() {
-            buf = transmit_buf(&self.links[i], round, Direction::Forward, buf);
+            let (arrived, resized) = transmit_buf(&self.links[i], round, Direction::Forward, buf);
+            self.tap_resized += resized;
+            buf = arrived;
             let t = Instant::now();
             buf = server.forward_buf(round, kind, buf);
             timing.forward.push(t.elapsed());
@@ -230,15 +264,9 @@ impl Chain {
         // Deposit into the invitation drops; add the last server's own
         // per-drop noise; publish for download.
         let t = Instant::now();
-        let mut drops = InvitationDrops::new(num_drops);
-        for i in 0..buf.len() {
-            let request = DialRequest::decode(buf.slot(i))
-                .unwrap_or_else(|_| DialRequest::noop(&mut self.rng));
-            drops.deposit(request);
-        }
         let last = self.servers.len() - 1;
-        let counts = self.servers[last].dialing_noise_counts(num_drops);
-        drops.add_noise(&mut self.rng, &counts);
+        let mut rng = Chain::chain_round_rng(self.seed, round);
+        let drops = deposit_dialing(&mut rng, &mut self.servers[last], round, num_drops, &buf);
         self.dialing_log.push((round, drops.observables()));
         // Dialing rounds are forward-only, so the per-server round state
         // retained for a reply pass must be discarded explicitly.
@@ -323,6 +351,72 @@ impl Chain {
     pub fn server(&self, index: usize) -> &MixServer {
         &self.servers[index]
     }
+
+    /// Total in-flight entries adversary taps resized (truncated,
+    /// extended, or injected with a non-onion size) on flat-buffer
+    /// transfers: every inter-hop link plus the entry→clients reply
+    /// leg. Each such entry's slot was rebuilt zero-filled, which
+    /// downstream peeling replaces with noise. Tampering on the
+    /// clients→entry request leg is *not* counted — entry sizes there
+    /// are client-controlled, so a size mismatch cannot be attributed
+    /// to the tap (the entries are still zero-filled and replaced
+    /// downstream all the same).
+    #[must_use]
+    pub fn tap_resized(&self) -> u64 {
+        self.tap_resized
+    }
+}
+
+/// The last server's dead-drop exchange for one conversation round
+/// (Algorithm 2 step 3b): decodes the fully peeled requests (undecodable
+/// payloads become locally generated noise), exchanges through the drop
+/// table, and packs the responses into a reply buffer that reserves the
+/// whole chain's reply-layer overhead up front so every hop's in-place
+/// wrap fits in its slot. Shared verbatim by the sequential chain and
+/// the streaming scheduler's tail stage.
+pub(crate) fn exchange_conversation(
+    rng: &mut StdRng,
+    chain_len: usize,
+    buf: &RoundBuffer,
+) -> (RoundBuffer, ConversationObservables) {
+    let requests: Vec<ExchangeRequest> = (0..buf.len())
+        .map(|i| {
+            ExchangeRequest::decode(buf.slot(i)).unwrap_or_else(|_| ExchangeRequest::noise(rng))
+        })
+        .collect();
+    let (responses, observables) = ConversationDrops::exchange(rng, &requests);
+    let reply_stride =
+        vuvuzela_wire::EXCHANGE_RESPONSE_LEN + chain_len * onion::REPLY_LAYER_OVERHEAD;
+    let mut replies = RoundBuffer::with_capacity(
+        reply_stride,
+        vuvuzela_wire::EXCHANGE_RESPONSE_LEN,
+        responses.len(),
+    );
+    for response in &responses {
+        replies.push_with(|slot| slot.copy_from_slice(&response.sealed_message));
+    }
+    (replies, observables)
+}
+
+/// The tail of one dialing round: deposits every peeled request into a
+/// fresh invitation-drop table (undecodable payloads become no-op
+/// writes) and adds the last server's direct per-drop noise. Shared by
+/// the sequential chain and the streaming scheduler.
+pub(crate) fn deposit_dialing(
+    rng: &mut StdRng,
+    last_server: &mut MixServer,
+    round: u64,
+    num_drops: u32,
+    buf: &RoundBuffer,
+) -> InvitationDrops {
+    let mut drops = InvitationDrops::new(num_drops);
+    for i in 0..buf.len() {
+        let request = DialRequest::decode(buf.slot(i)).unwrap_or_else(|_| DialRequest::noop(rng));
+        drops.deposit(request);
+    }
+    let counts = last_server.dialing_noise_counts(round, num_drops);
+    drops.add_noise(rng, &counts);
+    drops
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use vuvuzela_wire::conversation::{ConversationKeys, ExchangeRequest};
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
 use vuvuzela_wire::message::{FramedMessage, MessageKind, MAX_BODY_LEN};
-use vuvuzela_wire::{EXCHANGE_RESPONSE_LEN, MESSAGE_LEN};
+use vuvuzela_wire::{DIAL_REQUEST_LEN, EXCHANGE_REQUEST_LEN, EXCHANGE_RESPONSE_LEN, MESSAGE_LEN};
 
 /// Client-facing errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +195,17 @@ pub struct Client {
     dial_queue: VecDeque<PublicKey>,
     invitations: Vec<PublicKey>,
     pending: HashMap<u64, PendingRound>,
+    /// Precomputed DH tables for the chain the client talks to, built
+    /// lazily for the `server_pks` it is actually handed (or installed
+    /// shared via [`Client::set_chain_tables`]) and reused every round —
+    /// request wrapping runs on [`onion::wrap_into_with`] (comb keygen,
+    /// table DH, zero per-layer allocations) instead of the allocating
+    /// [`onion::wrap`]. The `Arc` lets a harness population share one
+    /// table set per chain instead of paying ~35 KB + ~1 ms per server
+    /// per client.
+    chain_precomp: std::sync::Arc<Vec<onion::PrecomputedServer>>,
+    /// The chain keys `chain_precomp` was built for.
+    chain_precomp_for: Vec<PublicKey>,
     /// Pipeline window: how many unacked messages a conversation may have
     /// in flight ("Clients can pipeline conversation messages", §8.3).
     pub window: usize,
@@ -215,7 +226,48 @@ impl Client {
             dial_queue: VecDeque::new(),
             invitations: Vec::new(),
             pending: HashMap::new(),
+            chain_precomp: std::sync::Arc::new(Vec::new()),
+            chain_precomp_for: Vec::new(),
             window: 4,
+        }
+    }
+
+    /// Builds one shareable set of per-server DH tables for a chain.
+    /// Install the same `Arc` into every client of a population with
+    /// [`Client::set_chain_tables`] so the tables are built (and held)
+    /// once per chain rather than once per client.
+    #[must_use]
+    pub fn chain_tables(server_pks: &[PublicKey]) -> std::sync::Arc<Vec<onion::PrecomputedServer>> {
+        std::sync::Arc::new(
+            server_pks
+                .iter()
+                .map(|pk| onion::PrecomputedServer::new(*pk))
+                .collect(),
+        )
+    }
+
+    /// Installs a shared table set previously built by
+    /// [`Client::chain_tables`] for exactly `server_pks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` does not have one entry per server key.
+    pub fn set_chain_tables(
+        &mut self,
+        tables: std::sync::Arc<Vec<onion::PrecomputedServer>>,
+        server_pks: &[PublicKey],
+    ) {
+        assert_eq!(tables.len(), server_pks.len(), "one table per server");
+        self.chain_precomp = tables;
+        self.chain_precomp_for = server_pks.to_vec();
+    }
+
+    /// (Re)builds the cached per-server DH tables when the chain
+    /// changes; a no-op on the hot path once warmed or shared in.
+    fn ensure_chain_precomp(&mut self, server_pks: &[PublicKey]) {
+        if self.chain_precomp_for != server_pks {
+            self.chain_precomp = Client::chain_tables(server_pks);
+            self.chain_precomp_for = server_pks.to_vec();
         }
     }
 
@@ -360,19 +412,30 @@ impl Client {
 
     /// Builds this round's onion-wrapped exchange requests — exactly one
     /// per slot, real or fake — and records the layer keys for the reply.
+    ///
+    /// Wrapping runs zero-copy: the request is encoded straight into the
+    /// outgoing onion's buffer and sealed in place via
+    /// [`onion::wrap_into_with`] over the client's cached per-server DH
+    /// tables (byte-identical output to the allocating [`onion::wrap`]
+    /// for equal RNG states).
     pub fn build_conversation_requests<R: RngCore + CryptoRng>(
         &mut self,
         rng: &mut R,
         round: u64,
         server_pks: &[PublicKey],
     ) -> Vec<Vec<u8>> {
+        self.ensure_chain_precomp(server_pks);
         let retransmit_after = self.config.retransmit_after;
         let window = self.window;
+        let chain_len = server_pks.len();
+        let width = onion::wrapped_len(EXCHANGE_REQUEST_LEN, chain_len);
         let mut onions = Vec::with_capacity(self.slots.len());
         let mut pending = PendingRound { slots: Vec::new() };
 
         for slot_index in 0..self.slots.len() {
-            let request = match &mut self.slots[slot_index] {
+            let mut onion_bytes = vec![0u8; width];
+            let payload = &mut onion_bytes[32 * chain_len..];
+            match &mut self.slots[slot_index] {
                 Some(conversation) => {
                     // Step 1a: real exchange.
                     let frame = conversation.next_frame(round, retransmit_after, window);
@@ -381,6 +444,7 @@ impl Client {
                         drop: conversation.keys.drop_id(round),
                         sealed_message: sealed,
                     }
+                    .encode_into(payload);
                 }
                 None => {
                     // Step 1b: fake request against a random partner.
@@ -391,10 +455,17 @@ impl Client {
                         drop: fake.drop_id(round),
                         sealed_message: sealed,
                     }
+                    .encode_into(payload);
                 }
-            };
-            // Step 2: onion wrap.
-            let (onion_bytes, keys) = onion::wrap(rng, server_pks, round, &request.encode());
+            }
+            // Step 2: onion wrap, in place.
+            let keys = onion::wrap_into_with(
+                rng,
+                &self.chain_precomp,
+                round,
+                &mut onion_bytes,
+                EXCHANGE_REQUEST_LEN,
+            );
             onions.push(onion_bytes);
             pending.slots.push((slot_index, keys));
         }
@@ -455,6 +526,7 @@ impl Client {
 
     /// Builds this dialing round's onion-wrapped request: a real
     /// invitation if one is queued, otherwise a no-op write (§5.2).
+    /// Zero-copy, like [`Client::build_conversation_requests`].
     pub fn build_dial_request<R: RngCore + CryptoRng>(
         &mut self,
         rng: &mut R,
@@ -462,6 +534,7 @@ impl Client {
         num_drops: u32,
         server_pks: &[PublicKey],
     ) -> Vec<u8> {
+        self.ensure_chain_precomp(server_pks);
         let request = match self.dial_queue.pop_front() {
             Some(peer) => DialRequest {
                 drop: InvitationDropIndex::for_recipient(&peer, num_drops),
@@ -469,7 +542,16 @@ impl Client {
             },
             None => DialRequest::noop(rng),
         };
-        let (onion_bytes, _) = onion::wrap(rng, server_pks, round, &request.encode());
+        let chain_len = server_pks.len();
+        let mut onion_bytes = vec![0u8; onion::wrapped_len(DIAL_REQUEST_LEN, chain_len)];
+        request.encode_into(&mut onion_bytes[32 * chain_len..]);
+        let _ = onion::wrap_into_with(
+            rng,
+            &self.chain_precomp,
+            round,
+            &mut onion_bytes,
+            DIAL_REQUEST_LEN,
+        );
         onion_bytes
     }
 

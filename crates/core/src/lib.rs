@@ -15,7 +15,11 @@
 //! * [`entry`] — the untrusted entry server (§7): multiplexes client
 //!   requests into a round and demultiplexes the results.
 //! * [`chain`] — a whole deployment wired together with metered,
-//!   tappable links; runs conversation and dialing rounds end to end.
+//!   tappable links; runs conversation and dialing rounds end to end,
+//!   strictly sequentially (the reference scheduler).
+//! * [`pipeline`] — the streaming round scheduler: the same deployment
+//!   with up to `chain_len` rounds in flight, hops overlapped across
+//!   rounds, byte-identical per-round results.
 //! * [`client`] — the client state machine (Algorithm 1): real/fake
 //!   exchanges, message framing, retransmission, dialing and invitation
 //!   scanning.
@@ -45,6 +49,7 @@ pub mod entry;
 pub mod keystore;
 pub mod noise;
 pub mod observables;
+pub mod pipeline;
 pub mod roundbuf;
 pub mod server;
 pub mod testkit;
@@ -52,4 +57,5 @@ pub mod testkit;
 pub use chain::Chain;
 pub use client::Client;
 pub use config::SystemConfig;
+pub use pipeline::StreamingChain;
 pub use roundbuf::RoundBuffer;

@@ -248,12 +248,20 @@ pub fn dialing_noise_counts<R: RngCore + CryptoRng>(
         .collect()
 }
 
-/// Onion-wraps a batch of payloads for a chain suffix, in parallel.
+/// Onion-wraps a batch of payloads for a chain suffix, in parallel —
+/// through the **pre-refactor** allocating [`onion::wrap`] (ladder
+/// keygen, ladder DH, one heap allocation per layer).
 ///
 /// Each item gets its own deterministic child RNG seeded from `rng`, so
 /// results are reproducible for a seeded parent while the expensive
 /// wrapping (one X25519 per layer per payload) spreads across `workers`
 /// threads.
+///
+/// This is deliberately kept at seed-implementation cost: it is what
+/// [`crate::server::MixServer::forward_reference`]'s noise path runs,
+/// and the round benchmarks measure the zero-copy pipeline against it.
+/// Callers that just need onions fast (workload generators) should use
+/// [`wrap_payloads_precomputed`], which is byte-identical.
 pub fn wrap_payloads<R: RngCore + CryptoRng>(
     rng: &mut R,
     payloads: Vec<Vec<u8>>,
@@ -276,6 +284,44 @@ pub fn wrap_payloads<R: RngCore + CryptoRng>(
         let mut child = StdRng::from_seed(seed);
         let (onion, _keys) = onion::wrap(&mut child, chain, round, &payload);
         onion
+    })
+}
+
+/// [`wrap_payloads`] at production speed: per-server precomputed DH
+/// tables, comb keygen, and the in-place sealer — byte-identical output
+/// and RNG consumption to the reference version for equal parent RNG
+/// states (asserted by this module's tests). This is the workload
+/// generators' path: building a benchmark client population no longer
+/// pays ladder keygen or per-layer allocations.
+pub fn wrap_payloads_precomputed<R: RngCore + CryptoRng>(
+    rng: &mut R,
+    payloads: Vec<Vec<u8>>,
+    chain: &[PublicKey],
+    round: u64,
+    workers: usize,
+) -> Vec<Vec<u8>> {
+    if chain.is_empty() {
+        return payloads;
+    }
+    let precomp: Vec<onion::PrecomputedServer> = chain
+        .iter()
+        .map(|pk| onion::PrecomputedServer::new(*pk))
+        .collect();
+    let chain_len = chain.len();
+    let seeded: Vec<([u8; 32], Vec<u8>)> = payloads
+        .into_iter()
+        .map(|p| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            (seed, p)
+        })
+        .collect();
+    parallel_map(seeded, workers, |(seed, payload)| {
+        let mut child = StdRng::from_seed(seed);
+        let mut buf = vec![0u8; onion::wrapped_len(payload.len(), chain_len)];
+        buf[32 * chain_len..32 * chain_len + payload.len()].copy_from_slice(&payload);
+        onion::wrap_noise_into(&mut child, &precomp, round, &mut buf, payload.len());
+        buf
     })
 }
 
@@ -368,6 +414,23 @@ mod tests {
         }
         assert_eq!(per_drop.len(), 3);
         assert!(per_drop.values().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn precomputed_wrap_payloads_is_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s1 = Keypair::generate(&mut rng);
+        let s2 = Keypair::generate(&mut rng);
+        let chain = [s1.public, s2.public];
+        let payloads: Vec<Vec<u8>> = (0..5)
+            .map(|_| ExchangeRequest::noise(&mut rng).encode())
+            .collect();
+
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = rng_a.clone();
+        let reference = wrap_payloads(&mut rng_a, payloads.clone(), &chain, 4, 2);
+        let fast = wrap_payloads_precomputed(&mut rng_b, payloads, &chain, 4, 2);
+        assert_eq!(reference, fast);
     }
 
     #[test]

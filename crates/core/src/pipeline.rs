@@ -1,0 +1,676 @@
+//! The streaming round scheduler: hops overlap across in-flight rounds.
+//!
+//! The paper's chain is strictly sequential — *"one server cannot start
+//! processing a round until the previous server finishes"* (§8.2) — so
+//! end-to-end **latency** is the sum of per-hop processing and, in the
+//! sequential harness, so is round **throughput**: at any moment every
+//! server but one sits idle. Latency is physics (a request really must
+//! traverse all hops, and §8.2's analysis of it is unchanged here), but
+//! the idleness is not: consecutive rounds are independent, so while
+//! server *i* runs round *r*'s forward pass, server *i−1* can already be
+//! peeling round *r+1*, and backward passes interleave symmetrically.
+//!
+//! [`StreamingChain`] implements exactly that schedule:
+//!
+//! * **one stage per server** — each mix server becomes a pipeline stage
+//!   (an OS thread owning the server for the duration of a schedule)
+//!   connected to its neighbours by round-tagged hand-off queues. A
+//!   stage alternates between forward work arriving from upstream and
+//!   backward work arriving from downstream, in arrival order.
+//! * **round-tagged hand-offs** — every queued batch carries its
+//!   [`vuvuzela_wire::RoundId`] (and its accumulated
+//!   [`RoundTiming`]), because a server now holds [`MixServer`] round
+//!   state — mix permutation, layer keys, per-round RNG — for several
+//!   rounds at once and must select the right one per batch. Links
+//!   attribute traffic per round ([`vuvuzela_net::Link::round_traffic`])
+//!   and taps keep receiving the round id, so adversary interception
+//!   semantics are unchanged: pipelining changes *when* bytes move,
+//!   never *which round* they belong to.
+//! * **bounded in-flight window** — at most `chain_len` rounds (by
+//!   default) are admitted between entry and exit, which is the depth at
+//!   which every server can be busy simultaneously; more would only grow
+//!   queues.
+//! * **per-round dead-drop exchange at the tail** — the last stage runs
+//!   the same [`crate::chain`] exchange/deposit code as the sequential
+//!   path, with the chain-level per-round RNG.
+//! * **stage-scoped crypto parallelism** — each stage submits its slot
+//!   work to the shared [`vuvuzela_net::WorkerPool`] under its own
+//!   parallelism budget, so concurrent hops share the machine instead of
+//!   oversubscribing it.
+//!
+//! ## Why the bytes cannot change
+//!
+//! Every source of round randomness is a pure function of `(seed,
+//! round)`: servers capture a derived per-round RNG in their
+//! `RoundState` (see [`crate::server`]) and the chain-level exchange
+//! derives its own the same way. Processing order therefore cannot
+//! influence any round's noise, permutation, or filler — which is what
+//! the streaming-equivalence property tests assert: per-round replies,
+//! dead-drop observables, and per-round link traffic are byte-identical
+//! to [`Chain::run_conversation_round`] for the same seeds, across ≥3
+//! in-flight rounds.
+//!
+//! Sustained throughput of the streaming schedule is bounded by the
+//! slowest hop (plus the tail exchange) instead of the sum of hops; the
+//! `bench_streaming_chain` artefact measures both schedulers on the same
+//! workload.
+
+use crate::chain::{deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundTiming};
+use crate::config::SystemConfig;
+use crate::observables::ConversationObservables;
+use crate::roundbuf::RoundBuffer;
+use crate::server::{MixServer, RoundKind};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+use vuvuzela_crypto::onion;
+use vuvuzela_crypto::x25519::PublicKey;
+use vuvuzela_net::link::Direction;
+use vuvuzela_wire::deaddrop::InvitationDropIndex;
+use vuvuzela_wire::dialing::SealedInvitation;
+use vuvuzela_wire::RoundId;
+
+/// A round's batch in flight between two stages, tagged with the
+/// [`RoundId`] it belongs to and the timing it has accumulated so far.
+struct Tagged {
+    round: RoundId,
+    buf: RoundBuffer,
+    timing: RoundTiming,
+    /// When the round entered the pipeline (for end-to-end latency).
+    fed: Instant,
+}
+
+/// A hand-off between neighbouring stages.
+enum StageMsg {
+    /// Towards the last server (requests).
+    Forward(Tagged),
+    /// Towards the clients (responses) — or, for forward-only dialing
+    /// rounds, the tail's completion notice.
+    Backward(Tagged),
+}
+
+/// What one stage reports when a schedule drains.
+struct StageReport {
+    /// Entries taps resized on this stage's incoming/outgoing transfers.
+    tap_resized: u64,
+    /// Tail stage only: per-round conversation observables, in round
+    /// completion order (equals feed order).
+    conversation_log: Vec<(u64, ConversationObservables)>,
+    /// Tail stage only, dialing schedules: the last round's drops.
+    invitation_drops: Option<(u64, crate::deaddrops::InvitationDrops)>,
+    dialing_log: Vec<(u64, crate::observables::DialingObservables)>,
+}
+
+/// A deployment driven by the streaming scheduler. Wraps the same
+/// [`Chain`] (same servers, links, seeds — construction is identical for
+/// equal `(config, seed)`), so everything a sequential chain exposes —
+/// observables, meters, taps, drop downloads — is available through
+/// [`StreamingChain::chain`] / [`StreamingChain::chain_mut`].
+pub struct StreamingChain {
+    chain: Chain,
+    max_in_flight: usize,
+}
+
+impl StreamingChain {
+    /// Builds a streaming deployment; identical construction (keys,
+    /// seeds, links) to [`Chain::new`] with the same arguments.
+    #[must_use]
+    pub fn new(config: SystemConfig, seed: u64) -> StreamingChain {
+        let max_in_flight = config.chain_len.max(1);
+        StreamingChain {
+            chain: Chain::new(config, seed),
+            max_in_flight,
+        }
+    }
+
+    /// Overrides the in-flight window (default: `chain_len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, window: usize) -> StreamingChain {
+        assert!(window > 0, "need at least one round in flight");
+        self.max_in_flight = window;
+        self
+    }
+
+    /// The underlying deployment: observables, links, meters, servers.
+    #[must_use]
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Mutable access (e.g. to attach adversary taps to links).
+    pub fn chain_mut(&mut self) -> &mut Chain {
+        &mut self.chain
+    }
+
+    /// The chain's public keys, in onion-wrapping order.
+    #[must_use]
+    pub fn server_public_keys(&self) -> Vec<PublicKey> {
+        self.chain.server_public_keys()
+    }
+
+    /// The deployment configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        self.chain.config()
+    }
+
+    /// Downloads one invitation drop from the most recent dialing
+    /// schedule (see [`Chain::download_drop`]).
+    pub fn download_drop(&mut self, index: InvitationDropIndex) -> Option<Vec<SealedInvitation>> {
+        self.chain.download_drop(index)
+    }
+
+    /// Runs a schedule of conversation rounds with up to
+    /// `max_in_flight` rounds overlapped across the chain's hops.
+    /// Returns per-round `(replies, timing)` in input order —
+    /// byte-identical to calling [`Chain::run_conversation_round`] once
+    /// per round on an identically seeded sequential chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate round ids within one schedule (each round
+    /// needs its own in-flight state) or if a stage thread dies (the
+    /// abort flag drains the remaining stages first, so a panicking
+    /// adversary tap or worker closure fails the schedule instead of
+    /// hanging it).
+    pub fn run_conversation_rounds(
+        &mut self,
+        rounds: Vec<(u64, Vec<Vec<u8>>)>,
+    ) -> Vec<(Vec<Vec<u8>>, RoundTiming)> {
+        self.run_schedule(RoundKind::Conversation, rounds)
+    }
+
+    /// Runs a schedule of forward-only dialing rounds (§5) through the
+    /// overlapped pipeline; `num_drops` applies to every round. The last
+    /// round's invitation drops are retained for
+    /// [`StreamingChain::download_drop`]. Byte-identical results to the
+    /// sequential [`Chain::run_dialing_round`] per round.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StreamingChain::run_conversation_rounds`].
+    pub fn run_dialing_rounds(
+        &mut self,
+        rounds: Vec<(u64, Vec<Vec<u8>>)>,
+        num_drops: u32,
+    ) -> Vec<RoundTiming> {
+        self.run_schedule(RoundKind::Dialing { num_drops }, rounds)
+            .into_iter()
+            .map(|(_, timing)| timing)
+            .collect()
+    }
+
+    /// The shared pipeline driver: wires one stage thread per server,
+    /// feeds rounds while the in-flight window has room, collects
+    /// completed rounds at the exit, and merges the stages' reports back
+    /// into the chain. For dialing schedules the per-round "replies" are
+    /// empty (forward-only protocol).
+    fn run_schedule(
+        &mut self,
+        kind: RoundKind,
+        rounds: Vec<(u64, Vec<Vec<u8>>)>,
+    ) -> Vec<(Vec<Vec<u8>>, RoundTiming)> {
+        let order: Vec<u64> = rounds.iter().map(|(r, _)| *r).collect();
+        assert_distinct(&order);
+        let total = rounds.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let is_dialing = matches!(kind, RoundKind::Dialing { .. });
+        let n = self.chain.config.chain_len;
+        let width = onion::wrapped_len(kind.payload_len(), n);
+        let seed = self.chain.seed;
+        let max_in_flight = self.max_in_flight;
+
+        let links = &self.chain.links;
+        let client_link = &self.chain.client_link;
+
+        let mut stage_tx: Vec<Sender<StageMsg>> = Vec::with_capacity(n);
+        let mut stage_rx: Vec<Receiver<StageMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            stage_tx.push(tx);
+            stage_rx.push(rx);
+        }
+        let (out_tx, out_rx) = channel::<StageMsg>();
+        // Raised by any stage that panics (or loses a peer); everyone
+        // else polls it and drains, so one dead stage fails the schedule
+        // instead of deadlocking the survivors.
+        let abort = &AtomicBool::new(false);
+
+        let mut collected: HashMap<u64, (Vec<Vec<u8>>, RoundTiming)> = HashMap::new();
+        let mut resized = 0u64;
+        let mut reports: Vec<StageReport> = Vec::new();
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            let mut rx_iter = stage_rx.into_iter();
+            for (i, server) in self.chain.servers.iter_mut().enumerate() {
+                let rx = rx_iter.next().expect("one receiver per stage");
+                let next_tx = stage_tx.get(i + 1).cloned();
+                // Backward flow for stage 0 — and the tail's completion
+                // notices in forward-only dialing — go straight to the
+                // exit queue.
+                let back_tx = if i == 0 || (is_dialing && i + 1 == n) {
+                    out_tx.clone()
+                } else {
+                    stage_tx[i - 1].clone()
+                };
+                let link = &links[i];
+                handles.push(s.spawn(move || {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pipeline_stage(
+                            server, i, n, total, seed, kind, link, &rx, next_tx, &back_tx, abort,
+                        )
+                    }));
+                    match outcome {
+                        Ok(report) => report,
+                        Err(payload) => {
+                            abort.store(true, Ordering::Release);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+            // The stages hold all the senders they need; dropping the
+            // originals lets disconnects propagate when stages exit.
+            let feed_tx = stage_tx.remove(0);
+            drop(stage_tx);
+            drop(out_tx);
+
+            // The feeder/collector: admit rounds while the in-flight
+            // window has room, collect finished rounds otherwise.
+            let mut done = 0usize;
+            let collect_one =
+                |resized: &mut u64, collected: &mut HashMap<u64, (Vec<Vec<u8>>, RoundTiming)>| {
+                    let Some(StageMsg::Backward(mut tagged)) = recv_or_abort(&out_rx, abort) else {
+                        panic!("a pipeline stage died; schedule aborted");
+                    };
+                    if is_dialing {
+                        tagged.timing.total = tagged.fed.elapsed();
+                        collected.insert(tagged.round.0, (Vec::new(), tagged.timing));
+                    } else {
+                        let (replies, r) = transmit_buf(
+                            client_link,
+                            tagged.round.0,
+                            Direction::Backward,
+                            tagged.buf,
+                        );
+                        *resized += r;
+                        tagged.timing.total = tagged.fed.elapsed();
+                        collected.insert(tagged.round.0, (replies.to_vecs(), tagged.timing));
+                    }
+                };
+            for (fed, (round, batch)) in rounds.into_iter().enumerate() {
+                while fed - done >= max_in_flight {
+                    collect_one(&mut resized, &mut collected);
+                    done += 1;
+                }
+                let batch = client_link.transmit(round, Direction::Forward, batch);
+                let (buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+                assert!(
+                    feed_tx
+                        .send(StageMsg::Forward(Tagged {
+                            round: RoundId(round),
+                            buf,
+                            timing: RoundTiming::default(),
+                            fed: Instant::now(),
+                        }))
+                        .is_ok(),
+                    "a pipeline stage died; schedule aborted"
+                );
+            }
+            drop(feed_tx);
+            while done < total {
+                collect_one(&mut resized, &mut collected);
+                done += 1;
+            }
+            for handle in handles {
+                reports.push(handle.join().expect("stage thread panicked"));
+            }
+        });
+
+        self.chain.tap_resized += resized;
+        for report in reports {
+            self.chain.tap_resized += report.tap_resized;
+            self.chain.conversation_log.extend(report.conversation_log);
+            self.chain.dialing_log.extend(report.dialing_log);
+            if let Some(drops) = report.invitation_drops {
+                self.chain.invitation_drops = Some(drops);
+            }
+        }
+        order
+            .iter()
+            .map(|round| collected.remove(round).expect("every round completed"))
+            .collect()
+    }
+}
+
+/// Blocks for the next message, polling the shared abort flag so a dead
+/// peer ends the wait. `None` means the schedule is aborting (flag set or
+/// all senders gone).
+fn recv_or_abort(rx: &Receiver<StageMsg>, abort: &AtomicBool) -> Option<StageMsg> {
+    loop {
+        if abort.load(Ordering::Acquire) {
+            return None;
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(msg) => return Some(msg),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// One pipeline stage: runs server `i`'s forward pass on every round
+/// arriving from upstream and — for conversation schedules — its
+/// backward pass on every round arriving from downstream, in arrival
+/// order. The tail stage additionally runs the per-round dead-drop
+/// exchange (conversation) or invitation deposit (dialing) and turns the
+/// round around / completes it on the spot. Dialing stages discard their
+/// round state right after forwarding: no replies will ever come back.
+#[allow(clippy::too_many_arguments)] // a stage is exactly this wiring
+fn pipeline_stage(
+    server: &mut MixServer,
+    i: usize,
+    n: usize,
+    total: usize,
+    seed: u64,
+    kind: RoundKind,
+    link: &vuvuzela_net::Link,
+    rx: &Receiver<StageMsg>,
+    next_tx: Option<Sender<StageMsg>>,
+    back_tx: &Sender<StageMsg>,
+    abort: &AtomicBool,
+) -> StageReport {
+    let is_last = i + 1 == n;
+    let is_dialing = matches!(kind, RoundKind::Dialing { .. });
+    let mut report = StageReport {
+        tap_resized: 0,
+        conversation_log: Vec::new(),
+        invitation_drops: None,
+        dialing_log: Vec::new(),
+    };
+    let expect_backwards = if is_last || is_dialing { 0 } else { total };
+    let mut forwards = 0usize;
+    let mut backwards = 0usize;
+    while forwards < total || backwards < expect_backwards {
+        let Some(msg) = recv_or_abort(rx, abort) else {
+            return report; // schedule aborting; hand back what we have
+        };
+        let sent_ok = match msg {
+            StageMsg::Forward(mut tagged) => {
+                forwards += 1;
+                let (buf, r) = transmit_buf(link, tagged.round.0, Direction::Forward, tagged.buf);
+                report.tap_resized += r;
+                let clock = Instant::now();
+                let buf = server.forward_buf(tagged.round.0, kind, buf);
+                tagged.timing.forward.push(clock.elapsed());
+                match (is_last, is_dialing) {
+                    (false, _) => {
+                        if is_dialing {
+                            server.abort_round(tagged.round.0);
+                        }
+                        tagged.buf = buf;
+                        next_tx
+                            .as_ref()
+                            .expect("non-tail stage has a downstream")
+                            .send(StageMsg::Forward(tagged))
+                            .is_ok()
+                    }
+                    (true, false) => {
+                        // Dead-drop exchange + tail backward, then turn
+                        // the round around immediately.
+                        let clock = Instant::now();
+                        let mut rng = Chain::chain_round_rng(seed, tagged.round.0);
+                        let (replies, observables) = exchange_conversation(&mut rng, n, &buf);
+                        report.conversation_log.push((tagged.round.0, observables));
+                        tagged.timing.exchange = clock.elapsed();
+                        let clock = Instant::now();
+                        let replies = server.backward_buf(tagged.round.0, replies);
+                        tagged.timing.backward.push(clock.elapsed());
+                        let (replies, r) =
+                            transmit_buf(link, tagged.round.0, Direction::Backward, replies);
+                        report.tap_resized += r;
+                        tagged.buf = replies;
+                        back_tx.send(StageMsg::Backward(tagged)).is_ok()
+                    }
+                    (true, true) => {
+                        let clock = Instant::now();
+                        let mut rng = Chain::chain_round_rng(seed, tagged.round.0);
+                        let drops = deposit_dialing(
+                            &mut rng,
+                            server,
+                            tagged.round.0,
+                            kind_drops(kind),
+                            &buf,
+                        );
+                        tagged.timing.exchange = clock.elapsed();
+                        report
+                            .dialing_log
+                            .push((tagged.round.0, drops.observables()));
+                        report.invitation_drops = Some((tagged.round.0, drops));
+                        server.abort_round(tagged.round.0);
+                        tagged.buf = RoundBuffer::new(1, 0);
+                        back_tx.send(StageMsg::Backward(tagged)).is_ok()
+                    }
+                }
+            }
+            StageMsg::Backward(mut tagged) => {
+                backwards += 1;
+                let clock = Instant::now();
+                let replies = server.backward_buf(tagged.round.0, tagged.buf);
+                tagged.timing.backward.push(clock.elapsed());
+                let (replies, r) = transmit_buf(link, tagged.round.0, Direction::Backward, replies);
+                report.tap_resized += r;
+                tagged.buf = replies;
+                back_tx.send(StageMsg::Backward(tagged)).is_ok()
+            }
+        };
+        if !sent_ok {
+            // Our peer is gone mid-schedule: flag the abort and drain.
+            abort.store(true, Ordering::Release);
+            return report;
+        }
+    }
+    report
+}
+
+fn kind_drops(kind: RoundKind) -> u32 {
+    match kind {
+        RoundKind::Dialing { num_drops } => num_drops,
+        RoundKind::Conversation => unreachable!("conversation rounds have no invitation drops"),
+    }
+}
+
+fn assert_distinct(rounds: &[u64]) {
+    let mut seen = HashSet::new();
+    assert!(
+        rounds.iter().all(|r| seen.insert(*r)),
+        "duplicate round ids in one schedule"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+    use vuvuzela_wire::conversation::ExchangeRequest;
+
+    fn tiny_config(chain_len: usize) -> SystemConfig {
+        SystemConfig {
+            chain_len,
+            conversation_noise: NoiseDistribution::new(3.0, 1.0),
+            dialing_noise: NoiseDistribution::new(2.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+        }
+    }
+
+    fn client_batch(
+        pks: &[vuvuzela_crypto::x25519::PublicKey],
+        round: u64,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|_| {
+                let payload = ExchangeRequest::noise(rng).encode();
+                onion::wrap(rng, pks, round, &payload).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_sequential_across_three_rounds() {
+        let seed = 11;
+        let mut streaming = StreamingChain::new(tiny_config(3), seed);
+        let mut sequential = Chain::new(tiny_config(3), seed);
+        let pks = streaming.server_public_keys();
+        assert_eq!(pks, sequential.server_public_keys());
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let rounds: Vec<(u64, Vec<Vec<u8>>)> = (0..3u64)
+            .map(|round| (round, client_batch(&pks, round, 4, &mut rng)))
+            .collect();
+
+        let streamed = streaming.run_conversation_rounds(rounds.clone());
+        let mut expected = Vec::new();
+        for (round, batch) in rounds {
+            expected.push(sequential.run_conversation_round(round, batch));
+        }
+        assert_eq!(streamed.len(), expected.len());
+        for (round, ((got, _), (want, _))) in streamed.iter().zip(&expected).enumerate() {
+            assert_eq!(got, want, "round {round} replies diverged");
+        }
+
+        // Observables and per-round link accounting agree too.
+        let mut got_obs: Vec<_> = streaming.chain().conversation_observables().to_vec();
+        got_obs.sort_by_key(|(r, _)| *r);
+        assert_eq!(&got_obs, sequential.conversation_observables());
+        for (sl, ql) in streaming.chain().links().iter().zip(sequential.links()) {
+            for round in 0..3 {
+                for direction in [Direction::Forward, Direction::Backward] {
+                    assert_eq!(
+                        sl.round_traffic(round, direction),
+                        ql.round_traffic(round, direction),
+                        "link {} round {round}",
+                        sl.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dialing_schedule_matches_sequential() {
+        let seed = 23;
+        let mut streaming = StreamingChain::new(tiny_config(2), seed);
+        let mut sequential = Chain::new(tiny_config(2), seed);
+        let pks = streaming.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let caller = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let callee = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let num_drops = 2;
+        let target = InvitationDropIndex::for_recipient(&callee.public, num_drops);
+        let make_round = |round: u64, rng: &mut StdRng| {
+            let request = vuvuzela_wire::dialing::DialRequest {
+                drop: target,
+                invitation: SealedInvitation::seal(rng, &caller.public, &callee.public),
+            };
+            vec![onion::wrap(rng, &pks, round, &request.encode()).0]
+        };
+        let rounds: Vec<(u64, Vec<Vec<u8>>)> = (10..13u64)
+            .map(|round| (round, make_round(round, &mut rng)))
+            .collect();
+
+        let timings = streaming.run_dialing_rounds(rounds.clone(), num_drops);
+        assert_eq!(timings.len(), 3);
+        for (round, batch) in rounds {
+            let _ = sequential.run_dialing_round(round, batch, num_drops);
+        }
+
+        let mut got: Vec<_> = streaming.chain().dialing_observables().to_vec();
+        got.sort_by_key(|(r, _)| *r);
+        assert_eq!(&got, sequential.dialing_observables());
+
+        // Both retain the last round's drops with identical contents.
+        let streamed = streaming.download_drop(target).expect("drops exist");
+        let reference = sequential.download_drop(target).expect("drops exist");
+        assert_eq!(streamed, reference);
+        // No server leaked round state (dialing rounds are aborted).
+        for i in 0..2 {
+            assert_eq!(streaming.chain().server(i).in_flight_rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_a_noop() {
+        let mut streaming = StreamingChain::new(tiny_config(2), 1);
+        assert!(streaming.run_conversation_rounds(Vec::new()).is_empty());
+        assert!(streaming.run_dialing_rounds(Vec::new(), 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate round ids")]
+    fn duplicate_rounds_rejected() {
+        let mut streaming = StreamingChain::new(tiny_config(2), 1);
+        let _ = streaming.run_conversation_rounds(vec![(0, vec![]), (0, vec![])]);
+    }
+
+    #[test]
+    fn panicking_tap_fails_schedule_instead_of_hanging() {
+        // An adversary tap (or any stage-side closure) that panics must
+        // abort the whole schedule with a panic — never deadlock the
+        // feeder or the surviving stages.
+        struct ExplodingTap;
+        impl vuvuzela_net::Tap for ExplodingTap {
+            fn intercept(&mut self, _ctx: &vuvuzela_net::TapContext, _batch: &mut Vec<Vec<u8>>) {
+                panic!("tap exploded");
+            }
+        }
+
+        let mut streaming = StreamingChain::new(tiny_config(3), 3);
+        let pks = streaming.server_public_keys();
+        streaming
+            .chain_mut()
+            .link_mut(1)
+            .attach_tap(std::sync::Arc::new(parking_lot::Mutex::new(ExplodingTap)));
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let rounds: Vec<(u64, Vec<Vec<u8>>)> = (0..3u64)
+            .map(|round| (round, client_batch(&pks, round, 2, &mut rng)))
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            streaming.run_conversation_rounds(rounds)
+        }));
+        assert!(outcome.is_err(), "schedule must fail, not hang");
+    }
+
+    #[test]
+    fn single_server_chain_streams() {
+        let seed = 31;
+        let mut streaming = StreamingChain::new(tiny_config(1), seed);
+        let mut sequential = Chain::new(tiny_config(1), seed);
+        let pks = streaming.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rounds: Vec<(u64, Vec<Vec<u8>>)> = (0..2u64)
+            .map(|round| (round, client_batch(&pks, round, 2, &mut rng)))
+            .collect();
+        let streamed = streaming.run_conversation_rounds(rounds.clone());
+        for ((round, batch), (got, _)) in rounds.into_iter().zip(streamed) {
+            let (want, _) = sequential.run_conversation_round(round, batch);
+            assert_eq!(got, want, "round {round}");
+        }
+    }
+}

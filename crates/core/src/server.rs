@@ -16,14 +16,30 @@
 //! The production data path ([`MixServer::forward_buf`] /
 //! [`MixServer::backward_buf`]) runs on the flat
 //! [`RoundBuffer`](crate::roundbuf::RoundBuffer) arena: layers are peeled
-//! and replies wrapped **in place**, the shuffle is applied by index
-//! remapping instead of cloning payloads, and the per-slot crypto spreads
-//! over the persistent [`vuvuzela_net::WorkerPool`]. The original
-//! per-`Vec` implementation is retained as
-//! [`MixServer::forward_reference`] / [`MixServer::backward_reference`]:
-//! it consumes the server RNG in exactly the same order, which the
-//! pipeline-equivalence property tests assert byte for byte, and it is
-//! the baseline the round benchmarks measure the flat path against.
+//! and replies wrapped **in place** (the peel batches its field
+//! inversions across each worker chunk of onions), the shuffle is
+//! applied by index remapping instead of cloning payloads, and the
+//! per-slot crypto spreads over the persistent
+//! [`vuvuzela_net::WorkerPool`]. The original per-`Vec` implementation
+//! is retained as [`MixServer::forward_reference`] /
+//! [`MixServer::backward_reference`]: it consumes the round RNG in
+//! exactly the same order, which the pipeline-equivalence property tests
+//! assert byte for byte, and it is the baseline the round benchmarks
+//! measure the flat path against.
+//!
+//! ## Per-round randomness
+//!
+//! Every round's secret material — noise counts and contents, the mix
+//! permutation, substitute requests for malformed input, reply filler —
+//! is drawn from a **per-round RNG** derived as a pure function of the
+//! server's seed and the round number, and carried in that round's
+//! [`RoundState`]. No server-resident RNG is consumed across rounds, so
+//! the bytes a round produces are independent of *when* it is processed
+//! relative to other rounds. This is the invariant that lets the
+//! streaming scheduler ([`crate::pipeline`]) hold several rounds in
+//! flight per server, interleaving forward and backward passes in any
+//! order, while remaining byte-identical to the strictly sequential
+//! [`crate::chain::Chain`].
 //!
 //! Malformed requests (failed decryption, wrong size) are *replaced* by
 //! locally generated noise so the batch keeps its shape; on the way back
@@ -69,6 +85,10 @@ impl RoundKind {
 }
 
 /// Per-round bookkeeping kept between the forward and backward passes.
+///
+/// Captures *everything* round-scoped — including the round's RNG — so a
+/// server can hold state for several in-flight rounds at once without
+/// any cross-round coupling (see the module docs).
 struct RoundState {
     /// Layer key per incoming request (`None` for requests this server
     /// had to replace with noise).
@@ -77,6 +97,21 @@ struct RoundState {
     permutation: Vec<usize>,
     /// Requests received from upstream (clients or previous server).
     incoming_len: usize,
+    /// The round's private randomness, continued by the backward pass
+    /// (and, for dialing rounds, the last server's per-drop noise).
+    rng: StdRng,
+}
+
+/// Derives the RNG for one round as a pure function of `(seed, round)`
+/// (splitmix64 finalisation over the pair). Processing order therefore
+/// cannot change any round's randomness — the foundation of the
+/// streaming scheduler's byte-equivalence with the sequential chain.
+#[must_use]
+pub(crate) fn round_rng(seed: u64, round: u64) -> StdRng {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
 /// One server in the Vuvuzela chain.
@@ -89,7 +124,8 @@ pub struct MixServer {
     /// construction and reused for every noise onion of every round.
     downstream_precomp: Vec<onion::PrecomputedServer>,
     config: SystemConfig,
-    rng: StdRng,
+    /// Base seed for per-round RNG derivation ([`round_rng`]).
+    seed: u64,
     rounds: HashMap<u64, RoundState>,
     /// Cumulative count of requests this server replaced because they
     /// failed to authenticate (diagnostic; also exercised by tests).
@@ -129,7 +165,7 @@ impl MixServer {
             downstream,
             downstream_precomp,
             config,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             rounds: HashMap::new(),
             malformed_replaced: 0,
         }
@@ -174,27 +210,32 @@ impl MixServer {
         let incoming_len = batch.len();
         let width = batch.width();
         debug_assert_eq!(width, self.incoming_width(kind), "unexpected onion width");
+        let mut rng = round_rng(self.seed, round);
 
         // Step 1: decrypt our layer of every request, in parallel and in
         // place. The secret key is reconstructed once, outside the
-        // per-onion closure.
+        // per-onion closure, and each worker peels a contiguous chunk of
+        // slots so the x25519 ladder's final field inversions batch at
+        // chunk granularity (one `Fe::invert` per chunk, not per onion).
         let secret = self.keypair.secret.clone();
         let public = self.keypair.public;
         let stride = batch.stride();
-        let layer_keys: Vec<Option<LayerKey>> = WorkerPool::shared().map_strides_mut(
+        let layer_keys: Vec<Option<LayerKey>> = WorkerPool::shared().map_stride_chunks_mut(
             batch.arena_mut(),
             stride,
+            PEEL_CHUNK_SLOTS,
             self.config.workers,
-            |_, slot| {
-                onion::peel_in_place(&secret, &public, round, slot, width)
-                    .ok()
-                    .map(|(key, _)| key)
+            |_, chunk| {
+                onion::peel_chunk_in_place(&secret, &public, round, chunk, stride, width)
+                    .into_iter()
+                    .map(|r| r.ok().map(|(key, _)| key))
+                    .collect()
             },
         );
         batch.set_width(width - onion::LAYER_OVERHEAD);
 
         // Replace malformed entries (sequential: rare, and it draws from
-        // the server RNG whose order must be deterministic).
+        // the round RNG whose order must be deterministic).
         for (i, key) in layer_keys.iter().enumerate() {
             if key.is_none() {
                 self.malformed_replaced += 1;
@@ -203,7 +244,7 @@ impl MixServer {
                     round,
                     kind,
                     batch.slot_mut(i),
-                    &mut self.rng,
+                    &mut rng,
                 );
             }
         }
@@ -216,6 +257,7 @@ impl MixServer {
                     layer_keys,
                     permutation: Vec::new(),
                     incoming_len,
+                    rng,
                 },
             );
             return batch;
@@ -223,11 +265,11 @@ impl MixServer {
 
         // Step 2: cover traffic for the rest of the chain, generated
         // straight into the arena.
-        self.generate_noise_into(round, kind, &mut batch);
+        self.generate_noise_into(&mut rng, round, kind, &mut batch);
 
         // Step 3a: secret shuffle of real + noise requests, by index
         // remapping — no payload clones.
-        let permutation = random_permutation(&mut self.rng, batch.len());
+        let permutation = random_permutation(&mut rng, batch.len());
         batch.permute(&permutation);
 
         self.rounds.insert(
@@ -236,6 +278,7 @@ impl MixServer {
                 layer_keys,
                 permutation,
                 incoming_len,
+                rng,
             },
         );
         batch
@@ -256,7 +299,7 @@ impl MixServer {
     /// Panics if called for a round with no stored forward state — a
     /// harness bug, not adversarial input.
     pub fn backward_buf(&mut self, round: u64, mut replies: RoundBuffer) -> RoundBuffer {
-        let state = self
+        let mut state = self
             .rounds
             .remove(&round)
             .expect("backward() without matching forward()");
@@ -270,7 +313,7 @@ impl MixServer {
                 + (self.chain_len - self.position) * onion::REPLY_LAYER_OVERHEAD;
             let stride = out_size + self.position * onion::REPLY_LAYER_OVERHEAD;
             let mut filler = RoundBuffer::with_capacity(stride, out_size, state.incoming_len);
-            let rng = &mut self.rng;
+            let rng = &mut state.rng;
             for _ in 0..state.incoming_len {
                 filler.push_with(|slot| rng.fill_bytes(slot));
             }
@@ -296,7 +339,7 @@ impl MixServer {
         let reply_size = replies.width();
         let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
         let mut filler_seed = [0u8; 32];
-        self.rng.fill_bytes(&mut filler_seed);
+        state.rng.fill_bytes(&mut filler_seed);
         let keys = &state.layer_keys;
         let stride = replies.stride();
         WorkerPool::shared().map_strides_mut(
@@ -330,6 +373,7 @@ impl MixServer {
     ) -> Vec<Vec<u8>> {
         let incoming_len = batch.len();
         let width = self.incoming_width(kind);
+        let mut rng = round_rng(self.seed, round);
 
         let secret = self.keypair.secret.clone();
         let public = self.keypair.public;
@@ -356,13 +400,7 @@ impl MixServer {
                     self.malformed_replaced += 1;
                     layer_keys.push(None);
                     let mut slot = vec![0u8; inner_width];
-                    substitute_into(
-                        &self.downstream_precomp,
-                        round,
-                        kind,
-                        &mut slot,
-                        &mut self.rng,
-                    );
+                    substitute_into(&self.downstream_precomp, round, kind, &mut slot, &mut rng);
                     payloads.push(slot);
                 }
             }
@@ -375,15 +413,16 @@ impl MixServer {
                     layer_keys,
                     permutation: Vec::new(),
                     incoming_len,
+                    rng,
                 },
             );
             return payloads;
         }
 
-        let noise = self.generate_noise(round, kind);
+        let noise = self.generate_noise(&mut rng, round, kind);
         payloads.extend(noise.onions);
 
-        let permutation = random_permutation(&mut self.rng, payloads.len());
+        let permutation = random_permutation(&mut rng, payloads.len());
         let shuffled: Vec<Vec<u8>> = permutation.iter().map(|&i| payloads[i].clone()).collect();
 
         self.rounds.insert(
@@ -392,6 +431,7 @@ impl MixServer {
                 layer_keys,
                 permutation,
                 incoming_len,
+                rng,
             },
         );
         shuffled
@@ -401,7 +441,7 @@ impl MixServer {
     /// twin of [`MixServer::backward_buf`] (same RNG order, byte-identical
     /// results for equal seeds).
     pub fn backward_reference(&mut self, round: u64, replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        let state = self
+        let mut state = self
             .rounds
             .remove(&round)
             .expect("backward() without matching forward()");
@@ -413,7 +453,7 @@ impl MixServer {
             return (0..state.incoming_len)
                 .map(|_| {
                     let mut filler = vec![0u8; out_size];
-                    self.rng.fill_bytes(&mut filler);
+                    state.rng.fill_bytes(&mut filler);
                     filler
                 })
                 .collect();
@@ -432,7 +472,7 @@ impl MixServer {
         let reply_size = restored.first().map_or(0, Vec::len);
         let out_size = reply_size + onion::REPLY_LAYER_OVERHEAD;
         let mut filler_seed = [0u8; 32];
-        self.rng.fill_bytes(&mut filler_seed);
+        state.rng.fill_bytes(&mut filler_seed);
         let tasks: Vec<(usize, Option<LayerKey>, Vec<u8>)> = state
             .layer_keys
             .into_iter()
@@ -474,20 +514,38 @@ impl MixServer {
         self.rounds.remove(&round);
     }
 
-    /// Noise counts for the last server's direct dialing-drop injection.
-    pub fn dialing_noise_counts(&mut self, num_drops: u32) -> Vec<u64> {
+    /// How many rounds this server currently holds state for — more than
+    /// one exactly when a streaming scheduler has rounds in flight.
+    #[must_use]
+    pub fn in_flight_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Noise counts for the last server's direct dialing-drop injection,
+    /// drawn as the continuation of the round's RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward pass for `round` has not run (or was
+    /// aborted) — a harness bug, mirroring
+    /// [`MixServer::backward_buf`]'s contract for the same misuse.
+    pub fn dialing_noise_counts(&mut self, round: u64, num_drops: u32) -> Vec<u64> {
+        let state = self
+            .rounds
+            .get_mut(&round)
+            .expect("dialing_noise_counts() without matching forward()");
         noise::dialing_noise_counts(
-            &mut self.rng,
+            &mut state.rng,
             num_drops,
             self.config.dialing_noise,
             self.config.noise_mode,
         )
     }
 
-    fn generate_noise(&mut self, round: u64, kind: RoundKind) -> NoiseBatch {
+    fn generate_noise(&mut self, rng: &mut StdRng, round: u64, kind: RoundKind) -> NoiseBatch {
         match kind {
             RoundKind::Conversation => noise::conversation_noise(
-                &mut self.rng,
+                rng,
                 &self.downstream,
                 round,
                 self.config.conversation_noise,
@@ -495,7 +553,7 @@ impl MixServer {
                 self.config.workers,
             ),
             RoundKind::Dialing { num_drops } => noise::dialing_noise(
-                &mut self.rng,
+                rng,
                 &self.downstream,
                 round,
                 num_drops,
@@ -506,11 +564,17 @@ impl MixServer {
         }
     }
 
-    fn generate_noise_into(&mut self, round: u64, kind: RoundKind, batch: &mut RoundBuffer) {
+    fn generate_noise_into(
+        &mut self,
+        rng: &mut StdRng,
+        round: u64,
+        kind: RoundKind,
+        batch: &mut RoundBuffer,
+    ) {
         match kind {
             RoundKind::Conversation => {
                 noise::conversation_noise_into(
-                    &mut self.rng,
+                    rng,
                     batch,
                     &self.downstream_precomp,
                     round,
@@ -521,7 +585,7 @@ impl MixServer {
             }
             RoundKind::Dialing { num_drops } => {
                 noise::dialing_noise_into(
-                    &mut self.rng,
+                    rng,
                     batch,
                     &self.downstream_precomp,
                     round,
@@ -534,6 +598,11 @@ impl MixServer {
         }
     }
 }
+
+/// Slots per worker chunk on the peel hot path — matched to the batch
+/// resolver's width in `vuvuzela_crypto` so each chunk's field
+/// inversions collapse into one.
+const PEEL_CHUNK_SLOTS: usize = 32;
 
 /// Writes a replacement for a malformed request into `slot`: a fresh
 /// noise request wrapped for the remaining chain (or plain at the last

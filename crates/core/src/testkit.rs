@@ -98,6 +98,7 @@ impl TestNetBuilder {
             chain,
             config: self.config,
             clients: Vec::new(),
+            chain_tables: None,
             online: Vec::new(),
             rng: StdRng::seed_from_u64(self.seed.wrapping_add(0xC11E17)),
             conversation_round: 0,
@@ -113,6 +114,8 @@ pub struct TestNet {
     chain: Chain,
     config: SystemConfig,
     clients: Vec<Client>,
+    /// One shared per-chain DH table set for every client.
+    chain_tables: Option<std::sync::Arc<Vec<vuvuzela_crypto::onion::PrecomputedServer>>>,
     online: Vec<bool>,
     rng: StdRng,
     conversation_round: u64,
@@ -132,11 +135,21 @@ impl TestNet {
         }
     }
 
-    /// Adds an online user with a fresh keypair.
+    /// Adds an online user with a fresh keypair. All users share one
+    /// per-chain DH table set (built on the first add) rather than each
+    /// building their own.
     pub fn add_user(&mut self, name: impl Into<String>) -> UserId {
         let keypair = Keypair::generate(&mut self.rng);
-        self.clients
-            .push(Client::new(name, keypair, self.config.clone()));
+        let mut client = Client::new(name, keypair, self.config.clone());
+        let server_pks = self.chain.server_public_keys();
+        if self.chain_tables.is_none() {
+            self.chain_tables = Some(Client::chain_tables(&server_pks));
+        }
+        client.set_chain_tables(
+            self.chain_tables.clone().expect("tables built above"),
+            &server_pks,
+        );
+        self.clients.push(client);
         self.online.push(true);
         UserId(self.clients.len() - 1)
     }

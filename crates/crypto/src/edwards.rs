@@ -131,6 +131,13 @@ impl PendingU {
             den: Fe::ONE,
         }
     }
+
+    /// Builds a pending value from an explicit projective ratio — the
+    /// Montgomery ladder's `(x2, z2)` endpoint, whose final `x2 · z2⁻¹`
+    /// is exactly the inversion this type defers.
+    pub(crate) fn from_ratio(num: Fe, den: Fe) -> PendingU {
+        PendingU { num, den }
+    }
 }
 
 /// Resolves a batch of pending u-coordinates into `out` with a single

@@ -215,7 +215,26 @@ pub fn x25519_base(scalar: &[u8; 32]) -> [u8; 32] {
 /// implemented with the RFC 7748 ladder.
 #[must_use]
 pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
-    let k = clamp(*scalar);
+    let pending = ladder(&clamp(*scalar), u);
+    let mut out = [[0u8; 32]];
+    resolve_pending_into(&[pending], &mut out);
+    out[0]
+}
+
+/// `X25519(scalar, u)` with the ladder's final field inversion deferred;
+/// resolve with [`resolve_pending_into`]. Crate-internal: the onion
+/// peeler batches the inversion across a whole worker chunk of onions
+/// (Montgomery's trick), shaving ~one `Fe::invert` per onion off the
+/// peel hot path while producing bit-identical shared secrets.
+pub(crate) fn x25519_pending(scalar: &[u8; 32], u: &[u8; 32]) -> crate::edwards::PendingU {
+    ladder(&clamp(*scalar), u)
+}
+
+/// The raw RFC 7748 Montgomery ladder, stopping before the final
+/// `x2 · z2⁻¹` inversion. A low-order input leaves `z2 = 0`, which the
+/// batch resolver maps to the all-zero output exactly as
+/// `Fe::invert(0) == 0` does on the immediate path.
+fn ladder(k: &[u8; 32], u: &[u8; 32]) -> crate::edwards::PendingU {
     let x1 = Fe::from_bytes(u);
 
     let mut x2 = Fe::ONE;
@@ -248,7 +267,7 @@ pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
     Fe::cswap(swap, &mut x2, &mut x3);
     Fe::cswap(swap, &mut z2, &mut z3);
 
-    x2.mul(&z2.invert()).to_bytes()
+    crate::edwards::PendingU::from_ratio(x2, z2)
 }
 
 #[cfg(test)]

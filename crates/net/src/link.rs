@@ -70,12 +70,32 @@ impl Tap for RecordingTap {
 }
 
 /// A byte-metered, tappable link between two hops.
+///
+/// Besides the aggregate per-direction [`Meter`]s, a link keeps
+/// **per-round** byte/message counts. With the streaming scheduler
+/// several rounds are on the wire at once, so aggregate counters alone
+/// can no longer attribute traffic to a round — but the adversary of
+/// §2.3 observes per-round batches either way, and the per-round log is
+/// what lets tests assert that pipelined execution changes *when* bytes
+/// move, never *which round* they belong to.
 pub struct Link {
     name: String,
     forward_meter: Arc<Meter>,
     backward_meter: Arc<Meter>,
+    /// `(messages, bytes)` per (round, direction), for round-attributed
+    /// accounting under overlapped rounds. Bounded: entries for the
+    /// oldest rounds are evicted past [`PER_ROUND_LOG_CAP`], so
+    /// long-running simulations don't grow without limit (the aggregate
+    /// meters remain exact forever).
+    per_round: Mutex<std::collections::BTreeMap<(u64, bool), (u64, u64)>>,
     tap: Option<Arc<Mutex<dyn Tap>>>,
 }
+
+/// Maximum `(round, direction)` entries retained per link — far beyond
+/// any in-flight window (streaming schedulers keep `chain_len` rounds in
+/// flight) while keeping per-link memory constant over a process
+/// lifetime.
+const PER_ROUND_LOG_CAP: usize = 4096;
 
 impl Link {
     /// Creates a link with the given diagnostic name.
@@ -85,6 +105,7 @@ impl Link {
             name: name.into(),
             forward_meter: Arc::new(Meter::new()),
             backward_meter: Arc::new(Meter::new()),
+            per_round: Mutex::new(std::collections::BTreeMap::new()),
             tap: None,
         }
     }
@@ -110,20 +131,42 @@ impl Link {
         mut batch: Vec<Vec<u8>>,
     ) -> Vec<Vec<u8>> {
         let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
-        self.record(direction, batch.len() as u64, bytes);
+        self.record(round, direction, batch.len() as u64, bytes);
         self.tap_intercept(round, direction, &mut batch);
         batch
     }
 
     /// Meters a transfer without materialising per-message vectors — the
     /// zero-copy round pipeline's entry point (its batches live in one
-    /// flat arena owned by the caller).
-    pub fn record(&self, direction: Direction, messages: u64, bytes: u64) {
+    /// flat arena owned by the caller). The transfer is attributed to
+    /// `round` in the per-round log as well as the aggregate meters.
+    pub fn record(&self, round: u64, direction: Direction, messages: u64, bytes: u64) {
         let meter = match direction {
             Direction::Forward => &self.forward_meter,
             Direction::Backward => &self.backward_meter,
         };
         meter.record_batch(messages, bytes);
+        let mut per_round = self.per_round.lock();
+        let entry = per_round
+            .entry((round, matches!(direction, Direction::Backward)))
+            .or_insert((0, 0));
+        entry.0 += messages;
+        entry.1 += bytes;
+        while per_round.len() > PER_ROUND_LOG_CAP {
+            per_round.pop_first();
+        }
+    }
+
+    /// The `(messages, bytes)` this link carried for one round in one
+    /// direction — stable under overlapped rounds, unlike the order of
+    /// aggregate-meter increments.
+    #[must_use]
+    pub fn round_traffic(&self, round: u64, direction: Direction) -> (u64, u64) {
+        self.per_round
+            .lock()
+            .get(&(round, matches!(direction, Direction::Backward)))
+            .copied()
+            .unwrap_or((0, 0))
     }
 
     /// Whether an adversary tap is attached (callers carrying flat
@@ -184,6 +227,21 @@ mod tests {
         assert_eq!(link.forward_meter().bytes(), 30);
         assert_eq!(link.forward_meter().messages(), 2);
         assert_eq!(link.backward_meter().bytes(), 0);
+    }
+
+    #[test]
+    fn per_round_accounting_attributes_overlapped_rounds() {
+        // Two rounds interleaved on the wire (as the streaming scheduler
+        // produces) must still be attributable round by round.
+        let link = Link::new("a->b");
+        let _ = link.transmit(0, Direction::Forward, vec![vec![1u8; 10]]);
+        let _ = link.transmit(1, Direction::Forward, vec![vec![2u8; 20], vec![3u8; 20]]);
+        let _ = link.transmit(0, Direction::Backward, vec![vec![4u8; 5]]);
+        assert_eq!(link.round_traffic(0, Direction::Forward), (1, 10));
+        assert_eq!(link.round_traffic(1, Direction::Forward), (2, 40));
+        assert_eq!(link.round_traffic(0, Direction::Backward), (1, 5));
+        assert_eq!(link.round_traffic(1, Direction::Backward), (0, 0));
+        assert_eq!(link.forward_meter().bytes(), 50);
     }
 
     #[test]

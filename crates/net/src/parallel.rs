@@ -52,6 +52,13 @@ struct Call {
     chunk: usize,
     /// Items not yet finished; completion signal when it reaches zero.
     pending: AtomicUsize,
+    /// Threads currently working this call (the submitting caller counts
+    /// as one). Workers join a call only while this is below
+    /// `max_strands`, so concurrent submissions — one per pipeline stage
+    /// — share the pool instead of the first call monopolising it.
+    strands: AtomicUsize,
+    /// The submitting stage's parallelism budget.
+    max_strands: usize,
     /// The first panic message from any worker, re-raised by the caller.
     panic_msg: Mutex<Option<String>>,
     done: Mutex<()>,
@@ -67,6 +74,30 @@ unsafe impl Sync for Call {}
 impl Call {
     fn exhausted(&self) -> bool {
         self.cursor.load(Ordering::Acquire) >= self.total
+    }
+
+    /// Tries to reserve a strand slot on this call; a worker that gets
+    /// `true` must [`Call::leave`] when it stops working the call.
+    fn try_join(&self) -> bool {
+        let mut current = self.strands.load(Ordering::Acquire);
+        loop {
+            if current >= self.max_strands {
+                return false;
+            }
+            match self.strands.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn leave(&self) {
+        self.strands.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Claims and processes chunks until the cursor runs out.
@@ -197,6 +228,9 @@ impl WorkerPool {
             total,
             chunk,
             pending: AtomicUsize::new(total),
+            // The caller below occupies the first strand.
+            strands: AtomicUsize::new(1),
+            max_strands: parallelism,
             panic_msg: Mutex::new(None),
             done: Mutex::new(()),
             done_cv: Condvar::new(),
@@ -283,6 +317,70 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Like [`WorkerPool::map_strides_mut`], but hands each worker a
+    /// window of up to `chunk_slots` **contiguous** stride-windows at a
+    /// time and expects one result per slot back. This is the entry point
+    /// for per-slot crypto that amortises work across neighbouring slots
+    /// — the onion peeler batches its field inversions at exactly this
+    /// granularity (Montgomery's trick over a worker chunk).
+    ///
+    /// `f(first_slot, window)` receives the index of the window's first
+    /// slot and the window itself (`chunk_slots` full strides, except a
+    /// shorter final window) and must return one `R` per slot it covers.
+    /// Results are returned in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns the wrong number of results for a window.
+    pub fn map_stride_chunks_mut<R, F>(
+        &self,
+        data: &mut [u8],
+        stride: usize,
+        chunk_slots: usize,
+        parallelism: usize,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut [u8]) -> Vec<R> + Sync,
+    {
+        assert!(stride > 0, "stride must be positive");
+        assert!(chunk_slots > 0, "chunk_slots must be positive");
+        let total_slots = data.len().div_ceil(stride);
+        let total_chunks = total_slots.div_ceil(chunk_slots);
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(total_slots, || None);
+
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let len = data.len();
+            let results_ptr = SendPtr(results.as_mut_ptr());
+            let worker = |c: usize| {
+                let first_slot = c * chunk_slots;
+                let slots = chunk_slots.min(total_slots - first_slot);
+                let start = first_slot * stride;
+                let end = (start + slots * stride).min(len);
+                // SAFETY: chunks are disjoint (one per index, each index
+                // claimed once) and `data` outlives the blocking `run`.
+                let window =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                let rs = f(first_slot, window);
+                assert_eq!(rs.len(), slots, "one result per slot in the chunk");
+                for (j, r) in rs.into_iter().enumerate() {
+                    // SAFETY: slot `first_slot + j` belongs to this chunk
+                    // and is written by exactly one thread.
+                    unsafe { *results_ptr.get().add(first_slot + j) = Some(r) };
+                }
+            };
+            self.run(total_chunks, parallelism, &worker);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot processed"))
+            .collect()
+    }
+
     /// Order-preserving parallel map over an owned `Vec`.
     pub fn map_vec<T, U, F>(&self, mut items: Vec<T>, parallelism: usize, f: F) -> Vec<U>
     where
@@ -347,10 +445,12 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                while queue.front().is_some_and(|c| c.exhausted()) {
-                    queue.pop_front();
-                }
-                if let Some(call) = queue.front() {
+                queue.retain(|c| !c.exhausted());
+                // First call with strand capacity left: concurrent
+                // submissions (one per active pipeline stage) each get at
+                // most their own parallelism budget, so stages share the
+                // pool without one oversubscribing it.
+                if let Some(call) = queue.iter().find(|c| c.try_join()) {
                     break Arc::clone(call);
                 }
                 queue = shared
@@ -360,6 +460,11 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         call.work();
+        call.leave();
+        // A freed strand slot may unblock peers waiting to join another
+        // call; wake them to re-scan.
+        let _guard = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        shared.work_cv.notify_all();
     }
 }
 
@@ -460,6 +565,53 @@ mod tests {
         assert_eq!(results[10], 7, "partial tail window length");
         for (i, chunk) in data.chunks(64).enumerate() {
             assert!(chunk.iter().all(|&b| b == i as u8 + 1), "window {i}");
+        }
+    }
+
+    #[test]
+    fn map_stride_chunks_mut_covers_every_slot() {
+        let pool = WorkerPool::shared();
+        let mut data = vec![0u8; 16 * 103]; // 103 slots, chunk 8 → partial tail
+        let results = pool.map_stride_chunks_mut(&mut data, 16, 8, usize::MAX, |first, window| {
+            let slots = window.len() / 16;
+            for (j, slot) in window.chunks_mut(16).enumerate() {
+                slot.fill((first + j) as u8);
+            }
+            (first..first + slots).collect()
+        });
+        assert_eq!(results, (0..103).collect::<Vec<_>>());
+        for (i, slot) in data.chunks(16).enumerate() {
+            assert!(slot.iter().all(|&b| b == i as u8), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_from_stage_threads_all_complete() {
+        // Several "stages" submit to the shared pool at once, as the
+        // streaming round scheduler's concurrent hops do; every call must
+        // finish and respect its own parallelism budget.
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|stage| {
+                    s.spawn(move || {
+                        parallel_map((0..2_000u64).collect::<Vec<_>>(), 2, move |x| {
+                            x.wrapping_mul(stage + 1) % 97
+                        })
+                        .into_iter()
+                        .sum::<u64>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect()
+        });
+        for (stage, got) in results.iter().enumerate() {
+            let want: u64 = (0..2_000u64)
+                .map(|x| x.wrapping_mul(stage as u64 + 1) % 97)
+                .sum();
+            assert_eq!(*got, want, "stage {stage}");
         }
     }
 

@@ -13,6 +13,9 @@
 //! * [`message`] — the client-level framing inside a 240-byte payload
 //!   (text, sequence numbers for retransmission, acks).
 //! * [`dialing`] — invitations and dialing requests (§5).
+//! * [`round`] — round identifiers tagging every in-flight batch, so the
+//!   streaming scheduler (and any adversary tap) can attribute
+//!   overlapped rounds correctly.
 //!
 //! Sizes follow §8.1 of the paper: 256-byte sealed conversation messages
 //! (240 bytes of payload + 16 bytes of encryption overhead) and 80-byte
@@ -25,6 +28,9 @@ pub mod conversation;
 pub mod deaddrop;
 pub mod dialing;
 pub mod message;
+pub mod round;
+
+pub use round::RoundId;
 
 /// Payload bytes available to a conversation message before sealing
 /// (paper: "text messages (up to 240 bytes each)").

@@ -1,0 +1,94 @@
+//! Round identifiers for in-flight batch tagging.
+//!
+//! With the sequential chain, "the round" was implicit — exactly one
+//! round existed between two hops at any moment. The streaming scheduler
+//! keeps up to `chain_len` rounds in flight simultaneously, so every
+//! hand-off between stages (and every link transfer an adversary taps)
+//! must carry an explicit round tag: a server holding state for several
+//! rounds needs the tag to pick the right mix permutation and layer
+//! keys, and the §2.3 adversary's per-round observables must attribute
+//! each batch to the round it belongs to, not to the wall-clock order in
+//! which overlapped batches happen to move.
+//!
+//! [`RoundId`] is that tag: an 8-byte little-endian wire value with
+//! total order (rounds are scheduled strictly increasing).
+
+use crate::{expect_len, WireError};
+
+/// Serialized size of a [`RoundId`].
+pub const ROUND_ID_LEN: usize = 8;
+
+/// A protocol round number, tagged onto every inter-stage batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoundId(pub u64);
+
+impl RoundId {
+    /// Encodes as 8 little-endian bytes.
+    #[must_use]
+    pub fn encode(self) -> [u8; ROUND_ID_LEN] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes from exactly [`ROUND_ID_LEN`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadLength`] for any other length.
+    pub fn decode(buf: &[u8]) -> Result<RoundId, WireError> {
+        expect_len(buf, ROUND_ID_LEN)?;
+        let mut bytes = [0u8; ROUND_ID_LEN];
+        bytes.copy_from_slice(buf);
+        Ok(RoundId(u64::from_le_bytes(bytes)))
+    }
+
+    /// The round scheduled after this one.
+    #[must_use]
+    pub fn next(self) -> RoundId {
+        RoundId(self.0 + 1)
+    }
+}
+
+impl From<u64> for RoundId {
+    fn from(round: u64) -> RoundId {
+        RoundId(round)
+    }
+}
+
+impl From<RoundId> for u64 {
+    fn from(id: RoundId) -> u64 {
+        id.0
+    }
+}
+
+impl core::fmt::Display for RoundId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_orders() {
+        let id = RoundId(0x0123_4567_89AB_CDEF);
+        assert_eq!(RoundId::decode(&id.encode()), Ok(id));
+        assert!(RoundId(3) < RoundId(4));
+        assert_eq!(RoundId(3).next(), RoundId(4));
+        assert_eq!(u64::from(RoundId(9)), 9);
+        assert_eq!(RoundId::from(9u64), RoundId(9));
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        assert!(matches!(
+            RoundId::decode(&[0u8; 7]),
+            Err(WireError::BadLength {
+                expected: 8,
+                got: 7
+            })
+        ));
+        assert!(RoundId::decode(&[0u8; 9]).is_err());
+    }
+}

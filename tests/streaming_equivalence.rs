@@ -1,0 +1,215 @@
+//! Property tests: the streaming round scheduler is byte-identical to
+//! the sequential chain.
+//!
+//! [`StreamingChain`] overlaps hops across up to `chain_len` in-flight
+//! rounds; nothing observable may change relative to running the same
+//! rounds one at a time through [`Chain`]: per-round replies, dead-drop
+//! observables, per-round link traffic, and tap-visible batches must all
+//! agree for equal seeds — across chain lengths, batch sizes, noise
+//! levels, and schedules of ≥3 overlapped rounds.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vuvuzela::core::pipeline::StreamingChain;
+use vuvuzela::core::{Chain, SystemConfig};
+use vuvuzela::crypto::onion;
+use vuvuzela::crypto::x25519::PublicKey;
+use vuvuzela::dp::{NoiseDistribution, NoiseMode};
+use vuvuzela::net::link::Direction;
+use vuvuzela::net::{Tap, TapContext};
+use vuvuzela::wire::conversation::ExchangeRequest;
+
+fn config(chain_len: usize, mu: f64) -> SystemConfig {
+    SystemConfig {
+        chain_len,
+        conversation_noise: NoiseDistribution::new(mu, 1.0),
+        dialing_noise: NoiseDistribution::new(2.0, 1.0),
+        noise_mode: NoiseMode::Deterministic,
+        workers: 2,
+        conversation_slots: 1,
+        retransmit_after: 2,
+    }
+}
+
+fn client_rounds(
+    pks: &[PublicKey],
+    rounds: usize,
+    clients: usize,
+    seed: u64,
+) -> Vec<(u64, Vec<Vec<u8>>)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E);
+    (0..rounds as u64)
+        .map(|round| {
+            let batch = (0..clients)
+                .map(|_| {
+                    let payload = ExchangeRequest::noise(&mut rng).encode();
+                    onion::wrap(&mut rng, pks, round, &payload).0
+                })
+                .collect();
+            (round, batch)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance-criterion property: ≥3 in-flight rounds, replies
+    /// and every observable byte-identical to the sequential reference.
+    #[test]
+    fn streaming_equals_sequential(
+        chain_len in 1usize..=3,
+        rounds in 3usize..=5,
+        clients in 0usize..6,
+        mu in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let mut streaming = StreamingChain::new(config(chain_len, f64::from(mu)), seed);
+        let mut sequential = Chain::new(config(chain_len, f64::from(mu)), seed);
+        let pks = streaming.server_public_keys();
+        prop_assert_eq!(&pks, &sequential.server_public_keys());
+
+        let schedule = client_rounds(&pks, rounds, clients, seed);
+        let streamed = streaming.run_conversation_rounds(schedule.clone());
+        let mut expected = Vec::new();
+        for (round, batch) in schedule {
+            expected.push(sequential.run_conversation_round(round, batch));
+        }
+
+        // Per-round replies, byte for byte.
+        prop_assert_eq!(streamed.len(), expected.len());
+        for (round, ((got, _), (want, _))) in streamed.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got, want, "round {} replies diverged", round);
+        }
+
+        // Dead-drop observables (sorted by round — completion order may
+        // legitimately differ from log order only in timing, not value).
+        let mut got_obs = streaming.chain().conversation_observables().to_vec();
+        got_obs.sort_by_key(|(r, _)| *r);
+        prop_assert_eq!(&got_obs[..], sequential.conversation_observables());
+
+        // Per-round, per-direction link traffic on every hop.
+        for (sl, ql) in streaming.chain().links().iter().zip(sequential.links()) {
+            for round in 0..rounds as u64 {
+                for direction in [Direction::Forward, Direction::Backward] {
+                    prop_assert_eq!(
+                        sl.round_traffic(round, direction),
+                        ql.round_traffic(round, direction),
+                        "link {} round {} {:?}", sl.name(), round, direction
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            streaming.chain().total_server_bytes(),
+            sequential.total_server_bytes()
+        );
+        prop_assert_eq!(
+            streaming.chain().client_link().total_bytes(),
+            sequential.client_link().total_bytes()
+        );
+
+        // No round state leaks once the schedule drains.
+        for i in 0..chain_len {
+            prop_assert_eq!(streaming.chain().server(i).in_flight_rounds(), 0);
+        }
+    }
+
+    /// Dialing schedules: invitation drops and observables agree.
+    #[test]
+    fn streaming_dialing_equals_sequential(
+        chain_len in 1usize..=3,
+        rounds in 3usize..=4,
+        clients in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let num_drops = 2u32;
+        let mut streaming = StreamingChain::new(config(chain_len, 2.0), seed);
+        let mut sequential = Chain::new(config(chain_len, 2.0), seed);
+        let pks = streaming.server_public_keys();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A1);
+        let schedule: Vec<(u64, Vec<Vec<u8>>)> = (0..rounds as u64)
+            .map(|round| {
+                let batch = (0..clients)
+                    .map(|_| {
+                        let payload =
+                            vuvuzela::wire::dialing::DialRequest::noop(&mut rng).encode();
+                        onion::wrap(&mut rng, &pks, round, &payload).0
+                    })
+                    .collect();
+                (round, batch)
+            })
+            .collect();
+
+        let timings = streaming.run_dialing_rounds(schedule.clone(), num_drops);
+        prop_assert_eq!(timings.len(), rounds);
+        for (round, batch) in schedule {
+            let _ = sequential.run_dialing_round(round, batch, num_drops);
+        }
+
+        let mut got = streaming.chain().dialing_observables().to_vec();
+        got.sort_by_key(|(r, _)| *r);
+        prop_assert_eq!(&got[..], sequential.dialing_observables());
+
+        for drop in 1..=num_drops {
+            let index = vuvuzela::wire::deaddrop::InvitationDropIndex(drop);
+            prop_assert_eq!(
+                streaming.download_drop(index),
+                sequential.download_drop(index),
+                "drop {} diverged", drop
+            );
+        }
+    }
+}
+
+/// A tap that records per-(round, direction) so interleaving-sensitive
+/// ordering is factored out before comparison.
+#[derive(Default)]
+struct RoundKeyedTap {
+    seen: std::collections::BTreeMap<(u64, bool), Vec<Vec<Vec<u8>>>>,
+}
+
+impl Tap for RoundKeyedTap {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        self.seen
+            .entry((ctx.round, matches!(ctx.direction, Direction::Backward)))
+            .or_default()
+            .push(batch.clone());
+    }
+}
+
+/// An adversary tapping a mid-chain link sees, per round and direction,
+/// exactly the batches it would see against the sequential chain — the
+/// interception semantics are unchanged by pipelining.
+#[test]
+fn tapped_link_sees_identical_per_round_batches() {
+    let seed = 77;
+    let mut streaming = StreamingChain::new(config(3, 2.0), seed);
+    let mut sequential = Chain::new(config(3, 2.0), seed);
+    let pks = streaming.server_public_keys();
+
+    let stream_tap = Arc::new(Mutex::new(RoundKeyedTap::default()));
+    let seq_tap = Arc::new(Mutex::new(RoundKeyedTap::default()));
+    streaming
+        .chain_mut()
+        .link_mut(1)
+        .attach_tap(stream_tap.clone());
+    sequential.link_mut(1).attach_tap(seq_tap.clone());
+
+    let schedule = client_rounds(&pks, 4, 3, seed);
+    let streamed = streaming.run_conversation_rounds(schedule.clone());
+    for (round, batch) in schedule {
+        let (want, _) = sequential.run_conversation_round(round, batch);
+        let (got, _) = &streamed[round as usize];
+        assert_eq!(got, &want, "round {round}");
+    }
+
+    let got = &stream_tap.lock().seen;
+    let want = &seq_tap.lock().seen;
+    assert_eq!(got, want, "per-round tap observations diverged");
+    assert!(!got.is_empty(), "tap saw traffic");
+}
