@@ -1,0 +1,135 @@
+//! Bench-regression gate: compares a freshly generated bench JSON
+//! against its committed baseline and exits non-zero on a throughput
+//! regression.
+//!
+//! Only **scale-free ratio metrics** are compared — every numeric leaf
+//! whose key contains `speedup` but not `measured`
+//! (`sustained_speedup_model`, `speedup_first_hop`, …). Absolute rates
+//! (onions/sec, rounds/sec) depend on the machine a baseline was
+//! generated on and are meaningless to diff across hardware, and even
+//! `measured_speedup` is core-count-bound (it cannot exceed 1.0 when
+//! cores < chain_len, so a 1-core baseline vs a multi-core runner — or
+//! vice versa — would gate on hardware, not code; the smoke bins
+//! already hold measured throughput to a same-machine floor
+//! themselves). The model-derived speedups are computed from per-stage
+//! time *ratios* of a single run, so they transfer: if the pipeline
+//! model used to predict 2.5× over sequential on every box and now
+//! predicts 1.2×, something regressed no matter what hardware CI
+//! landed on.
+//!
+//! A metric regresses when `fresh < (1 − tolerance) × baseline`.
+//! Metrics present in only one file are reported but don't fail the
+//! gate (artefact schemas may grow); finding *no* comparable metric at
+//! all fails it (a silently empty gate is worse than none).
+//!
+//! Usage:
+//! `bench_diff <baseline.json> <fresh.json> [tolerance]`
+//! Tolerance defaults to 0.15 (the ">15% regression fails" CI
+//! contract); override positionally or via `VUVUZELA_BENCH_TOLERANCE`.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Collects `(path, value)` for every numeric leaf under `value` whose
+/// final key contains "speedup" — except wall-clock `measured_*`
+/// ratios, which don't transfer across machines (see the module docs).
+fn collect_speedups(path: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Object(map) => {
+            for (key, child) in map {
+                let child_path = format!("{path}/{key}");
+                if let Some(number) = child.as_f64() {
+                    if key.contains("speedup") && !key.contains("measured") {
+                        out.push((child_path, number));
+                    }
+                } else {
+                    collect_speedups(&child_path, child, out);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect_speedups(&format!("{path}/{i}"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut metrics = Vec::new();
+    collect_speedups("", &value, &mut metrics);
+    Ok(metrics)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline_path), Some(fresh_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance = args
+        .get(2)
+        .cloned()
+        .or_else(|| std::env::var("VUVUZELA_BENCH_TOLERANCE").ok())
+        .map_or(DEFAULT_TOLERANCE, |t| {
+            t.parse().expect("tolerance must be a number")
+        });
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be in [0, 1)"
+    );
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_diff: {baseline_path} (baseline) vs {fresh_path} (fresh), tolerance {tolerance:.2}"
+    );
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (path, base) in &baseline {
+        let Some((_, new)) = fresh.iter().find(|(p, _)| p == path) else {
+            println!("  [skip] {path}: only in baseline");
+            continue;
+        };
+        compared += 1;
+        let floor = base * (1.0 - tolerance);
+        if *new < floor {
+            regressions += 1;
+            println!("  [FAIL] {path}: {new:.3} < {floor:.3} (baseline {base:.3})");
+        } else {
+            println!("  [ ok ] {path}: {new:.3} (baseline {base:.3}, floor {floor:.3})");
+        }
+    }
+    for (path, _) in &fresh {
+        if !baseline.iter().any(|(p, _)| p == path) {
+            println!("  [new ] {path}: only in fresh");
+        }
+    }
+
+    if compared == 0 {
+        eprintln!(
+            "bench_diff: no comparable speedup metrics found — refusing to pass an empty gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions}/{compared} metric(s) regressed more than {:.0}%",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: {compared} metric(s) within tolerance");
+    ExitCode::SUCCESS
+}

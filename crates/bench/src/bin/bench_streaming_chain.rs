@@ -30,9 +30,9 @@
 //! `workers = 2`, exits non-zero if streaming throughput regresses below
 //! sequential on a multi-core machine).
 
-use std::path::PathBuf;
 use std::time::Instant;
 
+use vuvuzela_bench::report::{stage_busy_secs, workspace_root, write_json};
 use vuvuzela_bench::workload::{conversation_batch, dialing_batch};
 use vuvuzela_core::chain::RoundTiming;
 use vuvuzela_core::pipeline::StreamingChain;
@@ -92,25 +92,6 @@ fn config(workers: usize, mu: f64) -> SystemConfig {
         conversation_slots: 1,
         retransmit_after: 2,
     }
-}
-
-/// Per-stage busy time implied by one round's timings: forward pass plus
-/// the matching backward pass (`timing.backward` is recorded last-server
-/// first) plus the tail's exchange.
-fn stage_busy_secs(timing: &RoundTiming) -> Vec<f64> {
-    let n = timing.forward.len();
-    (0..n)
-        .map(|i| {
-            let mut busy = timing.forward[i].as_secs_f64();
-            if let Some(b) = timing.backward.get(n - 1 - i) {
-                busy += b.as_secs_f64();
-            }
-            if i == n - 1 {
-                busy += timing.exchange.as_secs_f64();
-            }
-            busy
-        })
-        .collect()
 }
 
 struct SchedulerResult {
@@ -261,6 +242,18 @@ fn main() {
     }
 
     if sizes.smoke {
+        // The tiny run's ratio metrics (measured / sustained-model
+        // speedups) feed the `bench_diff` regression gate; the committed
+        // baseline is the committed BENCH_smoke_streaming_chain.json.
+        let json = serde_json::json!({
+            "onions": sizes.onions,
+            "chain_len": CHAIN_LEN,
+            "mu": sizes.mu,
+            "rounds": sizes.rounds,
+            "machine_cores": cores,
+            "configs": configs,
+        });
+        let _ = write_json("SMOKE_streaming_chain", &json);
         if gate_failed {
             std::process::exit(1);
         }
@@ -401,10 +394,4 @@ fn main() {
         .expect("write BENCH_dialing_round.json");
         println!("[artefact] {}", path.display());
     }
-}
-
-fn workspace_root() -> PathBuf {
-    std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| PathBuf::from(d).join("../.."))
-        .unwrap_or_else(|_| PathBuf::from("."))
 }

@@ -1,7 +1,9 @@
-//! Table printing and JSON artefacts for the figure binaries.
+//! Table printing, JSON artefacts, and shared timing helpers for the
+//! figure/bench binaries.
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use vuvuzela_core::chain::RoundTiming;
 
 /// A simple fixed-width table printer for figure/table output.
 pub struct Table {
@@ -69,10 +71,7 @@ impl Table {
 /// Panics if the directory or file cannot be written — the harness treats
 /// unrecordable results as a hard failure.
 pub fn write_json(name: &str, value: &serde_json::Value) -> PathBuf {
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| PathBuf::from(d).join("../.."))
-        .unwrap_or_else(|_| PathBuf::from("."));
-    let dir = root.join("bench_results");
+    let dir = workspace_root().join("bench_results");
     std::fs::create_dir_all(&dir).expect("create bench_results/");
     let path = dir.join(format!("{name}.json"));
     let mut file = std::fs::File::create(&path).expect("create artefact file");
@@ -84,6 +83,40 @@ pub fn write_json(name: &str, value: &serde_json::Value) -> PathBuf {
     .expect("write artefact");
     println!("[artefact] {}", path.display());
     path
+}
+
+/// The workspace root (resolved via `CARGO_MANIFEST_DIR` when run via
+/// cargo, else the current directory) — where the committed `BENCH_*`
+/// artefacts live.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// Per-stage busy time implied by one round's timings: forward pass,
+/// plus the matching backward pass where one exists (`timing.backward`
+/// is recorded last-server first and stays empty for forward-only
+/// dialing rounds), plus the tail's exchange/deposit. This is the input
+/// to the sustained-pipeline model the bench artefacts report — one
+/// shared definition so every artefact derives its speedup from the
+/// same formula.
+#[must_use]
+pub fn stage_busy_secs(timing: &RoundTiming) -> Vec<f64> {
+    let n = timing.forward.len();
+    (0..n)
+        .map(|i| {
+            let mut busy = timing.forward[i].as_secs_f64();
+            if let Some(b) = timing.backward.get(n - 1 - i) {
+                busy += b.as_secs_f64();
+            }
+            if i == n - 1 {
+                busy += timing.exchange.as_secs_f64();
+            }
+            busy
+        })
+        .collect()
 }
 
 /// Formats seconds the way the paper's figures label them.

@@ -64,6 +64,116 @@ pub(crate) fn transmit_buf(
     (rebuilt, mismatched.len() as u64)
 }
 
+/// One round of a (possibly mixed) schedule: which protocol it runs,
+/// its round number, and the client batch feeding it. This is the unit
+/// both schedulers consume — [`Chain::run_round`] sequentially,
+/// [`crate::pipeline::StreamingChain::run_mixed_schedule`] overlapped.
+#[derive(Clone, Debug)]
+pub enum RoundSpec {
+    /// A conversation round (Algorithm 2): forward and backward passes.
+    Conversation {
+        /// Protocol round number (unique within a schedule).
+        round: u64,
+        /// Client request onions, already multiplexed by the entry.
+        batch: Vec<Vec<u8>>,
+    },
+    /// A forward-only dialing round (§5).
+    Dialing {
+        /// Protocol round number (unique within a schedule).
+        round: u64,
+        /// Client dial-request onions.
+        batch: Vec<Vec<u8>>,
+        /// Real invitation drops this round (§5.4's `m`).
+        num_drops: u32,
+    },
+}
+
+impl RoundSpec {
+    /// The round number this spec describes.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        match self {
+            RoundSpec::Conversation { round, .. } | RoundSpec::Dialing { round, .. } => *round,
+        }
+    }
+
+    /// The server-side round kind (noise recipe, payload size).
+    #[must_use]
+    pub fn kind(&self) -> RoundKind {
+        match self {
+            RoundSpec::Conversation { .. } => RoundKind::Conversation,
+            RoundSpec::Dialing { num_drops, .. } => RoundKind::Dialing {
+                num_drops: *num_drops,
+            },
+        }
+    }
+
+    /// The wire-level protocol tag ([`vuvuzela_wire::RoundType`]).
+    #[must_use]
+    pub fn round_type(&self) -> vuvuzela_wire::RoundType {
+        self.kind().round_type()
+    }
+
+    /// Number of client requests feeding the round.
+    #[must_use]
+    pub fn batch_len(&self) -> usize {
+        match self {
+            RoundSpec::Conversation { batch, .. } | RoundSpec::Dialing { batch, .. } => batch.len(),
+        }
+    }
+
+    /// Decomposes into `(round, kind, batch)`.
+    #[must_use]
+    pub fn into_parts(self) -> (u64, RoundKind, Vec<Vec<u8>>) {
+        match self {
+            RoundSpec::Conversation { round, batch } => (round, RoundKind::Conversation, batch),
+            RoundSpec::Dialing {
+                round,
+                batch,
+                num_drops,
+            } => (round, RoundKind::Dialing { num_drops }, batch),
+        }
+    }
+}
+
+/// The per-round result of a (possibly mixed) schedule; the variant
+/// always matches the [`RoundSpec`] that produced it.
+#[derive(Clone, Debug)]
+pub enum RoundOutcome {
+    /// A completed conversation round.
+    Conversation {
+        /// Per-request replies, in batch order.
+        replies: Vec<Vec<u8>>,
+        /// Stage timings.
+        timing: RoundTiming,
+    },
+    /// A completed (forward-only) dialing round; the resulting drops are
+    /// downloadable via [`Chain::download_drop`].
+    Dialing {
+        /// Stage timings (`backward` stays empty).
+        timing: RoundTiming,
+    },
+}
+
+impl RoundOutcome {
+    /// The round's stage timings.
+    #[must_use]
+    pub fn timing(&self) -> &RoundTiming {
+        match self {
+            RoundOutcome::Conversation { timing, .. } | RoundOutcome::Dialing { timing } => timing,
+        }
+    }
+
+    /// The replies of a conversation round; `None` for dialing rounds.
+    #[must_use]
+    pub fn replies(&self) -> Option<&[Vec<u8>]> {
+        match self {
+            RoundOutcome::Conversation { replies, .. } => Some(replies),
+            RoundOutcome::Dialing { .. } => None,
+        }
+    }
+}
+
 /// Wall-clock timing of one conversation round, per stage.
 #[derive(Clone, Debug, Default)]
 pub struct RoundTiming {
@@ -278,6 +388,27 @@ impl Chain {
 
         timing.total = start.elapsed();
         timing
+    }
+
+    /// Runs one round of a mixed schedule, dispatching on the spec's
+    /// protocol — the strictly sequential reference the streaming
+    /// scheduler's interleaved execution is verified against, round
+    /// descriptor by round descriptor.
+    pub fn run_round(&mut self, spec: RoundSpec) -> RoundOutcome {
+        match spec {
+            RoundSpec::Conversation { round, batch } => {
+                let (replies, timing) = self.run_conversation_round(round, batch);
+                RoundOutcome::Conversation { replies, timing }
+            }
+            RoundSpec::Dialing {
+                round,
+                batch,
+                num_drops,
+            } => {
+                let timing = self.run_dialing_round(round, batch, num_drops);
+                RoundOutcome::Dialing { timing }
+            }
+        }
     }
 
     /// Downloads one invitation drop from the most recent dialing round,

@@ -18,8 +18,9 @@
 //!   tappable links; runs conversation and dialing rounds end to end,
 //!   strictly sequentially (the reference scheduler).
 //! * [`pipeline`] — the streaming round scheduler: the same deployment
-//!   with up to `chain_len` rounds in flight, hops overlapped across
-//!   rounds, byte-identical per-round results.
+//!   with a weighted window of rounds in flight, hops overlapped across
+//!   rounds, conversation and dialing rounds mixed in one pipeline,
+//!   byte-identical per-round results.
 //! * [`client`] — the client state machine (Algorithm 1): real/fake
 //!   exchanges, message framing, retransmission, dialing and invitation
 //!   scanning.
@@ -54,7 +55,7 @@ pub mod roundbuf;
 pub mod server;
 pub mod testkit;
 
-pub use chain::Chain;
+pub use chain::{Chain, RoundOutcome, RoundSpec};
 pub use client::Client;
 pub use config::SystemConfig;
 pub use pipeline::StreamingChain;

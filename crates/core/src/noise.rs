@@ -8,7 +8,9 @@
 //! at small scale (§8.2) and why latency grows quadratically with chain
 //! length (Figure 11).
 
+use crate::config::SystemConfig;
 use crate::roundbuf::RoundBuffer;
+use crate::server::RoundKind;
 use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 use vuvuzela_crypto::onion;
@@ -235,6 +237,32 @@ fn wrap_slots_in_place<R: RngCore + CryptoRng>(
     });
 }
 
+/// The expected cover traffic a single noising server adds to one round
+/// of `kind` under `config` — the dp planner's per-round-type noise
+/// budget ([`vuvuzela_dp::expected_noise_requests`]), zeroed when noise
+/// is off. The streaming scheduler's weighted admission control prices
+/// rounds with this: a dialing round at the paper's µ = 13,000 per drop
+/// carries orders of magnitude more noise than its client batch, and
+/// must occupy correspondingly more of the in-flight window.
+#[must_use]
+pub fn expected_noise_per_server(kind: RoundKind, config: &SystemConfig) -> f64 {
+    if matches!(config.noise_mode, NoiseMode::Off) {
+        return 0.0;
+    }
+    match kind {
+        RoundKind::Conversation => vuvuzela_dp::expected_noise_requests(
+            vuvuzela_dp::Protocol::Conversation,
+            config.conversation_noise.mu,
+            0,
+        ),
+        RoundKind::Dialing { num_drops } => vuvuzela_dp::expected_noise_requests(
+            vuvuzela_dp::Protocol::Dialing,
+            config.dialing_noise.mu,
+            num_drops,
+        ),
+    }
+}
+
 /// Per-drop noise counts for the last server (which deposits directly
 /// into the drop table instead of wrapping onions).
 pub fn dialing_noise_counts<R: RngCore + CryptoRng>(
@@ -441,6 +469,25 @@ mod tests {
         assert!(batch.onions.is_empty());
         let dial = dialing_noise(&mut rng, &[], 0, 5, dist, NoiseMode::Off, 1);
         assert!(dial.onions.is_empty());
+    }
+
+    #[test]
+    fn noise_budget_prices_round_kinds() {
+        let mut config = SystemConfig {
+            conversation_noise: NoiseDistribution::new(1_000.0, 50.0),
+            dialing_noise: NoiseDistribution::new(13_000.0, 770.0),
+            ..SystemConfig::default()
+        };
+        let conv = expected_noise_per_server(RoundKind::Conversation, &config);
+        let dial = expected_noise_per_server(RoundKind::Dialing { num_drops: 1 }, &config);
+        assert!((conv - 2_000.0).abs() < 1e-9);
+        assert!((dial - 13_000.0).abs() < 1e-9);
+        assert!(dial > conv, "paper-scale dialing rounds are the heavy ones");
+        config.noise_mode = NoiseMode::Off;
+        assert_eq!(
+            expected_noise_per_server(RoundKind::Conversation, &config),
+            0.0
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The streaming round scheduler: hops overlap across in-flight rounds.
+//! The streaming round scheduler: hops overlap across in-flight rounds,
+//! conversation and dialing rounds share one pipeline.
 //!
 //! The paper's chain is strictly sequential — *"one server cannot start
 //! processing a round until the previous server finishes"* (§8.2) — so
@@ -9,34 +10,72 @@
 //! the idleness is not: consecutive rounds are independent, so while
 //! server *i* runs round *r*'s forward pass, server *i−1* can already be
 //! peeling round *r+1*, and backward passes interleave symmetrically.
+//! A deployment also never runs one protocol in isolation: dialing
+//! rounds (§5) interleave with conversation rounds on the same mix
+//! chain, so the schedule the scheduler must sustain is heterogeneous.
 //!
-//! [`StreamingChain`] implements exactly that schedule:
+//! [`StreamingChain`] implements exactly that schedule. The model:
 //!
-//! * **one stage per server** — each mix server becomes a pipeline stage
-//!   (an OS thread owning the server for the duration of a schedule)
-//!   connected to its neighbours by round-tagged hand-off queues. A
-//!   stage alternates between forward work arriving from upstream and
-//!   backward work arriving from downstream, in arrival order.
-//! * **round-tagged hand-offs** — every queued batch carries its
-//!   [`vuvuzela_wire::RoundId`] (and its accumulated
-//!   [`RoundTiming`]), because a server now holds [`MixServer`] round
-//!   state — mix permutation, layer keys, per-round RNG — for several
-//!   rounds at once and must select the right one per batch. Links
-//!   attribute traffic per round ([`vuvuzela_net::Link::round_traffic`])
-//!   and taps keep receiving the round id, so adversary interception
-//!   semantics are unchanged: pipelining changes *when* bytes move,
-//!   never *which round* they belong to.
-//! * **bounded in-flight window** — at most `chain_len` rounds (by
-//!   default) are admitted between entry and exit, which is the depth at
-//!   which every server can be busy simultaneously; more would only grow
-//!   queues.
-//! * **per-round dead-drop exchange at the tail** — the last stage runs
-//!   the same [`crate::chain`] exchange/deposit code as the sequential
-//!   path, with the chain-level per-round RNG.
-//! * **stage-scoped crypto parallelism** — each stage submits its slot
-//!   work to the shared [`vuvuzela_net::WorkerPool`] under its own
-//!   parallelism budget, so concurrent hops share the machine instead of
-//!   oversubscribing it.
+//! ## Stages
+//!
+//! **One stage per server** — each mix server becomes a pipeline stage
+//! (an OS thread owning the server for the duration of a schedule)
+//! connected to its neighbours by round-tagged hand-off queues. A stage
+//! alternates between forward work arriving from upstream and backward
+//! work arriving from downstream, in arrival order. Crypto within a
+//! stage spreads over the shared [`vuvuzela_net::WorkerPool`] under the
+//! stage's own parallelism budget, so concurrent hops share the machine
+//! instead of oversubscribing it.
+//!
+//! ## Hand-offs
+//!
+//! **Round-tagged hand-offs** — every queued batch carries its
+//! [`vuvuzela_wire::RoundId`] *and* its [`RoundKind`]: the protocol
+//! tag (whose wire encoding is [`vuvuzela_wire::RoundType`], via
+//! [`RoundKind::round_type`]) plus dialing's drop count, because a
+//! server holds [`MixServer`] round state — mix permutation,
+//! layer keys, per-round RNG — for several rounds of *both* protocols at
+//! once and must select the right state and recipe per batch. Links
+//! attribute traffic per round ([`vuvuzela_net::Link::round_traffic`])
+//! and taps keep receiving the round id, so adversary interception
+//! semantics are unchanged: pipelining changes *when* bytes move, never
+//! *which round* they belong to. Conversation rounds turn around at the
+//! tail (dead-drop exchange, then the backward pass ripples home);
+//! dialing rounds are forward-only — the tail deposits into the
+//! invitation drops and sends a completion notice straight to the exit
+//! queue, and every stage discards a dialing round's reply state the
+//! moment it has forwarded it.
+//!
+//! ## Admission: the weighted window
+//!
+//! **Weighted in-flight window** — the window is measured in *slots*,
+//! `max_in_flight` of them (default `chain_len`, the depth at which
+//! every server can be busy simultaneously). Rounds are not all the same
+//! size: a dialing round at the paper's µ = 13,000 noise per drop puts
+//! orders of magnitude more onions in flight than its client batch
+//! suggests, and admitting `chain_len` of them as if they were
+//! conversation rounds balloons the queues. So each round is priced by
+//! the dp planner's per-round-type noise budget
+//! ([`crate::noise::expected_noise_per_server`]):
+//!
+//! * a round's **cost** is its client batch plus every noising server's
+//!   expected cover traffic;
+//! * one **slot** is the mean cost of the schedule's conversation
+//!   rounds;
+//! * a round occupies `round(cost / slot)` slots, clamped to
+//!   `[1, max_in_flight]`;
+//! * a **homogeneous** schedule (one round kind only) collapses to
+//!   weight 1 per round — plain round counting, exactly the behaviour
+//!   `run_conversation_rounds` / `run_dialing_rounds` always had;
+//!   weights only throttle genuinely mixed schedules.
+//!
+//! The feeder admits a round while the occupied slots plus the round's
+//! weight fit the window — with one progress guarantee: a round heavier
+//! than the whole window is still admitted once the pipeline is empty,
+//! so heavy dialing rounds throttle admission but can never wedge it,
+//! and a burst of them cannot starve the pipeline into deadlock.
+//! Weights only shape *scheduling*; they cannot affect any round's
+//! bytes (see below).
 //!
 //! ## Why the bytes cannot change
 //!
@@ -46,17 +85,22 @@
 //! derives its own the same way. Processing order therefore cannot
 //! influence any round's noise, permutation, or filler — which is what
 //! the streaming-equivalence property tests assert: per-round replies,
-//! dead-drop observables, and per-round link traffic are byte-identical
-//! to [`Chain::run_conversation_round`] for the same seeds, across ≥3
-//! in-flight rounds.
+//! dead-drop observables, dialing drops, and per-round link traffic are
+//! byte-identical to running the sequential [`Chain`] over the same
+//! interleaved [`RoundSpec`] sequence, across ≥3 in-flight rounds with
+//! dialing rounds adjacent and separated.
 //!
 //! Sustained throughput of the streaming schedule is bounded by the
 //! slowest hop (plus the tail exchange) instead of the sum of hops; the
-//! `bench_streaming_chain` artefact measures both schedulers on the same
-//! workload.
+//! `bench_streaming_chain` and `bench_mixed_schedule` artefacts measure
+//! both schedulers on the same homogeneous resp. mixed workloads.
 
-use crate::chain::{deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundTiming};
+use crate::chain::{
+    deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundOutcome, RoundSpec,
+    RoundTiming,
+};
 use crate::config::SystemConfig;
+use crate::noise::expected_noise_per_server;
 use crate::observables::ConversationObservables;
 use crate::roundbuf::RoundBuffer;
 use crate::server::{MixServer, RoundKind};
@@ -72,9 +116,11 @@ use vuvuzela_wire::dialing::SealedInvitation;
 use vuvuzela_wire::RoundId;
 
 /// A round's batch in flight between two stages, tagged with the
-/// [`RoundId`] it belongs to and the timing it has accumulated so far.
+/// [`RoundId`] and round kind it belongs to and the timing it has
+/// accumulated so far.
 struct Tagged {
     round: RoundId,
+    kind: RoundKind,
     buf: RoundBuffer,
     timing: RoundTiming,
     /// When the round entered the pipeline (for end-to-end latency).
@@ -97,9 +143,77 @@ struct StageReport {
     /// Tail stage only: per-round conversation observables, in round
     /// completion order (equals feed order).
     conversation_log: Vec<(u64, ConversationObservables)>,
-    /// Tail stage only, dialing schedules: the last round's drops.
+    /// Tail stage only: the schedule's *last* dialing round's drops
+    /// (rounds reach the tail in feed order, so last processed = last
+    /// fed, matching the sequential chain's overwrite semantics).
     invitation_drops: Option<(u64, crate::deaddrops::InvitationDrops)>,
     dialing_log: Vec<(u64, crate::observables::DialingObservables)>,
+}
+
+/// The fixed wiring of one pipeline stage (see [`pipeline_stage`]).
+struct StageCtx<'a> {
+    /// Chain position of this stage's server.
+    index: usize,
+    chain_len: usize,
+    /// Rounds the schedule feeds (forward passes to expect).
+    total: usize,
+    /// Conversation rounds in the schedule (backward passes a non-tail
+    /// stage expects; dialing rounds never come back).
+    total_conversation: usize,
+    /// Chain seed, for the tail's chain-level per-round RNG.
+    seed: u64,
+    /// The link feeding this stage's forward pass (and carrying its
+    /// backward output).
+    link: &'a vuvuzela_net::Link,
+    /// Downstream neighbour (`None` for the tail).
+    next_tx: Option<Sender<StageMsg>>,
+    /// Upstream neighbour — the exit queue for stage 0.
+    back_tx: Sender<StageMsg>,
+    /// The exit queue; the tail sends forward-only dialing completions
+    /// here directly.
+    done_tx: Sender<StageMsg>,
+    /// Raised by any stage that panics (or loses a peer); everyone else
+    /// polls it and drains, so one dead stage fails the schedule instead
+    /// of deadlocking the survivors.
+    abort: &'a AtomicBool,
+}
+
+/// A round's admission cost: the expected number of onions it puts in
+/// flight across the chain — its client batch plus every noising
+/// server's expected cover traffic (the dp planner's per-round-type
+/// noise budget).
+fn round_cost(config: &SystemConfig, kind: RoundKind, batch_len: usize) -> f64 {
+    let noising_servers = config.chain_len.saturating_sub(1) as f64;
+    batch_len as f64 + noising_servers * expected_noise_per_server(kind, config)
+}
+
+/// The number of window slots each round of `specs` occupies under
+/// weighted admission (see the module docs): cost relative to the mean
+/// conversation round, rounded, clamped to `[1, window]`. A schedule
+/// containing a single round kind collapses to weight 1 per round —
+/// homogeneous schedules keep the plain round-counting window the
+/// streaming scheduler always had; weights only throttle genuinely
+/// mixed schedules, where the two protocols' per-round costs diverge
+/// by orders of magnitude. Exposed so tests and the mixed-schedule
+/// benchmark can inspect the pricing the scheduler will use.
+#[must_use]
+pub fn admission_weights(config: &SystemConfig, window: usize, specs: &[RoundSpec]) -> Vec<usize> {
+    let conversation_costs: Vec<f64> = specs
+        .iter()
+        .filter(|spec| matches!(spec.kind(), RoundKind::Conversation))
+        .map(|spec| round_cost(config, spec.kind(), spec.batch_len()))
+        .collect();
+    if conversation_costs.is_empty() || conversation_costs.len() == specs.len() {
+        return vec![1; specs.len()];
+    }
+    let slot = (conversation_costs.iter().sum::<f64>() / conversation_costs.len() as f64).max(1.0);
+    specs
+        .iter()
+        .map(|spec| {
+            let cost = round_cost(config, spec.kind(), spec.batch_len());
+            ((cost / slot).round() as usize).clamp(1, window.max(1))
+        })
+        .collect()
 }
 
 /// A deployment driven by the streaming scheduler. Wraps the same
@@ -124,7 +238,7 @@ impl StreamingChain {
         }
     }
 
-    /// Overrides the in-flight window (default: `chain_len`).
+    /// Overrides the in-flight window (default: `chain_len` slots).
     ///
     /// # Panics
     ///
@@ -160,16 +274,16 @@ impl StreamingChain {
     }
 
     /// Downloads one invitation drop from the most recent dialing
-    /// schedule (see [`Chain::download_drop`]).
+    /// round (see [`Chain::download_drop`]).
     pub fn download_drop(&mut self, index: InvitationDropIndex) -> Option<Vec<SealedInvitation>> {
         self.chain.download_drop(index)
     }
 
-    /// Runs a schedule of conversation rounds with up to
-    /// `max_in_flight` rounds overlapped across the chain's hops.
-    /// Returns per-round `(replies, timing)` in input order —
-    /// byte-identical to calling [`Chain::run_conversation_round`] once
-    /// per round on an identically seeded sequential chain.
+    /// Runs a schedule of conversation rounds with the hops overlapped
+    /// across the weighted in-flight window. Returns per-round
+    /// `(replies, timing)` in input order — byte-identical to calling
+    /// [`Chain::run_conversation_round`] once per round on an
+    /// identically seeded sequential chain.
     ///
     /// # Panics
     ///
@@ -182,7 +296,19 @@ impl StreamingChain {
         &mut self,
         rounds: Vec<(u64, Vec<Vec<u8>>)>,
     ) -> Vec<(Vec<Vec<u8>>, RoundTiming)> {
-        self.run_schedule(RoundKind::Conversation, rounds)
+        let specs = rounds
+            .into_iter()
+            .map(|(round, batch)| RoundSpec::Conversation { round, batch })
+            .collect();
+        self.run_mixed_schedule(specs)
+            .into_iter()
+            .map(|outcome| match outcome {
+                RoundOutcome::Conversation { replies, timing } => (replies, timing),
+                RoundOutcome::Dialing { .. } => {
+                    unreachable!("homogeneous conversation schedule")
+                }
+            })
+            .collect()
     }
 
     /// Runs a schedule of forward-only dialing rounds (§5) through the
@@ -199,33 +325,50 @@ impl StreamingChain {
         rounds: Vec<(u64, Vec<Vec<u8>>)>,
         num_drops: u32,
     ) -> Vec<RoundTiming> {
-        self.run_schedule(RoundKind::Dialing { num_drops }, rounds)
+        let specs = rounds
             .into_iter()
-            .map(|(_, timing)| timing)
+            .map(|(round, batch)| RoundSpec::Dialing {
+                round,
+                batch,
+                num_drops,
+            })
+            .collect();
+        self.run_mixed_schedule(specs)
+            .into_iter()
+            .map(|outcome| match outcome {
+                RoundOutcome::Dialing { timing } => timing,
+                RoundOutcome::Conversation { .. } => {
+                    unreachable!("homogeneous dialing schedule")
+                }
+            })
             .collect()
     }
 
-    /// The shared pipeline driver: wires one stage thread per server,
-    /// feeds rounds while the in-flight window has room, collects
-    /// completed rounds at the exit, and merges the stages' reports back
-    /// into the chain. For dialing schedules the per-round "replies" are
-    /// empty (forward-only protocol).
-    fn run_schedule(
-        &mut self,
-        kind: RoundKind,
-        rounds: Vec<(u64, Vec<Vec<u8>>)>,
-    ) -> Vec<(Vec<Vec<u8>>, RoundTiming)> {
-        let order: Vec<u64> = rounds.iter().map(|(r, _)| *r).collect();
+    /// The unified scheduler: runs a heterogeneous sequence of
+    /// conversation and dialing rounds through one overlapped pipeline,
+    /// admitting rounds under the weighted window (see the module docs)
+    /// and returning per-round [`RoundOutcome`]s in input order — each
+    /// byte-identical to running the sequential [`Chain::run_round`]
+    /// over the same interleaved sequence.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StreamingChain::run_conversation_rounds`].
+    pub fn run_mixed_schedule(&mut self, specs: Vec<RoundSpec>) -> Vec<RoundOutcome> {
+        let order: Vec<u64> = specs.iter().map(RoundSpec::round).collect();
         assert_distinct(&order);
-        let total = rounds.len();
+        let total = specs.len();
         if total == 0 {
             return Vec::new();
         }
-        let is_dialing = matches!(kind, RoundKind::Dialing { .. });
         let n = self.chain.config.chain_len;
-        let width = onion::wrapped_len(kind.payload_len(), n);
         let seed = self.chain.seed;
-        let max_in_flight = self.max_in_flight;
+        let window = self.max_in_flight;
+        let weights = admission_weights(&self.chain.config, window, &specs);
+        let total_conversation = specs
+            .iter()
+            .filter(|spec| matches!(spec.kind(), RoundKind::Conversation))
+            .count();
 
         let links = &self.chain.links;
         let client_link = &self.chain.client_link;
@@ -238,12 +381,9 @@ impl StreamingChain {
             stage_rx.push(rx);
         }
         let (out_tx, out_rx) = channel::<StageMsg>();
-        // Raised by any stage that panics (or loses a peer); everyone
-        // else polls it and drains, so one dead stage fails the schedule
-        // instead of deadlocking the survivors.
         let abort = &AtomicBool::new(false);
 
-        let mut collected: HashMap<u64, (Vec<Vec<u8>>, RoundTiming)> = HashMap::new();
+        let mut collected: HashMap<u64, RoundOutcome> = HashMap::new();
         let mut resized = 0u64;
         let mut reports: Vec<StageReport> = Vec::new();
 
@@ -252,26 +392,32 @@ impl StreamingChain {
             let mut rx_iter = stage_rx.into_iter();
             for (i, server) in self.chain.servers.iter_mut().enumerate() {
                 let rx = rx_iter.next().expect("one receiver per stage");
-                let next_tx = stage_tx.get(i + 1).cloned();
-                // Backward flow for stage 0 — and the tail's completion
-                // notices in forward-only dialing — go straight to the
-                // exit queue.
-                let back_tx = if i == 0 || (is_dialing && i + 1 == n) {
-                    out_tx.clone()
-                } else {
-                    stage_tx[i - 1].clone()
+                let ctx = StageCtx {
+                    index: i,
+                    chain_len: n,
+                    total,
+                    total_conversation,
+                    seed,
+                    link: &links[i],
+                    next_tx: stage_tx.get(i + 1).cloned(),
+                    // Backward flow for stage 0 goes straight to the
+                    // exit queue.
+                    back_tx: if i == 0 {
+                        out_tx.clone()
+                    } else {
+                        stage_tx[i - 1].clone()
+                    },
+                    done_tx: out_tx.clone(),
+                    abort,
                 };
-                let link = &links[i];
                 handles.push(s.spawn(move || {
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        pipeline_stage(
-                            server, i, n, total, seed, kind, link, &rx, next_tx, &back_tx, abort,
-                        )
+                        pipeline_stage(server, &ctx, &rx)
                     }));
                     match outcome {
                         Ok(report) => report,
                         Err(payload) => {
-                            abort.store(true, Ordering::Release);
+                            ctx.abort.store(true, Ordering::Release);
                             std::panic::resume_unwind(payload);
                         }
                     }
@@ -283,40 +429,60 @@ impl StreamingChain {
             drop(stage_tx);
             drop(out_tx);
 
-            // The feeder/collector: admit rounds while the in-flight
+            // The feeder/collector: admit rounds while the weighted
             // window has room, collect finished rounds otherwise.
-            let mut done = 0usize;
             let collect_one =
-                |resized: &mut u64, collected: &mut HashMap<u64, (Vec<Vec<u8>>, RoundTiming)>| {
+                |resized: &mut u64, collected: &mut HashMap<u64, RoundOutcome>| -> u64 {
                     let Some(StageMsg::Backward(mut tagged)) = recv_or_abort(&out_rx, abort) else {
                         panic!("a pipeline stage died; schedule aborted");
                     };
-                    if is_dialing {
-                        tagged.timing.total = tagged.fed.elapsed();
-                        collected.insert(tagged.round.0, (Vec::new(), tagged.timing));
-                    } else {
-                        let (replies, r) = transmit_buf(
-                            client_link,
-                            tagged.round.0,
-                            Direction::Backward,
-                            tagged.buf,
-                        );
-                        *resized += r;
-                        tagged.timing.total = tagged.fed.elapsed();
-                        collected.insert(tagged.round.0, (replies.to_vecs(), tagged.timing));
-                    }
+                    let round = tagged.round.0;
+                    let outcome = match tagged.kind {
+                        RoundKind::Conversation => {
+                            let (replies, r) =
+                                transmit_buf(client_link, round, Direction::Backward, tagged.buf);
+                            *resized += r;
+                            tagged.timing.total = tagged.fed.elapsed();
+                            RoundOutcome::Conversation {
+                                replies: replies.to_vecs(),
+                                timing: tagged.timing,
+                            }
+                        }
+                        RoundKind::Dialing { .. } => {
+                            tagged.timing.total = tagged.fed.elapsed();
+                            RoundOutcome::Dialing {
+                                timing: tagged.timing,
+                            }
+                        }
+                    };
+                    collected.insert(round, outcome);
+                    round
                 };
-            for (fed, (round, batch)) in rounds.into_iter().enumerate() {
-                while fed - done >= max_in_flight {
-                    collect_one(&mut resized, &mut collected);
+            let mut done = 0usize;
+            let mut occupied = 0usize;
+            let mut admitted: HashMap<u64, usize> = HashMap::new();
+            for (spec, weight) in specs.into_iter().zip(weights) {
+                // Admit while the weighted window has room; a round
+                // heavier than the whole window still enters once the
+                // pipeline is empty (progress guarantee).
+                while occupied > 0 && occupied + weight > window {
+                    let finished = collect_one(&mut resized, &mut collected);
+                    occupied -= admitted
+                        .remove(&finished)
+                        .expect("finished round was admitted");
                     done += 1;
                 }
+                let (round, kind, batch) = spec.into_parts();
                 let batch = client_link.transmit(round, Direction::Forward, batch);
+                let width = onion::wrapped_len(kind.payload_len(), n);
                 let (buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+                admitted.insert(round, weight);
+                occupied += weight;
                 assert!(
                     feed_tx
                         .send(StageMsg::Forward(Tagged {
                             round: RoundId(round),
+                            kind,
                             buf,
                             timing: RoundTiming::default(),
                             fed: Instant::now(),
@@ -327,7 +493,7 @@ impl StreamingChain {
             }
             drop(feed_tx);
             while done < total {
-                collect_one(&mut resized, &mut collected);
+                let _ = collect_one(&mut resized, &mut collected);
                 done += 1;
             }
             for handle in handles {
@@ -368,88 +534,78 @@ fn recv_or_abort(rx: &Receiver<StageMsg>, abort: &AtomicBool) -> Option<StageMsg
 }
 
 /// One pipeline stage: runs server `i`'s forward pass on every round
-/// arriving from upstream and — for conversation schedules — its
-/// backward pass on every round arriving from downstream, in arrival
-/// order. The tail stage additionally runs the per-round dead-drop
-/// exchange (conversation) or invitation deposit (dialing) and turns the
-/// round around / completes it on the spot. Dialing stages discard their
-/// round state right after forwarding: no replies will ever come back.
-#[allow(clippy::too_many_arguments)] // a stage is exactly this wiring
+/// arriving from upstream — each processed under the batch's own tagged
+/// round kind — and its backward pass on every conversation round
+/// arriving from downstream, in arrival order. The tail stage
+/// additionally runs the per-round dead-drop exchange (conversation) or
+/// invitation deposit (dialing) and turns the round around / completes
+/// it on the spot. Every stage discards a dialing round's reply state
+/// right after forwarding: no replies will ever come back.
 fn pipeline_stage(
     server: &mut MixServer,
-    i: usize,
-    n: usize,
-    total: usize,
-    seed: u64,
-    kind: RoundKind,
-    link: &vuvuzela_net::Link,
+    ctx: &StageCtx<'_>,
     rx: &Receiver<StageMsg>,
-    next_tx: Option<Sender<StageMsg>>,
-    back_tx: &Sender<StageMsg>,
-    abort: &AtomicBool,
 ) -> StageReport {
-    let is_last = i + 1 == n;
-    let is_dialing = matches!(kind, RoundKind::Dialing { .. });
+    let is_last = ctx.index + 1 == ctx.chain_len;
     let mut report = StageReport {
         tap_resized: 0,
         conversation_log: Vec::new(),
         invitation_drops: None,
         dialing_log: Vec::new(),
     };
-    let expect_backwards = if is_last || is_dialing { 0 } else { total };
+    let expect_backwards = if is_last { 0 } else { ctx.total_conversation };
     let mut forwards = 0usize;
     let mut backwards = 0usize;
-    while forwards < total || backwards < expect_backwards {
-        let Some(msg) = recv_or_abort(rx, abort) else {
+    while forwards < ctx.total || backwards < expect_backwards {
+        let Some(msg) = recv_or_abort(rx, ctx.abort) else {
             return report; // schedule aborting; hand back what we have
         };
         let sent_ok = match msg {
             StageMsg::Forward(mut tagged) => {
                 forwards += 1;
-                let (buf, r) = transmit_buf(link, tagged.round.0, Direction::Forward, tagged.buf);
+                let kind = tagged.kind;
+                let (buf, r) =
+                    transmit_buf(ctx.link, tagged.round.0, Direction::Forward, tagged.buf);
                 report.tap_resized += r;
                 let clock = Instant::now();
                 let buf = server.forward_buf(tagged.round.0, kind, buf);
                 tagged.timing.forward.push(clock.elapsed());
-                match (is_last, is_dialing) {
+                match (is_last, kind) {
                     (false, _) => {
-                        if is_dialing {
+                        if matches!(kind, RoundKind::Dialing { .. }) {
+                            // Forward-only: no replies will come back.
                             server.abort_round(tagged.round.0);
                         }
                         tagged.buf = buf;
-                        next_tx
+                        ctx.next_tx
                             .as_ref()
                             .expect("non-tail stage has a downstream")
                             .send(StageMsg::Forward(tagged))
                             .is_ok()
                     }
-                    (true, false) => {
+                    (true, RoundKind::Conversation) => {
                         // Dead-drop exchange + tail backward, then turn
                         // the round around immediately.
                         let clock = Instant::now();
-                        let mut rng = Chain::chain_round_rng(seed, tagged.round.0);
-                        let (replies, observables) = exchange_conversation(&mut rng, n, &buf);
+                        let mut rng = Chain::chain_round_rng(ctx.seed, tagged.round.0);
+                        let (replies, observables) =
+                            exchange_conversation(&mut rng, ctx.chain_len, &buf);
                         report.conversation_log.push((tagged.round.0, observables));
                         tagged.timing.exchange = clock.elapsed();
                         let clock = Instant::now();
                         let replies = server.backward_buf(tagged.round.0, replies);
                         tagged.timing.backward.push(clock.elapsed());
                         let (replies, r) =
-                            transmit_buf(link, tagged.round.0, Direction::Backward, replies);
+                            transmit_buf(ctx.link, tagged.round.0, Direction::Backward, replies);
                         report.tap_resized += r;
                         tagged.buf = replies;
-                        back_tx.send(StageMsg::Backward(tagged)).is_ok()
+                        ctx.back_tx.send(StageMsg::Backward(tagged)).is_ok()
                     }
-                    (true, true) => {
+                    (true, RoundKind::Dialing { num_drops }) => {
                         let clock = Instant::now();
-                        let mut rng = Chain::chain_round_rng(seed, tagged.round.0);
-                        let drops = deposit_dialing(
-                            &mut rng,
-                            server,
-                            tagged.round.0,
-                            kind_drops(kind),
-                            &buf,
-                        );
+                        let mut rng = Chain::chain_round_rng(ctx.seed, tagged.round.0);
+                        let drops =
+                            deposit_dialing(&mut rng, server, tagged.round.0, num_drops, &buf);
                         tagged.timing.exchange = clock.elapsed();
                         report
                             .dialing_log
@@ -457,7 +613,8 @@ fn pipeline_stage(
                         report.invitation_drops = Some((tagged.round.0, drops));
                         server.abort_round(tagged.round.0);
                         tagged.buf = RoundBuffer::new(1, 0);
-                        back_tx.send(StageMsg::Backward(tagged)).is_ok()
+                        // Completion notice straight to the exit queue.
+                        ctx.done_tx.send(StageMsg::Backward(tagged)).is_ok()
                     }
                 }
             }
@@ -466,26 +623,20 @@ fn pipeline_stage(
                 let clock = Instant::now();
                 let replies = server.backward_buf(tagged.round.0, tagged.buf);
                 tagged.timing.backward.push(clock.elapsed());
-                let (replies, r) = transmit_buf(link, tagged.round.0, Direction::Backward, replies);
+                let (replies, r) =
+                    transmit_buf(ctx.link, tagged.round.0, Direction::Backward, replies);
                 report.tap_resized += r;
                 tagged.buf = replies;
-                back_tx.send(StageMsg::Backward(tagged)).is_ok()
+                ctx.back_tx.send(StageMsg::Backward(tagged)).is_ok()
             }
         };
         if !sent_ok {
             // Our peer is gone mid-schedule: flag the abort and drain.
-            abort.store(true, Ordering::Release);
+            ctx.abort.store(true, Ordering::Release);
             return report;
         }
     }
     report
-}
-
-fn kind_drops(kind: RoundKind) -> u32 {
-    match kind {
-        RoundKind::Dialing { num_drops } => num_drops,
-        RoundKind::Conversation => unreachable!("conversation rounds have no invitation drops"),
-    }
 }
 
 fn assert_distinct(rounds: &[u64]) {
@@ -503,6 +654,7 @@ mod tests {
     use rand::SeedableRng;
     use vuvuzela_dp::{NoiseDistribution, NoiseMode};
     use vuvuzela_wire::conversation::ExchangeRequest;
+    use vuvuzela_wire::dialing::DialRequest;
 
     fn tiny_config(chain_len: usize) -> SystemConfig {
         SystemConfig {
@@ -525,6 +677,20 @@ mod tests {
         (0..count)
             .map(|_| {
                 let payload = ExchangeRequest::noise(rng).encode();
+                onion::wrap(rng, pks, round, &payload).0
+            })
+            .collect()
+    }
+
+    fn dial_batch(
+        pks: &[vuvuzela_crypto::x25519::PublicKey],
+        round: u64,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|_| {
+                let payload = DialRequest::noop(rng).encode();
                 onion::wrap(rng, pks, round, &payload).0
             })
             .collect()
@@ -615,10 +781,190 @@ mod tests {
     }
 
     #[test]
+    fn mixed_schedule_matches_sequential() {
+        let seed = 41;
+        let mut streaming = StreamingChain::new(tiny_config(3), seed).with_max_in_flight(3);
+        let mut sequential = Chain::new(tiny_config(3), seed);
+        let pks = streaming.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(13);
+        let num_drops = 2;
+
+        // Conversation and dialing interleaved; dialing both adjacent
+        // (rounds 1, 2) and separated (round 4).
+        let specs: Vec<RoundSpec> = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: client_batch(&pks, 0, 3, &mut rng),
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: dial_batch(&pks, 1, 2, &mut rng),
+                num_drops,
+            },
+            RoundSpec::Dialing {
+                round: 2,
+                batch: dial_batch(&pks, 2, 1, &mut rng),
+                num_drops,
+            },
+            RoundSpec::Conversation {
+                round: 3,
+                batch: client_batch(&pks, 3, 2, &mut rng),
+            },
+            RoundSpec::Dialing {
+                round: 4,
+                batch: dial_batch(&pks, 4, 2, &mut rng),
+                num_drops,
+            },
+        ];
+
+        let outcomes = streaming.run_mixed_schedule(specs.clone());
+        let expected: Vec<RoundOutcome> = specs
+            .into_iter()
+            .map(|spec| sequential.run_round(spec))
+            .collect();
+
+        assert_eq!(outcomes.len(), expected.len());
+        for (got, want) in outcomes.iter().zip(&expected) {
+            assert_eq!(got.replies(), want.replies(), "replies diverged");
+        }
+
+        let mut got_obs: Vec<_> = streaming.chain().conversation_observables().to_vec();
+        got_obs.sort_by_key(|(r, _)| *r);
+        assert_eq!(&got_obs, sequential.conversation_observables());
+        let mut got_dial: Vec<_> = streaming.chain().dialing_observables().to_vec();
+        got_dial.sort_by_key(|(r, _)| *r);
+        assert_eq!(&got_dial, sequential.dialing_observables());
+
+        // Both chains retain the *last* dialing round's drops.
+        for drop in 1..=num_drops {
+            let index = vuvuzela_wire::deaddrop::InvitationDropIndex(drop);
+            assert_eq!(
+                streaming.download_drop(index),
+                sequential.download_drop(index),
+                "drop {drop} diverged"
+            );
+        }
+        for i in 0..3 {
+            assert_eq!(streaming.chain().server(i).in_flight_rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn heavy_dialing_rounds_weigh_more_than_conversation_rounds() {
+        let config = SystemConfig {
+            chain_len: 3,
+            conversation_noise: NoiseDistribution::new(3.0, 1.0),
+            dialing_noise: NoiseDistribution::new(13_000.0, 770.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+        };
+        let specs = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: vec![Vec::new(); 4],
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: vec![Vec::new(); 4],
+                num_drops: 1,
+            },
+            RoundSpec::Conversation {
+                round: 2,
+                batch: vec![Vec::new(); 4],
+            },
+        ];
+        let weights = admission_weights(&config, 3, &specs);
+        assert_eq!(weights[0], 1, "conversation rounds are the unit slot");
+        assert_eq!(weights[2], 1);
+        assert!(
+            weights[1] > weights[0],
+            "a µ=13k dialing round must occupy more window slots"
+        );
+        assert!(weights[1] <= 3, "weights clamp to the window");
+
+        // Homogeneous schedules collapse to plain round counting — even
+        // with uneven batches or drop counts, so the homogeneous entry
+        // points schedule exactly as they did before weighted admission.
+        let dialing_only = vec![
+            RoundSpec::Dialing {
+                round: 0,
+                batch: vec![Vec::new(); 4],
+                num_drops: 1,
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: vec![Vec::new(); 400],
+                num_drops: 3,
+            },
+        ];
+        assert_eq!(admission_weights(&config, 3, &dialing_only), vec![1, 1]);
+        let conversation_only = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: vec![Vec::new(); 10],
+            },
+            RoundSpec::Conversation {
+                round: 1,
+                batch: vec![Vec::new(); 500],
+            },
+        ];
+        assert_eq!(
+            admission_weights(&config, 3, &conversation_only),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn window_heavy_round_still_admitted_and_byte_identical() {
+        // A dialing round priced at the full window must run (progress
+        // guarantee) and stay byte-identical to the sequential chain.
+        let config = SystemConfig {
+            chain_len: 2,
+            conversation_noise: NoiseDistribution::new(2.0, 1.0),
+            dialing_noise: NoiseDistribution::new(40.0, 5.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+        };
+        let seed = 51;
+        let mut streaming = StreamingChain::new(config.clone(), seed).with_max_in_flight(2);
+        let mut sequential = Chain::new(config.clone(), seed);
+        let pks = streaming.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(3);
+        let specs = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: client_batch(&pks, 0, 2, &mut rng),
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: dial_batch(&pks, 1, 1, &mut rng),
+                num_drops: 1,
+            },
+            RoundSpec::Conversation {
+                round: 2,
+                batch: client_batch(&pks, 2, 2, &mut rng),
+            },
+        ];
+        let weights = admission_weights(&config, 2, &specs);
+        assert_eq!(weights[1], 2, "the dialing round fills the window");
+
+        let outcomes = streaming.run_mixed_schedule(specs.clone());
+        for (spec, got) in specs.into_iter().zip(outcomes) {
+            let want = sequential.run_round(spec);
+            assert_eq!(got.replies(), want.replies());
+        }
+    }
+
+    #[test]
     fn empty_schedule_is_a_noop() {
         let mut streaming = StreamingChain::new(tiny_config(2), 1);
         assert!(streaming.run_conversation_rounds(Vec::new()).is_empty());
         assert!(streaming.run_dialing_rounds(Vec::new(), 1).is_empty());
+        assert!(streaming.run_mixed_schedule(Vec::new()).is_empty());
     }
 
     #[test]
@@ -671,6 +1017,37 @@ mod tests {
         for ((round, batch), (got, _)) in rounds.into_iter().zip(streamed) {
             let (want, _) = sequential.run_conversation_round(round, batch);
             assert_eq!(got, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn single_server_mixed_schedule() {
+        // chain_len = 1: the tail is also stage 0, so conversation
+        // turnarounds and dialing completion notices both exit directly.
+        let seed = 61;
+        let mut streaming = StreamingChain::new(tiny_config(1), seed).with_max_in_flight(3);
+        let mut sequential = Chain::new(tiny_config(1), seed);
+        let pks = streaming.server_public_keys();
+        let mut rng = StdRng::seed_from_u64(19);
+        let specs = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: client_batch(&pks, 0, 2, &mut rng),
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: dial_batch(&pks, 1, 1, &mut rng),
+                num_drops: 1,
+            },
+            RoundSpec::Conversation {
+                round: 2,
+                batch: client_batch(&pks, 2, 1, &mut rng),
+            },
+        ];
+        let outcomes = streaming.run_mixed_schedule(specs.clone());
+        for (spec, got) in specs.into_iter().zip(outcomes) {
+            let want = sequential.run_round(spec);
+            assert_eq!(got.replies(), want.replies());
         }
     }
 }

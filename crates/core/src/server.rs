@@ -82,6 +82,17 @@ impl RoundKind {
             RoundKind::Dialing { .. } => vuvuzela_wire::DIAL_REQUEST_LEN,
         }
     }
+
+    /// The wire-level protocol tag for batches of this round kind
+    /// ([`vuvuzela_wire::RoundType`] — the protocol half of the
+    /// end-to-end round tag under mixed schedules).
+    #[must_use]
+    pub fn round_type(self) -> vuvuzela_wire::RoundType {
+        match self {
+            RoundKind::Conversation => vuvuzela_wire::RoundType::Conversation,
+            RoundKind::Dialing { .. } => vuvuzela_wire::RoundType::Dialing,
+        }
+    }
 }
 
 /// Per-round bookkeeping kept between the forward and backward passes.
@@ -90,6 +101,11 @@ impl RoundKind {
 /// server can hold state for several in-flight rounds at once without
 /// any cross-round coupling (see the module docs).
 struct RoundState {
+    /// Which protocol this round runs. Under mixed schedules a server
+    /// holds conversation and dialing state side by side; the kind
+    /// guards against a reply pass ever touching a forward-only dialing
+    /// round.
+    kind: RoundKind,
     /// Layer key per incoming request (`None` for requests this server
     /// had to replace with noise).
     layer_keys: Vec<Option<LayerKey>>,
@@ -254,6 +270,7 @@ impl MixServer {
             self.rounds.insert(
                 round,
                 RoundState {
+                    kind,
                     layer_keys,
                     permutation: Vec::new(),
                     incoming_len,
@@ -275,6 +292,7 @@ impl MixServer {
         self.rounds.insert(
             round,
             RoundState {
+                kind,
                 layer_keys,
                 permutation,
                 incoming_len,
@@ -303,6 +321,10 @@ impl MixServer {
             .rounds
             .remove(&round)
             .expect("backward() without matching forward()");
+        assert!(
+            matches!(state.kind, RoundKind::Conversation),
+            "backward pass on a forward-only dialing round"
+        );
 
         if !state.permutation.is_empty() && replies.len() != state.permutation.len() {
             // Tampered reply batch: alignment is unrecoverable. Emit
@@ -410,6 +432,7 @@ impl MixServer {
             self.rounds.insert(
                 round,
                 RoundState {
+                    kind,
                     layer_keys,
                     permutation: Vec::new(),
                     incoming_len,
@@ -428,6 +451,7 @@ impl MixServer {
         self.rounds.insert(
             round,
             RoundState {
+                kind,
                 layer_keys,
                 permutation,
                 incoming_len,
@@ -445,6 +469,10 @@ impl MixServer {
             .rounds
             .remove(&round)
             .expect("backward() without matching forward()");
+        assert!(
+            matches!(state.kind, RoundKind::Conversation),
+            "backward pass on a forward-only dialing round"
+        );
 
         if !state.permutation.is_empty() && replies.len() != state.permutation.len() {
             self.malformed_replaced += state.incoming_len as u64;
@@ -534,6 +562,10 @@ impl MixServer {
             .rounds
             .get_mut(&round)
             .expect("dialing_noise_counts() without matching forward()");
+        debug_assert!(
+            matches!(state.kind, RoundKind::Dialing { .. }),
+            "per-drop noise drawn for a non-dialing round"
+        );
         noise::dialing_noise_counts(
             &mut state.rng,
             num_drops,

@@ -24,4 +24,6 @@ pub mod planner;
 
 pub use accounting::{compose, ComposedPrivacy, Protocol, RoundPrivacy};
 pub use laplace::{NoiseDistribution, NoiseMode};
-pub use planner::{max_protected_rounds, posterior_bound, tune_scale, PrivacyTarget};
+pub use planner::{
+    expected_noise_requests, max_protected_rounds, posterior_bound, tune_scale, PrivacyTarget,
+};

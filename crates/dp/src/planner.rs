@@ -138,6 +138,25 @@ pub fn privacy_series(
         .collect()
 }
 
+/// Per-round-type noise budget: the expected number of cover requests
+/// **one** noising server injects into a round of the given protocol.
+///
+/// Conversation servers draw `n1, n2 ~ Laplace(µ, b)` and emit `n1`
+/// singles plus `n2` paired accesses (Algorithm 2 step 2), ≈ `2µ`
+/// requests; dialing servers draw `Laplace(µ, b)` noise invitations *per
+/// real drop* (§5.3), ≈ `µ·m`. This is the lookup a mixed-round
+/// scheduler prices rounds with: at the paper's parameters a dialing
+/// round (µ = 13,000 per drop) is far heavier than its client batch
+/// alone suggests, so its admission weight must reflect the noise
+/// budget, not just the request count.
+#[must_use]
+pub fn expected_noise_requests(protocol: Protocol, mu: f64, num_drops: u32) -> f64 {
+    match protocol {
+        Protocol::Conversation => 2.0 * mu,
+        Protocol::Dialing => mu * f64::from(num_drops),
+    }
+}
+
 /// §5.4's invitation-drop count optimization: `m = n·f/µ`.
 ///
 /// With `n` users of which a fraction `f` send real invitations per
@@ -353,6 +372,22 @@ mod tests {
             last_download = dl;
             last_noise = noise;
         }
+    }
+
+    #[test]
+    fn noise_budget_lookup_matches_the_recipes() {
+        // Conversation: n1 + n2 ≈ 2µ. Dialing: µ per real drop.
+        assert!(
+            (expected_noise_requests(Protocol::Conversation, 300_000.0, 0) - 600_000.0).abs()
+                < 1e-9
+        );
+        assert!((expected_noise_requests(Protocol::Dialing, 13_000.0, 4) - 52_000.0).abs() < 1e-9);
+        // A µ=13K dialing round outweighs a µ=1K conversation round —
+        // the mixed-scheduler admission case the budget exists for.
+        assert!(
+            expected_noise_requests(Protocol::Dialing, 13_000.0, 1)
+                > expected_noise_requests(Protocol::Conversation, 1_000.0, 0)
+        );
     }
 
     #[test]

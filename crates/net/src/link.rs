@@ -169,6 +169,27 @@ impl Link {
             .unwrap_or((0, 0))
     }
 
+    /// A snapshot of the whole per-round log, in `(round, direction)`
+    /// order: one `((round, direction), (messages, bytes))` entry per
+    /// attributed transfer. Mixed-schedule equivalence tests diff two
+    /// links' entire logs with this — it catches spurious extra rounds
+    /// that point lookups via [`Link::round_traffic`] would miss.
+    #[must_use]
+    pub fn round_traffic_log(&self) -> Vec<((u64, Direction), (u64, u64))> {
+        self.per_round
+            .lock()
+            .iter()
+            .map(|(&(round, backward), &counts)| {
+                let direction = if backward {
+                    Direction::Backward
+                } else {
+                    Direction::Forward
+                };
+                ((round, direction), counts)
+            })
+            .collect()
+    }
+
     /// Whether an adversary tap is attached (callers carrying flat
     /// buffers only pay the per-message conversion when one is).
     #[must_use]
@@ -242,6 +263,14 @@ mod tests {
         assert_eq!(link.round_traffic(0, Direction::Backward), (1, 5));
         assert_eq!(link.round_traffic(1, Direction::Backward), (0, 0));
         assert_eq!(link.forward_meter().bytes(), 50);
+        assert_eq!(
+            link.round_traffic_log(),
+            vec![
+                ((0, Direction::Forward), (1, 10)),
+                ((0, Direction::Backward), (1, 5)),
+                ((1, Direction::Forward), (2, 40)),
+            ]
+        );
     }
 
     #[test]

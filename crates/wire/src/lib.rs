@@ -30,7 +30,7 @@ pub mod dialing;
 pub mod message;
 pub mod round;
 
-pub use round::RoundId;
+pub use round::{RoundId, RoundType};
 
 /// Payload bytes available to a conversation message before sealing
 /// (paper: "text messages (up to 240 bytes each)").

@@ -12,6 +12,13 @@
 //!
 //! [`RoundId`] is that tag: an 8-byte little-endian wire value with
 //! total order (rounds are scheduled strictly increasing).
+//!
+//! Mixed schedules add a second half to the tag: a real deployment
+//! interleaves conversation rounds with dialing rounds (§5) on the same
+//! mix chain, so an in-flight batch is identified by *which* round it
+//! belongs to ([`RoundId`]) **and** which protocol that round runs
+//! ([`RoundType`] — the two differ in payload size, noise recipe, and
+//! whether a backward pass exists at all).
 
 use crate::{expect_len, WireError};
 
@@ -66,6 +73,55 @@ impl core::fmt::Display for RoundId {
     }
 }
 
+/// Serialized size of a [`RoundType`].
+pub const ROUND_TYPE_LEN: usize = 1;
+
+/// Which protocol a round runs — the protocol half of the end-to-end
+/// round tag under mixed schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoundType {
+    /// A conversation round (Algorithm 2): forward and backward passes.
+    Conversation,
+    /// A dialing round (§5): forward-only, deposits into invitation
+    /// drops.
+    Dialing,
+}
+
+impl RoundType {
+    /// Encodes as one byte (0 = conversation, 1 = dialing).
+    #[must_use]
+    pub fn encode(self) -> [u8; ROUND_TYPE_LEN] {
+        match self {
+            RoundType::Conversation => [0],
+            RoundType::Dialing => [1],
+        }
+    }
+
+    /// Decodes from exactly [`ROUND_TYPE_LEN`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadLength`] for any other length,
+    /// [`WireError::Malformed`] for an unknown discriminant.
+    pub fn decode(buf: &[u8]) -> Result<RoundType, WireError> {
+        expect_len(buf, ROUND_TYPE_LEN)?;
+        match buf[0] {
+            0 => Ok(RoundType::Conversation),
+            1 => Ok(RoundType::Dialing),
+            _ => Err(WireError::Malformed("unknown round type")),
+        }
+    }
+}
+
+impl core::fmt::Display for RoundType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RoundType::Conversation => write!(f, "conversation"),
+            RoundType::Dialing => write!(f, "dialing"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +134,19 @@ mod tests {
         assert_eq!(RoundId(3).next(), RoundId(4));
         assert_eq!(u64::from(RoundId(9)), 9);
         assert_eq!(RoundId::from(9u64), RoundId(9));
+    }
+
+    #[test]
+    fn round_type_roundtrips() {
+        for rtype in [RoundType::Conversation, RoundType::Dialing] {
+            assert_eq!(RoundType::decode(&rtype.encode()), Ok(rtype));
+        }
+        assert!(matches!(
+            RoundType::decode(&[7]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(RoundType::decode(&[]).is_err());
+        assert_eq!(RoundType::Dialing.to_string(), "dialing");
     }
 
     #[test]

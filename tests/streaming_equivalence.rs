@@ -1,20 +1,22 @@
 //! Property tests: the streaming round scheduler is byte-identical to
 //! the sequential chain.
 //!
-//! [`StreamingChain`] overlaps hops across up to `chain_len` in-flight
-//! rounds; nothing observable may change relative to running the same
-//! rounds one at a time through [`Chain`]: per-round replies, dead-drop
-//! observables, per-round link traffic, and tap-visible batches must all
-//! agree for equal seeds — across chain lengths, batch sizes, noise
-//! levels, and schedules of ≥3 overlapped rounds.
+//! [`StreamingChain`] overlaps hops across a weighted window of
+//! in-flight rounds; nothing observable may change relative to running
+//! the same rounds one at a time through [`Chain`]: per-round replies,
+//! dead-drop observables, dialing drops, per-round link traffic, and
+//! tap-visible batches must all agree for equal seeds — across chain
+//! lengths, batch sizes, noise levels, schedules of ≥3 overlapped
+//! rounds, and *mixed* conversation+dialing interleavings.
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use vuvuzela::core::pipeline::StreamingChain;
-use vuvuzela::core::{Chain, SystemConfig};
+use vuvuzela::core::{Chain, RoundOutcome, RoundSpec, SystemConfig};
 use vuvuzela::crypto::onion;
 use vuvuzela::crypto::x25519::PublicKey;
 use vuvuzela::dp::{NoiseDistribution, NoiseMode};
@@ -164,6 +166,239 @@ proptest! {
             );
         }
     }
+}
+
+/// Builds an interleaved conversation+dialing schedule from a pattern of
+/// per-round dialing flags.
+fn mixed_specs(
+    pks: &[PublicKey],
+    pattern: &[bool],
+    clients: usize,
+    num_drops: u32,
+    seed: u64,
+) -> Vec<RoundSpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x313D);
+    pattern
+        .iter()
+        .enumerate()
+        .map(|(round, &dialing)| {
+            let round = round as u64;
+            if dialing {
+                let batch = (0..clients)
+                    .map(|_| {
+                        let payload = vuvuzela::wire::dialing::DialRequest::noop(&mut rng).encode();
+                        onion::wrap(&mut rng, pks, round, &payload).0
+                    })
+                    .collect();
+                RoundSpec::Dialing {
+                    round,
+                    batch,
+                    num_drops,
+                }
+            } else {
+                let batch = (0..clients)
+                    .map(|_| {
+                        let payload = ExchangeRequest::noise(&mut rng).encode();
+                        onion::wrap(&mut rng, pks, round, &payload).0
+                    })
+                    .collect();
+                RoundSpec::Conversation { round, batch }
+            }
+        })
+        .collect()
+}
+
+/// Asserts every observable of a mixed schedule agrees between the
+/// streaming and sequential chains: per-round replies, conversation and
+/// dialing observables, the retained invitation drops, and each link's
+/// *entire* per-round traffic log.
+fn assert_mixed_equivalent(
+    streaming: &mut StreamingChain,
+    sequential: &mut Chain,
+    outcomes: &[RoundOutcome],
+    expected: &[RoundOutcome],
+    num_drops: u32,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(outcomes.len(), expected.len());
+    for (round, (got, want)) in outcomes.iter().zip(expected).enumerate() {
+        prop_assert_eq!(
+            got.replies(),
+            want.replies(),
+            "round {} replies diverged",
+            round
+        );
+    }
+
+    let mut got_obs = streaming.chain().conversation_observables().to_vec();
+    got_obs.sort_by_key(|(r, _)| *r);
+    prop_assert_eq!(&got_obs[..], sequential.conversation_observables());
+    let mut got_dial = streaming.chain().dialing_observables().to_vec();
+    got_dial.sort_by_key(|(r, _)| *r);
+    prop_assert_eq!(&got_dial[..], sequential.dialing_observables());
+
+    // The retained drops come from the *last* dialing round in feed
+    // order, matching the sequential chain's overwrite semantics.
+    prop_assert_eq!(
+        streaming.chain().current_num_drops(),
+        sequential.current_num_drops()
+    );
+    for drop in 1..=num_drops {
+        let index = vuvuzela::wire::deaddrop::InvitationDropIndex(drop);
+        prop_assert_eq!(
+            streaming.download_drop(index),
+            sequential.download_drop(index),
+            "drop {} diverged",
+            drop
+        );
+    }
+
+    // Entire per-round traffic logs per link (catches both diverging
+    // counts and spuriously attributed rounds).
+    for (sl, ql) in streaming.chain().links().iter().zip(sequential.links()) {
+        prop_assert_eq!(
+            sl.round_traffic_log(),
+            ql.round_traffic_log(),
+            "link {} per-round log diverged",
+            sl.name()
+        );
+    }
+    prop_assert_eq!(
+        streaming.chain().client_link().round_traffic_log(),
+        sequential.client_link().round_traffic_log()
+    );
+    prop_assert_eq!(
+        streaming.chain().total_server_bytes(),
+        sequential.total_server_bytes()
+    );
+
+    // No round state leaks once the schedule drains.
+    for i in 0..streaming.config().chain_len {
+        prop_assert_eq!(streaming.chain().server(i).in_flight_rounds(), 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The mixed-schedule acceptance property: an arbitrary interleaving
+    /// of conversation and dialing rounds, overlapped ≥3 deep, is
+    /// byte-identical to the sequential chain run over the same
+    /// [`RoundSpec`] sequence.
+    #[test]
+    fn streaming_mixed_equals_sequential(
+        chain_len in 1usize..=3,
+        pattern in collection::vec(any::<bool>(), 4..=7),
+        clients in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let num_drops = 2u32;
+        let window = 3usize.max(chain_len);
+        let mut streaming =
+            StreamingChain::new(config(chain_len, 2.0), seed).with_max_in_flight(window);
+        let mut sequential = Chain::new(config(chain_len, 2.0), seed);
+        let pks = streaming.server_public_keys();
+
+        let specs = mixed_specs(&pks, &pattern, clients, num_drops, seed);
+        let outcomes = streaming.run_mixed_schedule(specs.clone());
+        let expected: Vec<RoundOutcome> = specs
+            .into_iter()
+            .map(|spec| sequential.run_round(spec))
+            .collect();
+        assert_mixed_equivalent(&mut streaming, &mut sequential, &outcomes, &expected, num_drops)?;
+    }
+}
+
+/// Deterministic mixed schedule with dialing rounds both adjacent and
+/// separated, real invitations included, ≥3 rounds in flight: replies,
+/// `dialing_log`, and `download_drop` all match the sequential
+/// reference.
+#[test]
+fn mixed_schedule_adjacent_and_separated_dialing() {
+    let seed = 2026;
+    let num_drops = 2u32;
+    let mut streaming = StreamingChain::new(config(3, 3.0), seed).with_max_in_flight(3);
+    let mut sequential = Chain::new(config(3, 3.0), seed);
+    let pks = streaming.server_public_keys();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let caller = vuvuzela::crypto::x25519::Keypair::generate(&mut rng);
+    let callee = vuvuzela::crypto::x25519::Keypair::generate(&mut rng);
+    let target =
+        vuvuzela::wire::deaddrop::InvitationDropIndex::for_recipient(&callee.public, num_drops);
+
+    // Pattern: C D D C C D C — dialing adjacent (1, 2) and separated
+    // (5); the last dialing round carries a real invitation so the
+    // retained drops are non-trivially compared.
+    let pattern = [false, true, true, false, false, true, false];
+    let mut specs = mixed_specs(&pks, &pattern, 2, num_drops, seed);
+    let RoundSpec::Dialing { batch, .. } = &mut specs[5] else {
+        panic!("round 5 is a dialing round");
+    };
+    let request = vuvuzela::wire::dialing::DialRequest {
+        drop: target,
+        invitation: vuvuzela::wire::dialing::SealedInvitation::seal(
+            &mut rng,
+            &caller.public,
+            &callee.public,
+        ),
+    };
+    batch.push(onion::wrap(&mut rng, &pks, 5, &request.encode()).0);
+
+    let outcomes = streaming.run_mixed_schedule(specs.clone());
+    let expected: Vec<RoundOutcome> = specs
+        .into_iter()
+        .map(|spec| sequential.run_round(spec))
+        .collect();
+    assert_mixed_equivalent(
+        &mut streaming,
+        &mut sequential,
+        &outcomes,
+        &expected,
+        num_drops,
+    )
+    .expect("mixed schedule equivalent");
+
+    // The real invitation is downloadable through the streaming chain
+    // and opens to the caller's key.
+    let contents = streaming.download_drop(target).expect("drops exist");
+    let mine: Vec<_> = contents
+        .iter()
+        .filter_map(|inv| inv.try_open(&callee.secret, &callee.public))
+        .collect();
+    assert_eq!(mine, vec![caller.public]);
+}
+
+/// A panicking stage mid-mixed-schedule must abort the schedule (with a
+/// panic) instead of deadlocking feeder or stages.
+#[test]
+fn panicking_stage_mid_mixed_schedule_aborts() {
+    struct ExplodingTap {
+        intercepts: u32,
+    }
+    impl Tap for ExplodingTap {
+        fn intercept(&mut self, _ctx: &TapContext, _batch: &mut Vec<Vec<u8>>) {
+            self.intercepts += 1;
+            if self.intercepts >= 3 {
+                panic!("tap exploded mid-schedule");
+            }
+        }
+    }
+
+    let seed = 404;
+    let mut streaming = StreamingChain::new(config(3, 2.0), seed).with_max_in_flight(3);
+    let pks = streaming.server_public_keys();
+    streaming
+        .chain_mut()
+        .link_mut(1)
+        .attach_tap(Arc::new(Mutex::new(ExplodingTap { intercepts: 0 })));
+
+    let pattern = [false, true, false, true, true, false];
+    let specs = mixed_specs(&pks, &pattern, 2, 2, seed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        streaming.run_mixed_schedule(specs)
+    }));
+    assert!(outcome.is_err(), "mixed schedule must fail, not hang");
 }
 
 /// A tap that records per-(round, direction) so interleaving-sensitive

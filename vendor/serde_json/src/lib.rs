@@ -1,10 +1,11 @@
 //! Vendored, API-compatible subset of `serde_json`.
 //!
 //! Provides the [`Value`] tree, the [`json!`] macro (objects, arrays,
-//! nested literals and expression values) and [`to_string_pretty`] —
-//! the slice of `serde_json` the benchmark harness uses to write its
-//! machine-readable artefacts. No `serde` derive support; conversions go
-//! through `From<T> for Value` impls instead.
+//! nested literals and expression values), [`to_string_pretty`], and
+//! [`from_str`] — the slice of `serde_json` the benchmark harness uses
+//! to write and read back its machine-readable artefacts (the
+//! bench-regression gate parses committed baselines). No `serde` derive
+//! support; conversions go through `From<T> for Value` impls instead.
 
 #![forbid(unsafe_code)]
 
@@ -286,16 +287,295 @@ impl std::ops::Index<usize> for Value {
     }
 }
 
-/// Serialization error (this subset cannot actually fail).
+/// Serialization/deserialization error.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.0)
     }
 }
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Supports the full JSON grammar the writer half emits (and standard
+/// JSON beyond it): all scalar types, nested arrays/objects, string
+/// escapes including `\uXXXX` with surrogate pairs.
+///
+/// # Errors
+///
+/// Returns [`Error`] (with a byte offset) on malformed input or
+/// trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, what: &str) -> Error {
+        Error(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?
+                    {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX follows.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.error("invalid codepoint"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                byte => {
+                    if byte < 0x20 {
+                        return Err(self.error("unescaped control character"));
+                    }
+                    // Consume one UTF-8 character: the input arrived as a
+                    // &str and we only ever advance by whole characters,
+                    // so `pos` sits on a boundary and the leading byte
+                    // gives the sequence length — O(1) per character
+                    // instead of re-validating the whole tail.
+                    let len = match byte {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.error("unterminated string"))?;
+                    let piece =
+                        std::str::from_utf8(chunk).map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(piece);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    /// Consumes `[0-9]*`, returning how many digits were seen.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // JSON integer part: "0" alone or a nonzero digit followed by
+        // more digits — a leading zero must not be followed by a digit.
+        let leading_zero = self.peek() == Some(b'0');
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.error("expected digit"));
+        }
+        if leading_zero && int_digits > 1 {
+            return Err(self.error("leading zero"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.error("expected digit after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.error("expected digit in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| self.error("invalid number"))
+    }
+}
 
 /// Pretty-prints a [`Value`] with two-space indentation.
 ///
@@ -426,6 +706,67 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&json!({})).expect("ok"), "{}");
         assert_eq!(to_string_pretty(&json!([])).expect("ok"), "[]");
+    }
+
+    #[test]
+    fn parser_roundtrips_writer_output() {
+        let v = json!({
+            "name": "mixed \"schedule\"",
+            "speedup": 2.54,
+            "configs": [
+                {"workers": 1, "ok": true, "skip": null},
+                {"workers": 2, "rate": 1.5e3}
+            ],
+            "count": 12,
+            "big": u64::MAX,
+            "neg": -7,
+        });
+        let text = to_string_pretty(&v).expect("serializes");
+        let back = from_str(&text).expect("parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "a\n\t\\\"z", "pair": "😀", "u": "é"}"#).expect("parses");
+        assert_eq!(v["s"].as_str(), Some("a\n\t\\\"z"));
+        assert_eq!(v["pair"].as_str(), Some("😀"));
+        assert_eq!(v["u"].as_str(), Some("é"));
+        let surrogate = from_str(r#""\ud83d\ude00 \u00e9""#).expect("parses");
+        assert_eq!(surrogate.as_str(), Some("😀 é"));
+        assert!(from_str(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+        // JSON number grammar: no leading zeros, no bare trailing
+        // point, no empty exponent.
+        assert!(from_str("01").is_err());
+        assert!(from_str("-01").is_err());
+        assert!(from_str("1.").is_err());
+        assert!(from_str("1e").is_err());
+        assert!(from_str("1e+").is_err());
+        assert!(from_str("-").is_err());
+        assert_eq!(from_str("0").expect("zero"), Value::Number(Number::I64(0)));
+        assert_eq!(from_str("-0.5").expect("float").as_f64(), Some(-0.5));
+        assert_eq!(from_str("10").expect("ten"), Value::Number(Number::I64(10)));
+    }
+
+    #[test]
+    fn parser_number_types() {
+        assert_eq!(from_str("3").expect("int"), Value::Number(Number::I64(3)));
+        assert_eq!(
+            from_str("18446744073709551615").expect("u64"),
+            Value::Number(Number::U64(u64::MAX))
+        );
+        assert_eq!(from_str("-2.5e-1").expect("float").as_f64(), Some(-0.25));
     }
 
     #[test]
