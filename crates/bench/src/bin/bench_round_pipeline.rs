@@ -22,9 +22,12 @@
 //! Reported per pass: wall-clock seconds, onions/sec (incoming onions ÷
 //! forward-pass time at the first — noising — server, the §8.2 unit of
 //! server work), heap allocations per onion (counting global allocator),
-//! and the full three-hop forward-pass time. Written to
-//! `BENCH_round_pipeline.json` at the workspace root for the perf
-//! trajectory; regenerate with
+//! and the full three-hop forward-pass time. A separate `peel` section
+//! isolates the onion-peeling stage itself and prices the 4-wide
+//! `Fe4` Montgomery ladder against both the scalar-ladder chunk path it
+//! replaced and the seed-era per-slot peel (see [`run_peel_stage`]).
+//! Written to `BENCH_round_pipeline.json` at the workspace root for the
+//! perf trajectory; regenerate with
 //! `cargo run --release -p vuvuzela-bench --bin bench_round_pipeline`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -206,6 +209,8 @@ fn main() {
     let reference = best(&reference);
     let flat = best(&flat);
 
+    let peel = vuvuzela_bench::peelstage::run(4096, 5, true);
+
     let ref_rate = ONIONS as f64 / reference.first_hop_secs;
     let flat_rate = ONIONS as f64 / flat.first_hop_secs;
     let speedup_first = flat_rate / ref_rate;
@@ -243,6 +248,7 @@ fn main() {
         },
         "speedup_first_hop": speedup_first,
         "speedup_full_chain": speedup_full,
+        "peel": peel,
     });
 
     // Committed at the workspace root (unlike the bench_results/

@@ -243,8 +243,9 @@ fn main() {
 
     if sizes.smoke {
         // The tiny run's ratio metrics (measured / sustained-model
-        // speedups) feed the `bench_diff` regression gate; the committed
-        // baseline is the committed BENCH_smoke_streaming_chain.json.
+        // speedups, batched-peel speedup) feed the `bench_diff`
+        // regression gate; the committed baseline is the committed
+        // BENCH_smoke_streaming_chain.json.
         let json = serde_json::json!({
             "onions": sizes.onions,
             "chain_len": CHAIN_LEN,
@@ -252,6 +253,7 @@ fn main() {
             "rounds": sizes.rounds,
             "machine_cores": cores,
             "configs": configs,
+            "peel": vuvuzela_bench::peelstage::run(512, 3, false),
         });
         let _ = write_json("SMOKE_streaming_chain", &json);
         if gate_failed {
@@ -273,6 +275,7 @@ fn main() {
         "rounds": sizes.rounds,
         "machine_cores": cores,
         "configs": configs,
+        "peel": vuvuzela_bench::peelstage::run(2048, 3, false),
         "sustained_speedup": sustained_at_2,
         "note": "sustained_speedup is the steady-state pipeline model derived from measured \
                  per-hop stage times (one round per max stage time vs the sum of stage times); \

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod costmodel;
+pub mod peelstage;
 pub mod report;
 pub mod workload;
 

@@ -1,0 +1,173 @@
+//! Isolated peel-stage micro-benchmark, shared by
+//! `bench_round_pipeline` and `bench_streaming_chain`.
+//!
+//! Times one server peeling a fixed arena of single-layer onions
+//! through up to three implementations over identical input bytes:
+//!
+//! * **per-slot** (`onion::peel_in_place` per onion): the seed-era
+//!   reference — one scalar ladder *and one full field inversion* per
+//!   onion;
+//! * **chunk reference** (`onion::peel_chunk_in_place_reference`): the
+//!   PR 2/PR 3 committed hot path — scalar ladders, inversions batched
+//!   across each chunk;
+//! * **batched** (`onion::peel_chunk_in_place`): the 4-wide
+//!   [`vuvuzela_crypto::fe4::Fe4`] Montgomery ladder plus the same
+//!   batched inversions — what every mix hop runs per worker chunk.
+//!
+//! All paths are asserted byte-identical before any timing; best-of-N
+//! wall-clock is reported. `speedup_peel_batched` (batched ÷ chunk
+//! reference) prices the 4-wide ladder against the previously committed
+//! implementation and rides the `bench_diff` regression gate;
+//! `speedup_peel_vs_per_slot` prices the whole batching stack against
+//! the seed path.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vuvuzela_crypto::onion;
+use vuvuzela_crypto::x25519::Keypair;
+
+/// Payload size wrapped into each benchmark onion (a realistic
+/// conversation-message scale; the exact value only shifts the AEAD
+/// share of the timings).
+const PAYLOAD_LEN: usize = 240;
+
+/// Runs the peel-stage comparison over `onions` onions, best of
+/// `iterations` passes per implementation. When `include_per_slot` is
+/// false the seed-era per-slot pass (the slowest) is skipped and the
+/// JSON omits its metrics — the compact form the streaming smoke uses.
+///
+/// # Panics
+///
+/// Panics if the three implementations disagree on any output byte,
+/// layer key, or error classification — a correctness gate, not a
+/// benchmark condition.
+#[must_use]
+pub fn run(onions: usize, iterations: usize, include_per_slot: bool) -> serde_json::Value {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let server = Keypair::generate(&mut rng);
+    let payload = vec![0u8; PAYLOAD_LEN];
+    let width = onion::wrapped_len(payload.len(), 1);
+    let stride = width;
+    let round = 1u64;
+    println!("\npeel stage: wrapping {onions} single-layer onions ({width}B)...");
+    let mut arena = vec![0u8; onions * stride];
+    for i in 0..onions {
+        let (o, _) = onion::wrap(&mut rng, &[server.public], round, &payload);
+        arena[i * stride..(i + 1) * stride].copy_from_slice(&o);
+    }
+
+    // Correctness gate: all peel paths must agree bytewise before
+    // timing (the per-slot path is checked even when not timed).
+    let mut a_batched = arena.clone();
+    let mut a_reference = arena.clone();
+    let mut a_per_slot = arena.clone();
+    let r_batched = onion::peel_chunk_in_place(
+        &server.secret,
+        &server.public,
+        round,
+        &mut a_batched,
+        stride,
+        width,
+    );
+    let r_reference = onion::peel_chunk_in_place_reference(
+        &server.secret,
+        &server.public,
+        round,
+        &mut a_reference,
+        stride,
+        width,
+    );
+    assert_eq!(a_batched, a_reference, "ladder modes diverged");
+    for (i, (a, b)) in r_batched.iter().zip(&r_reference).enumerate() {
+        let (ka, la) = a.as_ref().expect("valid onion");
+        let (kb, lb) = b.as_ref().expect("valid onion");
+        assert_eq!((ka.0, la), (kb.0, lb), "slot {i}");
+        let slot = &mut a_per_slot[i * stride..(i + 1) * stride];
+        let (kc, lc) = onion::peel_in_place(&server.secret, &server.public, round, slot, width)
+            .expect("valid onion");
+        assert_eq!((ka.0, *la), (kc.0, lc), "slot {i} vs per-slot");
+    }
+    println!("peel outputs byte-identical across all paths");
+
+    // The variants are timed *interleaved* — each iteration measures
+    // every implementation once, back to back — so a load spike on a
+    // shared box degrades all of them in the same window instead of
+    // silently biasing the ratio; best-of-N then discards the noisy
+    // windows entirely.
+    let time = |peel: &dyn Fn(&mut [u8])| -> f64 {
+        let mut a = arena.clone();
+        let start = Instant::now();
+        peel(&mut a);
+        start.elapsed().as_secs_f64()
+    };
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..iterations {
+        best[0] = best[0].min(time(&|a| {
+            let _ = onion::peel_chunk_in_place_reference(
+                &server.secret,
+                &server.public,
+                round,
+                a,
+                stride,
+                width,
+            );
+        }));
+        best[1] = best[1].min(time(&|a| {
+            let _ =
+                onion::peel_chunk_in_place(&server.secret, &server.public, round, a, stride, width);
+        }));
+        if include_per_slot {
+            best[2] = best[2].min(time(&|a| {
+                for i in 0..onions {
+                    let _ = onion::peel_in_place(
+                        &server.secret,
+                        &server.public,
+                        round,
+                        &mut a[i * stride..(i + 1) * stride],
+                        width,
+                    );
+                }
+            }));
+        }
+    }
+    let reference = onions as f64 / best[0];
+    let batched = onions as f64 / best[1];
+
+    if include_per_slot {
+        let per_slot = onions as f64 / best[2];
+        println!(
+            "peel: per-slot {per_slot:>8.0} onions/s   chunk-ref {reference:>8.0} onions/s   \
+             batched {batched:>8.0} onions/s"
+        );
+        println!(
+            "peel speedups: batched vs chunk-ref {:.2}x, vs per-slot {:.2}x",
+            batched / reference,
+            batched / per_slot
+        );
+        serde_json::json!({
+            "onions": onions,
+            "layer_width_bytes": width,
+            "iterations": iterations,
+            "per_slot_onions_per_sec": per_slot,
+            "chunk_reference_onions_per_sec": reference,
+            "batched_onions_per_sec": batched,
+            "speedup_peel_batched": batched / reference,
+            "speedup_peel_vs_per_slot": batched / per_slot,
+        })
+    } else {
+        println!(
+            "peel ({onions} onions): chunk-ref {reference:.0}/s, batched {batched:.0}/s ({:.2}x)",
+            batched / reference
+        );
+        serde_json::json!({
+            "onions": onions,
+            "layer_width_bytes": width,
+            "iterations": iterations,
+            "chunk_reference_onions_per_sec": reference,
+            "batched_onions_per_sec": batched,
+            "speedup_peel_batched": batched / reference,
+        })
+    }
+}

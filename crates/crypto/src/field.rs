@@ -4,6 +4,15 @@
 //! representation for 64-bit targets (as in curve25519-donna / ref10).
 //! All arithmetic is branch-free; conditional swaps are mask-based so the
 //! Montgomery ladder in [`crate::x25519`] does not branch on secret bits.
+//!
+//! Every operation here is eagerly carried: limbs re-enter the loose
+//! (< 2^52) range after each add/sub/mul. The batch-oriented sibling
+//! [`crate::fe4`] relaxes exactly that — it processes four elements in
+//! lockstep with *lazy* reduction (adds and subs don't carry at all, the
+//! bounds are re-established by the next multiplication), which is what
+//! makes the 4-wide Montgomery ladder on the peel hot path cheaper than
+//! four scalar ladders. See the `fe4` module docs for the precise limb
+//! bounds.
 
 /// Mask selecting the low 51 bits of a limb.
 const LOW_51: u64 = (1 << 51) - 1;
@@ -81,9 +90,11 @@ impl Fe {
     }
 
     /// One pass of carry propagation, bringing limbs below 2^51 (the top
-    /// carry folds back into limb 0 as ×19).
+    /// carry folds back into limb 0 as ×19). Crate-visible so the
+    /// limb-sliced [`crate::fe4::Fe4`] lanes can re-enter the loose
+    /// representation.
     #[must_use]
-    fn carry(self) -> Fe {
+    pub(crate) fn carry(self) -> Fe {
         let mut l = self.0;
         let mut c: u64;
         c = l[0] >> 51;
@@ -194,11 +205,14 @@ impl Fe {
     }
 
     /// Squares the element `k` times in place-returning style.
+    ///
+    /// Total over all `k`: `pow2k(0)` is the identity (`x^(2^0) = x`).
+    /// Earlier versions only `debug_assert!`ed `k > 0` and silently
+    /// returned `x²` for `k = 0` in release builds.
     #[must_use]
     pub fn pow2k(&self, k: u32) -> Fe {
-        debug_assert!(k > 0);
-        let mut out = self.square();
-        for _ in 1..k {
+        let mut out = *self;
+        for _ in 0..k {
             out = out.square();
         }
         out
@@ -397,6 +411,22 @@ mod tests {
         ]);
         assert_eq!(a.square(), a.mul(&a));
         assert_eq!(a.pow2k(3), a.mul(&a).mul(&a.mul(&a)).square());
+    }
+
+    #[test]
+    fn pow2k_zero_is_identity() {
+        // Regression: pow2k(0) used to return x² in release builds (the
+        // k > 0 contract was only a debug_assert). It must be x.
+        let a = Fe([
+            0x1234_5678_9abc,
+            0x7_ffff_ffff_ffff,
+            0x42,
+            0x3_1415_9265_3589,
+            0x2_7182_8182_8459,
+        ]);
+        assert_eq!(a.pow2k(0), a);
+        assert_eq!(a.pow2k(1), a.square());
+        assert_eq!(Fe::ZERO.pow2k(0), Fe::ZERO);
     }
 
     #[test]

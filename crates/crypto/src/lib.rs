@@ -31,6 +31,7 @@
 pub mod aead;
 pub mod chacha20;
 pub(crate) mod edwards;
+pub mod fe4;
 pub mod field;
 pub mod hkdf;
 pub mod onion;

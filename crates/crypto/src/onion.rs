@@ -396,17 +396,38 @@ pub fn peel_in_place(
     Ok((key, inner_len))
 }
 
+/// Which Montgomery-ladder implementation a chunk peel drives: the
+/// production four-wide lockstep ladder, or the one-onion-at-a-time
+/// scalar ladder kept as the equivalence/benchmark reference.
+#[derive(Clone, Copy)]
+enum LadderMode {
+    /// Four onions per [`crate::fe4::Fe4`] ladder, scalar tail.
+    Quad,
+    /// One scalar ladder per onion (the pre-`Fe4` committed path).
+    Scalar,
+}
+
 /// Server side: peels one layer of **every onion in a chunk of slots**,
-/// in place, batching the x25519 ladder's final field inversion across
-/// the whole chunk (Montgomery's trick, sub-batched at
-/// [`crate::edwards`]'s resolver width). Slot `i` occupies
-/// `chunk[i * stride .. i * stride + width]`; per slot the semantics —
-/// success, error classification, and every output byte — are identical
-/// to calling [`peel_in_place`], but `n` slots pay one `Fe::invert`
-/// (~250 squarings) plus `3(n−1)` multiplications instead of `n`
-/// inversions. This is the peel hot path's entry point: the worker pool
-/// hands each worker a chunk of contiguous slots rather than one slot at
-/// a time.
+/// in place. Slot `i` occupies `chunk[i * stride .. i * stride + width]`;
+/// per slot the semantics — success, error classification, and every
+/// output byte — are identical to calling [`peel_in_place`]. Two batch
+/// optimisations stack on the hot path:
+///
+/// * the variable-base x25519 ladders step **four onions in lockstep**
+///   over the limb-sliced [`crate::fe4::Fe4`] type (scalar ladder for
+///   the `count % 4` tail), eliminating the per-add carry chains and
+///   interleaving four multiplication dependency chains;
+/// * each ladder's final field inversion is deferred and batched across
+///   the whole chunk (Montgomery's trick, sub-batched at
+///   [`crate::edwards`]'s resolver width): `n` slots pay one
+///   `Fe::invert` (~250 squarings) plus `3(n−1)` multiplications
+///   instead of `n` inversions.
+///
+/// This is the peel hot path's entry point: the worker pool hands each
+/// worker a chunk of contiguous slots rather than one slot at a time.
+/// [`peel_chunk_in_place_reference`] runs the same chunk protocol over
+/// the scalar ladder and is held byte-identical by the equivalence
+/// tests.
 ///
 /// Returns one result per slot, in slot order.
 pub fn peel_chunk_in_place(
@@ -417,19 +438,68 @@ pub fn peel_chunk_in_place(
     stride: usize,
     width: usize,
 ) -> Vec<Result<(LayerKey, usize), CryptoError>> {
+    peel_chunk_core(
+        server_secret,
+        server_public,
+        round,
+        chunk,
+        stride,
+        width,
+        LadderMode::Quad,
+    )
+}
+
+/// [`peel_chunk_in_place`] over the scalar (one-onion-at-a-time)
+/// Montgomery ladder — the committed pre-`Fe4` peel path, kept so the
+/// equivalence tests can hold the four-wide ladder to byte-identical
+/// outputs and the round benchmarks can price the batching honestly.
+pub fn peel_chunk_in_place_reference(
+    server_secret: &SecretKey,
+    server_public: &PublicKey,
+    round: u64,
+    chunk: &mut [u8],
+    stride: usize,
+    width: usize,
+) -> Vec<Result<(LayerKey, usize), CryptoError>> {
+    peel_chunk_core(
+        server_secret,
+        server_public,
+        round,
+        chunk,
+        stride,
+        width,
+        LadderMode::Scalar,
+    )
+}
+
+/// Shared chunk-peel engine behind both ladder modes.
+#[allow(clippy::too_many_arguments)]
+fn peel_chunk_core(
+    server_secret: &SecretKey,
+    server_public: &PublicKey,
+    round: u64,
+    chunk: &mut [u8],
+    stride: usize,
+    width: usize,
+    mode: LadderMode,
+) -> Vec<Result<(LayerKey, usize), CryptoError>> {
     assert!(stride > 0, "stride must be positive");
     let count = chunk.len().div_ceil(stride);
     let mut results: Vec<Result<(LayerKey, usize), CryptoError>> = Vec::with_capacity(count);
     let nonce = round_nonce(round, Direction::Request);
 
     const GROUP: usize = crate::edwards::MAX_RESOLVE_BATCH;
+    const LANES: usize = crate::fe4::LANES;
     for group_start in (0..count).step_by(GROUP) {
         let group_len = (count - group_start).min(GROUP);
 
-        // Pass 1: length checks + the ladder with its inversion deferred.
+        // Pass 1: length checks, gathering the admitted slots' ephemeral
+        // keys so their ladders can run four-wide.
         let mut pending = [crate::edwards::PendingU::PLACEHOLDER; GROUP];
         let mut eph = [[0u8; 32]; GROUP];
         let mut admitted = [false; GROUP];
+        let mut admitted_idx = [0usize; GROUP];
+        let mut admitted_len = 0usize;
         for j in 0..group_len {
             let start = (group_start + j) * stride;
             let slot_len = (chunk.len() - start).min(stride);
@@ -437,8 +507,33 @@ pub fn peel_chunk_in_place(
                 continue; // reported as BadLength below, like peel_in_place
             }
             eph[j].copy_from_slice(&chunk[start..start + 32]);
-            pending[j] = crate::x25519::x25519_pending(server_secret.as_bytes(), &eph[j]);
             admitted[j] = true;
+            admitted_idx[admitted_len] = j;
+            admitted_len += 1;
+        }
+
+        // The ladders, inversions still deferred. In quad mode full
+        // quads run in lockstep (the per-onion scalar is the server's
+        // one secret, so the lanes differ only in their base point);
+        // the tail and the reference mode take the scalar ladder.
+        let scalar_from = match mode {
+            LadderMode::Scalar => 0,
+            LadderMode::Quad => {
+                let full = admitted_len / LANES * LANES;
+                for quad in admitted_idx[..full].chunks_exact(LANES) {
+                    let out = crate::x25519::x25519_pending_quad(
+                        server_secret.as_bytes(),
+                        [&eph[quad[0]], &eph[quad[1]], &eph[quad[2]], &eph[quad[3]]],
+                    );
+                    for (lane, p) in out.into_iter().enumerate() {
+                        pending[quad[lane]] = p;
+                    }
+                }
+                full
+            }
+        };
+        for &j in &admitted_idx[scalar_from..admitted_len] {
+            pending[j] = crate::x25519::x25519_pending(server_secret.as_bytes(), &eph[j]);
         }
 
         // One shared inversion for the whole group.
@@ -778,6 +873,105 @@ mod tests {
                 }
                 (Err(e), Err(ref_e)) => assert_eq!(*e, ref_e, "slot {i} error"),
                 (got, want) => panic!("slot {i}: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peel_chunk_small_sizes_match_per_slot() {
+        // Chunks of 1–5 slots cover the empty-quad and 1–3-onion
+        // scalar-tail paths of the 4-wide ladder; every slot must match
+        // the per-slot reference bytewise, as must the scalar-ladder
+        // chunk reference.
+        let mut rng = StdRng::seed_from_u64(91);
+        let server = Keypair::generate(&mut rng);
+        for count in 1..=5usize {
+            let (sample, _) = wrap(&mut rng, &[server.public], 11, b"tail case");
+            let width = sample.len();
+            let stride = width + 4;
+            let mut chunk = vec![0u8; count * stride];
+            let mut slots: Vec<Vec<u8>> = Vec::new();
+            for i in 0..count {
+                let (onion, _) = wrap(&mut rng, &[server.public], 11, b"tail case");
+                chunk[i * stride..i * stride + width].copy_from_slice(&onion);
+                slots.push(onion);
+            }
+            let mut chunk_ref = chunk.clone();
+
+            let results = peel_chunk_in_place(
+                &server.secret,
+                &server.public,
+                11,
+                &mut chunk,
+                stride,
+                width,
+            );
+            let ref_results = peel_chunk_in_place_reference(
+                &server.secret,
+                &server.public,
+                11,
+                &mut chunk_ref,
+                stride,
+                width,
+            );
+            assert_eq!(results.len(), count, "count {count}");
+            assert_eq!(chunk, chunk_ref, "count {count}: ladder modes diverged");
+            for (i, (result, ref_result)) in results.iter().zip(&ref_results).enumerate() {
+                let (key, len) = result.as_ref().expect("valid onion");
+                let (ref_key, ref_len) = ref_result.as_ref().expect("valid onion");
+                assert_eq!((key.0, len), (ref_key.0, ref_len), "count {count} slot {i}");
+                let mut slot = slots[i].clone();
+                let (want_key, want_len) =
+                    peel_in_place(&server.secret, &server.public, 11, &mut slot, width)
+                        .expect("per-slot");
+                assert_eq!(key.0, want_key.0, "count {count} slot {i} key");
+                assert_eq!(*len, want_len, "count {count} slot {i} len");
+                assert_eq!(
+                    &chunk[i * stride..i * stride + len],
+                    &slot[..want_len],
+                    "count {count} slot {i} payload"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peel_chunk_all_low_order_batch() {
+        // A whole chunk of forged low-order ephemerals (u = 0 and the
+        // order-4 point u = 1): every ladder lane ends with z2 = 0, the
+        // shared batch inversion must survive the inverse-of-zero edge
+        // in all lanes at once, and every slot must be classified
+        // DegenerateSharedSecret exactly like the per-slot path.
+        let mut rng = StdRng::seed_from_u64(92);
+        let server = Keypair::generate(&mut rng);
+        let (sample, _) = wrap(&mut rng, &[server.public], 12, b"low order");
+        let width = sample.len();
+        let stride = width;
+        for count in [1usize, 4, 5, 9] {
+            let mut chunk = vec![0u8; count * stride];
+            for i in 0..count {
+                // Alternate the two low-order encodings; the rest of the
+                // slot is arbitrary ciphertext bytes.
+                chunk[i * stride + 32..(i + 1) * stride].fill(0xCD);
+                if i % 2 == 1 {
+                    chunk[i * stride] = 1;
+                }
+            }
+            let results = peel_chunk_in_place(
+                &server.secret,
+                &server.public,
+                12,
+                &mut chunk,
+                stride,
+                width,
+            );
+            assert_eq!(results.len(), count);
+            for (i, result) in results.iter().enumerate() {
+                assert_eq!(
+                    result.as_ref().unwrap_err(),
+                    &CryptoError::DegenerateSharedSecret,
+                    "count {count} slot {i}"
+                );
             }
         }
     }

@@ -6,6 +6,7 @@
 //! hand-rolled curve arithmetic is prone to.
 
 use proptest::prelude::*;
+use vuvuzela_crypto::fe4::Fe4;
 use vuvuzela_crypto::field::Fe;
 use vuvuzela_crypto::{chacha20, poly1305, sha256};
 
@@ -86,6 +87,103 @@ proptest! {
             sum = sum.add(&a);
         }
         prop_assert_eq!(a.mul_small(n), sum);
+    }
+
+    /// Every `Fe4` lane operation must agree with four independent
+    /// scalar `Fe` operations — the four-wide Montgomery ladder's
+    /// correctness reduces to exactly this property.
+    #[test]
+    fn fe4_ops_match_four_scalar_ops(
+        a0 in fe_strategy(), a1 in fe_strategy(), a2 in fe_strategy(), a3 in fe_strategy(),
+        b0 in fe_strategy(), b1 in fe_strategy(), b2 in fe_strategy(), b3 in fe_strategy(),
+        n in 0u32..200_000,
+        swap_bits in 0u8..16,
+    ) {
+        let swap = [
+            swap_bits & 1 != 0,
+            swap_bits & 2 != 0,
+            swap_bits & 4 != 0,
+            swap_bits & 8 != 0,
+        ];
+        let a = [a0, a1, a2, a3];
+        let b = [b0, b1, b2, b3];
+        let va = Fe4::from_fes(a);
+        let vb = Fe4::from_fes(b);
+        for lane in 0..4 {
+            prop_assert_eq!(va.lane(lane), a[lane], "from_fes/lane roundtrip");
+            prop_assert_eq!(va.add(&vb).lane(lane), a[lane].add(&b[lane]), "add");
+            prop_assert_eq!(va.sub(&vb).lane(lane), a[lane].sub(&b[lane]), "sub");
+            prop_assert_eq!(va.mul(&vb).lane(lane), a[lane].mul(&b[lane]), "mul");
+            prop_assert_eq!(va.square().lane(lane), a[lane].square(), "square");
+            prop_assert_eq!(va.mul_small(n).lane(lane), a[lane].mul_small(n), "mul_small");
+            prop_assert_eq!(
+                va.mul_small_add(n, &vb).lane(lane),
+                b[lane].add(&a[lane].mul_small(n)),
+                "mul_small_add"
+            );
+            prop_assert_eq!(va.carry().lane(lane), a[lane], "carry");
+        }
+        // The ladder's composition shape: lazy add/sub straight into
+        // mul/square, still exact lane-wise.
+        let prod = va.add(&vb).mul(&va.sub(&vb));
+        let sq = va.sub(&vb).square();
+        for lane in 0..4 {
+            prop_assert_eq!(
+                prod.lane(lane),
+                a[lane].add(&b[lane]).mul(&a[lane].sub(&b[lane])),
+                "lazy add/sub feeding mul"
+            );
+            prop_assert_eq!(sq.lane(lane), a[lane].sub(&b[lane]).square(), "lazy sub feeding square");
+        }
+        // Per-lane conditional swap.
+        let mut x = va;
+        let mut y = vb;
+        let masks = [
+            u64::from(swap[0]), u64::from(swap[1]), u64::from(swap[2]), u64::from(swap[3]),
+        ];
+        Fe4::cswap(&masks, &mut x, &mut y);
+        for lane in 0..4 {
+            let (want_x, want_y) = if swap[lane] { (b[lane], a[lane]) } else { (a[lane], b[lane]) };
+            prop_assert_eq!(x.lane(lane), want_x, "cswap x");
+            prop_assert_eq!(y.lane(lane), want_y, "cswap y");
+        }
+    }
+
+    /// The batched (4-wide + shared-inversion) X25519 must be
+    /// bit-identical to the scalar ladder for arbitrary scalars and
+    /// u-coordinates, at every batch size that exercises the quad and
+    /// tail paths, including low-order points mixed into arbitrary
+    /// lanes.
+    #[test]
+    fn x25519_batch_matches_scalar(
+        seed in any::<u64>(),
+        count in 1usize..10,
+        low_order_lane in any::<Option<(u8, bool)>>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scalars = vec![[0u8; 32]; count];
+        let mut us = vec![[0u8; 32]; count];
+        for i in 0..count {
+            rng.fill_bytes(&mut scalars[i]);
+            rng.fill_bytes(&mut us[i]);
+        }
+        if let Some((lane, order4)) = low_order_lane {
+            let lane = lane as usize % count;
+            us[lane] = [0u8; 32];
+            if order4 {
+                us[lane][0] = 1;
+            }
+        }
+        let batch = vuvuzela_crypto::x25519::x25519_batch(&scalars, &us);
+        for i in 0..count {
+            prop_assert_eq!(
+                batch[i],
+                vuvuzela_crypto::x25519::x25519(&scalars[i], &us[i]),
+                "lane {} of {}", i, count
+            );
+        }
     }
 
     /// ChaCha20 is length-preserving XOR: double application is identity.
@@ -225,6 +323,79 @@ mod in_place {
                 reference_onion = ref_inner;
             }
             prop_assert_eq!(&flat[..width], &payload[..]);
+        }
+
+        /// The 4-wide-ladder chunk peel must classify and transform
+        /// every slot exactly like the scalar-ladder chunk reference
+        /// and the per-slot path, over arbitrary mixes of valid,
+        /// corrupted, truncated and low-order slots — covering quad and
+        /// tail lanes, group boundaries, and the shared inversion's
+        /// zero-denominator edges.
+        #[test]
+        fn peel_chunk_batched_matches_scalar_reference(
+            seed in any::<u64>(),
+            count in 1usize..12,
+            round in any::<u64>(),
+            kinds in proptest::collection::vec(0u8..4, 12),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let server = Keypair::generate(&mut rng);
+            let payload = b"proptest payload";
+            let (sample, _) = onion::wrap(&mut rng, &[server.public], round, payload);
+            let width = sample.len();
+            let stride = width + 3;
+            let mut chunk = vec![0u8; count * stride];
+            let mut slots: Vec<Vec<u8>> = Vec::new();
+            for i in 0..count {
+                let mut onion_bytes = match kinds[i] {
+                    // Forged low-order ephemeral (identity or order-4).
+                    1 => {
+                        let mut o = vec![0u8; width];
+                        o[32..].fill(0x5A);
+                        o[0] = u8::from(i % 2 == 0);
+                        o
+                    }
+                    _ => onion::wrap(&mut rng, &[server.public], round, payload).0,
+                };
+                if kinds[i] == 2 {
+                    // Bit-flip: authentication failure.
+                    onion_bytes[34] ^= 1;
+                }
+                chunk[i * stride..i * stride + width].copy_from_slice(&onion_bytes);
+                slots.push(onion_bytes);
+            }
+            let mut chunk_ref = chunk.clone();
+
+            let results = onion::peel_chunk_in_place(
+                &server.secret, &server.public, round, &mut chunk, stride, width);
+            let ref_results = onion::peel_chunk_in_place_reference(
+                &server.secret, &server.public, round, &mut chunk_ref, stride, width);
+
+            prop_assert_eq!(results.len(), count);
+            prop_assert_eq!(&chunk, &chunk_ref, "arena bytes diverged between ladder modes");
+            for (i, (got, want)) in results.iter().zip(&ref_results).enumerate() {
+                // Per-slot reference for ground truth.
+                let mut slot = slots[i].clone();
+                let per_slot = onion::peel_in_place(
+                    &server.secret, &server.public, round, &mut slot, width);
+                match (got, want, per_slot) {
+                    (Ok((k1, l1)), Ok((k2, l2)), Ok((k3, l3))) => {
+                        prop_assert_eq!(k1.0, k2.0, "slot {} key (modes)", i);
+                        prop_assert_eq!(k1.0, k3.0, "slot {} key (per-slot)", i);
+                        prop_assert_eq!((l1, l2), (&l3, &l3), "slot {} len", i);
+                        prop_assert_eq!(
+                            &chunk[i * stride..i * stride + l1],
+                            &slot[..l3],
+                            "slot {} payload", i
+                        );
+                    }
+                    (Err(e1), Err(e2), Err(e3)) => {
+                        prop_assert_eq!(e1, e2, "slot {} error (modes)", i);
+                        prop_assert_eq!(e1, &e3, "slot {} error (per-slot)", i);
+                    }
+                    (g, w, p) => panic!("slot {i} disagreement: {g:?} vs {w:?} vs {p:?}"),
+                }
+            }
         }
 
         #[test]

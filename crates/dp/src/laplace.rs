@@ -48,10 +48,19 @@ impl NoiseDistribution {
     }
 
     /// Draws one raw (untruncated) Laplace sample via inverse-CDF.
+    ///
+    /// Total over the whole RNG range: a uniform draw of exactly 0
+    /// makes `u = −1/2` and the log argument 0, which would produce a
+    /// −∞ sample (and, mirrored, +∞ — a server emitting an *infinite*
+    /// noise count). The argument is clamped to the smallest positive
+    /// double first, capping the tails at `µ ± b·ln(2^−1074)` ≈
+    /// `µ ± 744·b` — beyond ±700 standard deviations, so the clamp is
+    /// statistically invisible while keeping every sample finite.
     fn sample_raw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // u uniform in [-1/2, 1/2); x = µ − b·sgn(u)·ln(1 − 2|u|).
         let u: f64 = rng.gen::<f64>() - 0.5;
-        self.mu - self.b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+        let tail = (1.0 - 2.0 * u.abs()).max(f64::from_bits(1)); // min subnormal
+        self.mu - self.b * u.signum() * tail.ln()
     }
 
     /// Draws `⌈max(0, Laplace(µ, b))⌉` — a whole number of noise requests.
@@ -157,6 +166,57 @@ mod tests {
             (got - want).abs() / want < 0.1,
             "std dev {got} vs expected {want}"
         );
+    }
+
+    /// An RNG emitting a fixed word stream, for driving the sampler
+    /// through adversarially chosen uniform draws.
+    struct FixedRng {
+        words: Vec<u64>,
+        at: usize,
+    }
+
+    impl rand::RngCore for FixedRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.at % self.words.len()];
+            self.at += 1;
+            w
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_finite_on_adversarial_rng_streams() {
+        // Regression: a uniform draw of exactly 0 (u = −1/2) used to
+        // hit ln(0) and return −∞; the mirrored edge would be +∞ and
+        // `x.ceil() as u64` of +∞ is u64::MAX noise requests. Pin the
+        // raw sample finite (and the count sane) over the extreme and
+        // near-extreme RNG outputs: all-zero words, all-ones words, and
+        // the smallest/largest values the f64 mapping can produce.
+        let dist = NoiseDistribution::new(300.0, 20.0);
+        let cap = 300.0 + 745.0 * 20.0; // µ + |ln(min subnormal)|·b
+        for words in [
+            vec![0u64],
+            vec![u64::MAX],
+            vec![1u64 << 11], // smallest nonzero uniform
+            vec![u64::MAX - (1 << 11)],
+            vec![0, u64::MAX, 0, 1 << 11],
+        ] {
+            let mut rng = FixedRng { words, at: 0 };
+            for _ in 0..32 {
+                let x = dist.sample_raw(&mut rng);
+                assert!(x.is_finite(), "raw sample must be finite, got {x}");
+                assert!(x < cap, "raw sample {x} beyond the clamp cap");
+                let n = dist.sample_count(&mut rng, NoiseMode::Sampled);
+                assert!(n < cap.ceil() as u64 + 1, "count {n} out of range");
+            }
+        }
     }
 
     #[test]
