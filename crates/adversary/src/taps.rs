@@ -100,6 +100,64 @@ impl Tap for DelayOneRound {
     }
 }
 
+/// Slows a link down without touching any bytes: sleeps for a fixed
+/// wall-clock interval on every forward transfer — the "server stalling
+/// mid-round" deployment fault (a slow disk, a GC pause, a congested
+/// uplink). Against the streaming scheduler this perturbs *when* batches
+/// move and how rounds overlap, but must never change *what* any round
+/// computes; the deployment simulator's slowdown scenario pins that down
+/// by asserting a byte-identical transcript with and without the stall.
+pub struct StallLink {
+    /// How long each forward transfer stalls.
+    pub delay: std::time::Duration,
+}
+
+impl Tap for StallLink {
+    fn intercept(&mut self, ctx: &TapContext, _batch: &mut Vec<Vec<u8>>) {
+        if matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            std::thread::sleep(self.delay);
+        }
+    }
+}
+
+/// Kills the schedule when a specific round's forward batch crosses the
+/// tapped link — the "server aborts mid-round" deployment fault. The
+/// panic unwinds the pipeline stage that ran the tap; the streaming
+/// scheduler's abort flag then drains the surviving stages and the whole
+/// schedule fails (never hangs). Disarms itself *before* panicking so
+/// batches drained during the abort cannot re-trigger it, and stays
+/// inert afterwards, so the deployment can keep the link (tap detached
+/// or not) for subsequent schedules.
+pub struct CrashOnRound {
+    /// The round whose forward transfer triggers the crash.
+    pub round: u64,
+    /// Whether the crash is still pending.
+    pub armed: bool,
+}
+
+impl CrashOnRound {
+    /// An armed crash for `round`.
+    #[must_use]
+    pub fn new(round: u64) -> CrashOnRound {
+        CrashOnRound { round, armed: true }
+    }
+}
+
+impl Tap for CrashOnRound {
+    fn intercept(&mut self, ctx: &TapContext, _batch: &mut Vec<Vec<u8>>) {
+        if self.armed
+            && ctx.round == self.round
+            && matches!(ctx.direction, vuvuzela_net::Direction::Forward)
+        {
+            self.armed = false;
+            panic!(
+                "injected server fault on {} at round {}",
+                ctx.link, ctx.round
+            );
+        }
+    }
+}
+
 /// Records only the *sizes* of everything in flight — a cheap global
 /// passive observer for asserting the fixed-size invariants.
 #[derive(Default)]
@@ -183,6 +241,31 @@ mod tests {
         // Backward traffic is untouched.
         let back = link.transmit(2, Direction::Backward, vec![vec![9]]);
         assert_eq!(back, vec![vec![9]]);
+    }
+
+    #[test]
+    fn crash_on_round_fires_once_and_only_forward() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(CrashOnRound::new(2))));
+        // Other rounds and backward traffic pass untouched.
+        assert_eq!(link.transmit(1, Direction::Forward, batch3()).len(), 3);
+        assert_eq!(link.transmit(2, Direction::Backward, batch3()).len(), 3);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            link.transmit(2, Direction::Forward, batch3())
+        }));
+        assert!(boom.is_err(), "armed tap must panic on its round");
+        // Disarmed: the same round drains through afterwards.
+        assert_eq!(link.transmit(2, Direction::Forward, batch3()).len(), 3);
+    }
+
+    #[test]
+    fn stall_link_changes_nothing_but_time() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(StallLink {
+            delay: std::time::Duration::from_millis(1),
+        })));
+        assert_eq!(link.transmit(0, Direction::Forward, batch3()), batch3());
+        assert_eq!(link.transmit(0, Direction::Backward, batch3()), batch3());
     }
 
     #[test]

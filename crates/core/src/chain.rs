@@ -483,6 +483,26 @@ impl Chain {
         &self.servers[index]
     }
 
+    /// Discards every server's in-flight round state, returning the
+    /// total number of `(server, round)` states dropped.
+    ///
+    /// This defines the deployment's **round-abort semantics** after a
+    /// failed schedule: when a streaming schedule panics mid-flight
+    /// (server fault, adversary tap), the rounds it admitted are dead —
+    /// no replies will ever reach clients, and which servers still hold
+    /// forward state for which rounds depends on where the pipeline
+    /// stopped. A recovering deployment calls this, has its clients
+    /// expire the dead rounds' reply keys
+    /// ([`crate::client::Client::expire_pending`]), and schedules fresh
+    /// round numbers; client-level retransmission (§3.1) then re-carries
+    /// any data the aborted rounds lost.
+    pub fn abort_in_flight_rounds(&mut self) -> usize {
+        self.servers
+            .iter_mut()
+            .map(MixServer::abort_all_rounds)
+            .sum()
+    }
+
     /// Total in-flight entries adversary taps resized (truncated,
     /// extended, or injected with a non-onion size) on flat-buffer
     /// transfers: every inter-hop link plus the entry→clients reply

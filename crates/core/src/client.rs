@@ -835,4 +835,115 @@ mod tests {
         // No panic, no state change.
         assert!(alice.pending.is_empty());
     }
+
+    #[test]
+    fn queue_message_to_ended_conversation_fails() {
+        let mut alice = client("alice", 30, 1);
+        let bob = client("bob", 31, 1);
+        alice.start_conversation(bob.public_key()).expect("start");
+        alice
+            .queue_message(&bob.public_key(), b"hi")
+            .expect("queue");
+        alice.end_conversation(&bob.public_key()).expect("end");
+        // The slot is gone: further queues are rejected, not silently
+        // dropped into a dead send queue.
+        assert_eq!(
+            alice.queue_message(&bob.public_key(), b"too late"),
+            Err(ClientError::NoConversationWith)
+        );
+        assert!(alice.delivered_from(&bob.public_key()).is_empty());
+        // Restarting yields a fresh conversation with no stale state.
+        alice.start_conversation(bob.public_key()).expect("restart");
+        assert!(alice.queue_message(&bob.public_key(), b"fresh").is_ok());
+        assert!(!alice.conversation_idle(&bob.public_key()));
+    }
+
+    #[test]
+    fn start_conversation_twice_occupies_one_slot() {
+        // Starting twice with the same peer is idempotent — it must not
+        // burn a second slot, and one `end` fully clears it.
+        let mut alice = client("alice", 32, 2);
+        let bob = client("bob", 33, 1);
+        let carol = client("carol", 34, 1);
+        assert_eq!(alice.start_conversation(bob.public_key()), Ok(0));
+        assert_eq!(alice.start_conversation(bob.public_key()), Ok(0));
+        assert_eq!(alice.active_peers(), vec![bob.public_key()]);
+        // The second slot is still free for Carol.
+        assert_eq!(alice.start_conversation(carol.public_key()), Ok(1));
+        alice.end_conversation(&bob.public_key()).expect("end");
+        // No phantom second entry for Bob.
+        assert_eq!(
+            alice.end_conversation(&bob.public_key()),
+            Err(ClientError::NoConversationWith)
+        );
+        assert_eq!(alice.active_peers(), vec![carol.public_key()]);
+    }
+
+    #[test]
+    fn redial_after_missed_dialing_round_resends_invitation() {
+        // A caller whose invitation the callee never downloaded (the
+        // drop was overwritten by a later dialing round) re-dials: the
+        // same-peer slot is reused without error and a second *real*
+        // invitation goes out. With an empty chain suffix the dial
+        // request is observable in plaintext, so the test can tell real
+        // invitations from no-op writes.
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut alice = client("alice", 36, 1);
+        let bob = client("bob", 37, 1);
+        let target = InvitationDropIndex::for_recipient(&bob.public_key(), 4);
+
+        alice.dial(bob.public_key()).expect("first dial");
+        let r0 = DialRequest::decode(&alice.build_dial_request(&mut rng, 0, 4, &[]))
+            .expect("plain request");
+        assert_eq!(r0.drop, target, "first dial sends a real invitation");
+        assert!(
+            r0.invitation
+                .try_open(&bob.keypair.secret, &bob.public_key())
+                .is_some(),
+            "the invitation opens for the callee"
+        );
+
+        // Nothing queued: the next dialing round is a no-op write.
+        let r1 = DialRequest::decode(&alice.build_dial_request(&mut rng, 1, 4, &[]))
+            .expect("plain request");
+        assert!(
+            r1.drop.is_noop(),
+            "idle dialing rounds write to the no-op drop"
+        );
+
+        // Re-dial the same peer: the occupied slot is *not* an error
+        // (the conversation is already entered) and a fresh real
+        // invitation is queued.
+        alice.dial(bob.public_key()).expect("re-dial same peer");
+        assert_eq!(alice.active_peers(), vec![bob.public_key()]);
+        let r2 = DialRequest::decode(&alice.build_dial_request(&mut rng, 2, 4, &[]))
+            .expect("plain request");
+        assert_eq!(r2.drop, target, "re-dial sends a second real invitation");
+        assert!(r2
+            .invitation
+            .try_open(&bob.keypair.secret, &bob.public_key())
+            .is_some());
+    }
+
+    #[test]
+    fn dial_with_busy_slots_queues_nothing() {
+        let mut rng = StdRng::seed_from_u64(38);
+        let mut alice = client("alice", 39, 1);
+        let bob = client("bob", 43, 1);
+        let carol = client("carol", 44, 1);
+        alice.dial(bob.public_key()).expect("dial bob");
+        // The only slot is Bob's: dialing Carol fails...
+        assert_eq!(
+            alice.dial(carol.public_key()),
+            Err(ClientError::AllSlotsBusy)
+        );
+        // ...and must not have queued an invitation for her: after
+        // Bob's invitation drains, the next request is a no-op.
+        let r0 = DialRequest::decode(&alice.build_dial_request(&mut rng, 0, 2, &[]))
+            .expect("plain request");
+        assert!(!r0.drop.is_noop(), "bob's invitation goes first");
+        let r1 = DialRequest::decode(&alice.build_dial_request(&mut rng, 1, 2, &[]))
+            .expect("plain request");
+        assert!(r1.drop.is_noop(), "no phantom invitation for carol");
+    }
 }

@@ -279,6 +279,14 @@ impl StreamingChain {
         self.chain.download_drop(index)
     }
 
+    /// Recovers from an aborted schedule: discards every server's
+    /// in-flight round state so the next schedule starts clean (see
+    /// [`Chain::abort_in_flight_rounds`] for the full abort semantics).
+    /// Returns the number of `(server, round)` states dropped.
+    pub fn abort_in_flight_rounds(&mut self) -> usize {
+        self.chain.abort_in_flight_rounds()
+    }
+
     /// Runs a schedule of conversation rounds with the hops overlapped
     /// across the weighted in-flight window. Returns per-round
     /// `(replies, timing)` in input order — byte-identical to calling

@@ -542,6 +542,19 @@ impl MixServer {
         self.rounds.remove(&round);
     }
 
+    /// Abandons *every* in-flight round's state, returning how many were
+    /// dropped. This is the per-server half of schedule-abort recovery:
+    /// when a streaming schedule dies mid-flight (a stage panicked, a
+    /// server crashed), each surviving server may hold forward state for
+    /// an unpredictable subset of the admitted rounds — none of which
+    /// will ever see a backward pass — and a deployment that wants to
+    /// keep running must discard all of it before scheduling new rounds.
+    pub fn abort_all_rounds(&mut self) -> usize {
+        let dropped = self.rounds.len();
+        self.rounds.clear();
+        dropped
+    }
+
     /// How many rounds this server currently holds state for — more than
     /// one exactly when a streaming scheduler has rounds in flight.
     #[must_use]

@@ -156,8 +156,32 @@ impl TestNet {
 
     /// Marks a user online/offline. Offline users send nothing — the
     /// observable event the adversary tries to correlate (§4.2).
+    ///
+    /// ## Cover-traffic audit
+    ///
+    /// The paper's requirement (§3.2) is that *for connected clients*,
+    /// traffic is independent of activity. `set_online` models the one
+    /// thing that is legitimately observable: the connected-client set
+    /// itself. What must **not** change when a user disconnects is the
+    /// observable stream of everyone else — in particular of the
+    /// departed user's conversation partner, whose dead-drop accesses
+    /// silently go from paired (`m2`) to single (`m1`), a shift the
+    /// Laplace noise on both counts is sized to hide (Theorem 1). This
+    /// holds here by construction: a partner's slot stays active, so it
+    /// keeps emitting exactly one fixed-size onion per slot per round
+    /// (real exchange, retransmission or keep-alive — on the wire all
+    /// identical), and idle clients emit the same via fake exchanges.
+    /// The `offline_peer_leaves_partner_stream_unchanged` regression
+    /// test in `tests/privacy_invariants.rs` pins the observable stream
+    /// byte-widths before/during/after a partner's absence.
     pub fn set_online(&mut self, user: UserId, online: bool) {
         self.online[user.0] = online;
+    }
+
+    /// Whether a user is currently online.
+    #[must_use]
+    pub fn is_online(&self, user: UserId) -> bool {
+        self.online[user.0]
     }
 
     /// Queues an invitation from `caller` to `callee` for the next

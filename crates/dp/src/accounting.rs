@@ -111,6 +111,95 @@ pub fn compose(round: RoundPrivacy, k: u64, d: f64) -> ComposedPrivacy {
     }
 }
 
+/// A running privacy-loss account for one deployment: how many rounds of
+/// each protocol have been observed, and the Theorem-2 composed (ε′, δ′)
+/// spent so far on each.
+///
+/// The adaptive composition of Theorem 2 is strictly monotone in the
+/// round count `k` (both ε′ and δ′ grow with every round), which makes
+/// the ledger the reference a deployment-level invariant checker can
+/// hold a simulator to: privacy loss only ever goes up, by exactly the
+/// planner's per-round schedule, never resets, and never depends on how
+/// rounds were interleaved or pipelined — only on how many ran.
+#[derive(Clone, Debug)]
+pub struct PrivacyLedger {
+    conversation: LedgerSide,
+    dialing: LedgerSide,
+    /// Theorem 2's free parameter d.
+    d: f64,
+}
+
+#[derive(Clone, Debug)]
+struct LedgerSide {
+    round: RoundPrivacy,
+    rounds: u64,
+}
+
+impl PrivacyLedger {
+    /// A fresh ledger for a deployment running the given per-round noise
+    /// distributions (the same [`crate::laplace::NoiseDistribution`]s
+    /// the servers draw cover traffic from), with Theorem 2's free
+    /// parameter `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not in (0, 1) — the same contract as [`compose`].
+    #[must_use]
+    pub fn new(
+        conversation: crate::laplace::NoiseDistribution,
+        dialing: crate::laplace::NoiseDistribution,
+        d: f64,
+    ) -> PrivacyLedger {
+        assert!(d > 0.0 && d < 1.0, "free parameter d must be in (0,1)");
+        PrivacyLedger {
+            conversation: LedgerSide {
+                round: conversation_round(conversation.mu, conversation.b),
+                rounds: 0,
+            },
+            dialing: LedgerSide {
+                round: dialing_round(dialing.mu, dialing.b),
+                rounds: 0,
+            },
+            d,
+        }
+    }
+
+    fn side(&self, protocol: Protocol) -> &LedgerSide {
+        match protocol {
+            Protocol::Conversation => &self.conversation,
+            Protocol::Dialing => &self.dialing,
+        }
+    }
+
+    /// Charges one observed round of `protocol` and returns the new
+    /// composed (ε′, δ′) for that protocol. Strictly greater than the
+    /// previous charge in both components.
+    pub fn charge(&mut self, protocol: Protocol) -> ComposedPrivacy {
+        let side = match protocol {
+            Protocol::Conversation => &mut self.conversation,
+            Protocol::Dialing => &mut self.dialing,
+        };
+        side.rounds += 1;
+        let (round, rounds) = (side.round, side.rounds);
+        compose(round, rounds, self.d)
+    }
+
+    /// Rounds charged so far for `protocol`.
+    #[must_use]
+    pub fn rounds(&self, protocol: Protocol) -> u64 {
+        self.side(protocol).rounds
+    }
+
+    /// The composed (ε′, δ′) spent so far on `protocol` — Theorem 2 at
+    /// the charged round count (at k = 0 that is (0, d): the free
+    /// parameter alone).
+    #[must_use]
+    pub fn spent(&self, protocol: Protocol) -> ComposedPrivacy {
+        let side = self.side(protocol);
+        compose(side.round, side.rounds, self.d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +301,46 @@ mod tests {
     #[should_panic(expected = "free parameter d")]
     fn compose_rejects_bad_d() {
         let _ = compose(conversation_round(100.0, 10.0), 10, 0.0);
+    }
+
+    #[test]
+    fn ledger_is_strictly_monotone_and_matches_compose() {
+        let mut ledger = PrivacyLedger::new(
+            crate::laplace::NoiseDistribution::new(50.0, 10.0),
+            crate::laplace::NoiseDistribution::new(10.0, 2.0),
+            1e-5,
+        );
+        let mut last = ledger.spent(Protocol::Conversation);
+        assert_eq!(last.epsilon, 0.0);
+        for k in 1..=40u64 {
+            let spent = ledger.charge(Protocol::Conversation);
+            assert!(spent.epsilon > last.epsilon, "ε′ not monotone at k={k}");
+            assert!(spent.delta > last.delta, "δ′ not monotone at k={k}");
+            // The ledger is exactly Theorem 2 at the charged round count.
+            let reference = compose(conversation_round(50.0, 10.0), k, 1e-5);
+            assert_eq!(spent.epsilon, reference.epsilon);
+            assert_eq!(spent.delta, reference.delta);
+            assert_eq!(ledger.rounds(Protocol::Conversation), k);
+            last = spent;
+        }
+        // The two protocols account independently.
+        assert_eq!(ledger.rounds(Protocol::Dialing), 0);
+        let dial = ledger.charge(Protocol::Dialing);
+        assert_eq!(
+            dial.epsilon,
+            compose(dialing_round(10.0, 2.0), 1, 1e-5).epsilon
+        );
+        assert_eq!(ledger.rounds(Protocol::Conversation), 40);
+        assert_eq!(ledger.spent(Protocol::Conversation).epsilon, last.epsilon);
+    }
+
+    #[test]
+    #[should_panic(expected = "free parameter d")]
+    fn ledger_rejects_bad_d() {
+        let _ = PrivacyLedger::new(
+            crate::laplace::NoiseDistribution::new(50.0, 10.0),
+            crate::laplace::NoiseDistribution::new(10.0, 2.0),
+            1.0,
+        );
     }
 }

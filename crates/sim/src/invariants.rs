@@ -1,0 +1,547 @@
+//! The per-round invariant checker.
+//!
+//! Each check corresponds to one property of the paper's privacy
+//! argument (the crate docs enumerate them). All arithmetic assumes
+//! deterministic noise mode (`⌈µ⌉` exactly per draw), which every
+//! bundled scenario uses; under honest-but-dynamic deployments the
+//! checks are *equalities*, so any drift — a client silently skipping a
+//! round, noise not covering a histogram, a dialing round growing a
+//! backward pass, a privacy charge out of schedule — fails the
+//! simulation immediately with the round it happened in.
+
+use vuvuzela_core::observables::{ConversationObservables, DialingObservables};
+use vuvuzela_dp::{compose, ComposedPrivacy, Protocol};
+
+/// A failed invariant: which one, in which round, and what diverged.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// The round being checked (`None` for schedule-level checks).
+    pub round: Option<u64>,
+    /// Short name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable expected-vs-got detail.
+    pub detail: String,
+}
+
+impl core::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.round {
+            Some(round) => write!(
+                f,
+                "invariant '{}' violated in round {round}: {}",
+                self.invariant, self.detail
+            ),
+            None => write!(
+                f,
+                "invariant '{}' violated: {}",
+                self.invariant, self.detail
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(
+    round: impl Into<Option<u64>>,
+    invariant: &'static str,
+    detail: String,
+) -> InvariantViolation {
+    InvariantViolation {
+        round: round.into(),
+        invariant,
+        detail,
+    }
+}
+
+/// The deterministic-mode conversation noise one noising server adds:
+/// `(singles, pairs)` with `singles = n1 = ⌈µ⌉` and `pairs = ⌈n2/2⌉`,
+/// `n2 = ⌈µ⌉` (Algorithm 2 step 2).
+#[must_use]
+pub fn deterministic_conversation_noise(mu: f64) -> (u64, u64) {
+    let n = mu.ceil() as u64;
+    (n, n.div_ceil(2))
+}
+
+/// The deterministic-mode dialing noise one server adds per real drop.
+#[must_use]
+pub fn deterministic_dialing_noise(mu: f64) -> u64 {
+    mu.ceil() as u64
+}
+
+/// Total onions one noising server injects into a conversation round.
+#[must_use]
+pub fn conversation_noise_onions(mu: f64) -> u64 {
+    let (singles, pairs) = deterministic_conversation_noise(mu);
+    singles + 2 * pairs
+}
+
+/// Everything needed to check one completed conversation round.
+#[derive(Clone, Copy)]
+pub struct ConversationRoundCheck<'a> {
+    /// Round id.
+    pub round: u64,
+    /// Online clients that participated.
+    pub participants: u64,
+    /// Conversation slots per client.
+    pub slots: u64,
+    /// Pairs of participants in a *mutual* active conversation (both
+    /// online, both holding the other as a partner) — the real `m2`.
+    pub mutual_pairs: u64,
+    /// The histogram the last server published for this round.
+    pub observables: &'a ConversationObservables,
+    /// `(messages, bytes)` the clients→entry link carried forward.
+    pub client_link_forward: (u64, u64),
+    /// The wrapped request size every submission must have.
+    pub onion_width: u64,
+    /// Replies handed back to the entry for this round.
+    pub replies: u64,
+}
+
+/// Checks invariants 1 (uniform participation) and 2 (noise-covered
+/// dead drops) for a conversation round.
+///
+/// # Errors
+///
+/// The first violated invariant, with expected-vs-got detail.
+pub fn check_conversation_round(
+    chain_len: u64,
+    conversation_mu: f64,
+    c: &ConversationRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    let submitted = c.participants * c.slots;
+    // 1. Every online client submits exactly one onion per slot, all of
+    // the single fixed size.
+    if c.client_link_forward != (submitted, submitted * c.onion_width) {
+        return Err(violation(
+            c.round,
+            "uniform-participation",
+            format!(
+                "expected {submitted} submissions x {} bytes on clients->entry, got {:?}",
+                c.onion_width, c.client_link_forward
+            ),
+        ));
+    }
+    if c.replies != submitted {
+        return Err(violation(
+            c.round,
+            "uniform-participation",
+            format!("expected {submitted} replies, got {}", c.replies),
+        ));
+    }
+    // 2. The dead-drop histogram decomposes exactly into the noise
+    // recipe plus the scripted real activity.
+    let noising = chain_len - 1;
+    let (singles, pairs) = deterministic_conversation_noise(conversation_mu);
+    let expect_m2 = noising * pairs + c.mutual_pairs;
+    let expect_m1 = noising * singles + (submitted - 2 * c.mutual_pairs);
+    let expect_total = submitted + noising * (singles + 2 * pairs);
+    let obs = c.observables;
+    if (obs.m1, obs.m2, obs.m_many, obs.total_requests) != (expect_m1, expect_m2, 0, expect_total) {
+        return Err(violation(
+            c.round,
+            "noise-covered-deaddrops",
+            format!(
+                "expected (m1, m2, m_many, total) = ({expect_m1}, {expect_m2}, 0, {expect_total}), \
+                 got ({}, {}, {}, {})",
+                obs.m1, obs.m2, obs.m_many, obs.total_requests
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Everything needed to check one completed dialing round.
+#[derive(Clone, Copy)]
+pub struct DialingRoundCheck<'a> {
+    /// Round id.
+    pub round: u64,
+    /// Online clients that participated.
+    pub participants: u64,
+    /// Real invitations the script sent to each drop this round.
+    pub real_per_drop: &'a [u64],
+    /// Per-drop counts the last server published.
+    pub observables: &'a DialingObservables,
+    /// `(messages, bytes)` the clients→entry link carried forward.
+    pub client_link_forward: (u64, u64),
+    /// `(messages, bytes)` the clients→entry link carried backward.
+    pub client_link_backward: (u64, u64),
+    /// The wrapped dial-request size every submission must have.
+    pub onion_width: u64,
+    /// Backward-pass stage timings recorded for the round (must be 0).
+    pub backward_stages: u64,
+}
+
+/// Checks invariants 1–3 for a dialing round: uniform participation,
+/// per-drop counts = chain noise + scripted real invitations, and
+/// forward-only execution.
+///
+/// # Errors
+///
+/// The first violated invariant, with expected-vs-got detail.
+pub fn check_dialing_round(
+    chain_len: u64,
+    dialing_mu: f64,
+    c: &DialingRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    if c.client_link_forward != (c.participants, c.participants * c.onion_width) {
+        return Err(violation(
+            c.round,
+            "uniform-participation",
+            format!(
+                "expected {} dial requests x {} bytes on clients->entry, got {:?}",
+                c.participants, c.onion_width, c.client_link_forward
+            ),
+        ));
+    }
+    // 3. Forward-only: no backward stage ran, nothing flowed back.
+    if c.backward_stages != 0 || c.client_link_backward != (0, 0) {
+        return Err(violation(
+            c.round,
+            "dialing-forward-only",
+            format!(
+                "dialing round took a backward pass: {} stages, {:?} on clients->entry",
+                c.backward_stages, c.client_link_backward
+            ),
+        ));
+    }
+    // 2. Per-drop counts: every server (including the last) adds ⌈µ⌉
+    // noise invitations per drop (§5.3), plus the scripted real dials.
+    let noise = deterministic_dialing_noise(dialing_mu);
+    let expect: Vec<u64> = c
+        .real_per_drop
+        .iter()
+        .map(|&real| real + chain_len * noise)
+        .collect();
+    if c.observables.counts != expect {
+        return Err(violation(
+            c.round,
+            "noise-covered-deaddrops",
+            format!(
+                "expected per-drop counts {expect:?}, got {:?}",
+                c.observables.counts
+            ),
+        ));
+    }
+    let real_total: u64 = c.real_per_drop.iter().sum();
+    let expect_noop = c.participants - real_total;
+    if c.observables.noop_writes != expect_noop {
+        return Err(violation(
+            c.round,
+            "noise-covered-deaddrops",
+            format!(
+                "expected {expect_noop} no-op writes, got {}",
+                c.observables.noop_writes
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks invariant 4: the ledger's composed (ε′, δ′) after charging
+/// round `k` of `protocol` strictly exceeds the previous spend in both
+/// components and equals an independent Theorem-2 recomputation.
+///
+/// # Errors
+///
+/// A `privacy-monotone` violation if the spend failed to grow or
+/// diverged from the recomputation.
+#[allow(clippy::too_many_arguments)] // the full Theorem-2 parameter set
+pub fn check_privacy_charge(
+    round: u64,
+    protocol: Protocol,
+    k: u64,
+    mu: f64,
+    b: f64,
+    d: f64,
+    charged: ComposedPrivacy,
+    previous: ComposedPrivacy,
+) -> Result<(), InvariantViolation> {
+    if !(charged.epsilon > previous.epsilon && charged.delta > previous.delta) {
+        return Err(violation(
+            round,
+            "privacy-monotone",
+            format!(
+                "spend did not grow: ({}, {:e}) after ({}, {:e})",
+                charged.epsilon, charged.delta, previous.epsilon, previous.delta
+            ),
+        ));
+    }
+    let reference = compose(
+        vuvuzela_dp::accounting::round_privacy(protocol, mu, b),
+        k,
+        d,
+    );
+    if charged.epsilon != reference.epsilon || charged.delta != reference.delta {
+        return Err(violation(
+            round,
+            "privacy-monotone",
+            format!(
+                "spend diverged from the planner schedule at k = {k}: \
+                 charged ({}, {:e}), recomputed ({}, {:e})",
+                charged.epsilon, charged.delta, reference.epsilon, reference.delta
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// One tap-observed batch, after canonical reordering: `(round,
+/// forward?, sizes)`.
+pub type TapBatch = (u64, bool, Vec<usize>);
+
+/// Checks invariant 5 for every batch a [`vuvuzela_adversary::taps::
+/// SizeRecorder`] saw on chain link `link` during one schedule: each
+/// batch is single-sized with exactly the width its round's kind
+/// implies at that chain position, each completed round crossed the
+/// link exactly once forward (and, for conversation rounds, once
+/// backward), and the batch is exactly `submitted + link·noise` onions
+/// strong.
+///
+/// `rounds` maps each *completed* round id to `(is_conversation,
+/// submitted, forward_width, backward_width, noise_per_server)`.
+///
+/// # Errors
+///
+/// A `fixed-sizes-under-taps` violation naming the first divergent
+/// batch.
+pub fn check_tap_sizes(
+    link: usize,
+    rounds: &std::collections::BTreeMap<u64, TapRoundShape>,
+    batches: &[TapBatch],
+) -> Result<(), InvariantViolation> {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<(u64, bool), u64> = BTreeMap::new();
+    for (round, forward, sizes) in batches {
+        let Some(shape) = rounds.get(round) else {
+            // Rounds outside the completed map (aborted schedules are
+            // purged before checking) are a harness bug.
+            return Err(violation(
+                *round,
+                "fixed-sizes-under-taps",
+                format!("tap on link {link} saw an unscheduled round"),
+            ));
+        };
+        *seen.entry((*round, *forward)).or_insert(0) += 1;
+        if !*forward && !shape.is_conversation {
+            return Err(violation(
+                *round,
+                "dialing-forward-only",
+                format!("tap on link {link} saw backward traffic for a dialing round"),
+            ));
+        }
+        let want_width = if *forward {
+            shape.forward_width
+        } else {
+            shape.backward_width
+        };
+        let want_len = shape.submitted + link as u64 * shape.noise_per_server;
+        if sizes.len() as u64 != want_len {
+            return Err(violation(
+                *round,
+                "fixed-sizes-under-taps",
+                format!(
+                    "link {link} {}: expected {want_len} onions, saw {}",
+                    direction_name(*forward),
+                    sizes.len()
+                ),
+            ));
+        }
+        if sizes.iter().any(|&s| s as u64 != want_width) {
+            return Err(violation(
+                *round,
+                "fixed-sizes-under-taps",
+                format!(
+                    "link {link} {}: expected uniform size {want_width}, saw {:?}",
+                    direction_name(*forward),
+                    sizes.iter().collect::<std::collections::BTreeSet<_>>()
+                ),
+            ));
+        }
+    }
+    // Every completed round crossed exactly once per direction it has.
+    for (round, shape) in rounds {
+        if seen.get(&(*round, true)).copied().unwrap_or(0) != 1 {
+            return Err(violation(
+                *round,
+                "fixed-sizes-under-taps",
+                format!("link {link} forward batch count != 1"),
+            ));
+        }
+        let want_back = u64::from(shape.is_conversation);
+        if seen.get(&(*round, false)).copied().unwrap_or(0) != want_back {
+            return Err(violation(
+                *round,
+                "fixed-sizes-under-taps",
+                format!("link {link} backward batch count != {want_back}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The expected shape of one round's traffic at a tapped link.
+#[derive(Clone, Copy, Debug)]
+pub struct TapRoundShape {
+    /// Whether the round has a backward pass.
+    pub is_conversation: bool,
+    /// Client submissions feeding the round.
+    pub submitted: u64,
+    /// Expected onion width forward at the tapped link.
+    pub forward_width: u64,
+    /// Expected reply width backward at the tapped link.
+    pub backward_width: u64,
+    /// Noise onions each upstream noising server added.
+    pub noise_per_server: u64,
+}
+
+fn direction_name(forward: bool) -> &'static str {
+    if forward {
+        "forward"
+    } else {
+        "backward"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_noise_recipe() {
+        assert_eq!(deterministic_conversation_noise(6.0), (6, 3));
+        assert_eq!(deterministic_conversation_noise(5.0), (5, 3));
+        assert_eq!(conversation_noise_onions(6.0), 12);
+        assert_eq!(conversation_noise_onions(5.0), 11);
+        assert_eq!(deterministic_dialing_noise(3.0), 3);
+    }
+
+    #[test]
+    fn conversation_check_accepts_exact_decomposition() {
+        // 3 servers, µ=6 → 2 noising servers x (6 singles + 3 pairs);
+        // 10 participants, 2 mutual pairs.
+        let obs = ConversationObservables {
+            m1: 2 * 6 + (10 - 4),
+            m2: 2 * 3 + 2,
+            m_many: 0,
+            total_requests: 10 + 2 * 12,
+        };
+        let check = ConversationRoundCheck {
+            round: 7,
+            participants: 10,
+            slots: 1,
+            mutual_pairs: 2,
+            observables: &obs,
+            client_link_forward: (10, 10 * 500),
+            onion_width: 500,
+            replies: 10,
+        };
+        check_conversation_round(3, 6.0, &check).expect("exact decomposition passes");
+
+        // One missing submission fails invariant 1.
+        let short = ConversationRoundCheck {
+            client_link_forward: (9, 9 * 500),
+            ..check
+        };
+        let err = check_conversation_round(3, 6.0, &short).expect_err("must fail");
+        assert_eq!(err.invariant, "uniform-participation");
+
+        // A histogram off by one fails invariant 2.
+        let skew = ConversationObservables {
+            m1: obs.m1 + 1,
+            ..obs
+        };
+        let bad = ConversationRoundCheck {
+            observables: &skew,
+            ..check
+        };
+        let err = check_conversation_round(3, 6.0, &bad).expect_err("must fail");
+        assert_eq!(err.invariant, "noise-covered-deaddrops");
+    }
+
+    #[test]
+    fn dialing_check_enforces_forward_only() {
+        let obs = DialingObservables {
+            counts: vec![3 * 3 + 2],
+            noop_writes: 6,
+        };
+        let check = DialingRoundCheck {
+            round: 4,
+            participants: 8,
+            real_per_drop: &[2],
+            observables: &obs,
+            client_link_forward: (8, 8 * 300),
+            client_link_backward: (0, 0),
+            onion_width: 300,
+            backward_stages: 0,
+        };
+        check_dialing_round(3, 3.0, &check).expect("passes");
+
+        let backward = DialingRoundCheck {
+            client_link_backward: (1, 300),
+            ..check
+        };
+        let err = check_dialing_round(3, 3.0, &backward).expect_err("must fail");
+        assert_eq!(err.invariant, "dialing-forward-only");
+
+        let uncovered = DialingObservables {
+            counts: vec![2], // no noise reached the drop
+            noop_writes: 6,
+        };
+        let bad = DialingRoundCheck {
+            observables: &uncovered,
+            ..check
+        };
+        let err = check_dialing_round(3, 3.0, &bad).expect_err("must fail");
+        assert_eq!(err.invariant, "noise-covered-deaddrops");
+    }
+
+    #[test]
+    fn privacy_charge_must_match_theorem2() {
+        let prev = ComposedPrivacy {
+            epsilon: 0.0,
+            delta: 1e-5,
+        };
+        let k1 = compose(
+            vuvuzela_dp::accounting::round_privacy(Protocol::Conversation, 6.0, 0.3),
+            1,
+            1e-5,
+        );
+        check_privacy_charge(0, Protocol::Conversation, 1, 6.0, 0.3, 1e-5, k1, prev)
+            .expect("exact charge passes");
+        // Charging the wrong k diverges from the recomputation.
+        let err = check_privacy_charge(0, Protocol::Conversation, 2, 6.0, 0.3, 1e-5, k1, prev)
+            .expect_err("must fail");
+        assert_eq!(err.invariant, "privacy-monotone");
+        // Non-growing spend fails.
+        let err = check_privacy_charge(0, Protocol::Conversation, 1, 6.0, 0.3, 1e-5, k1, k1)
+            .expect_err("must fail");
+        assert_eq!(err.invariant, "privacy-monotone");
+    }
+
+    #[test]
+    fn tap_check_validates_widths_and_counts() {
+        let mut rounds = std::collections::BTreeMap::new();
+        rounds.insert(
+            0,
+            TapRoundShape {
+                is_conversation: true,
+                submitted: 4,
+                forward_width: 100,
+                backward_width: 50,
+                noise_per_server: 12,
+            },
+        );
+        let good = vec![(0, true, vec![100; 16]), (0, false, vec![50; 16])];
+        check_tap_sizes(1, &rounds, &good).expect("passes");
+
+        let mixed = vec![(0, true, vec![100, 100, 99, 100]), (0, false, vec![50; 16])];
+        assert!(check_tap_sizes(1, &rounds, &mixed).is_err());
+
+        let missing = vec![(0, true, vec![100; 16])];
+        assert!(
+            check_tap_sizes(1, &rounds, &missing).is_err(),
+            "no backward batch"
+        );
+    }
+}

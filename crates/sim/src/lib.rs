@@ -1,0 +1,117 @@
+//! A deterministic whole-deployment simulator for Vuvuzela.
+//!
+//! The paper's privacy argument (§4–§5) quietly assumes a well-behaved
+//! deployment: every connected client sends exactly one request per
+//! round, noise covers the observable dead-drop access counts, dialing
+//! rounds never produce a backward pass, and the (ε, δ) budget is spent
+//! exactly on the planner's schedule. Those properties are easiest to
+//! break under realistic deployment *dynamics* — clients going offline
+//! mid-conversation, dial storms, new users joining mid-run, a server
+//! stalling or aborting mid-round — which unit tests of individual
+//! components never exercise end to end. This crate scripts exactly
+//! those dynamics over the real system (the same
+//! [`vuvuzela_core::Client`]s, the same
+//! [`vuvuzela_core::StreamingChain`] mixed-schedule pipeline, the same
+//! adversary taps) and checks the paper's invariants after every round.
+//!
+//! ## Scenario-script format
+//!
+//! A [`scenario::Scenario`] is a seeded, self-contained script: the
+//! deployment shape (servers, noise (µ, b) per protocol, invitation
+//! drops, worker threads) plus an ordered list of [`scenario::Step`]s.
+//! Steps either mutate the population — [`scenario::Step::Join`],
+//! [`scenario::Step::SetOnline`], [`scenario::Step::Leave`],
+//! [`scenario::Step::Dial`], [`scenario::Step::Queue`],
+//! [`scenario::Step::AcceptAll`] — configure faults and observers —
+//! [`scenario::Step::Observe`], [`scenario::Step::StallLink`],
+//! [`scenario::Step::CrashLink`] — or run protocol rounds:
+//! [`scenario::Step::Run`] submits a heterogeneous batch of
+//! conversation/dialing rounds through **one**
+//! [`vuvuzela_core::StreamingChain::run_mixed_schedule`] call, so the
+//! scripted rounds genuinely overlap in flight. Population steps apply
+//! *between* schedules, never mid-schedule — a client is online or
+//! offline for whole rounds, matching the round-synchronous protocol.
+//! Clients scan their invitation drop once per `Run` that contains a
+//! dialing round, and only the *last* dialing round's drops still exist
+//! by then (the deployment retains one dialing round of drops, §5.5) —
+//! which is precisely how a client "misses" an invitation and must be
+//! re-dialed.
+//!
+//! ## Determinism contract
+//!
+//! [`simulator::Simulator::run`] emits a canonical per-round
+//! [`transcript::Transcript`] — participants, submissions, dead-drop
+//! histograms, per-drop invitation counts, deliveries, invitation
+//! scans, tap-observed sizes, and the composed (ε′, δ′) spent — that is
+//! **byte-identical for the same scenario** across runs, thread
+//! interleavings, and worker counts. This leans on the system's own
+//! guarantee (every round's bytes are a pure function of `(seed,
+//! round)`; the streaming scheduler is proptested byte-identical to the
+//! sequential chain), plus three simulator-side rules: nothing
+//! timing-dependent is ever recorded (no wall-clock durations), records
+//! gathered from concurrent stages are re-ordered into canonical
+//! `(round, direction)` order before rendering, and an **aborted**
+//! schedule contributes only its planned round ids — which rounds were
+//! partially processed when a schedule dies *is* timing-dependent, so
+//! none of their partial effects are transcribed. The transcript hash
+//! ([`transcript::Transcript::sha256_hex`]) is what CI pins across two
+//! runs of the bundled scenario matrix.
+//!
+//! ## Round-abort semantics
+//!
+//! A schedule that panics mid-flight (an injected
+//! [`vuvuzela_adversary::taps::CrashOnRound`] fault, or any stage
+//! death) aborts **as a unit**: no round of the schedule returns
+//! replies, clients expire the dead rounds' reply keys, every server
+//! discards all in-flight round state
+//! ([`vuvuzela_core::Chain::abort_in_flight_rounds`]), and the
+//! deployment resumes with fresh round numbers. Client-level
+//! retransmission (§3.1) then re-carries whatever data the aborted
+//! rounds lost; queued invitations consumed by an aborted dialing round
+//! are gone and must be re-dialed. The (ε′, δ′) ledger still charges
+//! every *scheduled* round — partial rounds may have put observable
+//! traffic on the wire, so the accounting is conservative.
+//!
+//! ## Invariant list
+//!
+//! After every **completed** round, [`invariants`] asserts (in
+//! deterministic-noise mode, which every bundled scenario uses):
+//!
+//! 1. **Uniform participation** — every online client submitted exactly
+//!    one onion per conversation slot (dialing: exactly one request),
+//!    of exactly the right wrapped size, on the clients→entry link.
+//! 2. **Noise-covered dead drops** — the conversation histogram
+//!    decomposes exactly as `m2 = (n−1)·⌈⌈µ⌉/2⌉ + (mutual pairs)` and
+//!    `m1 = (n−1)·⌈µ⌉ + (remaining slots)`, with `m_many = 0`; per-drop
+//!    dialing counts equal `chain_len·⌈µ_dial⌉` noise plus the real
+//!    invitations the script sent there.
+//! 3. **Dialing is forward-only** — no backward timing, no backward
+//!    client-link traffic, and no server retains round state once a
+//!    schedule drains.
+//! 4. **Monotone privacy spend** — the composed (ε′, δ′) after round k
+//!    equals an independent Theorem-2 recomputation at k rounds
+//!    ([`vuvuzela_dp::PrivacyLedger`]) and strictly exceeds the spend at
+//!    k−1.
+//! 5. **Fixed sizes under taps** — every batch an attached
+//!    [`vuvuzela_adversary::taps::SizeRecorder`] observed is
+//!    single-sized, with the exact width the round kind implies at that
+//!    chain position.
+//!
+//! The bundled scenario matrix ([`scenario::bundled_matrix`]) covers
+//! steady state, churn with rejoin and permanent leave, a dial storm at
+//! the paper's µ = 13,000 per drop ([`scenario::Scale::Full`]; CI runs
+//! [`scenario::Scale::Smoke`] at µ scaled down 100×), idle-client cover
+//! traffic, server slowdown, server abort, and re-dial after a missed
+//! dialing round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod scenario;
+pub mod simulator;
+pub mod transcript;
+
+pub use scenario::{bundled_matrix, RoundPlan, Scale, Scenario, Step};
+pub use simulator::{run_scenario, SimError, SimReport, Simulator};
+pub use transcript::Transcript;

@@ -1,0 +1,925 @@
+//! The deployment simulator: executes a [`Scenario`] over a real
+//! [`StreamingChain`] + [`Client`] population, emitting the canonical
+//! transcript and checking every invariant per round.
+//!
+//! See the crate docs for the script format, the determinism contract
+//! and the round-abort semantics. Script *misuse* (dialing with no free
+//! slot, queueing to a non-partner, indexing a client that never
+//! joined) panics — scenarios are test fixtures, and a silently skipped
+//! step would invalidate the invariant arithmetic; *system* divergence
+//! surfaces as [`SimError::Invariant`].
+
+use crate::invariants::{
+    self, check_conversation_round, check_dialing_round, check_privacy_charge, check_tap_sizes,
+    ConversationRoundCheck, DialingRoundCheck, InvariantViolation, TapRoundShape,
+};
+use crate::scenario::{RoundPlan, Scenario, Step};
+use crate::transcript::{hex, Transcript};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use vuvuzela_adversary::taps::{CrashOnRound, SizeRecorder, StallLink};
+use vuvuzela_core::chain::{RoundOutcome, RoundSpec};
+use vuvuzela_core::client::Client;
+use vuvuzela_core::config::SystemConfig;
+use vuvuzela_core::entry;
+use vuvuzela_core::pipeline::StreamingChain;
+use vuvuzela_crypto::onion;
+use vuvuzela_crypto::x25519::{Keypair, PublicKey};
+use vuvuzela_dp::{PrivacyLedger, Protocol};
+use vuvuzela_net::Tap;
+use vuvuzela_wire::deaddrop::InvitationDropIndex;
+use vuvuzela_wire::{RoundType, DIAL_REQUEST_LEN, EXCHANGE_REQUEST_LEN, EXCHANGE_RESPONSE_LEN};
+
+/// Theorem 2's free parameter, fixed to the paper's d = 10⁻⁵.
+const LEDGER_D: f64 = 1e-5;
+
+/// A simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// A per-round invariant did not hold.
+    Invariant(InvariantViolation),
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Invariant(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> SimError {
+        SimError::Invariant(v)
+    }
+}
+
+/// What a completed simulation hands back.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Scenario name.
+    pub name: String,
+    /// The canonical per-round transcript.
+    pub transcript: Transcript,
+    /// Hex SHA-256 of the rendered transcript.
+    pub hash: String,
+    /// Rounds that completed (aborted rounds excluded).
+    pub rounds_completed: u64,
+    /// Schedules that aborted mid-flight.
+    pub schedules_aborted: u64,
+    /// Messages delivered to clients across the whole run.
+    pub delivered: u64,
+}
+
+struct SimClient {
+    client: Client,
+    online: bool,
+    left: bool,
+    /// FIFO mirror of the client's internal dial queue, as callee
+    /// indices — lets the simulator predict which drop each dialing
+    /// round's real invitations target.
+    dial_mirror: VecDeque<usize>,
+}
+
+/// Per-round bookkeeping captured when the round's requests are built.
+enum RoundMeta {
+    Conversation {
+        round: u64,
+        participants: Vec<usize>,
+        layout: entry::RoundLayout,
+        mutual_pairs: u64,
+    },
+    Dialing {
+        round: u64,
+        participants: Vec<usize>,
+        real_per_drop: Vec<u64>,
+    },
+}
+
+impl RoundMeta {
+    fn round(&self) -> u64 {
+        match self {
+            RoundMeta::Conversation { round, .. } | RoundMeta::Dialing { round, .. } => *round,
+        }
+    }
+
+    fn round_type(&self) -> RoundType {
+        match self {
+            RoundMeta::Conversation { .. } => RoundType::Conversation,
+            RoundMeta::Dialing { .. } => RoundType::Dialing,
+        }
+    }
+}
+
+/// The deployment simulator. Construct with [`Simulator::new`], consume
+/// with [`Simulator::run`].
+pub struct Simulator {
+    scenario: Scenario,
+    chain: StreamingChain,
+    config: SystemConfig,
+    clients: Vec<SimClient>,
+    by_key: HashMap<PublicKey, usize>,
+    tables: Option<Arc<Vec<onion::PrecomputedServer>>>,
+    rng: StdRng,
+    next_round: u64,
+    ledger: PrivacyLedger,
+    last_spent: [vuvuzela_dp::ComposedPrivacy; 2],
+    transcript: Transcript,
+    recorders: Vec<(usize, Arc<Mutex<SizeRecorder>>)>,
+    pending_crash: Option<(usize, u64)>,
+    delivered_seen: HashMap<(usize, PublicKey), usize>,
+    rounds_completed: u64,
+    schedules_aborted: u64,
+    delivered: u64,
+}
+
+impl Simulator {
+    /// Builds the deployment a scenario describes (chain, links, seeded
+    /// RNG) with an empty population.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Simulator {
+        let config = SystemConfig {
+            chain_len: scenario.servers,
+            conversation_noise: vuvuzela_dp::NoiseDistribution::new(
+                scenario.conversation_mu,
+                (scenario.conversation_mu / 20.0).max(0.5),
+            ),
+            dialing_noise: vuvuzela_dp::NoiseDistribution::new(
+                scenario.dialing_mu,
+                (scenario.dialing_mu / 10.0).max(0.5),
+            ),
+            noise_mode: vuvuzela_dp::NoiseMode::Deterministic,
+            workers: scenario.workers,
+            conversation_slots: scenario.slots,
+            retransmit_after: scenario.retransmit_after,
+        };
+        let chain = StreamingChain::new(config.clone(), scenario.seed);
+        let ledger = PrivacyLedger::new(config.conversation_noise, config.dialing_noise, LEDGER_D);
+        let last_spent = [
+            ledger.spent(Protocol::Conversation),
+            ledger.spent(Protocol::Dialing),
+        ];
+        let mut transcript = Transcript::new();
+        transcript.push("vuvuzela-sim transcript v1".to_string());
+        transcript.push(format!("scenario {}", scenario.name));
+        transcript.push(format!(
+            "seed {} servers {} workers {} slots {} retransmit_after {}",
+            scenario.seed,
+            scenario.servers,
+            scenario.workers,
+            scenario.slots,
+            scenario.retransmit_after
+        ));
+        transcript.push(format!(
+            "noise conversation mu {} b {} dialing mu {} b {} mode deterministic drops {}",
+            config.conversation_noise.mu,
+            config.conversation_noise.b,
+            config.dialing_noise.mu,
+            config.dialing_noise.b,
+            scenario.num_drops
+        ));
+        Simulator {
+            rng: StdRng::seed_from_u64(scenario.seed.wrapping_add(0x51u64)),
+            chain,
+            config,
+            clients: Vec::new(),
+            by_key: HashMap::new(),
+            tables: None,
+            next_round: 0,
+            ledger,
+            last_spent,
+            transcript,
+            recorders: Vec::new(),
+            pending_crash: None,
+            delivered_seen: HashMap::new(),
+            rounds_completed: 0,
+            schedules_aborted: 0,
+            delivered: 0,
+            scenario,
+        }
+    }
+
+    /// Executes every step of the scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] the moment any per-round invariant fails.
+    ///
+    /// # Panics
+    ///
+    /// On script misuse (see the module docs).
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        let steps = std::mem::take(&mut self.scenario.steps);
+        for step in steps {
+            self.apply(step)?;
+        }
+        self.transcript.push(format!(
+            "end rounds {} aborted {}",
+            self.rounds_completed, self.schedules_aborted
+        ));
+        let hash = self.transcript.sha256_hex();
+        Ok(SimReport {
+            name: self.scenario.name.clone(),
+            hash,
+            rounds_completed: self.rounds_completed,
+            schedules_aborted: self.schedules_aborted,
+            delivered: self.delivered,
+            transcript: self.transcript,
+        })
+    }
+
+    /// Read access to a client (assertions in tests).
+    #[must_use]
+    pub fn client(&self, index: usize) -> &Client {
+        &self.clients[index].client
+    }
+
+    /// Mutable access to the underlying deployment, for attaching
+    /// adversarial taps *before* [`Simulator::run`] — the way tests
+    /// prove the invariant checker catches real tampering (a tap that
+    /// drops requests mid-chain must fail the round it touches).
+    pub fn chain_mut(&mut self) -> &mut StreamingChain {
+        &mut self.chain
+    }
+
+    fn apply(&mut self, step: Step) -> Result<(), SimError> {
+        match step {
+            Step::Join(n) => {
+                let first = self.clients.len();
+                for _ in 0..n {
+                    self.join_one();
+                }
+                self.transcript
+                    .push(format!("event join clients {first}..{}", first + n));
+            }
+            Step::SetOnline(index, online) => {
+                assert!(!self.clients[index].left, "script bug: client {index} left");
+                self.clients[index].online = online;
+                self.transcript
+                    .push(format!("event online client {index} {online}"));
+            }
+            Step::Leave(index) => {
+                self.clients[index].online = false;
+                self.clients[index].left = true;
+                self.transcript.push(format!("event leave client {index}"));
+            }
+            Step::Dial { caller, callee } => {
+                let pk = self.clients[callee].client.public_key();
+                self.clients[caller]
+                    .client
+                    .dial(pk)
+                    .expect("script bug: caller has no free conversation slot");
+                self.clients[caller].dial_mirror.push_back(callee);
+                self.transcript
+                    .push(format!("event dial caller {caller} callee {callee}"));
+            }
+            Step::AcceptAll => {
+                for index in 0..self.clients.len() {
+                    let pending: Vec<PublicKey> =
+                        self.clients[index].client.pending_invitations().to_vec();
+                    for caller_pk in pending {
+                        let caller = self.by_key[&caller_pk];
+                        if self.clients[index]
+                            .client
+                            .accept_invitation(caller_pk)
+                            .is_ok()
+                        {
+                            self.transcript
+                                .push(format!("event accept client {index} caller {caller}"));
+                        } else {
+                            self.transcript.push(format!(
+                                "event accept-failed client {index} caller {caller}"
+                            ));
+                        }
+                    }
+                }
+            }
+            Step::Queue { from, to, body } => {
+                let pk = self.clients[to].client.public_key();
+                self.clients[from]
+                    .client
+                    .queue_message(&pk, &body)
+                    .expect("script bug: no active conversation or body too long");
+                self.transcript.push(format!(
+                    "event queue from {from} to {to} body {}",
+                    hex(&body)
+                ));
+            }
+            Step::Observe { link } => {
+                let tap = Arc::new(Mutex::new(SizeRecorder::default()));
+                let dyn_tap: Arc<Mutex<dyn Tap>> = tap.clone();
+                self.attach_exclusive_tap(link, dyn_tap);
+                self.recorders.push((link, tap));
+                self.transcript.push(format!("event observe link {link}"));
+            }
+            Step::StallLink { link, millis } => {
+                self.attach_exclusive_tap(
+                    link,
+                    Arc::new(Mutex::new(StallLink {
+                        delay: std::time::Duration::from_millis(millis),
+                    })),
+                );
+                self.transcript
+                    .push(format!("event stall link {link} millis {millis}"));
+            }
+            Step::CrashLink { link, round_offset } => {
+                self.pending_crash = Some((link, round_offset));
+                self.transcript.push(format!(
+                    "event crash-armed link {link} offset {round_offset}"
+                ));
+            }
+            Step::Run(plans) => self.run_schedule(&plans)?,
+        }
+        Ok(())
+    }
+
+    fn join_one(&mut self) {
+        let keypair = Keypair::generate(&mut self.rng);
+        let mut client = Client::new(
+            format!("client-{}", self.clients.len()),
+            keypair,
+            self.config.clone(),
+        );
+        let server_pks = self.chain.server_public_keys();
+        if self.tables.is_none() {
+            self.tables = Some(Client::chain_tables(&server_pks));
+        }
+        client.set_chain_tables(
+            self.tables.clone().expect("tables built above"),
+            &server_pks,
+        );
+        self.by_key.insert(client.public_key(), self.clients.len());
+        self.clients.push(SimClient {
+            client,
+            online: true,
+            left: false,
+            dial_mirror: VecDeque::new(),
+        });
+    }
+
+    fn participants(&self) -> Vec<usize> {
+        (0..self.clients.len())
+            .filter(|&i| self.clients[i].online && !self.clients[i].left)
+            .collect()
+    }
+
+    /// Attaches a tap, refusing to clobber one already on the link —
+    /// [`vuvuzela_net::Link`] holds at most one tap, so a script that
+    /// stacks `Observe`/`StallLink`/`CrashLink` on the same link would
+    /// otherwise silently lose the earlier tap and fail the tap-count
+    /// invariant with a violation that is really harness mis-wiring.
+    ///
+    /// # Panics
+    ///
+    /// On script misuse: the link is already tapped.
+    fn attach_exclusive_tap(&mut self, link: usize, tap: Arc<Mutex<dyn Tap>>) {
+        let link_ref = self.chain.chain_mut().link_mut(link);
+        assert!(
+            !link_ref.has_tap(),
+            "script bug: link {link} already has a tap (one tap per link)"
+        );
+        link_ref.attach_tap(tap);
+    }
+
+    /// Pairs of participants in a mutual active conversation. Constant
+    /// across a schedule (conversation state only changes between
+    /// schedules), so callers compute it once per `Run`; peer sets are
+    /// snapshotted once to keep the pair scan allocation-free.
+    fn mutual_pairs(&self, participants: &[usize]) -> u64 {
+        let peers: Vec<(PublicKey, Vec<PublicKey>)> = participants
+            .iter()
+            .map(|&i| {
+                (
+                    self.clients[i].client.public_key(),
+                    self.clients[i].client.active_peers(),
+                )
+            })
+            .collect();
+        let mut pairs = 0u64;
+        for (pos, (pk_i, peers_i)) in peers.iter().enumerate() {
+            for (pk_j, peers_j) in &peers[pos + 1..] {
+                if peers_i.contains(pk_j) && peers_j.contains(pk_i) {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    }
+
+    fn run_schedule(&mut self, plans: &[RoundPlan]) -> Result<(), SimError> {
+        let server_pks = self.chain.server_public_keys();
+        let num_drops = self.scenario.num_drops;
+        let participants = self.participants();
+
+        // Arm a pending crash fault against this schedule's rounds.
+        let crash_link = if let Some((link, offset)) = self.pending_crash.take() {
+            let trigger = self.next_round + offset;
+            self.attach_exclusive_tap(link, Arc::new(Mutex::new(CrashOnRound::new(trigger))));
+            Some(link)
+        } else {
+            None
+        };
+        // Mutual conversation state cannot change mid-schedule: one
+        // count serves every conversation round below.
+        let mutual_pairs = self.mutual_pairs(&participants);
+
+        // Build every round's client batch up front (clients pipeline
+        // requests; replies for the whole schedule arrive afterwards).
+        let mut specs: Vec<RoundSpec> = Vec::with_capacity(plans.len());
+        let mut metas: Vec<RoundMeta> = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let round = self.next_round;
+            self.next_round += 1;
+            match plan {
+                RoundPlan::Conversation => {
+                    let mut requests = Vec::with_capacity(participants.len());
+                    for &id in &participants {
+                        requests.push(self.clients[id].client.build_conversation_requests(
+                            &mut self.rng,
+                            round,
+                            &server_pks,
+                        ));
+                    }
+                    let (batch, layout) = entry::multiplex(requests);
+                    specs.push(RoundSpec::Conversation { round, batch });
+                    metas.push(RoundMeta::Conversation {
+                        round,
+                        participants: participants.clone(),
+                        layout,
+                        mutual_pairs,
+                    });
+                }
+                RoundPlan::Dialing => {
+                    let mut real_per_drop = vec![0u64; num_drops as usize];
+                    let mut batch = Vec::with_capacity(participants.len());
+                    for &id in &participants {
+                        if let Some(callee) = self.clients[id].dial_mirror.pop_front() {
+                            let pk = self.clients[callee].client.public_key();
+                            let drop = InvitationDropIndex::for_recipient(&pk, num_drops);
+                            real_per_drop[(drop.0 - 1) as usize] += 1;
+                        }
+                        batch.push(self.clients[id].client.build_dial_request(
+                            &mut self.rng,
+                            round,
+                            num_drops,
+                            &server_pks,
+                        ));
+                    }
+                    specs.push(RoundSpec::Dialing {
+                        round,
+                        batch,
+                        num_drops,
+                    });
+                    metas.push(RoundMeta::Dialing {
+                        round,
+                        participants: participants.clone(),
+                        real_per_drop,
+                    });
+                }
+            }
+        }
+
+        let plan_line: Vec<String> = metas
+            .iter()
+            .map(|m| format!("{}:{}", m.round(), m.round_type().as_str()))
+            .collect();
+        self.transcript
+            .push(format!("schedule rounds [{}]", plan_line.join(",")));
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.chain.run_mixed_schedule(specs)
+        }));
+
+        match outcome {
+            Ok(outcomes) => self.process_completed(&metas, outcomes, crash_link)?,
+            Err(_panic) => self.process_abort(&metas, crash_link),
+        }
+        Ok(())
+    }
+
+    /// Round-abort semantics (see the crate docs): the whole schedule
+    /// yields nothing; servers and clients discard the dead rounds'
+    /// state; the conservative ledger still charges every scheduled
+    /// round. Nothing timing-dependent reaches the transcript.
+    fn process_abort(&mut self, metas: &[RoundMeta], crash_link: Option<usize>) {
+        self.schedules_aborted += 1;
+        let rounds: Vec<String> = metas.iter().map(|m| m.round().to_string()).collect();
+        self.transcript
+            .push(format!("schedule aborted rounds [{}]", rounds.join(",")));
+        if let Some(link) = crash_link {
+            self.chain.chain_mut().link_mut(link).detach_tap();
+        }
+        let _dropped = self.chain.abort_in_flight_rounds();
+        for sim_client in &mut self.clients {
+            sim_client.client.expire_pending(self.next_round);
+        }
+        // Partial rounds may have leaked observable traffic: charge them.
+        for meta in metas {
+            let protocol = match meta {
+                RoundMeta::Conversation { .. } => Protocol::Conversation,
+                RoundMeta::Dialing { .. } => Protocol::Dialing,
+            };
+            let spent = self.ledger.charge(protocol);
+            self.last_spent[protocol_slot(protocol)] = spent;
+        }
+        let conversation = self.last_spent[protocol_slot(Protocol::Conversation)];
+        let dialing = self.last_spent[protocol_slot(Protocol::Dialing)];
+        self.transcript.push(format!(
+            "ledger conversation eps {:e} delta {:e} dialing eps {:e} delta {:e}",
+            conversation.epsilon, conversation.delta, dialing.epsilon, dialing.delta
+        ));
+        // Tap observations of an aborted schedule are timing-dependent:
+        // discard them wholesale.
+        for (_, recorder) in &self.recorders {
+            recorder.lock().batches.clear();
+        }
+    }
+
+    fn process_completed(
+        &mut self,
+        metas: &[RoundMeta],
+        outcomes: Vec<RoundOutcome>,
+        crash_link: Option<usize>,
+    ) -> Result<(), SimError> {
+        assert_eq!(
+            metas.len(),
+            outcomes.len(),
+            "one outcome per scheduled round"
+        );
+        if let Some(link) = crash_link {
+            // The fault was armed but its round drained before the
+            // panic could land — not expected for bundled scenarios,
+            // but defined: detach and continue.
+            self.chain.chain_mut().link_mut(link).detach_tap();
+        }
+        let chain_len = self.config.chain_len as u64;
+        let mut tap_shapes: BTreeMap<u64, ScheduleShape> = BTreeMap::new();
+        let mut last_dialing: Option<(u64, Vec<usize>)> = None;
+
+        for (meta, outcome) in metas.iter().zip(outcomes) {
+            match (meta, outcome) {
+                (
+                    RoundMeta::Conversation {
+                        round,
+                        participants,
+                        layout,
+                        mutual_pairs,
+                    },
+                    RoundOutcome::Conversation { replies, .. },
+                ) => {
+                    self.complete_conversation_round(
+                        *round,
+                        participants,
+                        layout,
+                        *mutual_pairs,
+                        replies,
+                    )?;
+                    tap_shapes.insert(
+                        *round,
+                        ScheduleShape {
+                            is_conversation: true,
+                            submitted: participants.len() as u64
+                                * self.config.conversation_slots as u64,
+                            noise_per_server: invariants::conversation_noise_onions(
+                                self.config.conversation_noise.mu,
+                            ),
+                        },
+                    );
+                }
+                (
+                    RoundMeta::Dialing {
+                        round,
+                        participants,
+                        real_per_drop,
+                    },
+                    RoundOutcome::Dialing { timing },
+                ) => {
+                    self.complete_dialing_round(
+                        *round,
+                        participants,
+                        real_per_drop,
+                        timing.backward.len() as u64,
+                    )?;
+                    tap_shapes.insert(
+                        *round,
+                        ScheduleShape {
+                            is_conversation: false,
+                            submitted: participants.len() as u64,
+                            noise_per_server: u64::from(self.scenario.num_drops)
+                                * invariants::deterministic_dialing_noise(
+                                    self.config.dialing_noise.mu,
+                                ),
+                        },
+                    );
+                    last_dialing = Some((*round, participants.clone()));
+                }
+                _ => {
+                    return Err(InvariantViolation {
+                        round: Some(meta.round()),
+                        invariant: "schedule-drain",
+                        detail: "outcome kind does not match its RoundSpec".to_string(),
+                    }
+                    .into())
+                }
+            }
+            self.rounds_completed += 1;
+        }
+
+        // Invitation scans: only the schedule's last dialing round's
+        // drops still exist (the deployment retains one round, §5.5).
+        if let Some((round, participants)) = last_dialing {
+            self.scan_invitations(round, &participants);
+        }
+
+        // Clean drain: no server may retain any round state.
+        for i in 0..self.config.chain_len {
+            let in_flight = self.chain.chain().server(i).in_flight_rounds();
+            if in_flight != 0 {
+                return Err(InvariantViolation {
+                    round: None,
+                    invariant: "schedule-drain",
+                    detail: format!("server {i} retains state for {in_flight} rounds"),
+                }
+                .into());
+            }
+        }
+
+        self.check_taps(&tap_shapes, chain_len)?;
+        Ok(())
+    }
+
+    fn complete_conversation_round(
+        &mut self,
+        round: u64,
+        participants: &[usize],
+        layout: &entry::RoundLayout,
+        mutual_pairs: u64,
+        replies: Vec<Vec<u8>>,
+    ) -> Result<(), SimError> {
+        let chain_len = self.config.chain_len as u64;
+        let replies_len = replies.len() as u64;
+        let observables =
+            *self
+                .find_conversation_observables(round)
+                .ok_or_else(|| InvariantViolation {
+                    round: Some(round),
+                    invariant: "noise-covered-deaddrops",
+                    detail: "no observables recorded for a completed round".to_string(),
+                })?;
+        let onion_width = onion::wrapped_len(EXCHANGE_REQUEST_LEN, self.config.chain_len) as u64;
+        let check = ConversationRoundCheck {
+            round,
+            participants: participants.len() as u64,
+            slots: self.config.conversation_slots as u64,
+            mutual_pairs,
+            observables: &observables,
+            client_link_forward: self
+                .chain
+                .chain()
+                .client_link()
+                .round_traffic(round, vuvuzela_net::Direction::Forward),
+            onion_width,
+            replies: replies_len,
+        };
+        check_conversation_round(chain_len, self.config.conversation_noise.mu, &check)?;
+
+        // Hand replies back and transcribe the deliveries they unlock.
+        let per_client = entry::demultiplex(layout, replies);
+        for (&id, client_replies) in participants.iter().zip(per_client) {
+            self.clients[id]
+                .client
+                .handle_conversation_replies(round, client_replies);
+        }
+        let spent = self.charge(round, Protocol::Conversation)?;
+        self.transcript.push(format!(
+            "round {round} conversation participants {} submitted {} mutual {mutual_pairs} \
+             m1 {} m2 {} mmany {} total {} eps {:e} delta {:e}",
+            participants.len(),
+            participants.len() as u64 * self.config.conversation_slots as u64,
+            observables.m1,
+            observables.m2,
+            observables.m_many,
+            observables.total_requests,
+            spent.epsilon,
+            spent.delta
+        ));
+        for &id in participants {
+            let peers = self.clients[id].client.active_peers();
+            for pk in peers {
+                let msgs = self.clients[id].client.delivered_from(&pk);
+                let seen = self.delivered_seen.entry((id, pk)).or_insert(0);
+                let from = self.by_key[&pk];
+                for body in &msgs[*seen..] {
+                    self.delivered += 1;
+                    self.transcript.push(format!(
+                        "delivered round {round} client {id} from {from} body {}",
+                        hex(body)
+                    ));
+                }
+                *seen = msgs.len();
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_dialing_round(
+        &mut self,
+        round: u64,
+        participants: &[usize],
+        real_per_drop: &[u64],
+        backward_stages: u64,
+    ) -> Result<(), SimError> {
+        let chain_len = self.config.chain_len as u64;
+        let observables = self
+            .find_dialing_observables(round)
+            .ok_or_else(|| InvariantViolation {
+                round: Some(round),
+                invariant: "noise-covered-deaddrops",
+                detail: "no observables recorded for a completed round".to_string(),
+            })?
+            .clone();
+        let onion_width = onion::wrapped_len(DIAL_REQUEST_LEN, self.config.chain_len) as u64;
+        let client_link = self.chain.chain().client_link();
+        let check = DialingRoundCheck {
+            round,
+            participants: participants.len() as u64,
+            real_per_drop,
+            observables: &observables,
+            client_link_forward: client_link.round_traffic(round, vuvuzela_net::Direction::Forward),
+            client_link_backward: client_link
+                .round_traffic(round, vuvuzela_net::Direction::Backward),
+            onion_width,
+            backward_stages,
+        };
+        check_dialing_round(chain_len, self.config.dialing_noise.mu, &check)?;
+        let spent = self.charge(round, Protocol::Dialing)?;
+        let counts: Vec<String> = observables.counts.iter().map(u64::to_string).collect();
+        self.transcript.push(format!(
+            "round {round} dialing participants {} drops {} counts [{}] noop {} eps {:e} delta {:e}",
+            participants.len(),
+            self.scenario.num_drops,
+            counts.join(","),
+            observables.noop_writes,
+            spent.epsilon,
+            spent.delta
+        ));
+        Ok(())
+    }
+
+    fn scan_invitations(&mut self, round: u64, participants: &[usize]) {
+        let num_drops = self.scenario.num_drops;
+        for &id in participants {
+            let drop = self.clients[id].client.invitation_drop(num_drops);
+            let Some(contents) = self.chain.download_drop(drop) else {
+                continue;
+            };
+            let found = self.clients[id].client.scan_invitation_drop(&contents);
+            if !found.is_empty() {
+                let mut callers: Vec<usize> = found.iter().map(|pk| self.by_key[pk]).collect();
+                callers.sort_unstable();
+                let callers: Vec<String> = callers.iter().map(usize::to_string).collect();
+                self.transcript.push(format!(
+                    "scan round {round} client {id} callers [{}]",
+                    callers.join(",")
+                ));
+            }
+        }
+    }
+
+    fn charge(
+        &mut self,
+        round: u64,
+        protocol: Protocol,
+    ) -> Result<vuvuzela_dp::ComposedPrivacy, SimError> {
+        let spent = self.ledger.charge(protocol);
+        let previous = self.last_spent[protocol_slot(protocol)];
+        let (mu, b) = match protocol {
+            Protocol::Conversation => (
+                self.config.conversation_noise.mu,
+                self.config.conversation_noise.b,
+            ),
+            Protocol::Dialing => (self.config.dialing_noise.mu, self.config.dialing_noise.b),
+        };
+        check_privacy_charge(
+            round,
+            protocol,
+            self.ledger.rounds(protocol),
+            mu,
+            b,
+            LEDGER_D,
+            spent,
+            previous,
+        )?;
+        self.last_spent[protocol_slot(protocol)] = spent;
+        Ok(spent)
+    }
+
+    fn find_conversation_observables(
+        &self,
+        round: u64,
+    ) -> Option<&vuvuzela_core::observables::ConversationObservables> {
+        self.chain
+            .chain()
+            .conversation_observables()
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == round)
+            .map(|(_, obs)| obs)
+    }
+
+    fn find_dialing_observables(
+        &self,
+        round: u64,
+    ) -> Option<&vuvuzela_core::observables::DialingObservables> {
+        self.chain
+            .chain()
+            .dialing_observables()
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == round)
+            .map(|(_, obs)| obs)
+    }
+
+    /// Drains every recorder, re-orders its observations canonically,
+    /// checks invariant 5, and transcribes one line per (link, round,
+    /// direction).
+    fn check_taps(
+        &mut self,
+        shapes: &BTreeMap<u64, ScheduleShape>,
+        chain_len: u64,
+    ) -> Result<(), SimError> {
+        for (link, recorder) in &self.recorders {
+            let link = *link;
+            let mut batches: Vec<(u64, bool, Vec<usize>)> =
+                recorder.lock().batches.drain(..).collect();
+            // Stage concurrency makes arrival order timing-dependent;
+            // canonical order is (round, forward-first).
+            batches.sort_by_key(|(round, forward, _)| (*round, !*forward));
+            // Onion widths depend on the chain position being tapped:
+            // `remaining` layers are still wrapped at this link.
+            let remaining = chain_len as usize - link;
+            let link_shapes: BTreeMap<u64, TapRoundShape> = shapes
+                .iter()
+                .map(|(&round, shape)| {
+                    let payload = if shape.is_conversation {
+                        EXCHANGE_REQUEST_LEN
+                    } else {
+                        DIAL_REQUEST_LEN
+                    };
+                    (
+                        round,
+                        TapRoundShape {
+                            is_conversation: shape.is_conversation,
+                            submitted: shape.submitted,
+                            forward_width: onion::wrapped_len(payload, remaining) as u64,
+                            backward_width: (EXCHANGE_RESPONSE_LEN
+                                + remaining * onion::REPLY_LAYER_OVERHEAD)
+                                as u64,
+                            noise_per_server: shape.noise_per_server,
+                        },
+                    )
+                })
+                .collect();
+            check_tap_sizes(link, &link_shapes, &batches)?;
+            for (round, forward, sizes) in &batches {
+                self.transcript.push(format!(
+                    "tap link {link} round {round} {} onions {} width {}",
+                    if *forward { "forward" } else { "backward" },
+                    sizes.len(),
+                    sizes.first().copied().unwrap_or(0)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The link-independent shape of one completed round's traffic; the
+/// per-link [`TapRoundShape`] (widths depend on chain position) is
+/// derived from it in [`Simulator::check_taps`].
+struct ScheduleShape {
+    is_conversation: bool,
+    submitted: u64,
+    noise_per_server: u64,
+}
+
+fn protocol_slot(protocol: Protocol) -> usize {
+    match protocol {
+        Protocol::Conversation => 0,
+        Protocol::Dialing => 1,
+    }
+}
+
+/// Convenience: build and run a scenario in one call.
+///
+/// # Errors
+///
+/// See [`Simulator::run`].
+pub fn run_scenario(scenario: &Scenario) -> Result<SimReport, SimError> {
+    Simulator::new(scenario.clone()).run()
+}

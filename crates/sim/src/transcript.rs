@@ -1,0 +1,104 @@
+//! The canonical per-round transcript a simulation emits.
+//!
+//! A transcript is a plain-text, line-oriented record designed to be
+//! **byte-identical for the same scenario** (see the crate docs'
+//! determinism contract): no wall-clock values, every concurrent
+//! observation re-ordered into canonical order before rendering, and
+//! floating-point values printed through Rust's shortest-roundtrip
+//! formatter (identical bits ⇒ identical text). The SHA-256 of the
+//! rendered bytes is the stability fingerprint CI pins across runs.
+
+use vuvuzela_crypto::sha256::sha256;
+
+/// An append-only transcript.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    lines: Vec<String>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    #[must_use]
+    pub fn new() -> Transcript {
+        Transcript::default()
+    }
+
+    /// Appends one record line (must not contain a newline).
+    pub fn push(&mut self, line: String) {
+        debug_assert!(!line.contains('\n'), "one record per line");
+        self.lines.push(line);
+    }
+
+    /// Number of record lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the transcript has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The record lines, in order.
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Renders the canonical byte form: every line terminated by `\n`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Hex SHA-256 of [`Transcript::render`] — the stability
+    /// fingerprint.
+    #[must_use]
+    pub fn sha256_hex(&self) -> String {
+        hex(&sha256(self.render().as_bytes()))
+    }
+}
+
+/// Lowercase hex encoding (used for hashes and message bodies).
+#[must_use]
+pub fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_hash_are_stable() {
+        let mut a = Transcript::new();
+        a.push("round 0 kind conversation".to_string());
+        a.push("round 1 kind dialing".to_string());
+        let mut b = Transcript::new();
+        b.push("round 0 kind conversation".to_string());
+        b.push("round 1 kind dialing".to_string());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.sha256_hex(), b.sha256_hex());
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+
+        b.push("extra".to_string());
+        assert_ne!(a.sha256_hex(), b.sha256_hex());
+    }
+
+    #[test]
+    fn hex_encodes_lowercase() {
+        assert_eq!(hex(&[0x00, 0xAB, 0xFF]), "00abff");
+    }
+}

@@ -1,0 +1,234 @@
+//! The bundled scenario matrix as integration tests: every scenario
+//! runs through the streaming mixed-schedule pipeline with the
+//! invariant checker live, and every transcript must be byte-identical
+//! across two runs of the same seed (the determinism contract).
+
+use vuvuzela_sim::transcript::hex;
+use vuvuzela_sim::{bundled_matrix, run_scenario, RoundPlan, Scale, Scenario, SimReport, Step};
+
+/// Runs a bundled scenario twice, asserting invariant success and a
+/// byte-identical transcript, and returns the first report.
+fn run_deterministic(name: &str) -> SimReport {
+    let scenario = bundled_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no bundled scenario named {name}"));
+    let first =
+        run_scenario(&scenario).unwrap_or_else(|err| panic!("{name}: invariant failure: {err}"));
+    let second = run_scenario(&scenario).expect("second run of a passing scenario");
+    assert_eq!(
+        first.transcript.render(),
+        second.transcript.render(),
+        "{name}: same seed must give a byte-identical transcript"
+    );
+    assert_eq!(first.hash, second.hash);
+    first
+}
+
+#[test]
+fn matrix_has_at_least_six_scenarios_with_churn_and_faults() {
+    let matrix = bundled_matrix(Scale::Smoke);
+    assert!(
+        matrix.len() >= 6,
+        "bundled matrix shrank to {}",
+        matrix.len()
+    );
+    let names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"churn_rejoin"), "needs a churn scenario");
+    assert!(
+        names.contains(&"server_fault"),
+        "needs a server-fault scenario"
+    );
+    // The full-scale matrix carries the paper's µ = 13,000-per-drop storm.
+    let full_storm = bundled_matrix(Scale::Full)
+        .into_iter()
+        .find(|s| s.name == "dial_storm")
+        .expect("full matrix has the storm");
+    assert_eq!(full_storm.dialing_mu, 13_000.0);
+}
+
+#[test]
+fn steady_state_delivers_all_pairs() {
+    let report = run_deterministic("steady_state");
+    // Five pairs, one message each way.
+    assert_eq!(report.delivered, 10);
+    assert_eq!(report.schedules_aborted, 0);
+    assert_eq!(report.rounds_completed, 7);
+}
+
+#[test]
+fn churn_rejoin_retransmits_to_returning_peer() {
+    let report = run_deterministic("churn_rejoin");
+    // "sent while you were away" reaches the rejoining client via
+    // retransmission; the late joiners' message arrives too. The
+    // message to the departed client never delivers.
+    assert_eq!(report.delivered, 2);
+    assert_eq!(report.schedules_aborted, 0);
+    assert!(
+        delivered_line(&report, b"sent while you were away").is_some(),
+        "retransmitted message must deliver after the peer rejoins"
+    );
+    assert!(
+        delivered_line(&report, b"talking to a ghost").is_none(),
+        "a message to a departed client must never deliver"
+    );
+}
+
+/// The `delivered` transcript line carrying `body`, if any (the `event
+/// queue` line also records body hex, so matching must be line-typed).
+fn delivered_line<'a>(report: &'a SimReport, body: &[u8]) -> Option<&'a String> {
+    let needle = format!("body {}", hex(body));
+    report
+        .transcript
+        .lines()
+        .iter()
+        .find(|l| l.starts_with("delivered ") && l.contains(&needle))
+}
+
+#[test]
+fn dial_storm_invites_every_client() {
+    let report = run_deterministic("dial_storm");
+    // Every client dialed and every online client scans: 32 scan lines.
+    let scans = report
+        .transcript
+        .lines()
+        .iter()
+        .filter(|l| l.starts_with("scan "))
+        .count();
+    assert_eq!(scans, 32, "every client finds its invitation in the storm");
+    assert_eq!(report.delivered, 1);
+}
+
+#[test]
+fn idle_cover_is_pure_noise() {
+    let report = run_deterministic("idle_cover");
+    assert_eq!(report.delivered, 0);
+    // Every conversation round's histogram decomposed as pure noise +
+    // 20 idle singles (the invariant checker asserted the arithmetic;
+    // here we pin the observable shape into the transcript).
+    for line in report.transcript.lines() {
+        if line.contains(" conversation participants ") {
+            assert!(
+                line.contains("mutual 0") && line.contains("m2 6"),
+                "idle round must show only noise pairs: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn server_slowdown_changes_timing_not_bytes() {
+    let stalled = run_deterministic("server_slowdown");
+    // The twin scenario: identical script minus the stall tap.
+    let mut clean = bundled_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|s| s.name == "server_slowdown")
+        .expect("bundled");
+    clean.steps.retain(|s| !matches!(s, Step::StallLink { .. }));
+    let clean = run_scenario(&clean).expect("clean twin passes");
+    let strip = |r: &SimReport| -> Vec<String> {
+        r.transcript
+            .lines()
+            .iter()
+            .filter(|l| !l.starts_with("event stall"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        strip(&stalled),
+        strip(&clean),
+        "a stalled hop may change timing but never any round's bytes"
+    );
+}
+
+#[test]
+fn server_fault_aborts_then_recovers_via_retransmission() {
+    let report = run_deterministic("server_fault");
+    assert_eq!(report.schedules_aborted, 1);
+    // Rounds 1–3 aborted; rounds 0 and 4–6 completed.
+    assert_eq!(report.rounds_completed, 4);
+    let rendered = report.transcript.render();
+    assert!(rendered.contains("schedule aborted rounds [1,2,3]"));
+    // The queued message survives the abort and delivers afterwards.
+    assert_eq!(report.delivered, 1);
+    assert!(delivered_line(&report, b"survives the crash").is_some());
+    // Abort charges the ledger conservatively: the post-abort ledger
+    // line exists and later rounds keep composing on top of it.
+    assert!(rendered.contains("ledger conversation eps"));
+}
+
+#[test]
+fn redial_lands_after_missed_dialing_round() {
+    let report = run_deterministic("redial_after_miss");
+    // The first invitation is never scanned (callee offline, drop
+    // overwritten); only the re-dial is.
+    let scans: Vec<&String> = report
+        .transcript
+        .lines()
+        .iter()
+        .filter(|l| l.starts_with("scan ") && l.contains("client 1"))
+        .collect();
+    assert_eq!(scans.len(), 1, "exactly the re-dialed invitation is found");
+    assert!(
+        scans[0].starts_with("scan round 2 "),
+        "found in the third dialing round"
+    );
+    assert_eq!(report.delivered, 1);
+    assert!(delivered_line(&report, b"second dial worked").is_some());
+}
+
+#[test]
+fn worker_count_does_not_change_the_transcript() {
+    // The determinism contract holds across parallelism levels: only
+    // the header line that *names* the worker count may differ.
+    let base = bundled_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|s| s.name == "server_fault")
+        .expect("bundled");
+    let mut wide = base.clone();
+    wide.workers = 4;
+    let a = run_scenario(&base).expect("workers=2 passes");
+    let b = run_scenario(&wide).expect("workers=4 passes");
+    let strip = |r: &SimReport| -> Vec<String> {
+        r.transcript
+            .lines()
+            .iter()
+            .filter(|l| !l.starts_with("seed "))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(strip(&a), strip(&b));
+}
+
+#[test]
+fn invariant_checker_catches_real_tampering() {
+    // A blocking tap mid-chain silently deletes one onion per round;
+    // the noise-covered-dead-drops equality must fail the very first
+    // round it touches.
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use vuvuzela_adversary::taps::KeepOnly;
+    use vuvuzela_net::Tap;
+
+    let mut scenario = Scenario::new("tampered", 99);
+    scenario.steps.push(Step::Join(8));
+    scenario
+        .steps
+        .push(Step::Run(vec![RoundPlan::Conversation]));
+    let mut sim = vuvuzela_sim::Simulator::new(scenario);
+    let tap: Arc<Mutex<dyn Tap>> = Arc::new(Mutex::new(KeepOnly {
+        indices: (0..7).collect(), // drops the 8th request
+        only_round: None,
+    }));
+    sim.chain_mut().chain_mut().link_mut(0).attach_tap(tap);
+    let err = sim.run().expect_err("tampering must violate an invariant");
+    let msg = err.to_string();
+    // The deleted onion surfaces either as a short reply batch
+    // (uniform-participation) or as an uncovered histogram
+    // (noise-covered-deaddrops) — both pin it to the tampered round.
+    assert!(
+        (msg.contains("uniform-participation") || msg.contains("noise-covered-deaddrops"))
+            && msg.contains("round 0"),
+        "unexpected violation: {msg}"
+    );
+}

@@ -113,12 +113,24 @@ impl RoundType {
     }
 }
 
+impl RoundType {
+    /// Canonical lowercase protocol label, stable across releases — used
+    /// by transcript formats (e.g. the deployment simulator's canonical
+    /// per-round records) that hash their rendered output, where a
+    /// silent `Display` change would break byte-for-byte reproducibility
+    /// guarantees. `Display` renders the same string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RoundType::Conversation => "conversation",
+            RoundType::Dialing => "dialing",
+        }
+    }
+}
+
 impl core::fmt::Display for RoundType {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            RoundType::Conversation => write!(f, "conversation"),
-            RoundType::Dialing => write!(f, "dialing"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -147,6 +159,8 @@ mod tests {
         ));
         assert!(RoundType::decode(&[]).is_err());
         assert_eq!(RoundType::Dialing.to_string(), "dialing");
+        assert_eq!(RoundType::Conversation.as_str(), "conversation");
+        assert_eq!(RoundType::Dialing.as_str(), RoundType::Dialing.to_string());
     }
 
     #[test]

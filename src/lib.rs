@@ -17,6 +17,7 @@
 //! | [`core`] | Clients, the server chain, conversation + dialing protocols |
 //! | [`adversary`] | Traffic-analysis attacks and the observables they see |
 //! | [`baseline`] | Comparison systems: no-noise mixnet, broadcast messenger, single trusted server |
+//! | [`sim`] | Deterministic deployment simulator: scripted churn, server faults, invariant checking |
 //!
 //! ## Quickstart
 //!
@@ -48,4 +49,5 @@ pub use vuvuzela_core as core;
 pub use vuvuzela_crypto as crypto;
 pub use vuvuzela_dp as dp;
 pub use vuvuzela_net as net;
+pub use vuvuzela_sim as sim;
 pub use vuvuzela_wire as wire;

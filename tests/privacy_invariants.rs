@@ -217,3 +217,89 @@ fn malformed_clients_cannot_break_honest_ones() {
     net.run_conversation_round();
     assert_eq!(net.received(bob), vec![b"still works".to_vec()]);
 }
+
+/// `TestNet::set_online` audit (cover-traffic requirement, §3.2/§4.2):
+/// a client going offline is itself observable — the connected-client
+/// set is public — but it must not change the observable *stream* of
+/// its former partner or of idle bystanders. Before, during and after
+/// Bob's absence, Alice and the idle user each emit exactly one onion
+/// per round of exactly the same width; the only change on the wire is
+/// Bob's entry disappearing.
+#[test]
+fn offline_peer_leaves_partner_stream_unchanged() {
+    let (mut net, taps) = tapped_net(11);
+    let client_tap = taps[0].clone();
+    let alice = net.add_user("alice");
+    let bob = net.add_user("bob");
+    let _idle = net.add_user("idle");
+
+    net.dial(alice, bob);
+    net.run_dialing_round();
+    net.accept_all_invitations();
+    // Alice keeps a message in flight the whole time, so her slot is
+    // maximally "active" — which must be invisible.
+    net.queue_message(alice, bob, b"before");
+    net.run_conversation_round();
+    net.run_conversation_round();
+    net.set_online(bob, false);
+    assert!(!net.is_online(bob));
+    net.queue_message(alice, bob, b"during"); // will retransmit into the void
+    net.run_conversation_round();
+    net.run_conversation_round();
+    net.set_online(bob, true);
+    net.run_conversation_round();
+    net.run_conversation_round();
+
+    // The clients→entry tap saw every per-round forward batch. Batch
+    // order is client order, so Alice is entry 0 in every round.
+    let guard = client_tap.lock();
+    let forward: Vec<&(u64, bool, Vec<usize>)> = guard
+        .batches
+        .iter()
+        .filter(|(_, fwd, sizes)| *fwd && !sizes.is_empty())
+        .collect();
+    // 1 dialing + 6 conversation rounds.
+    assert_eq!(forward.len(), 7);
+    let conversation: Vec<_> = forward[1..].to_vec();
+    let width = conversation[0].2[0];
+    for (round, _, sizes) in &conversation {
+        assert!(
+            sizes.iter().all(|&s| s == width),
+            "round {round}: mixed sizes {sizes:?}"
+        );
+        assert_eq!(
+            sizes[0], width,
+            "round {round}: Alice's onion width changed"
+        );
+    }
+    // Exactly Bob's entry disappears while he is offline; Alice and
+    // the idle user never change their per-round emission count.
+    let counts: Vec<usize> = conversation.iter().map(|(_, _, s)| s.len()).collect();
+    assert_eq!(counts, vec![3, 3, 2, 2, 3, 3]);
+
+    // The dead-drop histogram stays noise-covered through the
+    // transition: totals change by exactly Bob's one request, and the
+    // pair access silently becomes a single access.
+    let obs: Vec<_> = net
+        .chain()
+        .conversation_observables()
+        .iter()
+        .map(|(_, o)| *o)
+        .collect();
+    // µ = 6 → each of 2 noising servers adds 6 singles + 3 pairs.
+    assert_eq!(obs[0].m2, 2 * 3 + 1, "online: real pair present");
+    assert_eq!(obs[0].m1, 2 * 6 + 1, "online: idle user is a single");
+    assert_eq!(obs[2].m2, 2 * 3, "offline: the pair is gone...");
+    assert_eq!(obs[2].m1, 2 * 6 + 2, "...Alice and idle are singles");
+    assert_eq!(obs[4].m2, 2 * 3 + 1, "rejoined: pair restored");
+    for o in &obs {
+        assert_eq!(o.m_many, 0);
+    }
+
+    // And the conversation itself survives the outage via retransmission.
+    drop(guard);
+    assert_eq!(
+        net.received(bob),
+        vec![b"before".to_vec(), b"during".to_vec()]
+    );
+}
