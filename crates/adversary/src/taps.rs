@@ -1,11 +1,67 @@
 //! Reusable adversary taps for [`vuvuzela_net::link::Link`]s.
+//!
+//! Passive taps ([`SizeRecorder`]) observe; tampering taps exercise the
+//! §2.3 active adversary, who "can monitor, block, delay, or inject
+//! traffic on any network link": [`DropFraction`] discards,
+//! [`DelayBatch`] holds a round's batch and releases it merged into a
+//! later round, [`ReplayBatch`] re-sends a copied batch, and
+//! [`InjectOnions`] pushes well-formed garbage. Every tampering tap is
+//! link-addressable (a tap is attached to one [`vuvuzela_net::Link`])
+//! and round-addressable (via a [`RoundWindow`] or explicit round
+//! fields). A [`TapStack`] composes several taps on one link — the
+//! "coalition multiplexes inside its own `Tap` implementation"
+//! convention from the `Link` docs.
 
 use vuvuzela_net::link::{Tap, TapContext};
+
+/// An inclusive round range restricting when a tampering tap acts —
+/// the "round-addressable" half of the taps' addressing contract (the
+/// link they are attached to is the other half).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundWindow {
+    /// First round (inclusive) the tap interferes with.
+    pub first: u64,
+    /// Last round (inclusive) the tap interferes with.
+    pub last: u64,
+}
+
+impl RoundWindow {
+    /// Every round.
+    pub const ALL: RoundWindow = RoundWindow {
+        first: 0,
+        last: u64::MAX,
+    };
+
+    /// Exactly one round.
+    #[must_use]
+    pub fn only(round: u64) -> RoundWindow {
+        RoundWindow {
+            first: round,
+            last: round,
+        }
+    }
+
+    /// Every round from `round` on.
+    #[must_use]
+    pub fn from(round: u64) -> RoundWindow {
+        RoundWindow {
+            first: round,
+            last: u64::MAX,
+        }
+    }
+
+    /// Whether `round` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, round: u64) -> bool {
+        (self.first..=self.last).contains(&round)
+    }
+}
 
 /// Keeps only the requests at the given batch indices — the §4.2
 /// disruption attack's "throws away all requests except those from Alice
 /// and Bob". Meaningful on the clients→entry or entry→server-0 link,
-/// where batch order still identifies clients.
+/// where batch order still identifies clients. Kept entries stay in
+/// batch order; the filter runs in place without cloning any onion.
 pub struct KeepOnly {
     /// Indices (into the forward batch) to let through.
     pub indices: Vec<usize>,
@@ -24,22 +80,42 @@ impl Tap for KeepOnly {
                 return;
             }
         }
-        let keep: Vec<Vec<u8>> = self
-            .indices
-            .iter()
-            .filter_map(|&i| batch.get(i).cloned())
-            .collect();
-        *batch = keep;
+        let mut index = 0;
+        batch.retain(|_| {
+            let keep = self.indices.contains(&index);
+            index += 1;
+            keep
+        });
     }
 }
 
 /// Blocks every request from one client index — "block network traffic
 /// from Alice" (§2.1).
+///
+/// ## Index stability under composed taps
+///
+/// `Vec::remove` shifts every later entry down, so a second blocking
+/// tap on the same link (or any tap addressing the same forward batch
+/// by original position) would hit the wrong victim. The fix is to
+/// block by *stable identity within the round*: the victim's slot is
+/// cleared in place — positions never move while taps are still
+/// running — and the zero-length tombstone is swept afterwards.
+/// Standalone (`tombstone_only: false`, the only mode a lone tap
+/// needs), the sweep happens at the end of this tap's own `intercept`,
+/// which is observationally identical to the old `remove`. Inside a
+/// [`TapStack`], construct with `tombstone_only: true`: every blocking
+/// tap then resolves its index against the *original* batch layout and
+/// the stack performs one sweep after all members ran. Onions are
+/// never legitimately zero-length, so tombstones are unambiguous.
 pub struct BlockClient {
-    /// The batch index of the victim on the tapped link.
+    /// The batch index of the victim on the tapped link, in the batch
+    /// layout *before* any blocking this round.
     pub index: usize,
     /// Apply only from this round on (`None` = always).
     pub from_round: Option<u64>,
+    /// Leave the cleared slot in place for an enclosing [`TapStack`]
+    /// to sweep, instead of sweeping here.
+    pub tombstone_only: bool,
 }
 
 impl Tap for BlockClient {
@@ -52,8 +128,226 @@ impl Tap for BlockClient {
                 return;
             }
         }
-        if self.index < batch.len() {
-            batch.remove(self.index);
+        if let Some(entry) = batch.get_mut(self.index) {
+            entry.clear();
+        }
+        if !self.tombstone_only {
+            sweep_tombstones(batch);
+        }
+    }
+}
+
+/// Removes the zero-length tombstones blocking taps leave behind.
+fn sweep_tombstones(batch: &mut Vec<Vec<u8>>) {
+    batch.retain(|entry| !entry.is_empty());
+}
+
+/// Runs several taps over the same link in order, then sweeps the
+/// tombstones position-stable blockers ([`BlockClient`] with
+/// `tombstone_only: true`) left behind — the coalition combinator the
+/// [`vuvuzela_net::Link`] one-tap-per-link contract points to. Because
+/// slots only vanish in the final sweep, every member addresses the
+/// round's original batch layout.
+#[derive(Default)]
+pub struct TapStack {
+    /// The member taps, run front to back.
+    pub taps: Vec<Box<dyn Tap>>,
+}
+
+impl TapStack {
+    /// A coalition of the given taps.
+    #[must_use]
+    pub fn new(taps: Vec<Box<dyn Tap>>) -> TapStack {
+        TapStack { taps }
+    }
+}
+
+impl Tap for TapStack {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        for tap in &mut self.taps {
+            tap.intercept(ctx, batch);
+        }
+        sweep_tombstones(batch);
+    }
+}
+
+/// Drops a fixed fraction of each forward batch: index `i` is discarded
+/// iff `i mod denominator < numerator`, so exactly
+/// `numerator/denominator` of every full stride vanishes,
+/// deterministically. `{1, 1}` drops everything crossing the link in
+/// the window — total blackout of the tapped hop.
+pub struct DropFraction {
+    /// Dropped residues per stride.
+    pub numerator: u32,
+    /// Stride length (must be nonzero).
+    pub denominator: u32,
+    /// Rounds the drop applies to.
+    pub window: RoundWindow,
+}
+
+impl Tap for DropFraction {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward)
+            || !self.window.contains(ctx.round)
+        {
+            return;
+        }
+        assert!(self.denominator > 0, "DropFraction denominator must be > 0");
+        let mut index = 0u32;
+        batch.retain(|_| {
+            let keep = index % self.denominator >= self.numerator;
+            index = index.wrapping_add(1);
+            keep
+        });
+    }
+}
+
+/// Holds one round's entire forward batch and releases it *merged into*
+/// a later round's batch — the cross-round delay the §2.3 adversary can
+/// inflict. Held state lives inside the tap, so the delay spans
+/// schedules (the tap stays attached to its link across
+/// `run_mixed_schedule` calls).
+///
+/// Against Vuvuzela the released onions buy the adversary nothing:
+/// every layer is bound to its round, so delayed requests fail
+/// authentication downstream and are replaced by noise — a delayed
+/// round degrades exactly like a dropped one (clients retransmit).
+pub struct DelayBatch {
+    /// The round whose forward batch is captured.
+    pub hold_round: u64,
+    /// The first round at or after which the captured batch is merged
+    /// back in (strictly greater than `hold_round`).
+    pub release_round: u64,
+    held: Vec<Vec<u8>>,
+    captured: bool,
+}
+
+impl DelayBatch {
+    /// A delay of `hold_round`'s batch into `release_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `release_round > hold_round` — releasing into the
+    /// same or an earlier round is not a delay.
+    #[must_use]
+    pub fn new(hold_round: u64, release_round: u64) -> DelayBatch {
+        assert!(
+            release_round > hold_round,
+            "release round {release_round} must follow hold round {hold_round}"
+        );
+        DelayBatch {
+            hold_round,
+            release_round,
+            held: Vec::new(),
+            captured: false,
+        }
+    }
+}
+
+impl Tap for DelayBatch {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            return;
+        }
+        if ctx.round == self.hold_round && !self.captured {
+            self.held = std::mem::take(batch);
+            self.captured = true;
+        } else if ctx.round >= self.release_round && !self.held.is_empty() {
+            batch.append(&mut self.held);
+        }
+    }
+}
+
+/// Copies one round's forward batch and re-sends the copy merged into a
+/// later round — replay, the other half of the §2.3 delay/replay
+/// capability. Unlike [`DelayBatch`] the original round passes
+/// untouched; the replayed copies fail the round-bound authentication
+/// downstream and degrade into noise.
+pub struct ReplayBatch {
+    /// The round whose forward batch is copied (and passed through).
+    pub capture_round: u64,
+    /// The round the copy is appended to (strictly greater).
+    pub replay_round: u64,
+    copied: Vec<Vec<u8>>,
+}
+
+impl ReplayBatch {
+    /// A replay of `capture_round`'s batch into `replay_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `replay_round > capture_round`.
+    #[must_use]
+    pub fn new(capture_round: u64, replay_round: u64) -> ReplayBatch {
+        assert!(
+            replay_round > capture_round,
+            "replay round {replay_round} must follow capture round {capture_round}"
+        );
+        ReplayBatch {
+            capture_round,
+            replay_round,
+            copied: Vec::new(),
+        }
+    }
+}
+
+impl Tap for ReplayBatch {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward) {
+            return;
+        }
+        if ctx.round == self.capture_round {
+            self.copied = batch.clone();
+        } else if ctx.round == self.replay_round {
+            batch.append(&mut self.copied);
+        }
+    }
+}
+
+/// Injects well-formed garbage onions: entries of exactly the width the
+/// tapped link carries (copied from the batch in flight), filled with
+/// seeded pseudo-random bytes. The sizes pass every stage's shape
+/// checks, but the payloads fail authentication at the next server and
+/// are substituted with noise — inflating the round's observable totals
+/// without wedging anything. An empty batch gives no width to imitate,
+/// so nothing is injected into it.
+pub struct InjectOnions {
+    /// Garbage onions injected per forward transfer in the window.
+    pub count: usize,
+    /// Rounds the injection applies to.
+    pub window: RoundWindow,
+    /// Seed for the deterministic garbage bytes.
+    pub seed: u64,
+}
+
+impl Tap for InjectOnions {
+    fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+        if !matches!(ctx.direction, vuvuzela_net::Direction::Forward)
+            || !self.window.contains(ctx.round)
+        {
+            return;
+        }
+        let Some(width) = batch.first().map(Vec::len) else {
+            return;
+        };
+        for injected in 0..self.count {
+            // splitmix64 over (seed, round, index): deterministic
+            // garbage, different every round and every onion.
+            let mut state = self
+                .seed
+                .wrapping_add(ctx.round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(injected as u64);
+            let mut onion = Vec::with_capacity(width);
+            while onion.len() < width {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let take = (width - onion.len()).min(8);
+                onion.extend_from_slice(&z.to_le_bytes()[..take]);
+            }
+            batch.push(onion);
         }
     }
 }
@@ -220,10 +514,58 @@ mod tests {
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(BlockClient {
             index: 1,
             from_round: Some(2),
+            tombstone_only: false,
         })));
         assert_eq!(link.transmit(1, Direction::Forward, batch3()).len(), 3);
         let out = link.transmit(2, Direction::Forward, batch3());
         assert_eq!(out, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn two_blockers_on_one_link_hit_their_original_indices() {
+        // Regression for the index-shift hazard: composing two blocking
+        // taps with bare `Vec::remove` semantics would let the first
+        // removal shift the second victim (index 3 would hit the
+        // *fourth* remaining entry, i.e. original index 4). Tombstoning
+        // keeps positions stable until the stack's single sweep.
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(TapStack::new(vec![
+            Box::new(BlockClient {
+                index: 1,
+                from_round: None,
+                tombstone_only: true,
+            }),
+            Box::new(BlockClient {
+                index: 3,
+                from_round: None,
+                tombstone_only: true,
+            }),
+        ]))));
+        let batch: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i]).collect();
+        let out = link.transmit(0, Direction::Forward, batch);
+        assert_eq!(
+            out,
+            vec![vec![0], vec![2], vec![4]],
+            "exactly original indices 1 and 3 must vanish"
+        );
+    }
+
+    #[test]
+    fn keep_only_runs_in_place_preserving_batch_order() {
+        let mut tap = KeepOnly {
+            indices: vec![2, 0], // unsorted: order must not matter
+            only_round: None,
+        };
+        let mut batch = batch3();
+        tap.intercept(
+            &TapContext {
+                link: "t".to_string(),
+                round: 0,
+                direction: Direction::Forward,
+            },
+            &mut batch,
+        );
+        assert_eq!(batch, vec![vec![0], vec![2]]);
     }
 
     #[test]
@@ -276,6 +618,119 @@ mod tests {
         let _ = link.transmit(9, Direction::Forward, vec![vec![0u8; 7], vec![0u8; 7]]);
         let guard = tap.lock();
         assert_eq!(guard.batches, vec![(9, true, vec![7, 7])]);
+    }
+
+    #[test]
+    fn drop_fraction_discards_deterministic_stride() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DropFraction {
+            numerator: 1,
+            denominator: 3,
+            window: RoundWindow::from(2),
+        })));
+        // Outside the window: untouched.
+        assert_eq!(link.transmit(1, Direction::Forward, batch3()).len(), 3);
+        // In the window: indices 0 and 3 dropped out of five.
+        let batch: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i]).collect();
+        let out = link.transmit(2, Direction::Forward, batch);
+        assert_eq!(out, vec![vec![1], vec![2], vec![4]]);
+        // Backward traffic untouched.
+        assert_eq!(link.transmit(2, Direction::Backward, batch3()).len(), 3);
+        // {1, 1} is a total blackout.
+        let mut all = DropFraction {
+            numerator: 1,
+            denominator: 1,
+            window: RoundWindow::ALL,
+        };
+        let mut batch = batch3();
+        all.intercept(
+            &TapContext {
+                link: "t".to_string(),
+                round: 9,
+                direction: Direction::Forward,
+            },
+            &mut batch,
+        );
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn delay_batch_holds_and_merges_into_release_round() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DelayBatch::new(
+            1, 3,
+        ))));
+        assert_eq!(link.transmit(0, Direction::Forward, batch3()).len(), 3);
+        // Round 1 is swallowed whole.
+        assert!(link.transmit(1, Direction::Forward, batch3()).is_empty());
+        // Round 2 (before the release round) passes untouched.
+        assert_eq!(link.transmit(2, Direction::Forward, batch3()).len(), 3);
+        // Round 3 carries its own batch plus the held one, merged.
+        let out = link.transmit(3, Direction::Forward, vec![vec![9]]);
+        assert_eq!(out, vec![vec![9], vec![0], vec![1], vec![2]]);
+        // Released exactly once.
+        assert_eq!(link.transmit(4, Direction::Forward, vec![vec![8]]).len(), 1);
+    }
+
+    #[test]
+    fn replay_batch_copies_without_touching_the_original() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(ReplayBatch::new(
+            0, 2,
+        ))));
+        // The captured round passes through unchanged.
+        assert_eq!(link.transmit(0, Direction::Forward, batch3()), batch3());
+        assert_eq!(link.transmit(1, Direction::Forward, vec![vec![7]]).len(), 1);
+        // The replay round carries its own batch plus the copy.
+        let out = link.transmit(2, Direction::Forward, vec![vec![9]]);
+        assert_eq!(out, vec![vec![9], vec![0], vec![1], vec![2]]);
+        // Replayed exactly once.
+        assert_eq!(link.transmit(3, Direction::Forward, vec![vec![8]]).len(), 1);
+    }
+
+    #[test]
+    fn inject_onions_adds_width_matched_garbage() {
+        let mut link = Link::new("t");
+        link.attach_tap(std::sync::Arc::new(parking_lot_mutex(InjectOnions {
+            count: 2,
+            window: RoundWindow::only(1),
+            seed: 42,
+        })));
+        assert_eq!(link.transmit(0, Direction::Forward, batch3()).len(), 3);
+        let out = link.transmit(1, Direction::Forward, vec![vec![5u8; 64], vec![6u8; 64]]);
+        assert_eq!(out.len(), 4);
+        assert!(
+            out.iter().all(|onion| onion.len() == 64),
+            "injected onions must match the link's width"
+        );
+        assert_ne!(out[2], out[3], "garbage must differ per injected onion");
+        // An empty batch gives no width to imitate: nothing injected.
+        assert!(link.transmit(1, Direction::Forward, Vec::new()).is_empty());
+        // Deterministic: the same (seed, round) reproduces the bytes.
+        let mut twin = InjectOnions {
+            count: 2,
+            window: RoundWindow::only(1),
+            seed: 42,
+        };
+        let mut batch = vec![vec![5u8; 64], vec![6u8; 64]];
+        twin.intercept(
+            &TapContext {
+                link: "t".to_string(),
+                round: 1,
+                direction: Direction::Forward,
+            },
+            &mut batch,
+        );
+        assert_eq!(batch[2..], out[2..]);
+    }
+
+    #[test]
+    fn round_window_bounds_are_inclusive() {
+        let w = RoundWindow { first: 2, last: 4 };
+        assert!(!w.contains(1) && w.contains(2) && w.contains(4) && !w.contains(5));
+        assert!(RoundWindow::ALL.contains(u64::MAX));
+        assert!(RoundWindow::only(3).contains(3) && !RoundWindow::only(3).contains(4));
+        assert!(RoundWindow::from(3).contains(u64::MAX) && !RoundWindow::from(3).contains(2));
     }
 
     fn parking_lot_mutex<T>(t: T) -> parking_lot::Mutex<T> {

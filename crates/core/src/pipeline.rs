@@ -1012,6 +1012,117 @@ mod tests {
     }
 
     #[test]
+    fn tampered_mixed_schedule_completes_and_drains() {
+        // An active adversary that both removes and adds onions must
+        // degrade the schedule, never wedge it: every round still
+        // yields an outcome of the right kind and every server drains.
+        // (The sim crate's soak matrix checks *which* invariants the
+        // tampering trips; this test pins the liveness floor in core.)
+        struct DropAndInject;
+        impl vuvuzela_net::Tap for DropAndInject {
+            fn intercept(&mut self, ctx: &vuvuzela_net::TapContext, batch: &mut Vec<Vec<u8>>) {
+                if ctx.direction != Direction::Forward {
+                    return;
+                }
+                let mut keep = false;
+                batch.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                if let Some(width) = batch.first().map(Vec::len) {
+                    batch.push(vec![0xAB; width]);
+                    batch.push(vec![0xCD; width]);
+                }
+            }
+        }
+
+        let mut streaming = StreamingChain::new(tiny_config(3), 17).with_max_in_flight(3);
+        let pks = streaming.server_public_keys();
+        streaming
+            .chain_mut()
+            .link_mut(0)
+            .attach_tap(std::sync::Arc::new(parking_lot::Mutex::new(DropAndInject)));
+
+        let mut rng = StdRng::seed_from_u64(29);
+        let specs = vec![
+            RoundSpec::Conversation {
+                round: 0,
+                batch: client_batch(&pks, 0, 4, &mut rng),
+            },
+            RoundSpec::Dialing {
+                round: 1,
+                batch: dial_batch(&pks, 1, 3, &mut rng),
+                num_drops: 2,
+            },
+            RoundSpec::Conversation {
+                round: 2,
+                batch: client_batch(&pks, 2, 4, &mut rng),
+            },
+        ];
+        let outcomes = streaming.run_mixed_schedule(specs);
+        assert_eq!(outcomes.len(), 3, "every tampered round must complete");
+        assert!(outcomes[0].replies().is_some());
+        assert!(outcomes[1].replies().is_none());
+        assert!(outcomes[2].replies().is_some());
+        for i in 0..3 {
+            assert_eq!(
+                streaming.chain().server(i).in_flight_rounds(),
+                0,
+                "server {i} retained round state after a tampered schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_dialing_rounds_stay_forward_only() {
+        // Replaying a dialing batch into its own transfer (doubling it)
+        // must not conjure a backward pass: dialing rounds stay
+        // forward-only whatever the adversary feeds the chain.
+        struct DoubleForward;
+        impl vuvuzela_net::Tap for DoubleForward {
+            fn intercept(&mut self, ctx: &vuvuzela_net::TapContext, batch: &mut Vec<Vec<u8>>) {
+                if ctx.direction == Direction::Forward {
+                    let copy = batch.clone();
+                    batch.extend(copy);
+                }
+            }
+        }
+
+        let chain_len = 2;
+        let mut streaming = StreamingChain::new(tiny_config(chain_len), 53);
+        let pks = streaming.server_public_keys();
+        streaming
+            .chain_mut()
+            .link_mut(0)
+            .attach_tap(std::sync::Arc::new(parking_lot::Mutex::new(DoubleForward)));
+
+        let mut rng = StdRng::seed_from_u64(37);
+        let num_drops = 2;
+        let rounds: Vec<(u64, Vec<Vec<u8>>)> = (0..3u64)
+            .map(|round| (round, dial_batch(&pks, round, 2, &mut rng)))
+            .collect();
+        let timings = streaming.run_dialing_rounds(rounds, num_drops);
+        assert_eq!(timings.len(), 3);
+        for (round, timing) in timings.iter().enumerate() {
+            assert!(
+                timing.backward.is_empty(),
+                "dialing round {round} ran a backward stage under tampering"
+            );
+            for link in streaming.chain().links() {
+                assert_eq!(
+                    link.round_traffic(round as u64, Direction::Backward),
+                    (0, 0),
+                    "dialing round {round} put backward traffic on {}",
+                    link.name()
+                );
+            }
+        }
+        for i in 0..chain_len {
+            assert_eq!(streaming.chain().server(i).in_flight_rounds(), 0);
+        }
+    }
+
+    #[test]
     fn single_server_chain_streams() {
         let seed = 31;
         let mut streaming = StreamingChain::new(tiny_config(1), seed);

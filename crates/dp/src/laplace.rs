@@ -96,6 +96,65 @@ impl NoiseDistribution {
     pub fn std_dev(&self) -> f64 {
         core::f64::consts::SQRT_2 * self.b
     }
+
+    /// The quantile (inverse CDF) of the *untruncated* Laplace(µ, b):
+    /// `Q(p) = µ + b·ln(2p)` for `p < ½` and `Q(p) = µ − b·ln(2(1−p))`
+    /// for `p ≥ ½`. This is the same closed form the sampler inverts,
+    /// so `quantile` is what distributional test bounds must be pinned
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile needs 0 < p < 1, got {p}");
+        if p < 0.5 {
+            self.mu + self.b * (2.0 * p).ln()
+        } else {
+            self.mu - self.b * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// The two-sided tail radius: the deviation `t` with
+    /// `P(|X − µ| ≥ t) = p`, i.e. `t = b·ln(1/p)` (each Laplace tail
+    /// holds `½·e^(−t/b)` of the mass). Equivalently
+    /// `t = (std_dev()/√2)·ln(1/p)` — this is the knob the simulator's
+    /// distributional invariants turn: a per-draw budget `p` buys a
+    /// certified window `[µ − t, µ + t]` around the mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn tail_radius(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "tail_radius needs 0 < p < 1, got {p}");
+        self.b * (1.0 / p).ln()
+    }
+
+    /// The inclusive `[lo, hi]` range a truncated-and-ceiled count
+    /// (`⌈max(0, X)⌉`, exactly what [`NoiseDistribution::sample_count`]
+    /// emits in [`NoiseMode::Sampled`]) stays in with per-draw failure
+    /// probability at most `p`: the raw sample lies in
+    /// `(µ − t, µ + t)` with `t = tail_radius(p)`, and `⌈max(0, ·)⌉` is
+    /// monotone, so the count lies in
+    /// `[⌈max(0, µ−t)⌉, ⌈max(0, µ+t)⌉]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn count_bounds(&self, p: f64) -> (u64, u64) {
+        let t = self.tail_radius(p);
+        let clamp_ceil = |x: f64| -> u64 {
+            if x <= 0.0 {
+                0
+            } else {
+                x.ceil() as u64
+            }
+        };
+        (clamp_ceil(self.mu - t), clamp_ceil(self.mu + t))
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +276,89 @@ mod tests {
                 assert!(n < cap.ceil() as u64 + 1, "count {n} out of range");
             }
         }
+    }
+
+    /// The closed-form Laplace CDF, written independently of the
+    /// quantile implementation so the two pin each other.
+    fn laplace_cdf(mu: f64, b: f64, x: f64) -> f64 {
+        if x < mu {
+            0.5 * ((x - mu) / b).exp()
+        } else {
+            1.0 - 0.5 * (-(x - mu) / b).exp()
+        }
+    }
+
+    #[test]
+    fn quantile_matches_closed_form_cdf() {
+        let dist = NoiseDistribution::new(300.0, 20.0);
+        // Median is the mean; quartiles sit at µ ± b·ln 2 exactly.
+        assert_eq!(dist.quantile(0.5), 300.0);
+        assert!((dist.quantile(0.75) - (300.0 + 20.0 * 2f64.ln())).abs() < 1e-12);
+        assert!((dist.quantile(0.25) - (300.0 - 20.0 * 2f64.ln())).abs() < 1e-12);
+        // Round-trip through the independent CDF across both branches.
+        for p in [1e-6, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-6] {
+            let x = dist.quantile(p);
+            assert!(
+                (laplace_cdf(300.0, 20.0, x) - p).abs() < 1e-9,
+                "CDF(Q({p})) diverged at {x}"
+            );
+        }
+        // Symmetry about the mean.
+        assert!((dist.quantile(0.9) - 300.0 - (300.0 - dist.quantile(0.1))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_radius_matches_closed_form_tail_mass() {
+        let dist = NoiseDistribution::new(300.0, 20.0);
+        for p in [1e-9, 1e-6, 0.01, 0.5] {
+            let t = dist.tail_radius(p);
+            // Two-sided mass beyond µ ± t is e^(−t/b): each side is an
+            // upper/lower quantile at p/2.
+            let upper = laplace_cdf(300.0, 20.0, 300.0 + t);
+            let lower = laplace_cdf(300.0, 20.0, 300.0 - t);
+            assert!(
+                ((1.0 - upper) + lower - p).abs() < 1e-12,
+                "tail mass at p = {p} diverged"
+            );
+            // `1 − p/2` loses ~half the bits of tiny p to cancellation
+            // before the quantile's log sees it, so the extreme-tail
+            // comparison gets a tolerance proportional to t.
+            let tol = 1e-5 * (1.0 + t);
+            assert!((dist.quantile(1.0 - p / 2.0) - (300.0 + t)).abs() < tol);
+            assert!((dist.quantile(p / 2.0) - (300.0 - t)).abs() < 1e-9);
+        }
+        // Pinned value: b = 2, p = 0.05 → t = 2·ln 20.
+        let d2 = NoiseDistribution::new(0.0, 2.0);
+        assert!((d2.tail_radius(0.05) - 2.0 * 20f64.ln()).abs() < 1e-12);
+        // Relation to std_dev: t = (σ/√2)·ln(1/p).
+        assert!(
+            (d2.tail_radius(0.01) - d2.std_dev() / core::f64::consts::SQRT_2 * 100f64.ln()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn count_bounds_contain_every_sample_at_their_budget() {
+        let dist = NoiseDistribution::new(6.0, 0.5);
+        let (lo, hi) = dist.count_bounds(1e-6);
+        // t = 0.5·ln(1e6) ≈ 6.91: the lower edge truncates to 0.
+        assert_eq!(lo, 0);
+        assert_eq!(hi, (6.0 + 0.5 * 1e6f64.ln()).ceil() as u64);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100_000 {
+            let n = dist.sample_count(&mut rng, NoiseMode::Sampled);
+            assert!(n >= lo && n <= hi, "sample {n} escaped [{lo}, {hi}]");
+        }
+        // A mean far from zero keeps a nonzero lower bound.
+        let wide = NoiseDistribution::new(1000.0, 30.0);
+        let (lo, hi) = wide.count_bounds(1e-3);
+        assert!(lo > 0 && lo < 1000 && hi > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile needs 0 < p < 1")]
+    fn quantile_rejects_p_one() {
+        let _ = NoiseDistribution::new(1.0, 1.0).quantile(1.0);
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! The per-round invariant checker.
 //!
 //! Each check corresponds to one property of the paper's privacy
-//! argument (the crate docs enumerate them). All arithmetic assumes
-//! deterministic noise mode (`⌈µ⌉` exactly per draw), which every
-//! bundled scenario uses; under honest-but-dynamic deployments the
-//! checks are *equalities*, so any drift — a client silently skipping a
-//! round, noise not covering a histogram, a dialing round growing a
-//! backward pass, a privacy charge out of schedule — fails the
-//! simulation immediately with the round it happened in.
+//! argument (the crate docs enumerate them). The core checks are
+//! *bounded*: every noise-dependent count must land in an inclusive
+//! `[lo, hi]` window. Under deterministic noise mode (`⌈µ⌉` exactly
+//! per draw) the windows collapse to equalities — the historical exact
+//! checks [`check_conversation_round`] / [`check_dialing_round`] are
+//! thin wrappers passing degenerate bounds — so any drift (a client
+//! silently skipping a round, noise not covering a histogram, a
+//! dialing round growing a backward pass, a privacy charge out of
+//! schedule) fails the simulation immediately with the round it
+//! happened in. Under sampled noise mode the simulator derives the
+//! windows from the Laplace tail
+//! ([`vuvuzela_dp::NoiseDistribution::count_bounds`]) and additionally
+//! checks end-of-run *concentration*: the empirical mean of every
+//! inferred noise draw must sit within `k·σ/√n` of µ
+//! ([`check_noise_concentration`]).
 
 use vuvuzela_core::observables::{ConversationObservables, DialingObservables};
 use vuvuzela_dp::{compose, ComposedPrivacy, Protocol};
@@ -99,7 +107,8 @@ pub struct ConversationRoundCheck<'a> {
 }
 
 /// Checks invariants 1 (uniform participation) and 2 (noise-covered
-/// dead drops) for a conversation round.
+/// dead drops) for a conversation round in deterministic noise mode:
+/// degenerate-bound wrapper over [`check_conversation_round_bounded`].
 ///
 /// # Errors
 ///
@@ -109,9 +118,44 @@ pub fn check_conversation_round(
     conversation_mu: f64,
     c: &ConversationRoundCheck<'_>,
 ) -> Result<(), InvariantViolation> {
+    let (singles, pairs) = deterministic_conversation_noise(conversation_mu);
+    check_conversation_round_bounded(chain_len, (singles, singles), (pairs, pairs), c)
+}
+
+/// Checks invariants 1 and 2 for a conversation round with inclusive
+/// per-noising-server draw bounds: `singles = [lo, hi]` on each n1
+/// draw, `pairs = [lo, hi]` on each ⌈n2/2⌉ pair count. Participation
+/// (submission count, onion width, reply count) stays exact — it is
+/// noise-free arithmetic — while the histogram decomposition is checked
+/// against the windows; deterministic mode passes `lo == hi`.
+///
+/// # Errors
+///
+/// The first violated invariant, with expected-vs-got detail.
+pub fn check_conversation_round_bounded(
+    chain_len: u64,
+    singles: (u64, u64),
+    pairs: (u64, u64),
+    c: &ConversationRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    check_conversation_participation(c)?;
+    check_conversation_histogram(chain_len, singles, pairs, c)
+}
+
+/// Invariant 1 alone for a conversation round: every online client
+/// submitted exactly one onion per slot of the single fixed size, and
+/// got exactly one reply back. Split out so tolerant-mode runs can
+/// grade participation and histogram coverage independently — a
+/// tampered round often breaks both, and the soak annotations must see
+/// both trips, not just the first.
+///
+/// # Errors
+///
+/// A `uniform-participation` violation.
+pub fn check_conversation_participation(
+    c: &ConversationRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
     let submitted = c.participants * c.slots;
-    // 1. Every online client submits exactly one onion per slot, all of
-    // the single fixed size.
     if c.client_link_forward != (submitted, submitted * c.onion_width) {
         return Err(violation(
             c.round,
@@ -129,22 +173,58 @@ pub fn check_conversation_round(
             format!("expected {submitted} replies, got {}", c.replies),
         ));
     }
-    // 2. The dead-drop histogram decomposes exactly into the noise
-    // recipe plus the scripted real activity.
+    Ok(())
+}
+
+/// Invariant 2 alone for a conversation round: the dead-drop histogram
+/// decomposes into the noise recipe plus the scripted real activity,
+/// with every noise draw in its inclusive window (degenerate in
+/// deterministic mode).
+///
+/// # Errors
+///
+/// A `noise-covered-deaddrops` violation.
+pub fn check_conversation_histogram(
+    chain_len: u64,
+    singles: (u64, u64),
+    pairs: (u64, u64),
+    c: &ConversationRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    let submitted = c.participants * c.slots;
     let noising = chain_len - 1;
-    let (singles, pairs) = deterministic_conversation_noise(conversation_mu);
-    let expect_m2 = noising * pairs + c.mutual_pairs;
-    let expect_m1 = noising * singles + (submitted - 2 * c.mutual_pairs);
-    let expect_total = submitted + noising * (singles + 2 * pairs);
+    let base_m1 = submitted - 2 * c.mutual_pairs;
+    let m1 = (base_m1 + noising * singles.0, base_m1 + noising * singles.1);
+    let m2 = (
+        c.mutual_pairs + noising * pairs.0,
+        c.mutual_pairs + noising * pairs.1,
+    );
+    let total = (
+        submitted + noising * (singles.0 + 2 * pairs.0),
+        submitted + noising * (singles.1 + 2 * pairs.1),
+    );
     let obs = c.observables;
-    if (obs.m1, obs.m2, obs.m_many, obs.total_requests) != (expect_m1, expect_m2, 0, expect_total) {
+    let outside = |got: u64, (lo, hi): (u64, u64)| got < lo || got > hi;
+    if obs.m_many != 0
+        || outside(obs.m1, m1)
+        || outside(obs.m2, m2)
+        || outside(obs.total_requests, total)
+    {
         return Err(violation(
             c.round,
             "noise-covered-deaddrops",
             format!(
-                "expected (m1, m2, m_many, total) = ({expect_m1}, {expect_m2}, 0, {expect_total}), \
+                "expected m1 in [{}, {}], m2 in [{}, {}], m_many 0, total in [{}, {}], \
                  got ({}, {}, {}, {})",
-                obs.m1, obs.m2, obs.m_many, obs.total_requests
+                m1.0,
+                m1.1,
+                m2.0,
+                m2.1,
+                total.0,
+                total.1,
+                obs.m1,
+                obs.m2,
+                obs.m_many,
+                obs.total_requests
             ),
         ));
     }
@@ -172,9 +252,8 @@ pub struct DialingRoundCheck<'a> {
     pub backward_stages: u64,
 }
 
-/// Checks invariants 1–3 for a dialing round: uniform participation,
-/// per-drop counts = chain noise + scripted real invitations, and
-/// forward-only execution.
+/// Checks invariants 1–3 for a dialing round in deterministic noise
+/// mode: degenerate-bound wrapper over [`check_dialing_round_bounded`].
 ///
 /// # Errors
 ///
@@ -184,6 +263,36 @@ pub fn check_dialing_round(
     dialing_mu: f64,
     c: &DialingRoundCheck<'_>,
 ) -> Result<(), InvariantViolation> {
+    let noise = deterministic_dialing_noise(dialing_mu);
+    check_dialing_round_bounded(chain_len, (noise, noise), c)
+}
+
+/// Checks invariants 1–3 for a dialing round with an inclusive per-
+/// server per-drop draw window `per_draw = [lo, hi]`: uniform
+/// participation and forward-only execution stay exact, while each
+/// drop's count must land in `real + chain_len·[lo, hi]` (every server,
+/// including the last, draws once per drop — §5.3).
+///
+/// # Errors
+///
+/// The first violated invariant, with expected-vs-got detail.
+pub fn check_dialing_round_bounded(
+    chain_len: u64,
+    per_draw: (u64, u64),
+    c: &DialingRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    check_dialing_participation(c)?;
+    check_dialing_counts(chain_len, per_draw, c)
+}
+
+/// Invariants 1 and 3 alone for a dialing round: uniform participation
+/// on the client link and forward-only execution. Split out for the
+/// same reason as [`check_conversation_participation`].
+///
+/// # Errors
+///
+/// A `uniform-participation` or `dialing-forward-only` violation.
+pub fn check_dialing_participation(c: &DialingRoundCheck<'_>) -> Result<(), InvariantViolation> {
     if c.client_link_forward != (c.participants, c.participants * c.onion_width) {
         return Err(violation(
             c.round,
@@ -205,23 +314,47 @@ pub fn check_dialing_round(
             ),
         ));
     }
-    // 2. Per-drop counts: every server (including the last) adds ⌈µ⌉
-    // noise invitations per drop (§5.3), plus the scripted real dials.
-    let noise = deterministic_dialing_noise(dialing_mu);
-    let expect: Vec<u64> = c
-        .real_per_drop
-        .iter()
-        .map(|&real| real + chain_len * noise)
-        .collect();
-    if c.observables.counts != expect {
+    Ok(())
+}
+
+/// Invariant 2 alone for a dialing round: per-drop counts and no-op
+/// writes against the per-server draw window.
+///
+/// # Errors
+///
+/// A `noise-covered-deaddrops` violation.
+pub fn check_dialing_counts(
+    chain_len: u64,
+    per_draw: (u64, u64),
+    c: &DialingRoundCheck<'_>,
+) -> Result<(), InvariantViolation> {
+    // 2. Per-drop counts: real dials plus one in-window draw per server.
+    if c.observables.counts.len() != c.real_per_drop.len() {
         return Err(violation(
             c.round,
             "noise-covered-deaddrops",
             format!(
-                "expected per-drop counts {expect:?}, got {:?}",
+                "expected {} per-drop counts, got {:?}",
+                c.real_per_drop.len(),
                 c.observables.counts
             ),
         ));
+    }
+    for (index, (&real, &got)) in c
+        .real_per_drop
+        .iter()
+        .zip(&c.observables.counts)
+        .enumerate()
+    {
+        let lo = real + chain_len * per_draw.0;
+        let hi = real + chain_len * per_draw.1;
+        if got < lo || got > hi {
+            return Err(violation(
+                c.round,
+                "noise-covered-deaddrops",
+                format!("expected drop {index} count in [{lo}, {hi}], got {got}"),
+            ));
+        }
     }
     let real_total: u64 = c.real_per_drop.iter().sum();
     let expect_noop = c.participants - real_total;
@@ -295,8 +428,9 @@ pub type TapBatch = (u64, bool, Vec<usize>);
 /// batch is single-sized with exactly the width its round's kind
 /// implies at that chain position, each completed round crossed the
 /// link exactly once forward (and, for conversation rounds, once
-/// backward), and the batch is exactly `submitted + link·noise` onions
-/// strong.
+/// backward), and the batch is `submitted + link·noise` onions strong
+/// for an in-window per-server noise draw (exact in deterministic
+/// mode, where the shape's `lo == hi`).
 ///
 /// `rounds` maps each *completed* round id to `(is_conversation,
 /// submitted, forward_width, backward_width, noise_per_server)`.
@@ -335,15 +469,16 @@ pub fn check_tap_sizes(
         } else {
             shape.backward_width
         };
-        let want_len = shape.submitted + link as u64 * shape.noise_per_server;
-        if sizes.len() as u64 != want_len {
+        let want_lo = shape.submitted + link as u64 * shape.noise_per_server_lo;
+        let want_hi = shape.submitted + link as u64 * shape.noise_per_server_hi;
+        let len = sizes.len() as u64;
+        if len < want_lo || len > want_hi {
             return Err(violation(
                 *round,
                 "fixed-sizes-under-taps",
                 format!(
-                    "link {link} {}: expected {want_len} onions, saw {}",
+                    "link {link} {}: expected onion count in [{want_lo}, {want_hi}], saw {len}",
                     direction_name(*forward),
-                    sizes.len()
                 ),
             ));
         }
@@ -391,8 +526,11 @@ pub struct TapRoundShape {
     pub forward_width: u64,
     /// Expected reply width backward at the tapped link.
     pub backward_width: u64,
-    /// Noise onions each upstream noising server added.
-    pub noise_per_server: u64,
+    /// Fewest noise onions each upstream noising server may have added
+    /// (equals `noise_per_server_hi` in deterministic mode).
+    pub noise_per_server_lo: u64,
+    /// Most noise onions each upstream noising server may have added.
+    pub noise_per_server_hi: u64,
 }
 
 fn direction_name(forward: bool) -> &'static str {
@@ -401,6 +539,92 @@ fn direction_name(forward: bool) -> &'static str {
     } else {
         "backward"
     }
+}
+
+/// Running sums of every noise draw a sampled-mode run inferred from
+/// its observables, for the end-of-run concentration check. Sums are
+/// `i128` because tampering can push an inferred draw negative (e.g. a
+/// dropped batch deflates `m1` below the noise-free baseline) and the
+/// concentration invariant must see that deficit, not saturate it away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoiseSoakStats {
+    /// Single-noise draws inferred: one per noising server per
+    /// completed conversation round.
+    pub conversation_draws: u64,
+    /// Σ (m1 − noise-free baseline) over completed conversation rounds.
+    pub singles_sum: i128,
+    /// Σ (m2 − mutual pairs) over completed conversation rounds.
+    pub pairs_sum: i128,
+    /// Dialing draws inferred: one per server per drop per completed
+    /// dialing round.
+    pub dialing_draws: u64,
+    /// Σ (count − real) over every drop of every completed dialing
+    /// round.
+    pub dialing_sum: i128,
+}
+
+impl NoiseSoakStats {
+    /// Folds in one completed conversation round: `noising` servers
+    /// each drew once, and the histogram implies the given total noise
+    /// singles (`m1 −` noise-free baseline) and pairs (`m2 − mutual`).
+    pub fn record_conversation(&mut self, noising: u64, singles: i128, pairs: i128) {
+        self.conversation_draws += noising;
+        self.singles_sum += singles;
+        self.pairs_sum += pairs;
+    }
+
+    /// Folds in one completed dialing round: each drop's count exceeds
+    /// the scripted real dials by the sum of `chain_len` draws.
+    pub fn record_dialing(
+        &mut self,
+        chain_len: u64,
+        inferred_per_drop: impl IntoIterator<Item = i128>,
+    ) {
+        for inferred in inferred_per_drop {
+            self.dialing_draws += chain_len;
+            self.dialing_sum += inferred;
+        }
+    }
+}
+
+/// Checks the `noise-concentration` invariant for one draw family: the
+/// empirical mean of `draws` inferred noise draws summing to `sum` must
+/// land in `[µ − k·σ/√n, µ + ceil_bias + k·σ/√n]`. The `ceil_bias`
+/// covers the deterministic upward bias of ceiling each draw (1 for
+/// plain counts; 1.5 for conversation pairs, whose `⌈n2/2⌉` rounds
+/// twice). Zero draws trivially pass — an all-dialing run has no
+/// conversation draws to concentrate.
+///
+/// # Errors
+///
+/// A `noise-concentration` violation with the mean and its window.
+pub fn check_noise_concentration(
+    family: &'static str,
+    mu: f64,
+    sigma: f64,
+    k: f64,
+    ceil_bias: f64,
+    draws: u64,
+    sum: i128,
+) -> Result<(), InvariantViolation> {
+    if draws == 0 {
+        return Ok(());
+    }
+    let mean = sum as f64 / draws as f64;
+    let half_width = k * sigma / (draws as f64).sqrt();
+    let lo = mu - half_width;
+    let hi = mu + ceil_bias + half_width;
+    if mean < lo || mean > hi {
+        return Err(violation(
+            None,
+            "noise-concentration",
+            format!(
+                "{family}: empirical mean {mean:.4} over {draws} draws outside \
+                 [{lo:.4}, {hi:.4}] (mu {mu}, sigma {sigma:.4})"
+            ),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -529,7 +753,8 @@ mod tests {
                 submitted: 4,
                 forward_width: 100,
                 backward_width: 50,
-                noise_per_server: 12,
+                noise_per_server_lo: 12,
+                noise_per_server_hi: 12,
             },
         );
         let good = vec![(0, true, vec![100; 16]), (0, false, vec![50; 16])];
@@ -543,5 +768,97 @@ mod tests {
             check_tap_sizes(1, &rounds, &missing).is_err(),
             "no backward batch"
         );
+
+        // A non-degenerate noise window accepts any in-range count...
+        rounds.get_mut(&0).unwrap().noise_per_server_lo = 10;
+        rounds.get_mut(&0).unwrap().noise_per_server_hi = 14;
+        let low = vec![(0, true, vec![100; 14]), (0, false, vec![50; 14])];
+        check_tap_sizes(1, &rounds, &low).expect("in-window count passes");
+        // ...but not one outside it.
+        let thin = vec![(0, true, vec![100; 13]), (0, false, vec![50; 14])];
+        let err = check_tap_sizes(1, &rounds, &thin).expect_err("must fail");
+        assert_eq!(err.invariant, "fixed-sizes-under-taps");
+    }
+
+    #[test]
+    fn bounded_conversation_check_accepts_windows() {
+        // 3 servers, 10 participants, 2 mutual pairs; noise drawn one
+        // above / one below the mean per family.
+        let obs = ConversationObservables {
+            m1: (10 - 4) + 5 + 7,
+            m2: 2 + 3 + 4,
+            m_many: 0,
+            total_requests: 10 + (5 + 7) + 2 * (3 + 4),
+        };
+        let check = ConversationRoundCheck {
+            round: 3,
+            participants: 10,
+            slots: 1,
+            mutual_pairs: 2,
+            observables: &obs,
+            client_link_forward: (10, 10 * 500),
+            onion_width: 500,
+            replies: 10,
+        };
+        check_conversation_round_bounded(3, (4, 8), (2, 5), &check).expect("in-window passes");
+        // The same histogram fails a singles window above the draws
+        // (m1 = 18 < base 6 + 2 noising servers x lo 7).
+        let err =
+            check_conversation_round_bounded(3, (7, 8), (2, 5), &check).expect_err("must fail");
+        assert_eq!(err.invariant, "noise-covered-deaddrops");
+        // Participation stays exact even with loose windows.
+        let short = ConversationRoundCheck {
+            replies: 9,
+            ..check
+        };
+        let err =
+            check_conversation_round_bounded(3, (0, 100), (0, 100), &short).expect_err("must fail");
+        assert_eq!(err.invariant, "uniform-participation");
+    }
+
+    #[test]
+    fn bounded_dialing_check_accepts_windows() {
+        let obs = DialingObservables {
+            counts: vec![2 + 8, 11],
+            noop_writes: 6,
+        };
+        let check = DialingRoundCheck {
+            round: 5,
+            participants: 8,
+            real_per_drop: &[2, 0],
+            observables: &obs,
+            client_link_forward: (8, 8 * 300),
+            client_link_backward: (0, 0),
+            onion_width: 300,
+            backward_stages: 0,
+        };
+        // 3 servers x per-draw window [2, 4] → drop windows [6, 12].
+        check_dialing_round_bounded(3, (2, 4), &check).expect("in-window passes");
+        let err = check_dialing_round_bounded(3, (3, 4), &check).expect_err("must fail");
+        assert_eq!(err.invariant, "noise-covered-deaddrops");
+        // Forward-only is exact regardless of the window.
+        let backward = DialingRoundCheck {
+            backward_stages: 1,
+            ..check
+        };
+        let err = check_dialing_round_bounded(3, (0, 100), &backward).expect_err("must fail");
+        assert_eq!(err.invariant, "dialing-forward-only");
+    }
+
+    #[test]
+    fn concentration_check_windows_the_empirical_mean() {
+        // 100 draws at mean 6.30 against µ = 6, σ = √2·0.5: inside
+        // [6 − k·σ/10, 7 + k·σ/10] for k = 6.
+        let sigma = std::f64::consts::SQRT_2 * 0.5;
+        check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 630)
+            .expect("near-mean passes");
+        // A mean far below µ trips even the ceil-biased window.
+        let err = check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 400)
+            .expect_err("must fail");
+        assert_eq!(err.invariant, "noise-concentration");
+        assert!(err.detail.contains("singles"), "{}", err.detail);
+        // A mean far above µ + bias trips too, and zero draws pass.
+        assert!(check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 900).is_err());
+        check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 0, 0).expect("vacuous");
     }
 }

@@ -74,17 +74,21 @@
 //!
 //! ## Invariant list
 //!
-//! After every **completed** round, [`invariants`] asserts (in
-//! deterministic-noise mode, which every bundled scenario uses):
+//! After every **completed** round, [`invariants`] asserts:
 //!
 //! 1. **Uniform participation** — every online client submitted exactly
 //!    one onion per conversation slot (dialing: exactly one request),
 //!    of exactly the right wrapped size, on the clients→entry link.
 //! 2. **Noise-covered dead drops** — the conversation histogram
-//!    decomposes exactly as `m2 = (n−1)·⌈⌈µ⌉/2⌉ + (mutual pairs)` and
-//!    `m1 = (n−1)·⌈µ⌉ + (remaining slots)`, with `m_many = 0`; per-drop
-//!    dialing counts equal `chain_len·⌈µ_dial⌉` noise plus the real
-//!    invitations the script sent there.
+//!    decomposes as `m2 = (n−1)·(pair draws) + (mutual pairs)` and
+//!    `m1 = (n−1)·(single draws) + (remaining slots)`, with
+//!    `m_many = 0`; per-drop dialing counts equal `chain_len` noise
+//!    draws plus the real invitations the script sent there. In
+//!    deterministic noise mode every draw is exactly `⌈µ⌉` and the
+//!    checks are equalities; in sampled mode each draw must land in
+//!    the inclusive window
+//!    [`vuvuzela_dp::NoiseDistribution::count_bounds`] derives from
+//!    the Laplace tail.
 //! 3. **Dialing is forward-only** — no backward timing, no backward
 //!    client-link traffic, and no server retains round state once a
 //!    schedule drains.
@@ -95,7 +99,13 @@
 //! 5. **Fixed sizes under taps** — every batch an attached
 //!    [`vuvuzela_adversary::taps::SizeRecorder`] observed is
 //!    single-sized, with the exact width the round kind implies at that
-//!    chain position.
+//!    chain position, and an onion count inside the round's noise
+//!    window (exact in deterministic mode).
+//! 6. **Noise concentration** (sampled mode only, end of run) — the
+//!    empirical mean of every noise draw family inferred from the
+//!    observables (conversation singles, conversation pairs, dialing
+//!    per-drop) lies within `k·σ/√n` of its µ, plus the ceiling bias
+//!    ([`invariants::check_noise_concentration`]).
 //!
 //! The bundled scenario matrix ([`scenario::bundled_matrix`]) covers
 //! steady state, churn with rejoin and permanent leave, a dial storm at
@@ -103,6 +113,30 @@
 //! [`scenario::Scale::Smoke`] at µ scaled down 100×), idle-client cover
 //! traffic, server slowdown, server abort, and re-dial after a missed
 //! dialing round.
+//!
+//! ## The adversary axis and survive/trip annotations
+//!
+//! [`soak`] crosses the bundled matrix with an *active-adversary*
+//! strategy axis: every scenario re-runs under sampled noise with a
+//! tampering tap ([`vuvuzela_adversary::taps`]) on chain link 0 —
+//! dropping a fraction of every batch, delaying a batch into a later
+//! round, replaying a batch, or injecting well-formed garbage onions.
+//! Two contracts hold:
+//!
+//! - **Graceful degradation**: a tampered run must *terminate* with
+//!   every schedule drained. Tolerant-mode execution
+//!   ([`simulator::Simulator::run_collecting`]) transcribes and
+//!   collects violations instead of aborting; surviving onions still
+//!   deliver their replies (a client whose onion was dropped sees a
+//!   missed round and retransmits), and the ledger still charges
+//!   every started round — tampering can waste budget, never save it.
+//! - **Survive/trip annotations**: every [`soak::SoakCase`] declares
+//!   the exact invariant set its tampering trips
+//!   ([`soak::expected_trips`]). The case verdict is set equality:
+//!   an undeclared trip is a failure (the degradation story broke),
+//!   and an un-tripped declaration is *also* a failure (the checker
+//!   lost its teeth). `sim_soak` runs the whole crossed matrix and
+//!   writes one transcript artefact per case.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -110,8 +144,10 @@
 pub mod invariants;
 pub mod scenario;
 pub mod simulator;
+pub mod soak;
 pub mod transcript;
 
 pub use scenario::{bundled_matrix, RoundPlan, Scale, Scenario, Step};
 pub use simulator::{run_scenario, SimError, SimReport, Simulator};
+pub use soak::{run_soak_case, soak_matrix, AdversaryStrategy, SoakCase, SoakOutcome};
 pub use transcript::Transcript;

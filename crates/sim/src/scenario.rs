@@ -105,6 +105,15 @@ pub struct Scenario {
     pub slots: usize,
     /// Rounds before an unacked message retransmits.
     pub retransmit_after: u64,
+    /// How servers turn (µ, b) into concrete noise counts.
+    /// [`vuvuzela_dp::NoiseMode::Deterministic`] (the default) emits
+    /// exactly ⌈µ⌉ per draw and the invariant checker uses exact
+    /// equalities; [`vuvuzela_dp::NoiseMode::Sampled`] draws the real
+    /// truncated Laplace (production behaviour) and the checker switches
+    /// to distributional bounds — per-draw tail windows plus end-of-run
+    /// concentration of the empirical mean. Soak runs
+    /// ([`crate::soak`]) use `Sampled`.
+    pub noise_mode: vuvuzela_dp::NoiseMode,
     /// The script.
     pub steps: Vec<Step>,
 }
@@ -125,6 +134,7 @@ impl Scenario {
             num_drops: 1,
             slots: 1,
             retransmit_after: 2,
+            noise_mode: vuvuzela_dp::NoiseMode::Deterministic,
             steps: Vec::new(),
         }
     }

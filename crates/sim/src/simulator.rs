@@ -10,8 +10,9 @@
 //! surfaces as [`SimError::Invariant`].
 
 use crate::invariants::{
-    self, check_conversation_round, check_dialing_round, check_privacy_charge, check_tap_sizes,
-    ConversationRoundCheck, DialingRoundCheck, InvariantViolation, TapRoundShape,
+    self, check_conversation_histogram, check_conversation_participation, check_dialing_counts,
+    check_dialing_participation, check_noise_concentration, check_privacy_charge, check_tap_sizes,
+    ConversationRoundCheck, DialingRoundCheck, InvariantViolation, NoiseSoakStats, TapRoundShape,
 };
 use crate::scenario::{RoundPlan, Scenario, Step};
 use crate::transcript::{hex, Transcript};
@@ -35,6 +36,19 @@ use vuvuzela_wire::{RoundType, DIAL_REQUEST_LEN, EXCHANGE_REQUEST_LEN, EXCHANGE_
 
 /// Theorem 2's free parameter, fixed to the paper's d = 10⁻⁵.
 const LEDGER_D: f64 = 1e-5;
+
+/// Per-draw tail budget for sampled-mode noise windows: each noise
+/// count must land within [`vuvuzela_dp::NoiseDistribution::
+/// count_bounds`]`(SAMPLED_TAIL_P)`. A soak run makes a few thousand
+/// draws, so the expected number of honest draws outside their window
+/// is ≪ 1 — and runs are seeded, so a passing seed passes forever.
+const SAMPLED_TAIL_P: f64 = 1e-6;
+
+/// Width multiplier for the end-of-run concentration window
+/// (`k·σ/√n` around µ). Six standard errors: loose enough that honest
+/// seeded runs never trip, tight enough that systematic tampering
+/// (every round missing a slice of its histogram) cannot hide.
+const CONCENTRATION_K: f64 = 6.0;
 
 /// A simulation failure.
 #[derive(Debug)]
@@ -136,6 +150,13 @@ pub struct Simulator {
     rounds_completed: u64,
     schedules_aborted: u64,
     delivered: u64,
+    /// `true` (the [`Simulator::run`] default): the first violation
+    /// aborts the run as [`SimError::Invariant`]. `false`
+    /// ([`Simulator::run_collecting`]): violations are transcribed and
+    /// collected while the deployment keeps degrading gracefully.
+    fail_fast: bool,
+    violations: Vec<InvariantViolation>,
+    soak: NoiseSoakStats,
 }
 
 impl Simulator {
@@ -153,7 +174,7 @@ impl Simulator {
                 scenario.dialing_mu,
                 (scenario.dialing_mu / 10.0).max(0.5),
             ),
-            noise_mode: vuvuzela_dp::NoiseMode::Deterministic,
+            noise_mode: scenario.noise_mode,
             workers: scenario.workers,
             conversation_slots: scenario.slots,
             retransmit_after: scenario.retransmit_after,
@@ -175,8 +196,13 @@ impl Simulator {
             scenario.slots,
             scenario.retransmit_after
         ));
+        let mode = match scenario.noise_mode {
+            vuvuzela_dp::NoiseMode::Sampled => "sampled",
+            vuvuzela_dp::NoiseMode::Deterministic => "deterministic",
+            vuvuzela_dp::NoiseMode::Off => "off",
+        };
         transcript.push(format!(
-            "noise conversation mu {} b {} dialing mu {} b {} mode deterministic drops {}",
+            "noise conversation mu {} b {} dialing mu {} b {} mode {mode} drops {}",
             config.conversation_noise.mu,
             config.conversation_noise.b,
             config.dialing_noise.mu,
@@ -200,11 +226,14 @@ impl Simulator {
             rounds_completed: 0,
             schedules_aborted: 0,
             delivered: 0,
+            fail_fast: true,
+            violations: Vec::new(),
+            soak: NoiseSoakStats::default(),
             scenario,
         }
     }
 
-    /// Executes every step of the scenario.
+    /// Executes every step of the scenario, failing fast.
     ///
     /// # Errors
     ///
@@ -214,23 +243,146 @@ impl Simulator {
     ///
     /// On script misuse (see the module docs).
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        self.execute()?;
+        Ok(self.into_report())
+    }
+
+    /// Executes every step of the scenario in tolerant mode: instead of
+    /// aborting, each invariant violation is transcribed (a
+    /// deterministic `violation …` line) and collected, while the
+    /// deployment keeps running — replies still deliver, the ledger
+    /// still charges, later rounds still execute. This is the soak
+    /// runner's entry point: a tampered run must *terminate* with its
+    /// violations enumerated, never wedge.
+    ///
+    /// # Panics
+    ///
+    /// On script misuse (see the module docs).
+    #[must_use]
+    pub fn run_collecting(mut self) -> (SimReport, Vec<InvariantViolation>) {
+        self.fail_fast = false;
+        self.execute()
+            .expect("tolerant mode collects violations instead of failing");
+        let violations = std::mem::take(&mut self.violations);
+        (self.into_report(), violations)
+    }
+
+    fn execute(&mut self) -> Result<(), SimError> {
         let steps = std::mem::take(&mut self.scenario.steps);
         for step in steps {
             self.apply(step)?;
         }
+        self.check_concentration()?;
+        Ok(())
+    }
+
+    fn into_report(mut self) -> SimReport {
         self.transcript.push(format!(
             "end rounds {} aborted {}",
             self.rounds_completed, self.schedules_aborted
         ));
         let hash = self.transcript.sha256_hex();
-        Ok(SimReport {
+        SimReport {
             name: self.scenario.name.clone(),
             hash,
             rounds_completed: self.rounds_completed,
             schedules_aborted: self.schedules_aborted,
             delivered: self.delivered,
             transcript: self.transcript,
-        })
+        }
+    }
+
+    /// Routes one invariant result through the failure policy: fail
+    /// fast as [`SimError`], or transcribe and collect it in tolerant
+    /// mode.
+    fn note(&mut self, result: Result<(), InvariantViolation>) -> Result<(), SimError> {
+        match result {
+            Ok(()) => Ok(()),
+            Err(v) if self.fail_fast => Err(v.into()),
+            Err(v) => {
+                self.transcript.push(format!("violation {v}"));
+                self.violations.push(v);
+                Ok(())
+            }
+        }
+    }
+
+    /// End-of-run distributional invariant for sampled noise: the
+    /// empirical mean of every inferred draw family must concentrate
+    /// around its µ (`k·σ/√n` windows, plus the ceil bias).
+    fn check_concentration(&mut self) -> Result<(), SimError> {
+        if !matches!(self.config.noise_mode, vuvuzela_dp::NoiseMode::Sampled) {
+            return Ok(());
+        }
+        let conv = self.config.conversation_noise;
+        let dial = self.config.dialing_noise;
+        let s = self.soak;
+        self.transcript.push(format!(
+            "soak conversation draws {} singles {} pairs {} dialing draws {} sum {}",
+            s.conversation_draws, s.singles_sum, s.pairs_sum, s.dialing_draws, s.dialing_sum
+        ));
+        self.note(check_noise_concentration(
+            "conversation-singles",
+            conv.mu,
+            conv.std_dev(),
+            CONCENTRATION_K,
+            1.0,
+            s.conversation_draws,
+            s.singles_sum,
+        ))?;
+        // Pairs are ⌈n2/2⌉ per draw: half the mean and deviation, and
+        // up to 1.5 of combined ceil bias (count ceil, then pair ceil).
+        self.note(check_noise_concentration(
+            "conversation-pairs",
+            conv.mu / 2.0,
+            conv.std_dev() / 2.0,
+            CONCENTRATION_K,
+            1.5,
+            s.conversation_draws,
+            s.pairs_sum,
+        ))?;
+        self.note(check_noise_concentration(
+            "dialing-per-drop",
+            dial.mu,
+            dial.std_dev(),
+            CONCENTRATION_K,
+            1.0,
+            s.dialing_draws,
+            s.dialing_sum,
+        ))?;
+        Ok(())
+    }
+
+    /// Inclusive per-draw windows for this run's noise mode:
+    /// `(singles, pairs)` for one noising server's conversation draws.
+    fn conversation_noise_bounds(&self) -> ((u64, u64), (u64, u64)) {
+        match self.config.noise_mode {
+            vuvuzela_dp::NoiseMode::Deterministic => {
+                let (singles, pairs) =
+                    invariants::deterministic_conversation_noise(self.config.conversation_noise.mu);
+                ((singles, singles), (pairs, pairs))
+            }
+            vuvuzela_dp::NoiseMode::Sampled => {
+                let (lo, hi) = self.config.conversation_noise.count_bounds(SAMPLED_TAIL_P);
+                ((lo, hi), (lo.div_ceil(2), hi.div_ceil(2)))
+            }
+            vuvuzela_dp::NoiseMode::Off => ((0, 0), (0, 0)),
+        }
+    }
+
+    /// Inclusive per-server per-drop dialing draw window for this
+    /// run's noise mode.
+    fn dialing_noise_bounds(&self) -> (u64, u64) {
+        match self.config.noise_mode {
+            vuvuzela_dp::NoiseMode::Deterministic => {
+                let noise = invariants::deterministic_dialing_noise(self.config.dialing_noise.mu);
+                (noise, noise)
+            }
+            vuvuzela_dp::NoiseMode::Sampled => {
+                self.config.dialing_noise.count_bounds(SAMPLED_TAIL_P)
+            }
+            vuvuzela_dp::NoiseMode::Off => (0, 0),
+        }
     }
 
     /// Read access to a client (assertions in tests).
@@ -558,6 +710,8 @@ impl Simulator {
             self.chain.chain_mut().link_mut(link).detach_tap();
         }
         let chain_len = self.config.chain_len as u64;
+        let (conv_singles, conv_pairs) = self.conversation_noise_bounds();
+        let dial_draw = self.dialing_noise_bounds();
         let mut tap_shapes: BTreeMap<u64, ScheduleShape> = BTreeMap::new();
         let mut last_dialing: Option<(u64, Vec<usize>)> = None;
 
@@ -585,9 +739,8 @@ impl Simulator {
                             is_conversation: true,
                             submitted: participants.len() as u64
                                 * self.config.conversation_slots as u64,
-                            noise_per_server: invariants::conversation_noise_onions(
-                                self.config.conversation_noise.mu,
-                            ),
+                            noise_per_server_lo: conv_singles.0 + 2 * conv_pairs.0,
+                            noise_per_server_hi: conv_singles.1 + 2 * conv_pairs.1,
                         },
                     );
                 }
@@ -610,21 +763,19 @@ impl Simulator {
                         ScheduleShape {
                             is_conversation: false,
                             submitted: participants.len() as u64,
-                            noise_per_server: u64::from(self.scenario.num_drops)
-                                * invariants::deterministic_dialing_noise(
-                                    self.config.dialing_noise.mu,
-                                ),
+                            noise_per_server_lo: u64::from(self.scenario.num_drops) * dial_draw.0,
+                            noise_per_server_hi: u64::from(self.scenario.num_drops) * dial_draw.1,
                         },
                     );
                     last_dialing = Some((*round, participants.clone()));
                 }
                 _ => {
-                    return Err(InvariantViolation {
+                    self.note(Err(InvariantViolation {
                         round: Some(meta.round()),
                         invariant: "schedule-drain",
                         detail: "outcome kind does not match its RoundSpec".to_string(),
-                    }
-                    .into())
+                    }))?;
+                    continue;
                 }
             }
             self.rounds_completed += 1;
@@ -640,12 +791,11 @@ impl Simulator {
         for i in 0..self.config.chain_len {
             let in_flight = self.chain.chain().server(i).in_flight_rounds();
             if in_flight != 0 {
-                return Err(InvariantViolation {
+                self.note(Err(InvariantViolation {
                     round: None,
                     invariant: "schedule-drain",
                     detail: format!("server {i} retains state for {in_flight} rounds"),
-                }
-                .into());
+                }))?;
             }
         }
 
@@ -663,15 +813,30 @@ impl Simulator {
     ) -> Result<(), SimError> {
         let chain_len = self.config.chain_len as u64;
         let replies_len = replies.len() as u64;
-        let observables =
-            *self
-                .find_conversation_observables(round)
-                .ok_or_else(|| InvariantViolation {
+        let observables = match self.find_conversation_observables(round) {
+            Some(obs) => *obs,
+            None => {
+                // No histogram means nothing to check or infer; still
+                // charge (the round started — the adversary observed
+                // traffic) and keep going.
+                self.note(Err(InvariantViolation {
                     round: Some(round),
                     invariant: "noise-covered-deaddrops",
                     detail: "no observables recorded for a completed round".to_string(),
-                })?;
+                }))?;
+                let spent = self.charge(round, Protocol::Conversation)?;
+                self.transcript.push(format!(
+                    "round {round} conversation participants {} missing-observables \
+                     eps {:e} delta {:e}",
+                    participants.len(),
+                    spent.epsilon,
+                    spent.delta
+                ));
+                return Ok(());
+            }
+        };
         let onion_width = onion::wrapped_len(EXCHANGE_REQUEST_LEN, self.config.chain_len) as u64;
+        let (singles, pairs) = self.conversation_noise_bounds();
         let check = ConversationRoundCheck {
             round,
             participants: participants.len() as u64,
@@ -686,7 +851,26 @@ impl Simulator {
             onion_width,
             replies: replies_len,
         };
-        check_conversation_round(chain_len, self.config.conversation_noise.mu, &check)?;
+        let submitted = check.participants * check.slots;
+        // Noted separately so tolerant mode grades participation and
+        // the histogram independently — a replies mismatch must not
+        // mask a histogram excursion in the same round.
+        self.note(check_conversation_participation(&check))?;
+        self.note(check_conversation_histogram(
+            chain_len, singles, pairs, &check,
+        ))?;
+        if matches!(self.config.noise_mode, vuvuzela_dp::NoiseMode::Sampled) {
+            // Infer this round's total noise draws from the histogram
+            // for the end-of-run concentration check. Signed: tampering
+            // can push the inferred counts below zero.
+            let noising = chain_len - 1;
+            let base_m1 = i128::from(submitted) - 2 * i128::from(mutual_pairs);
+            self.soak.record_conversation(
+                noising,
+                i128::from(observables.m1) - base_m1,
+                i128::from(observables.m2) - i128::from(mutual_pairs),
+            );
+        }
 
         // Hand replies back and transcribe the deliveries they unlock.
         let per_client = entry::demultiplex(layout, replies);
@@ -735,14 +919,25 @@ impl Simulator {
         backward_stages: u64,
     ) -> Result<(), SimError> {
         let chain_len = self.config.chain_len as u64;
-        let observables = self
-            .find_dialing_observables(round)
-            .ok_or_else(|| InvariantViolation {
-                round: Some(round),
-                invariant: "noise-covered-deaddrops",
-                detail: "no observables recorded for a completed round".to_string(),
-            })?
-            .clone();
+        let observables = match self.find_dialing_observables(round) {
+            Some(obs) => obs.clone(),
+            None => {
+                self.note(Err(InvariantViolation {
+                    round: Some(round),
+                    invariant: "noise-covered-deaddrops",
+                    detail: "no observables recorded for a completed round".to_string(),
+                }))?;
+                let spent = self.charge(round, Protocol::Dialing)?;
+                self.transcript.push(format!(
+                    "round {round} dialing participants {} missing-observables \
+                     eps {:e} delta {:e}",
+                    participants.len(),
+                    spent.epsilon,
+                    spent.delta
+                ));
+                return Ok(());
+            }
+        };
         let onion_width = onion::wrapped_len(DIAL_REQUEST_LEN, self.config.chain_len) as u64;
         let client_link = self.chain.chain().client_link();
         let check = DialingRoundCheck {
@@ -756,7 +951,19 @@ impl Simulator {
             onion_width,
             backward_stages,
         };
-        check_dialing_round(chain_len, self.config.dialing_noise.mu, &check)?;
+        let per_draw = self.dialing_noise_bounds();
+        self.note(check_dialing_participation(&check))?;
+        self.note(check_dialing_counts(chain_len, per_draw, &check))?;
+        if matches!(self.config.noise_mode, vuvuzela_dp::NoiseMode::Sampled)
+            && observables.counts.len() == real_per_drop.len()
+        {
+            let inferred = observables
+                .counts
+                .iter()
+                .zip(real_per_drop)
+                .map(|(&count, &real)| i128::from(count) - i128::from(real));
+            self.soak.record_dialing(chain_len, inferred);
+        }
         let spent = self.charge(round, Protocol::Dialing)?;
         let counts: Vec<String> = observables.counts.iter().map(u64::to_string).collect();
         self.transcript.push(format!(
@@ -805,7 +1012,7 @@ impl Simulator {
             ),
             Protocol::Dialing => (self.config.dialing_noise.mu, self.config.dialing_noise.b),
         };
-        check_privacy_charge(
+        self.note(check_privacy_charge(
             round,
             protocol,
             self.ledger.rounds(protocol),
@@ -814,7 +1021,7 @@ impl Simulator {
             LEDGER_D,
             spent,
             previous,
-        )?;
+        ))?;
         self.last_spent[protocol_slot(protocol)] = spent;
         Ok(spent)
     }
@@ -853,7 +1060,10 @@ impl Simulator {
         shapes: &BTreeMap<u64, ScheduleShape>,
         chain_len: u64,
     ) -> Result<(), SimError> {
-        for (link, recorder) in &self.recorders {
+        // Taken (and restored) so `note` can borrow `self` inside the
+        // loop; a fail-fast error consumes the simulator anyway.
+        let recorders = std::mem::take(&mut self.recorders);
+        for (link, recorder) in &recorders {
             let link = *link;
             let mut batches: Vec<(u64, bool, Vec<usize>)> =
                 recorder.lock().batches.drain(..).collect();
@@ -880,12 +1090,14 @@ impl Simulator {
                             backward_width: (EXCHANGE_RESPONSE_LEN
                                 + remaining * onion::REPLY_LAYER_OVERHEAD)
                                 as u64,
-                            noise_per_server: shape.noise_per_server,
+                            noise_per_server_lo: shape.noise_per_server_lo,
+                            noise_per_server_hi: shape.noise_per_server_hi,
                         },
                     )
                 })
                 .collect();
-            check_tap_sizes(link, &link_shapes, &batches)?;
+            let checked = check_tap_sizes(link, &link_shapes, &batches);
+            self.note(checked)?;
             for (round, forward, sizes) in &batches {
                 self.transcript.push(format!(
                     "tap link {link} round {round} {} onions {} width {}",
@@ -895,6 +1107,7 @@ impl Simulator {
                 ));
             }
         }
+        self.recorders = recorders;
         Ok(())
     }
 }
@@ -905,7 +1118,8 @@ impl Simulator {
 struct ScheduleShape {
     is_conversation: bool,
     submitted: u64,
-    noise_per_server: u64,
+    noise_per_server_lo: u64,
+    noise_per_server_hi: u64,
 }
 
 fn protocol_slot(protocol: Protocol) -> usize {

@@ -232,3 +232,105 @@ fn invariant_checker_catches_real_tampering() {
         "unexpected violation: {msg}"
     );
 }
+
+#[test]
+fn tampered_dialing_round_never_trips_forward_only() {
+    // Tampering aimed squarely at a dialing round must degrade it —
+    // the exact no-op-write accounting catches the dropped requests —
+    // without ever conjuring a backward pass, and must leave the
+    // surrounding conversation rounds untouched.
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use vuvuzela_adversary::taps::{DropFraction, RoundWindow};
+    use vuvuzela_net::Tap;
+
+    let mut scenario = Scenario::new("dial_tamper", 77);
+    scenario.steps.push(Step::Join(6));
+    scenario.steps.push(Step::Run(vec![
+        RoundPlan::Conversation,
+        RoundPlan::Dialing,
+        RoundPlan::Conversation,
+    ]));
+    let mut sim = vuvuzela_sim::Simulator::new(scenario);
+    let tap: Arc<Mutex<dyn Tap>> = Arc::new(Mutex::new(DropFraction {
+        numerator: 1,
+        denominator: 2,
+        window: RoundWindow::only(1), // round 1 is the dialing round
+    }));
+    sim.chain_mut().chain_mut().link_mut(0).attach_tap(tap);
+    let (report, violations) = sim.run_collecting();
+    assert_eq!(report.schedules_aborted, 0, "tampering must not wedge");
+    assert!(
+        !violations.is_empty(),
+        "dropping half a dialing round must be caught"
+    );
+    for v in &violations {
+        assert_ne!(
+            v.invariant, "dialing-forward-only",
+            "tampering conjured a backward pass: {v}"
+        );
+        assert_eq!(
+            v.round,
+            Some(1),
+            "violation leaked past the tampered round: {v}"
+        );
+    }
+}
+
+#[test]
+fn soak_cases_match_their_annotations() {
+    // Spot-check the pinned survive/trip table across its corner
+    // cases: the honest baseline, a per-round strategy, the
+    // dialing-round replay (round 12 lands on a dialing round in
+    // dial_storm), and the small-population delay that only replies
+    // catch. `sim_soak` grades the full crossed matrix in CI.
+    use vuvuzela_sim::soak::soak_case;
+    use vuvuzela_sim::{run_soak_case, AdversaryStrategy};
+
+    let matrix = bundled_matrix(Scale::Smoke);
+    let pick = |name: &str| {
+        matrix
+            .iter()
+            .find(|s| s.name == name)
+            .expect("bundled scenario")
+            .clone()
+    };
+    for (base, strategy) in [
+        ("steady_state", AdversaryStrategy::None),
+        ("steady_state", AdversaryStrategy::Drop),
+        ("dial_storm", AdversaryStrategy::Replay),
+        ("redial_after_miss", AdversaryStrategy::Delay),
+    ] {
+        let case = soak_case(pick(base), strategy);
+        let outcome = run_soak_case(&case);
+        assert!(
+            outcome.passed(),
+            "{}: undeclared trips {:?}, un-tripped declarations {:?}",
+            outcome.name,
+            outcome.unexpected,
+            outcome.missing
+        );
+    }
+}
+
+#[test]
+fn soak_runs_are_deterministic_under_tampering() {
+    // Tampering (including violation lines) must not break the
+    // byte-identical transcript contract.
+    use vuvuzela_sim::soak::soak_case;
+    use vuvuzela_sim::{run_soak_case, AdversaryStrategy};
+
+    let base = bundled_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|s| s.name == "churn_rejoin")
+        .expect("bundled scenario");
+    let case = soak_case(base, AdversaryStrategy::Inject);
+    let a = run_soak_case(&case);
+    let b = run_soak_case(&case);
+    assert_eq!(
+        a.report.transcript.render(),
+        b.report.transcript.render(),
+        "tampered transcript is timing-dependent"
+    );
+    assert_eq!(a.report.hash, b.report.hash);
+}

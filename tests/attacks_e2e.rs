@@ -147,6 +147,7 @@ fn blocking_attack_reveals_conversation_without_noise() {
         .attach_tap(Arc::new(Mutex::new(BlockClient {
             index: 0, // alice is client 0 on the aggregated link
             from_round: Some(1),
+            tombstone_only: false,
         })));
     net.run_conversation_round(); // round 1: alice blocked
 
