@@ -32,6 +32,7 @@ fn config(mu: f64) -> SystemConfig {
         workers: vuvuzela_net::parallel::default_workers(),
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 

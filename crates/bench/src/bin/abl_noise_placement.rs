@@ -57,6 +57,7 @@ fn main() {
             workers: vuvuzela_net::parallel::default_workers(),
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         };
         let mut chain = Chain::new(config, 1);
         let pks = chain.server_public_keys();

@@ -95,6 +95,7 @@ fn config(sizes: &Sizes) -> SystemConfig {
         workers: sizes.workers,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 
@@ -162,13 +163,15 @@ fn main() {
                         &pks,
                         cores,
                         99 + round,
-                    ),
+                    )
+                    .into(),
                     num_drops: sizes.num_drops,
                 }
             } else {
                 RoundSpec::Conversation {
                     round,
-                    batch: conversation_batch(sizes.conv_onions, round, &pks, cores, 7 + round),
+                    batch: conversation_batch(sizes.conv_onions, round, &pks, cores, 7 + round)
+                        .into(),
                 }
             }
         })

@@ -1,0 +1,242 @@
+//! Population-scale client artefact: struct-of-arrays
+//! [`ClientCohort`] request building, the sharded dead-drop exchange
+//! and a full end-to-end round, against the naive per-object
+//! [`Client`] loop.
+//!
+//! The paper's deployment serves a million clients per round (§8);
+//! what gates that on the client-aggregation side is request
+//! construction. A naive harness loop — one [`Client`] object per
+//! user, each lazily building its own per-server DH tables, each round
+//! allocating its own request `Vec`s — spends most of its time on
+//! per-object setup that the cohort amortises: one shared table set,
+//! one flat [`RoundBuffer`] arena, worker-striped construction. This
+//! artefact measures clients/sec for:
+//!
+//! * **request build** — cohort arena build vs the naive per-object
+//!   loop (the gated `speedup_request_build` ratio) and vs a
+//!   shared-tables per-object loop (informational, `measured_*`);
+//! * **exchange** — the last server's dead-drop stage, sharded
+//!   (`exchange_shards` from the config) vs unsharded, with replies
+//!   asserted byte-identical (the sharded merge is deterministic);
+//! * **end to end** — build → chain round → reply ingestion.
+//!
+//! Regenerate with
+//! `cargo run --release -p vuvuzela-bench --bin bench_population`
+//! (writes `BENCH_population.json` at the workspace root; 10k clients,
+//! asserts the ≥ 10× request-build speedup the artefact documents).
+//! Set `VUVUZELA_BENCH_SMOKE=1` for the CI variant: a few hundred
+//! clients, writes `bench_results/SMOKE_population.json` for the
+//! `bench_diff` regression gate.
+
+use std::time::Instant;
+
+use vuvuzela_bench::report::{workspace_root, write_json};
+use vuvuzela_core::chain::Batch;
+use vuvuzela_core::cohort::{client_round_rng, key_rng, ClientCohort};
+use vuvuzela_core::{Chain, Client, SystemConfig};
+use vuvuzela_crypto::x25519::Keypair;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+const CHAIN_LEN: usize = 3;
+const SEED: u64 = 4242;
+
+struct Sizes {
+    clients: usize,
+    mu: f64,
+    workers: usize,
+    smoke: bool,
+}
+
+fn sizes() -> Sizes {
+    if std::env::var("VUVUZELA_BENCH_SMOKE").is_ok() {
+        Sizes {
+            clients: 200,
+            mu: 10.0,
+            workers: 2,
+            smoke: true,
+        }
+    } else {
+        Sizes {
+            clients: 10_000,
+            mu: 100.0,
+            workers: 2,
+            smoke: false,
+        }
+    }
+}
+
+fn config(sizes: &Sizes, exchange_shards: usize) -> SystemConfig {
+    SystemConfig {
+        chain_len: CHAIN_LEN,
+        conversation_noise: NoiseDistribution::new(sizes.mu, sizes.mu / 20.0 + 1.0),
+        dialing_noise: NoiseDistribution::new(sizes.mu, sizes.mu / 20.0 + 1.0),
+        noise_mode: NoiseMode::Deterministic,
+        workers: sizes.workers,
+        conversation_slots: 1,
+        retransmit_after: 2,
+        exchange_shards,
+    }
+}
+
+fn main() {
+    let sizes = sizes();
+    let cores = vuvuzela_net::parallel::default_workers();
+    let cfg = config(&sizes, 4);
+    let n = sizes.clients;
+    println!(
+        "population bench: {n} clients, chain {CHAIN_LEN}, µ {}, workers {}, {cores} core(s)",
+        sizes.mu, sizes.workers
+    );
+
+    let mut sharded = Chain::new(cfg.clone(), SEED);
+    let mut unsharded = Chain::new(config(&sizes, 1), SEED);
+    let pks = sharded.server_public_keys();
+
+    // --- Request build: cohort arena vs per-object loops. ------------
+    let mut cohort = ClientCohort::with_own_tables(cfg.clone(), SEED, &pks);
+    cohort.join(n);
+    // Steady-state rate: best of two rounds (round 0 also warms the
+    // worker pool).
+    let mut cohort_secs = f64::INFINITY;
+    let mut batch = None;
+    for round in 0..2u64 {
+        let start = Instant::now();
+        let buf = cohort.build_conversation_round(round);
+        cohort_secs = cohort_secs.min(start.elapsed().as_secs_f64());
+        cohort.expire_pending(round + 1); // keep only the last round's keys
+        batch = Some(buf);
+    }
+    let batch = batch.expect("two rounds built");
+    let cohort_rate = n as f64 / cohort_secs;
+    println!("request build: cohort {cohort_rate:.0} clients/s ({cohort_secs:.3} s)");
+
+    // The naive loop: one Client per user, keypairs drawn from the same
+    // stream, every client lazily building its OWN per-server tables
+    // inside the round (what a per-object harness does by default).
+    // Object setup is outside the timer; table build is the loop's
+    // inherent per-client cost and stays inside.
+    let mut krng = key_rng(SEED);
+    let mut naive: Vec<Client> = (0..n)
+        .map(|_| Client::new("naive", Keypair::generate(&mut krng), cfg.clone()))
+        .collect();
+    let start = Instant::now();
+    for (i, client) in naive.iter_mut().enumerate() {
+        let mut rng = client_round_rng(SEED, 1, i as u64);
+        client.build_conversation_requests(&mut rng, 1, &pks);
+    }
+    let naive_secs = start.elapsed().as_secs_f64();
+    let naive_rate = n as f64 / naive_secs;
+    drop(naive);
+    println!("request build: naive per-object {naive_rate:.0} clients/s ({naive_secs:.3} s)");
+
+    // Shared-tables per-object loop: the strongest per-object baseline
+    // (tables amortised, but still one object + one Vec per request).
+    let tables = Client::chain_tables(&pks);
+    let mut krng = key_rng(SEED);
+    let mut shared: Vec<Client> = (0..n)
+        .map(|_| {
+            let mut c = Client::new("shared", Keypair::generate(&mut krng), cfg.clone());
+            c.set_chain_tables(tables.clone(), &pks);
+            c
+        })
+        .collect();
+    let start = Instant::now();
+    for (i, client) in shared.iter_mut().enumerate() {
+        let mut rng = client_round_rng(SEED, 1, i as u64);
+        client.build_conversation_requests(&mut rng, 1, &pks);
+    }
+    let shared_secs = start.elapsed().as_secs_f64();
+    let shared_rate = n as f64 / shared_secs;
+    drop(shared);
+    println!("request build: shared-tables loop {shared_rate:.0} clients/s ({shared_secs:.3} s)");
+
+    let speedup_request_build = cohort_rate / naive_rate;
+    let speedup_vs_shared = cohort_rate / shared_rate;
+    println!(
+        "request build speedup: {speedup_request_build:.1}x vs naive, \
+         {speedup_vs_shared:.2}x vs shared-tables"
+    );
+
+    // --- Exchange: sharded vs unsharded tail, identical replies. ------
+    let round = 1u64;
+    let (replies_sharded, timing_sharded) =
+        sharded.run_conversation_round(round, Batch::Flat(batch.clone()));
+    let (replies_unsharded, timing_unsharded) =
+        unsharded.run_conversation_round(round, Batch::Flat(batch));
+    assert_eq!(
+        replies_sharded, replies_unsharded,
+        "sharded exchange must merge deterministically"
+    );
+    let exch_sharded_secs = timing_sharded.exchange.as_secs_f64();
+    let exch_unsharded_secs = timing_unsharded.exchange.as_secs_f64();
+    let exch_sharded_rate = n as f64 / exch_sharded_secs;
+    let exch_unsharded_rate = n as f64 / exch_unsharded_secs;
+    println!(
+        "exchange: sharded {exch_sharded_rate:.0} clients/s, \
+         unsharded {exch_unsharded_rate:.0} clients/s"
+    );
+
+    // --- End to end: build → round → reply ingestion. -----------------
+    let round = 2u64;
+    let start = Instant::now();
+    let buf = cohort.build_conversation_round(round);
+    let (replies, _) = sharded.run_conversation_round(round, Batch::Flat(buf));
+    cohort.handle_conversation_replies(round, &replies);
+    let e2e_secs = start.elapsed().as_secs_f64();
+    let e2e_rate = n as f64 / e2e_secs;
+    println!("end to end: {e2e_rate:.0} clients/s ({e2e_secs:.3} s for the round)");
+
+    let json = serde_json::json!({
+        "clients": n,
+        "chain_len": CHAIN_LEN,
+        "conversation_mu": sizes.mu,
+        "workers": sizes.workers,
+        "exchange_shards": 4,
+        "machine_cores": cores,
+        "request_build": {
+            "cohort_clients_per_sec": cohort_rate,
+            "naive_per_object_clients_per_sec": naive_rate,
+            "shared_tables_loop_clients_per_sec": shared_rate,
+        },
+        "speedup_request_build": speedup_request_build,
+        "measured_speedup_request_build_vs_shared_tables": speedup_vs_shared,
+        "exchange": {
+            "sharded_clients_per_sec": exch_sharded_rate,
+            "unsharded_clients_per_sec": exch_unsharded_rate,
+            "measured_speedup_exchange_sharded": exch_sharded_rate / exch_unsharded_rate,
+        },
+        "end_to_end": {
+            "round_secs": e2e_secs,
+            "clients_per_sec": e2e_rate,
+        },
+        "note": "speedup_request_build compares the cohort's flat-arena build against the \
+                 naive per-object loop (fresh Clients, per-client DH tables) at the same \
+                 client count; measured_* ratios are informational and excluded from the \
+                 bench_diff gate (exchange sharding only pays off with spare cores).",
+    });
+    if sizes.smoke {
+        // Scratch output for the bench_diff gate; the committed
+        // baseline is BENCH_smoke_population.json.
+        let _ = write_json("SMOKE_population", &json);
+        // Same-machine floor: the arena build must beat the naive loop
+        // decisively even at smoke scale; bench_diff tracks drift.
+        if speedup_request_build < 3.0 {
+            eprintln!("SMOKE FAIL: request-build speedup {speedup_request_build:.2}x < 3x");
+            std::process::exit(1);
+        }
+        println!("smoke gate passed");
+    } else {
+        assert!(
+            speedup_request_build >= 10.0,
+            "committed artefact must show the documented >= 10x request-build speedup \
+             (got {speedup_request_build:.2}x)"
+        );
+        let path = workspace_root().join("BENCH_population.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&json).expect("serialize"),
+        )
+        .expect("write BENCH_population.json");
+        println!("[artefact] {}", path.display());
+    }
+}

@@ -83,6 +83,7 @@ fn config() -> SystemConfig {
         workers: vuvuzela_net::parallel::default_workers(),
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 

@@ -91,6 +91,7 @@ fn config(workers: usize, mu: f64) -> SystemConfig {
         workers,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 

@@ -89,6 +89,7 @@ fn observe_world(alice: &Keypair, partners: &[Keypair], action: Action) -> (u64,
         workers: 2,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     };
     // Fixed chain/seed so only Alice's action varies between worlds.
     let mut chain = Chain::new(config, 7);

@@ -64,6 +64,89 @@ pub(crate) fn transmit_buf(
     (rebuilt, mismatched.len() as u64)
 }
 
+/// The client batch feeding one round, in either of the two shapes the
+/// entry accepts: per-message vectors (individual clients, adversary
+/// injection tests) or one flat [`RoundBuffer`] arena straight from a
+/// [`crate::cohort::ClientCohort`] builder — at a million clients the
+/// per-message boundary would cost one heap allocation per onion, so
+/// cohort batches stay flat end to end.
+#[derive(Clone, Debug)]
+pub enum Batch {
+    /// Per-message onion vectors, already multiplexed by the entry.
+    Vecs(Vec<Vec<u8>>),
+    /// A flat arena whose width must equal the round's full onion
+    /// width ([`onion::wrapped_len`] of the round kind's payload).
+    Flat(RoundBuffer),
+}
+
+impl Batch {
+    /// Number of client requests in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::Vecs(batch) => batch.len(),
+            Batch::Flat(buf) => buf.len(),
+        }
+    }
+
+    /// Whether the batch holds no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<Vec<u8>>> for Batch {
+    fn from(batch: Vec<Vec<u8>>) -> Batch {
+        Batch::Vecs(batch)
+    }
+}
+
+impl From<RoundBuffer> for Batch {
+    fn from(buf: RoundBuffer) -> Batch {
+        Batch::Flat(buf)
+    }
+}
+
+/// Admits one round's client batch at the entry: meters the aggregated
+/// clients→entry link, runs any attached tap, and produces the flat
+/// forward arena at the round's full onion width. Per-message batches
+/// pay the `Vec<Vec<u8>>` boundary exactly as before; flat cohort
+/// batches only pay it when a tap is actually attached. On this leg a
+/// size-mismatch count is dropped in both shapes: entry sizes are
+/// client-controlled, so a mismatch cannot be attributed to a tap (see
+/// [`Chain::tap_resized`]).
+///
+/// # Panics
+///
+/// Panics if a flat batch's width is not the round's onion width — a
+/// cohort builder bug, not client-controlled input.
+pub(crate) fn admit_batch(
+    client_link: &Link,
+    round: u64,
+    kind: RoundKind,
+    chain_len: usize,
+    batch: Batch,
+) -> RoundBuffer {
+    let width = onion::wrapped_len(kind.payload_len(), chain_len);
+    match batch {
+        Batch::Vecs(batch) => {
+            let batch = client_link.transmit(round, Direction::Forward, batch);
+            let (buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+            buf
+        }
+        Batch::Flat(buf) => {
+            assert_eq!(
+                buf.width(),
+                width,
+                "flat batch width must equal the round's onion width"
+            );
+            let (buf, _resized) = transmit_buf(client_link, round, Direction::Forward, buf);
+            buf
+        }
+    }
+}
+
 /// One round of a (possibly mixed) schedule: which protocol it runs,
 /// its round number, and the client batch feeding it. This is the unit
 /// both schedulers consume — [`Chain::run_round`] sequentially,
@@ -75,14 +158,14 @@ pub enum RoundSpec {
         /// Protocol round number (unique within a schedule).
         round: u64,
         /// Client request onions, already multiplexed by the entry.
-        batch: Vec<Vec<u8>>,
+        batch: Batch,
     },
     /// A forward-only dialing round (§5).
     Dialing {
         /// Protocol round number (unique within a schedule).
         round: u64,
         /// Client dial-request onions.
-        batch: Vec<Vec<u8>>,
+        batch: Batch,
         /// Real invitation drops this round (§5.4's `m`).
         num_drops: u32,
     },
@@ -124,7 +207,7 @@ impl RoundSpec {
 
     /// Decomposes into `(round, kind, batch)`.
     #[must_use]
-    pub fn into_parts(self) -> (u64, RoundKind, Vec<Vec<u8>>) {
+    pub fn into_parts(self) -> (u64, RoundKind, Batch) {
         match self {
             RoundSpec::Conversation { round, batch } => (round, RoundKind::Conversation, batch),
             RoundSpec::Dialing {
@@ -298,19 +381,24 @@ impl Chain {
     pub fn run_conversation_round(
         &mut self,
         round: u64,
-        batch: Vec<Vec<u8>>,
+        batch: impl Into<Batch>,
     ) -> (Vec<Vec<u8>>, RoundTiming) {
         let start = Instant::now();
         let mut timing = RoundTiming::default();
         let kind = RoundKind::Conversation;
 
-        // Clients → entry (aggregate): still per-message vectors, so a tap
-        // on the client link observes clients' raw bytes (including any
-        // malformed sizes) and the meter counts true lengths, exactly as
-        // pre-refactor. The flat arena starts past the entry.
-        let batch = self.client_link.transmit(round, Direction::Forward, batch);
-        let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
-        let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+        // Clients → entry (aggregate): per-message batches stay vectors
+        // through the entry, so a tap on the client link observes
+        // clients' raw bytes (including any malformed sizes) and the
+        // meter counts true lengths, exactly as pre-refactor; cohort
+        // batches arrive flat and stay flat.
+        let mut buf = admit_batch(
+            &self.client_link,
+            round,
+            kind,
+            self.config.chain_len,
+            batch.into(),
+        );
         for (i, server) in self.servers.iter_mut().enumerate() {
             let (arrived, resized) = transmit_buf(&self.links[i], round, Direction::Forward, buf);
             self.tap_resized += resized;
@@ -323,8 +411,13 @@ impl Chain {
         // Dead-drop exchange at the last server (Algorithm 2 step 3b).
         let t = Instant::now();
         let mut rng = Chain::chain_round_rng(self.seed, round);
-        let (mut replies, observables) =
-            exchange_conversation(&mut rng, self.config.chain_len, &buf);
+        let (mut replies, observables) = exchange_conversation(
+            &mut rng,
+            self.config.chain_len,
+            self.config.exchange_shards,
+            self.config.workers,
+            &buf,
+        );
         self.conversation_log.push((round, observables));
         timing.exchange = t.elapsed();
 
@@ -351,17 +444,21 @@ impl Chain {
     pub fn run_dialing_round(
         &mut self,
         round: u64,
-        batch: Vec<Vec<u8>>,
+        batch: impl Into<Batch>,
         num_drops: u32,
     ) -> RoundTiming {
         let start = Instant::now();
         let mut timing = RoundTiming::default();
         let kind = RoundKind::Dialing { num_drops };
 
-        // Client link first (raw vectors — see run_conversation_round).
-        let batch = self.client_link.transmit(round, Direction::Forward, batch);
-        let width = onion::wrapped_len(kind.payload_len(), self.config.chain_len);
-        let (mut buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+        // Client link first (see run_conversation_round).
+        let mut buf = admit_batch(
+            &self.client_link,
+            round,
+            kind,
+            self.config.chain_len,
+            batch.into(),
+        );
         for (i, server) in self.servers.iter_mut().enumerate() {
             let (arrived, resized) = transmit_buf(&self.links[i], round, Direction::Forward, buf);
             self.tap_resized += resized;
@@ -528,6 +625,8 @@ impl Chain {
 pub(crate) fn exchange_conversation(
     rng: &mut StdRng,
     chain_len: usize,
+    shards: usize,
+    workers: usize,
     buf: &RoundBuffer,
 ) -> (RoundBuffer, ConversationObservables) {
     let requests: Vec<ExchangeRequest> = (0..buf.len())
@@ -535,7 +634,8 @@ pub(crate) fn exchange_conversation(
             ExchangeRequest::decode(buf.slot(i)).unwrap_or_else(|_| ExchangeRequest::noise(rng))
         })
         .collect();
-    let (responses, observables) = ConversationDrops::exchange(rng, &requests);
+    let (responses, observables) =
+        ConversationDrops::exchange_sharded(rng, &requests, shards, workers);
     let reply_stride =
         vuvuzela_wire::EXCHANGE_RESPONSE_LEN + chain_len * onion::REPLY_LAYER_OVERHEAD;
     let mut replies = RoundBuffer::with_capacity(
@@ -587,6 +687,7 @@ mod tests {
             workers: 2,
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 

@@ -64,19 +64,19 @@ impl std::error::Error for ClientError {}
 
 /// An in-flight (sent, unacknowledged) data message.
 #[derive(Clone, Debug)]
-struct Inflight {
-    body: Vec<u8>,
-    last_sent_round: u64,
+pub(crate) struct Inflight {
+    pub(crate) body: Vec<u8>,
+    pub(crate) last_sent_round: u64,
 }
 
 /// One active conversation's reliability state.
-struct Conversation {
-    peer: PublicKey,
-    keys: ConversationKeys,
+pub(crate) struct Conversation {
+    pub(crate) peer: PublicKey,
+    pub(crate) keys: ConversationKeys,
     /// Next sequence number to assign to a fresh outgoing message.
     next_seq: u64,
     /// Bodies queued by the user but not yet assigned a round.
-    send_queue: VecDeque<Vec<u8>>,
+    pub(crate) send_queue: VecDeque<Vec<u8>>,
     /// Sent but unacknowledged messages, keyed by sequence number.
     inflight: BTreeMap<u64, Inflight>,
     /// The next sequence number expected from the peer (everything below
@@ -85,14 +85,14 @@ struct Conversation {
     /// Out-of-order arrivals waiting for the gap to fill.
     out_of_order: BTreeMap<u64, Vec<u8>>,
     /// In-order messages delivered to the user.
-    delivered: Vec<Vec<u8>>,
+    pub(crate) delivered: Vec<Vec<u8>>,
     /// Everything below this peer sequence number has been acked by the
     /// peer.
     peer_acked: u64,
 }
 
 impl Conversation {
-    fn new(peer: PublicKey, keys: ConversationKeys) -> Conversation {
+    pub(crate) fn new(peer: PublicKey, keys: ConversationKeys) -> Conversation {
         Conversation {
             peer,
             keys,
@@ -108,7 +108,12 @@ impl Conversation {
 
     /// Picks the frame to send this round: retransmission first, then a
     /// fresh message (window permitting), else a keep-alive.
-    fn next_frame(&mut self, round: u64, retransmit_after: u64, window: usize) -> FramedMessage {
+    pub(crate) fn next_frame(
+        &mut self,
+        round: u64,
+        retransmit_after: u64,
+        window: usize,
+    ) -> FramedMessage {
         // Retransmit the oldest overdue in-flight message.
         let overdue = self
             .inflight
@@ -141,7 +146,7 @@ impl Conversation {
     }
 
     /// Processes a frame received from the peer.
-    fn receive_frame(&mut self, frame: FramedMessage) {
+    pub(crate) fn receive_frame(&mut self, frame: FramedMessage) {
         // Cumulative ack: drop everything the peer has seen.
         self.peer_acked = self.peer_acked.max(frame.ack);
         let acked: Vec<u64> = self
@@ -175,7 +180,7 @@ impl Conversation {
     }
 
     /// Whether every queued and sent message has been delivered and acked.
-    fn fully_acked(&self) -> bool {
+    pub(crate) fn fully_acked(&self) -> bool {
         self.send_queue.is_empty() && self.inflight.is_empty() && self.peer_acked >= self.next_seq
     }
 }
@@ -613,6 +618,7 @@ mod tests {
             workers: 1,
             conversation_slots: slots,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 

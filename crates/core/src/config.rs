@@ -26,6 +26,13 @@ pub struct SystemConfig {
     pub conversation_slots: usize,
     /// Rounds a client waits for an ack before re-sending a message.
     pub retransmit_after: u64,
+    /// Dead-drop shards at the last server: the conversation exchange
+    /// partitions its drop map by ID range into this many independent
+    /// shards, paired on worker strands. Output is byte-identical for
+    /// every shard count (the merge is deterministic); the knob only
+    /// controls parallelism and is the seam for Atom-style scale-out of
+    /// a single logical round.
+    pub exchange_shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -40,6 +47,7 @@ impl Default for SystemConfig {
             workers: vuvuzela_net::parallel::default_workers(),
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 }
@@ -60,6 +68,7 @@ impl SystemConfig {
             workers: vuvuzela_net::parallel::default_workers(),
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 
@@ -76,6 +85,10 @@ impl SystemConfig {
             "clients need at least one conversation slot"
         );
         assert!(self.workers >= 1, "need at least one worker");
+        assert!(
+            self.exchange_shards >= 1,
+            "need at least one dead-drop shard"
+        );
     }
 }
 

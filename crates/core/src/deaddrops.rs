@@ -11,9 +11,27 @@
 use crate::observables::{ConversationObservables, DialingObservables};
 use rand::{CryptoRng, RngCore};
 use std::collections::HashMap;
+use vuvuzela_net::parallel::WorkerPool;
 use vuvuzela_wire::conversation::{ExchangeRequest, ExchangeResponse};
 use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+
+/// The shard (out of `shards`) owning `drop`: a range partition over the
+/// ID's leading 64 bits, `shard = ⌊key · shards / 2⁶⁴⌋`. Shard boundaries
+/// sit at fixed fractions of the ID space, every ID lands in exactly one
+/// shard, ID `0…0` in shard 0 and `FF…F` in shard `shards − 1`. Dead-drop
+/// IDs are outputs of a keyed hash ([`DeadDropId::for_round`]), so honest
+/// load is uniform across shards.
+///
+/// # Panics
+///
+/// Panics when `shards == 0`.
+#[must_use]
+pub fn shard_of_drop(drop: &DeadDropId, shards: usize) -> usize {
+    assert!(shards >= 1, "need at least one shard");
+    let key = u64::from_be_bytes(drop.0[..8].try_into().expect("16-byte id"));
+    ((u128::from(key) * shards as u128) >> 64) as usize
+}
 
 /// One round's conversation dead drops.
 #[derive(Default)]
@@ -76,6 +94,88 @@ impl ConversationDrops {
             }
         }
 
+        (responses, observables)
+    }
+
+    /// [`ConversationDrops::exchange`] over `shards` independent drop-map
+    /// shards, pairing each shard on a worker strand. Byte-identical
+    /// output and RNG consumption for every `(shards, workers)` choice —
+    /// including to the unsharded reference — because:
+    ///
+    /// * the filler pre-fill draws from `rng` in canonical request order
+    ///   **before** any shard runs (identical consumption to the
+    ///   reference, whose pairing loop never touches the RNG);
+    /// * each drop lives in exactly one shard ([`shard_of_drop`]), so the
+    ///   shards' pairing overwrites touch disjoint response slots and the
+    ///   per-shard histograms merge by plain summation;
+    /// * within a shard, a drop's response content depends only on its
+    ///   own accessor list (in request order), never on map iteration
+    ///   order — the same argument that already makes the reference
+    ///   deterministic.
+    pub fn exchange_sharded<R: RngCore + CryptoRng>(
+        rng: &mut R,
+        requests: &[ExchangeRequest],
+        shards: usize,
+        workers: usize,
+    ) -> (Vec<ExchangeResponse>, ConversationObservables) {
+        assert!(shards >= 1, "need at least one shard");
+        // Filler everywhere first, in canonical order (see above).
+        let mut responses: Vec<ExchangeResponse> = (0..requests.len())
+            .map(|_| ExchangeResponse::empty(rng))
+            .collect();
+
+        // Partition request indices by the shard owning their drop;
+        // within a shard, indices stay in request order.
+        let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (index, request) in requests.iter().enumerate() {
+            shard_indices[shard_of_drop(&request.drop, shards)].push(index);
+        }
+
+        // Pair up each shard's drops on the pool: the heavy part (hash
+        // map build + accessor grouping) runs in parallel; the outputs —
+        // a histogram and a swap list over disjoint slots — merge
+        // deterministically below.
+        let per_shard = WorkerPool::shared().map_vec(shard_indices, workers, |indices| {
+            let mut by_drop: HashMap<DeadDropId, Vec<usize>> =
+                HashMap::with_capacity(indices.len());
+            for &index in &indices {
+                by_drop.entry(requests[index].drop).or_default().push(index);
+            }
+            let mut histogram = ConversationObservables::default();
+            let mut swaps: Vec<(usize, usize)> = Vec::new();
+            for accessors in by_drop.values() {
+                match accessors.len() {
+                    1 => histogram.m1 += 1,
+                    2 => {
+                        histogram.m2 += 1;
+                        swaps.push((accessors[0], accessors[1]));
+                    }
+                    _ => {
+                        histogram.m_many += 1;
+                        swaps.push((accessors[0], accessors[1]));
+                    }
+                }
+            }
+            (histogram, swaps)
+        });
+
+        let mut observables = ConversationObservables {
+            total_requests: requests.len() as u64,
+            ..Default::default()
+        };
+        for (histogram, swaps) in per_shard {
+            observables.m1 += histogram.m1;
+            observables.m2 += histogram.m2;
+            observables.m_many += histogram.m_many;
+            for (a, b) in swaps {
+                responses[a] = ExchangeResponse {
+                    sealed_message: requests[b].sealed_message.clone(),
+                };
+                responses[b] = ExchangeResponse {
+                    sealed_message: requests[a].sealed_message.clone(),
+                };
+            }
+        }
         (responses, observables)
     }
 }
@@ -231,6 +331,122 @@ mod tests {
         let (responses, obs) = ConversationDrops::exchange(&mut rng, &[]);
         assert!(responses.is_empty());
         assert_eq!(obs, ConversationObservables::default());
+    }
+
+    /// A request whose drop ID starts with the given 8 leading bytes.
+    fn request_with_key(key: u64, fill: u8) -> ExchangeRequest {
+        let mut id = [0u8; 16];
+        id[..8].copy_from_slice(&key.to_be_bytes());
+        id[8] = fill; // distinguish drops sharing a leading key
+        ExchangeRequest {
+            drop: DeadDropId(id),
+            sealed_message: vec![fill; SEALED_MESSAGE_LEN],
+        }
+    }
+
+    #[test]
+    fn shard_of_drop_covers_boundaries() {
+        for shards in [1usize, 2, 3, 7, 64] {
+            // Extremes land in the first and last shard.
+            assert_eq!(shard_of_drop(&DeadDropId([0; 16]), shards), 0);
+            assert_eq!(shard_of_drop(&DeadDropId([0xFF; 16]), shards), shards - 1);
+            // Keys sitting exactly on every shard edge (the smallest key
+            // of shard s is ⌈s · 2⁶⁴ / shards⌉) map into shard s, and the
+            // key just below maps into shard s − 1.
+            for s in 1..shards {
+                let edge = ((s as u128) << 64).div_ceil(shards as u128) as u64;
+                assert_eq!(
+                    shard_of_drop(&request_with_key(edge, 0).drop, shards),
+                    s,
+                    "edge of shard {s}/{shards}"
+                );
+                assert_eq!(
+                    shard_of_drop(&request_with_key(edge - 1, 0).drop, shards),
+                    s - 1,
+                    "below the edge of shard {s}/{shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_id_lands_in_exactly_one_shard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for shards in [1usize, 2, 3, 7] {
+            for _ in 0..64 {
+                let id = DeadDropId::random(&mut rng);
+                let shard = shard_of_drop(&id, shards);
+                assert!(shard < shards);
+                // Membership is a pure function of the ID: re-asking gives
+                // the same shard, and no other shard claims it.
+                assert_eq!(shard_of_drop(&id, shards), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_exchange_matches_reference_for_every_shard_count() {
+        // A mixed round: pairs, singles, an adversarial triple, plus
+        // drops pinned to the extremes of the ID space so shard 0 and
+        // shard `shards - 1` are always exercised.
+        let mut requests = vec![
+            request(1, 1),
+            request(1, 2),
+            request(2, 3),
+            request(3, 4),
+            request(3, 5),
+            request(9, 6),
+            request(9, 7),
+            request(9, 8),
+        ];
+        requests.push(request_with_key(0, 9));
+        requests.push(request_with_key(u64::MAX, 10));
+        requests.push(request_with_key(u64::MAX, 10)); // pairs with the previous
+
+        let (want_responses, want_obs) = {
+            let mut rng = StdRng::seed_from_u64(21);
+            ConversationDrops::exchange(&mut rng, &requests)
+        };
+        for shards in [1usize, 2, 3, 7] {
+            for workers in [1usize, 2, 4] {
+                let mut rng = StdRng::seed_from_u64(21);
+                let (responses, obs) =
+                    ConversationDrops::exchange_sharded(&mut rng, &requests, shards, workers);
+                assert_eq!(
+                    responses, want_responses,
+                    "shards {shards} workers {workers}"
+                );
+                assert_eq!(obs, want_obs, "shards {shards} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_shard_collision_keeps_the_pairing_rule() {
+        // Three accessors forced onto one drop (hence one shard): the
+        // first two exchange, the third gets filler, m_many flags the
+        // drop — the reference guarantees, under sharding.
+        let mut rng = StdRng::seed_from_u64(31);
+        let requests = vec![
+            request_with_key(7, 1),
+            request_with_key(7, 1),
+            request_with_key(7, 1),
+        ];
+        // All three share one drop ID (same key, same fill byte).
+        let requests: Vec<ExchangeRequest> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.sealed_message = vec![i as u8 + 1; SEALED_MESSAGE_LEN];
+                r
+            })
+            .collect();
+        let (responses, obs) = ConversationDrops::exchange_sharded(&mut rng, &requests, 7, 2);
+        assert_eq!(obs.m_many, 1);
+        assert_eq!(responses[0].sealed_message, vec![2; SEALED_MESSAGE_LEN]);
+        assert_eq!(responses[1].sealed_message, vec![1; SEALED_MESSAGE_LEN]);
+        assert_ne!(responses[2].sealed_message, vec![1; SEALED_MESSAGE_LEN]);
+        assert_ne!(responses[2].sealed_message, vec![2; SEALED_MESSAGE_LEN]);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`client`] — the client state machine (Algorithm 1): real/fake
 //!   exchanges, message framing, retransmission, dialing and invitation
 //!   scanning.
+//! * [`cohort`] — struct-of-arrays client populations: N clients' state
+//!   in flat arrays, requests built in parallel straight into one
+//!   [`RoundBuffer`] arena, byte-identical to N individual clients.
 //! * [`observables`] — exactly what a compromised last server gets to
 //!   see; the interface the adversary crate consumes.
 //! * [`testkit`] — a high-level harness ([`testkit::TestNet`]) used by
@@ -44,6 +47,7 @@
 
 pub mod chain;
 pub mod client;
+pub mod cohort;
 pub mod config;
 pub mod deaddrops;
 pub mod entry;
@@ -57,6 +61,7 @@ pub mod testkit;
 
 pub use chain::{Chain, RoundOutcome, RoundSpec};
 pub use client::Client;
+pub use cohort::ClientCohort;
 pub use config::SystemConfig;
 pub use pipeline::StreamingChain;
 pub use roundbuf::RoundBuffer;

@@ -96,8 +96,8 @@
 //! both schedulers on the same homogeneous resp. mixed workloads.
 
 use crate::chain::{
-    deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundOutcome, RoundSpec,
-    RoundTiming,
+    admit_batch, deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundOutcome,
+    RoundSpec, RoundTiming,
 };
 use crate::config::SystemConfig;
 use crate::noise::expected_noise_per_server;
@@ -108,7 +108,6 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
-use vuvuzela_crypto::onion;
 use vuvuzela_crypto::x25519::PublicKey;
 use vuvuzela_net::link::Direction;
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
@@ -162,6 +161,10 @@ struct StageCtx<'a> {
     total_conversation: usize,
     /// Chain seed, for the tail's chain-level per-round RNG.
     seed: u64,
+    /// Dead-drop shards for the tail's conversation exchange.
+    exchange_shards: usize,
+    /// Worker parallelism budget for the tail's sharded exchange.
+    workers: usize,
     /// The link feeding this stage's forward pass (and carrying its
     /// backward output).
     link: &'a vuvuzela_net::Link,
@@ -306,7 +309,10 @@ impl StreamingChain {
     ) -> Vec<(Vec<Vec<u8>>, RoundTiming)> {
         let specs = rounds
             .into_iter()
-            .map(|(round, batch)| RoundSpec::Conversation { round, batch })
+            .map(|(round, batch)| RoundSpec::Conversation {
+                round,
+                batch: batch.into(),
+            })
             .collect();
         self.run_mixed_schedule(specs)
             .into_iter()
@@ -337,7 +343,7 @@ impl StreamingChain {
             .into_iter()
             .map(|(round, batch)| RoundSpec::Dialing {
                 round,
-                batch,
+                batch: batch.into(),
                 num_drops,
             })
             .collect();
@@ -371,6 +377,8 @@ impl StreamingChain {
         }
         let n = self.chain.config.chain_len;
         let seed = self.chain.seed;
+        let exchange_shards = self.chain.config.exchange_shards;
+        let workers = self.chain.config.workers;
         let window = self.max_in_flight;
         let weights = admission_weights(&self.chain.config, window, &specs);
         let total_conversation = specs
@@ -406,6 +414,8 @@ impl StreamingChain {
                     total,
                     total_conversation,
                     seed,
+                    exchange_shards,
+                    workers,
                     link: &links[i],
                     next_tx: stage_tx.get(i + 1).cloned(),
                     // Backward flow for stage 0 goes straight to the
@@ -481,9 +491,7 @@ impl StreamingChain {
                     done += 1;
                 }
                 let (round, kind, batch) = spec.into_parts();
-                let batch = client_link.transmit(round, Direction::Forward, batch);
-                let width = onion::wrapped_len(kind.payload_len(), n);
-                let (buf, _mismatched) = RoundBuffer::from_vecs(&batch, width, width);
+                let buf = admit_batch(client_link, round, kind, n, batch);
                 admitted.insert(round, weight);
                 occupied += weight;
                 assert!(
@@ -596,8 +604,13 @@ fn pipeline_stage(
                         // the round around immediately.
                         let clock = Instant::now();
                         let mut rng = Chain::chain_round_rng(ctx.seed, tagged.round.0);
-                        let (replies, observables) =
-                            exchange_conversation(&mut rng, ctx.chain_len, &buf);
+                        let (replies, observables) = exchange_conversation(
+                            &mut rng,
+                            ctx.chain_len,
+                            ctx.exchange_shards,
+                            ctx.workers,
+                            &buf,
+                        );
                         report.conversation_log.push((tagged.round.0, observables));
                         tagged.timing.exchange = clock.elapsed();
                         let clock = Instant::now();
@@ -660,6 +673,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use vuvuzela_crypto::onion;
     use vuvuzela_dp::{NoiseDistribution, NoiseMode};
     use vuvuzela_wire::conversation::ExchangeRequest;
     use vuvuzela_wire::dialing::DialRequest;
@@ -673,6 +687,7 @@ mod tests {
             workers: 2,
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 
@@ -802,25 +817,25 @@ mod tests {
         let specs: Vec<RoundSpec> = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: client_batch(&pks, 0, 3, &mut rng),
+                batch: client_batch(&pks, 0, 3, &mut rng).into(),
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: dial_batch(&pks, 1, 2, &mut rng),
+                batch: dial_batch(&pks, 1, 2, &mut rng).into(),
                 num_drops,
             },
             RoundSpec::Dialing {
                 round: 2,
-                batch: dial_batch(&pks, 2, 1, &mut rng),
+                batch: dial_batch(&pks, 2, 1, &mut rng).into(),
                 num_drops,
             },
             RoundSpec::Conversation {
                 round: 3,
-                batch: client_batch(&pks, 3, 2, &mut rng),
+                batch: client_batch(&pks, 3, 2, &mut rng).into(),
             },
             RoundSpec::Dialing {
                 round: 4,
-                batch: dial_batch(&pks, 4, 2, &mut rng),
+                batch: dial_batch(&pks, 4, 2, &mut rng).into(),
                 num_drops,
             },
         ];
@@ -867,20 +882,21 @@ mod tests {
             workers: 2,
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         };
         let specs = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: vec![Vec::new(); 4],
+                batch: vec![Vec::new(); 4].into(),
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: vec![Vec::new(); 4],
+                batch: vec![Vec::new(); 4].into(),
                 num_drops: 1,
             },
             RoundSpec::Conversation {
                 round: 2,
-                batch: vec![Vec::new(); 4],
+                batch: vec![Vec::new(); 4].into(),
             },
         ];
         let weights = admission_weights(&config, 3, &specs);
@@ -898,12 +914,12 @@ mod tests {
         let dialing_only = vec![
             RoundSpec::Dialing {
                 round: 0,
-                batch: vec![Vec::new(); 4],
+                batch: vec![Vec::new(); 4].into(),
                 num_drops: 1,
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: vec![Vec::new(); 400],
+                batch: vec![Vec::new(); 400].into(),
                 num_drops: 3,
             },
         ];
@@ -911,11 +927,11 @@ mod tests {
         let conversation_only = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: vec![Vec::new(); 10],
+                batch: vec![Vec::new(); 10].into(),
             },
             RoundSpec::Conversation {
                 round: 1,
-                batch: vec![Vec::new(); 500],
+                batch: vec![Vec::new(); 500].into(),
             },
         ];
         assert_eq!(
@@ -936,6 +952,7 @@ mod tests {
             workers: 2,
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         };
         let seed = 51;
         let mut streaming = StreamingChain::new(config.clone(), seed).with_max_in_flight(2);
@@ -945,16 +962,16 @@ mod tests {
         let specs = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: client_batch(&pks, 0, 2, &mut rng),
+                batch: client_batch(&pks, 0, 2, &mut rng).into(),
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: dial_batch(&pks, 1, 1, &mut rng),
+                batch: dial_batch(&pks, 1, 1, &mut rng).into(),
                 num_drops: 1,
             },
             RoundSpec::Conversation {
                 round: 2,
-                batch: client_batch(&pks, 2, 2, &mut rng),
+                batch: client_batch(&pks, 2, 2, &mut rng).into(),
             },
         ];
         let weights = admission_weights(&config, 2, &specs);
@@ -1047,16 +1064,16 @@ mod tests {
         let specs = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: client_batch(&pks, 0, 4, &mut rng),
+                batch: client_batch(&pks, 0, 4, &mut rng).into(),
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: dial_batch(&pks, 1, 3, &mut rng),
+                batch: dial_batch(&pks, 1, 3, &mut rng).into(),
                 num_drops: 2,
             },
             RoundSpec::Conversation {
                 round: 2,
-                batch: client_batch(&pks, 2, 4, &mut rng),
+                batch: client_batch(&pks, 2, 4, &mut rng).into(),
             },
         ];
         let outcomes = streaming.run_mixed_schedule(specs);
@@ -1151,16 +1168,16 @@ mod tests {
         let specs = vec![
             RoundSpec::Conversation {
                 round: 0,
-                batch: client_batch(&pks, 0, 2, &mut rng),
+                batch: client_batch(&pks, 0, 2, &mut rng).into(),
             },
             RoundSpec::Dialing {
                 round: 1,
-                batch: dial_batch(&pks, 1, 1, &mut rng),
+                batch: dial_batch(&pks, 1, 1, &mut rng).into(),
                 num_drops: 1,
             },
             RoundSpec::Conversation {
                 round: 2,
-                batch: client_batch(&pks, 2, 1, &mut rng),
+                batch: client_batch(&pks, 2, 1, &mut rng).into(),
             },
         ];
         let outcomes = streaming.run_mixed_schedule(specs.clone());

@@ -718,6 +718,7 @@ mod tests {
             workers: 2,
             conversation_slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
         }
     }
 

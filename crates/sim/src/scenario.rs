@@ -51,6 +51,15 @@ pub enum Step {
     /// Run one streaming schedule: all listed rounds go through a
     /// single `run_mixed_schedule` call and overlap in flight.
     Run(Vec<RoundPlan>),
+    /// Add this many fresh clients as a struct-of-arrays
+    /// [`vuvuzela_core::cohort::ClientCohort`]: they build requests in
+    /// parallel from flat buffers and run alongside the individual
+    /// clients of [`Step::Join`]. A scenario has at most one cohort (a
+    /// later `Population` step grows it). Cohort clients provide cover
+    /// traffic and can converse among themselves via
+    /// [`crate::Simulator`] accessors, but they are not addressable by
+    /// the per-client steps above.
+    Population(usize),
     /// Attach a passive size-recording tap to chain link `link`
     /// (0 = entry→server 0); the invariant checker verifies every batch
     /// it observes is single-sized with the exact expected width.
@@ -105,6 +114,11 @@ pub struct Scenario {
     pub slots: usize,
     /// Rounds before an unacked message retransmits.
     pub retransmit_after: u64,
+    /// Dead-drop shards at the last server. The transcript is
+    /// byte-identical for every value (the sharded exchange merges
+    /// deterministically) — the knob only controls tail-stage
+    /// parallelism, and the scenario tests pin the invariance.
+    pub exchange_shards: usize,
     /// How servers turn (µ, b) into concrete noise counts.
     /// [`vuvuzela_dp::NoiseMode::Deterministic`] (the default) emits
     /// exactly ⌈µ⌉ per draw and the invariant checker uses exact
@@ -134,6 +148,7 @@ impl Scenario {
             num_drops: 1,
             slots: 1,
             retransmit_after: 2,
+            exchange_shards: 4,
             noise_mode: vuvuzela_dp::NoiseMode::Deterministic,
             steps: Vec::new(),
         }

@@ -22,8 +22,9 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use vuvuzela_adversary::taps::{CrashOnRound, SizeRecorder, StallLink};
-use vuvuzela_core::chain::{RoundOutcome, RoundSpec};
+use vuvuzela_core::chain::{Batch, RoundOutcome, RoundSpec};
 use vuvuzela_core::client::Client;
+use vuvuzela_core::cohort::{self, ClientCohort};
 use vuvuzela_core::config::SystemConfig;
 use vuvuzela_core::entry;
 use vuvuzela_core::pipeline::StreamingChain;
@@ -43,6 +44,11 @@ const LEDGER_D: f64 = 1e-5;
 /// draws, so the expected number of honest draws outside their window
 /// is ≪ 1 — and runs are seeded, so a passing seed passes forever.
 const SAMPLED_TAIL_P: f64 = 1e-6;
+
+/// Domain separator for the cohort's RNG seed, so cohort clients and
+/// per-object clients driven off the same scenario seed never share a
+/// per-client randomness stream.
+const COHORT_SEED_XOR: u64 = 0x00C0_8087_C0C0_8087;
 
 /// Width multiplier for the end-of-run concentration window
 /// (`k·σ/√n` around µ). Six standard errors: loose enough that honest
@@ -107,11 +113,17 @@ enum RoundMeta {
         participants: Vec<usize>,
         layout: entry::RoundLayout,
         mutual_pairs: u64,
+        /// Requests the cohort contributed at the head of the batch
+        /// (`cohort clients × slots`); the per-object participants'
+        /// multiplexed requests follow.
+        cohort_requests: usize,
     },
     Dialing {
         round: u64,
         participants: Vec<usize>,
         real_per_drop: Vec<u64>,
+        /// Cohort clients heading the batch, one no-op write each.
+        cohort_clients: usize,
     },
 }
 
@@ -137,6 +149,11 @@ pub struct Simulator {
     chain: StreamingChain,
     config: SystemConfig,
     clients: Vec<SimClient>,
+    /// The struct-of-arrays population, if the scenario has a
+    /// [`Step::Population`]: bulk cover clients whose requests head
+    /// every round's batch. Cohort clients are always online, never
+    /// dial and never churn; per-client steps cannot address them.
+    cohort: Option<ClientCohort>,
     by_key: HashMap<PublicKey, usize>,
     tables: Option<Arc<Vec<onion::PrecomputedServer>>>,
     rng: StdRng,
@@ -178,6 +195,7 @@ impl Simulator {
             workers: scenario.workers,
             conversation_slots: scenario.slots,
             retransmit_after: scenario.retransmit_after,
+            exchange_shards: scenario.exchange_shards,
         };
         let chain = StreamingChain::new(config.clone(), scenario.seed);
         let ledger = PrivacyLedger::new(config.conversation_noise, config.dialing_noise, LEDGER_D);
@@ -189,10 +207,11 @@ impl Simulator {
         transcript.push("vuvuzela-sim transcript v1".to_string());
         transcript.push(format!("scenario {}", scenario.name));
         transcript.push(format!(
-            "seed {} servers {} workers {} slots {} retransmit_after {}",
+            "seed {} servers {} workers {} shards {} slots {} retransmit_after {}",
             scenario.seed,
             scenario.servers,
             scenario.workers,
+            scenario.exchange_shards,
             scenario.slots,
             scenario.retransmit_after
         ));
@@ -214,6 +233,7 @@ impl Simulator {
             chain,
             config,
             clients: Vec::new(),
+            cohort: None,
             by_key: HashMap::new(),
             tables: None,
             next_round: 0,
@@ -391,12 +411,44 @@ impl Simulator {
         &self.clients[index].client
     }
 
+    /// Read access to the cohort, if a [`Step::Population`] created one.
+    #[must_use]
+    pub fn cohort(&self) -> Option<&ClientCohort> {
+        self.cohort.as_ref()
+    }
+
+    /// Mutable access to the cohort, for scripting cohort-internal
+    /// conversations ([`ClientCohort::pair`] /
+    /// [`ClientCohort::queue_message`]) before a `Run` step. Cohort
+    /// deliveries are queried through the cohort itself, not the
+    /// transcript.
+    pub fn cohort_mut(&mut self) -> Option<&mut ClientCohort> {
+        self.cohort.as_mut()
+    }
+
     /// Mutable access to the underlying deployment, for attaching
     /// adversarial taps *before* [`Simulator::run`] — the way tests
     /// prove the invariant checker catches real tampering (a tap that
     /// drops requests mid-chain must fail the round it touches).
     pub fn chain_mut(&mut self) -> &mut StreamingChain {
         &mut self.chain
+    }
+
+    /// Applies one scripted step immediately. Tests use this to
+    /// interleave script steps with direct cohort access
+    /// ([`Simulator::cohort_mut`]) that the script language cannot
+    /// express; [`Simulator::run`] is the normal entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] the moment any per-round invariant
+    /// fails, exactly as during [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// On script misuse (see the module docs).
+    pub fn step(&mut self, step: Step) -> Result<(), SimError> {
+        self.apply(step)
     }
 
     fn apply(&mut self, step: Step) -> Result<(), SimError> {
@@ -485,9 +537,47 @@ impl Simulator {
                     "event crash-armed link {link} offset {round_offset}"
                 ));
             }
+            Step::Population(n) => {
+                if self.cohort.is_none() {
+                    let server_pks = self.chain.server_public_keys();
+                    if self.tables.is_none() {
+                        self.tables = Some(Client::chain_tables(&server_pks));
+                    }
+                    let tables = self.tables.clone().expect("tables built above");
+                    self.cohort = Some(ClientCohort::new(
+                        self.config.clone(),
+                        self.scenario.seed ^ COHORT_SEED_XOR,
+                        &server_pks,
+                        tables,
+                    ));
+                }
+                let cohort = self.cohort.as_mut().expect("created above");
+                let first = cohort.len();
+                cohort.join(n);
+                self.transcript
+                    .push(format!("event population clients {first}..{}", first + n));
+            }
             Step::Run(plans) => self.run_schedule(&plans)?,
         }
         Ok(())
+    }
+
+    /// The per-object participants as disjoint `&mut Client`s, in
+    /// participant order, for the parallel request builders.
+    fn selected_clients(&mut self, participants: &[usize]) -> Vec<&mut Client> {
+        let mut wanted = participants.iter().copied().peekable();
+        self.clients
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, sim_client)| {
+                if wanted.peek() == Some(&i) {
+                    wanted.next();
+                    Some(&mut sim_client.client)
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     fn join_one(&mut self) {
@@ -577,11 +667,19 @@ impl Simulator {
             None
         };
         // Mutual conversation state cannot change mid-schedule: one
-        // count serves every conversation round below.
-        let mutual_pairs = self.mutual_pairs(&participants);
+        // count serves every conversation round below. The cohort's
+        // internal pairs ride on top of the per-object count.
+        let mutual_pairs = self.mutual_pairs(&participants)
+            + self.cohort.as_ref().map_or(0, ClientCohort::mutual_pairs);
+        let seed = self.scenario.seed;
+        let workers = self.config.workers;
 
         // Build every round's client batch up front (clients pipeline
         // requests; replies for the whole schedule arrive afterwards).
+        // Per-object requests are built through the cohort module's
+        // parallel builders — the same path for 2 clients or 2 million —
+        // and, when a cohort exists, appended to its flat arena so the
+        // chain admits one contiguous buffer.
         let mut specs: Vec<RoundSpec> = Vec::with_capacity(plans.len());
         let mut metas: Vec<RoundMeta> = Vec::with_capacity(plans.len());
         for plan in plans {
@@ -589,39 +687,63 @@ impl Simulator {
             self.next_round += 1;
             match plan {
                 RoundPlan::Conversation => {
-                    let mut requests = Vec::with_capacity(participants.len());
-                    for &id in &participants {
-                        requests.push(self.clients[id].client.build_conversation_requests(
-                            &mut self.rng,
-                            round,
-                            &server_pks,
-                        ));
-                    }
-                    let (batch, layout) = entry::multiplex(requests);
+                    let selected = self.selected_clients(&participants);
+                    let requests = cohort::build_client_requests_parallel(
+                        selected,
+                        seed,
+                        round,
+                        &server_pks,
+                        workers,
+                    );
+                    let (individual, layout) = entry::multiplex(requests);
+                    let (batch, cohort_requests) = match self.cohort.as_mut() {
+                        Some(population) if !population.is_empty() => {
+                            let cohort_requests = population.len() * self.config.conversation_slots;
+                            let mut buf = population.build_conversation_round(round);
+                            for onion in &individual {
+                                buf.push_with(|slot| slot.copy_from_slice(onion));
+                            }
+                            (Batch::Flat(buf), cohort_requests)
+                        }
+                        _ => (Batch::Vecs(individual), 0),
+                    };
                     specs.push(RoundSpec::Conversation { round, batch });
                     metas.push(RoundMeta::Conversation {
                         round,
                         participants: participants.clone(),
                         layout,
                         mutual_pairs,
+                        cohort_requests,
                     });
                 }
                 RoundPlan::Dialing => {
                     let mut real_per_drop = vec![0u64; num_drops as usize];
-                    let mut batch = Vec::with_capacity(participants.len());
                     for &id in &participants {
                         if let Some(callee) = self.clients[id].dial_mirror.pop_front() {
                             let pk = self.clients[callee].client.public_key();
                             let drop = InvitationDropIndex::for_recipient(&pk, num_drops);
                             real_per_drop[(drop.0 - 1) as usize] += 1;
                         }
-                        batch.push(self.clients[id].client.build_dial_request(
-                            &mut self.rng,
-                            round,
-                            num_drops,
-                            &server_pks,
-                        ));
                     }
+                    let selected = self.selected_clients(&participants);
+                    let individual = cohort::build_dial_requests_parallel(
+                        selected,
+                        seed,
+                        round,
+                        num_drops,
+                        &server_pks,
+                        workers,
+                    );
+                    let (batch, cohort_clients) = match self.cohort.as_mut() {
+                        Some(population) if !population.is_empty() => {
+                            let mut buf = population.build_dialing_round(round);
+                            for onion in &individual {
+                                buf.push_with(|slot| slot.copy_from_slice(onion));
+                            }
+                            (Batch::Flat(buf), population.len())
+                        }
+                        _ => (Batch::Vecs(individual), 0),
+                    };
                     specs.push(RoundSpec::Dialing {
                         round,
                         batch,
@@ -631,6 +753,7 @@ impl Simulator {
                         round,
                         participants: participants.clone(),
                         real_per_drop,
+                        cohort_clients,
                     });
                 }
             }
@@ -669,6 +792,9 @@ impl Simulator {
         let _dropped = self.chain.abort_in_flight_rounds();
         for sim_client in &mut self.clients {
             sim_client.client.expire_pending(self.next_round);
+        }
+        if let Some(population) = self.cohort.as_mut() {
+            population.expire_pending(self.next_round);
         }
         // Partial rounds may have leaked observable traffic: charge them.
         for meta in metas {
@@ -723,6 +849,7 @@ impl Simulator {
                         participants,
                         layout,
                         mutual_pairs,
+                        cohort_requests,
                     },
                     RoundOutcome::Conversation { replies, .. },
                 ) => {
@@ -731,14 +858,15 @@ impl Simulator {
                         participants,
                         layout,
                         *mutual_pairs,
+                        *cohort_requests,
                         replies,
                     )?;
                     tap_shapes.insert(
                         *round,
                         ScheduleShape {
                             is_conversation: true,
-                            submitted: participants.len() as u64
-                                * self.config.conversation_slots as u64,
+                            submitted: *cohort_requests as u64
+                                + participants.len() as u64 * self.config.conversation_slots as u64,
                             noise_per_server_lo: conv_singles.0 + 2 * conv_pairs.0,
                             noise_per_server_hi: conv_singles.1 + 2 * conv_pairs.1,
                         },
@@ -749,6 +877,7 @@ impl Simulator {
                         round,
                         participants,
                         real_per_drop,
+                        cohort_clients,
                     },
                     RoundOutcome::Dialing { timing },
                 ) => {
@@ -756,13 +885,14 @@ impl Simulator {
                         *round,
                         participants,
                         real_per_drop,
+                        *cohort_clients,
                         timing.backward.len() as u64,
                     )?;
                     tap_shapes.insert(
                         *round,
                         ScheduleShape {
                             is_conversation: false,
-                            submitted: participants.len() as u64,
+                            submitted: (*cohort_clients + participants.len()) as u64,
                             noise_per_server_lo: u64::from(self.scenario.num_drops) * dial_draw.0,
                             noise_per_server_hi: u64::from(self.scenario.num_drops) * dial_draw.1,
                         },
@@ -809,10 +939,13 @@ impl Simulator {
         participants: &[usize],
         layout: &entry::RoundLayout,
         mutual_pairs: u64,
+        cohort_requests: usize,
         replies: Vec<Vec<u8>>,
     ) -> Result<(), SimError> {
         let chain_len = self.config.chain_len as u64;
         let replies_len = replies.len() as u64;
+        let cohort_clients = cohort_requests / self.config.conversation_slots.max(1);
+        let total_participants = cohort_clients + participants.len();
         let observables = match self.find_conversation_observables(round) {
             Some(obs) => *obs,
             None => {
@@ -826,11 +959,9 @@ impl Simulator {
                 }))?;
                 let spent = self.charge(round, Protocol::Conversation)?;
                 self.transcript.push(format!(
-                    "round {round} conversation participants {} missing-observables \
-                     eps {:e} delta {:e}",
-                    participants.len(),
-                    spent.epsilon,
-                    spent.delta
+                    "round {round} conversation participants {total_participants} \
+                     missing-observables eps {:e} delta {:e}",
+                    spent.epsilon, spent.delta
                 ));
                 return Ok(());
             }
@@ -839,7 +970,7 @@ impl Simulator {
         let (singles, pairs) = self.conversation_noise_bounds();
         let check = ConversationRoundCheck {
             round,
-            participants: participants.len() as u64,
+            participants: total_participants as u64,
             slots: self.config.conversation_slots as u64,
             mutual_pairs,
             observables: &observables,
@@ -873,7 +1004,27 @@ impl Simulator {
         }
 
         // Hand replies back and transcribe the deliveries they unlock.
-        let per_client = entry::demultiplex(layout, replies);
+        // The cohort's replies head the batch (its requests did); the
+        // per-object participants' replies are demultiplexed from the
+        // tail. A batch an adversary shrank below the cohort's share is
+        // treated as dropped for the cohort (its reply keys expire) and
+        // as `None`s for everyone behind it.
+        let mut replies = replies;
+        let individual_replies = if cohort_requests > 0 && replies.len() >= cohort_requests {
+            let tail = replies.split_off(cohort_requests);
+            if let Some(population) = self.cohort.as_mut() {
+                population.handle_conversation_replies(round, &replies);
+            }
+            tail
+        } else if cohort_requests > 0 {
+            if let Some(population) = self.cohort.as_mut() {
+                population.expire_pending(round + 1);
+            }
+            Vec::new()
+        } else {
+            replies
+        };
+        let per_client = entry::demultiplex(layout, individual_replies);
         for (&id, client_replies) in participants.iter().zip(per_client) {
             self.clients[id]
                 .client
@@ -881,10 +1032,9 @@ impl Simulator {
         }
         let spent = self.charge(round, Protocol::Conversation)?;
         self.transcript.push(format!(
-            "round {round} conversation participants {} submitted {} mutual {mutual_pairs} \
-             m1 {} m2 {} mmany {} total {} eps {:e} delta {:e}",
-            participants.len(),
-            participants.len() as u64 * self.config.conversation_slots as u64,
+            "round {round} conversation participants {total_participants} submitted {} \
+             mutual {mutual_pairs} m1 {} m2 {} mmany {} total {} eps {:e} delta {:e}",
+            total_participants as u64 * self.config.conversation_slots as u64,
             observables.m1,
             observables.m2,
             observables.m_many,
@@ -916,9 +1066,11 @@ impl Simulator {
         round: u64,
         participants: &[usize],
         real_per_drop: &[u64],
+        cohort_clients: usize,
         backward_stages: u64,
     ) -> Result<(), SimError> {
         let chain_len = self.config.chain_len as u64;
+        let total_participants = cohort_clients + participants.len();
         let observables = match self.find_dialing_observables(round) {
             Some(obs) => obs.clone(),
             None => {
@@ -929,11 +1081,9 @@ impl Simulator {
                 }))?;
                 let spent = self.charge(round, Protocol::Dialing)?;
                 self.transcript.push(format!(
-                    "round {round} dialing participants {} missing-observables \
-                     eps {:e} delta {:e}",
-                    participants.len(),
-                    spent.epsilon,
-                    spent.delta
+                    "round {round} dialing participants {total_participants} \
+                     missing-observables eps {:e} delta {:e}",
+                    spent.epsilon, spent.delta
                 ));
                 return Ok(());
             }
@@ -942,7 +1092,7 @@ impl Simulator {
         let client_link = self.chain.chain().client_link();
         let check = DialingRoundCheck {
             round,
-            participants: participants.len() as u64,
+            participants: total_participants as u64,
             real_per_drop,
             observables: &observables,
             client_link_forward: client_link.round_traffic(round, vuvuzela_net::Direction::Forward),
@@ -967,8 +1117,8 @@ impl Simulator {
         let spent = self.charge(round, Protocol::Dialing)?;
         let counts: Vec<String> = observables.counts.iter().map(u64::to_string).collect();
         self.transcript.push(format!(
-            "round {round} dialing participants {} drops {} counts [{}] noop {} eps {:e} delta {:e}",
-            participants.len(),
+            "round {round} dialing participants {total_participants} drops {} counts [{}] \
+             noop {} eps {:e} delta {:e}",
             self.scenario.num_drops,
             counts.join(","),
             observables.noop_writes,

@@ -179,16 +179,13 @@ fn redial_lands_after_missed_dialing_round() {
 
 #[test]
 fn worker_count_does_not_change_the_transcript() {
-    // The determinism contract holds across parallelism levels: only
-    // the header line that *names* the worker count may differ.
+    // The determinism contract holds across parallelism levels AND
+    // dead-drop exchange shard counts: only the header line that
+    // *names* the worker/shard counts may differ.
     let base = bundled_matrix(Scale::Smoke)
         .into_iter()
         .find(|s| s.name == "server_fault")
         .expect("bundled");
-    let mut wide = base.clone();
-    wide.workers = 4;
-    let a = run_scenario(&base).expect("workers=2 passes");
-    let b = run_scenario(&wide).expect("workers=4 passes");
     let strip = |r: &SimReport| -> Vec<String> {
         r.transcript
             .lines()
@@ -197,7 +194,18 @@ fn worker_count_does_not_change_the_transcript() {
             .cloned()
             .collect()
     };
-    assert_eq!(strip(&a), strip(&b));
+    let a = run_scenario(&base).expect("baseline passes");
+    for (workers, shards) in [(4, base.exchange_shards), (2, 1), (4, 3), (2, 7)] {
+        let mut variant = base.clone();
+        variant.workers = workers;
+        variant.exchange_shards = shards;
+        let b = run_scenario(&variant).expect("variant passes");
+        assert_eq!(
+            strip(&a),
+            strip(&b),
+            "workers {workers} shards {shards} diverged"
+        );
+    }
 }
 
 #[test]
@@ -333,4 +341,118 @@ fn soak_runs_are_deterministic_under_tampering() {
         "tampered transcript is timing-dependent"
     );
     assert_eq!(a.report.hash, b.report.hash);
+}
+
+#[test]
+fn population_step_is_deterministic_and_invariant_checked() {
+    // A struct-of-arrays cohort provides cover alongside individual
+    // clients: same determinism contract, invariants hold with the
+    // cohort folded into every round's participant totals.
+    let mut s = Scenario::new("population_cover", 0x0707);
+    s.steps.push(Step::Join(8));
+    s.steps.push(Step::Population(24));
+    s.steps.push(Step::Dial {
+        caller: 0,
+        callee: 1,
+    });
+    s.steps.push(Step::Run(vec![RoundPlan::Dialing]));
+    s.steps.push(Step::AcceptAll);
+    s.steps.push(Step::Queue {
+        from: 0,
+        to: 1,
+        body: b"through the cover crowd".to_vec(),
+    });
+    s.steps.push(Step::Population(8)); // the cohort grows mid-scenario
+    s.steps.push(Step::Run(vec![
+        RoundPlan::Conversation,
+        RoundPlan::Conversation,
+        RoundPlan::Dialing,
+    ]));
+    let a = run_scenario(&s).expect("population scenario passes invariants");
+    let b = run_scenario(&s).expect("second run");
+    assert_eq!(
+        a.transcript.render(),
+        b.transcript.render(),
+        "population rounds must stay byte-deterministic"
+    );
+    assert_eq!(a.hash, b.hash);
+    assert_eq!(a.delivered, 1, "the individual pair's message arrives");
+    let lines = a.transcript.lines();
+    assert!(
+        lines.iter().any(|l| l == "event population clients 0..24"),
+        "population join transcribed"
+    );
+    assert!(
+        lines.iter().any(|l| l == "event population clients 24..32"),
+        "population growth transcribed"
+    );
+    // 32 cohort + 8 individual clients in the post-growth rounds.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("round") && l.contains("conversation participants 40")),
+        "conversation totals include the cohort"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("round") && l.contains("dialing participants 40")),
+        "dialing totals include the cohort"
+    );
+}
+
+#[test]
+fn population_cohort_converses_internally() {
+    // Cohort-internal conversations ride the same rounds as the
+    // individual clients'; deliveries are queried through the cohort.
+    use vuvuzela_sim::Simulator;
+
+    let mut sim = Simulator::new(Scenario::new("population_talk", 0x9090));
+    sim.step(Step::Join(6)).expect("join");
+    sim.step(Step::Population(16)).expect("population");
+    let cohort = sim.cohort_mut().expect("population created a cohort");
+    let pk2 = cohort.public_key(2);
+    let pk9 = cohort.public_key(9);
+    cohort.pair(2, 9).expect("pair");
+    cohort
+        .queue_message(2, &pk9, b"cohort to cohort")
+        .expect("queue");
+    cohort
+        .queue_message(9, &pk2, b"cohort right back")
+        .expect("queue");
+    sim.step(Step::Dial {
+        caller: 0,
+        callee: 1,
+    })
+    .expect("dial");
+    sim.step(Step::Run(vec![RoundPlan::Dialing])).expect("run");
+    sim.step(Step::AcceptAll).expect("accept");
+    sim.step(Step::Queue {
+        from: 0,
+        to: 1,
+        body: b"individual pair".to_vec(),
+    })
+    .expect("queue");
+    sim.step(Step::Run(vec![
+        RoundPlan::Conversation,
+        RoundPlan::Conversation,
+    ]))
+    .expect("run");
+
+    let cohort = sim.cohort().expect("cohort persists");
+    assert_eq!(cohort.len(), 16);
+    assert_eq!(cohort.mutual_pairs(), 1);
+    assert_eq!(
+        cohort.delivered_from(9, &pk2),
+        vec![b"cohort to cohort".to_vec()]
+    );
+    assert_eq!(
+        cohort.delivered_from(2, &pk9),
+        vec![b"cohort right back".to_vec()]
+    );
+    let pk0 = sim.client(0).public_key();
+    assert_eq!(
+        sim.client(1).delivered_from(&pk0),
+        vec![b"individual pair".to_vec()]
+    );
 }

@@ -27,6 +27,7 @@ fn tiny_config() -> SystemConfig {
         workers: 2,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 
@@ -114,6 +115,55 @@ proptest! {
         // At most one exchange happens on a collided drop (the first
         // two arrivals), so at most 2 clients can read anything.
         prop_assert!(readable <= 2, "readable = {}", readable);
+    }
+
+    /// The forced collision is shard-count invariant: the colliding
+    /// requests land in one shard by construction (same drop ID ⇒ same
+    /// shard), and the sharded exchange's deterministic merge must make
+    /// replies and observables byte-identical for shards 1, 2, 3 and 7.
+    #[test]
+    fn forced_collision_is_shard_count_invariant(seed in 0u64..10_000) {
+        let base = tiny_config();
+        // Build the batch once; it only depends on the server keys,
+        // which are a function of (config minus shards, seed).
+        let pks = Chain::new(base.clone(), seed).server_public_keys();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x54A2D);
+        let kp: Vec<Keypair> = (0..4).map(|_| Keypair::generate(&mut rng)).collect();
+        let keys = [
+            ConversationKeys::derive(&kp[0].secret, &kp[0].public, &kp[1].public),
+            ConversationKeys::derive(&kp[1].secret, &kp[1].public, &kp[0].public),
+            ConversationKeys::derive(&kp[2].secret, &kp[2].public, &kp[3].public),
+            ConversationKeys::derive(&kp[3].secret, &kp[3].public, &kp[2].public),
+        ];
+        let round = 9u64;
+        let drop = keys[0].drop_id(round);
+        let batch: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| {
+                let request = ExchangeRequest {
+                    drop,
+                    sealed_message: k.seal_message(round, &[0xA5u8; MESSAGE_LEN]),
+                };
+                onion::wrap(&mut rng, &pks, round, &request.encode()).0
+            })
+            .collect();
+
+        let mut reference: Option<(Vec<Vec<u8>>, _)> = None;
+        for shards in [1usize, 2, 3, 7] {
+            let mut config = base.clone();
+            config.exchange_shards = shards;
+            let mut chain = Chain::new(config, seed);
+            let (replies, _) = chain.run_conversation_round(round, batch.clone());
+            let (_, obs) = chain.conversation_observables()[0];
+            prop_assert_eq!(obs.m_many, 1, "shards = {}", shards);
+            match &reference {
+                None => reference = Some((replies, obs)),
+                Some((want_replies, want_obs)) => {
+                    prop_assert_eq!(&replies, want_replies, "shards = {} replies", shards);
+                    prop_assert_eq!(&obs, want_obs, "shards = {} observables", shards);
+                }
+            }
+        }
     }
 
     /// The same collision inside a longer streaming schedule: the

@@ -28,6 +28,7 @@ fn config(chain_len: usize, mu: f64) -> SystemConfig {
         workers: 3,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 

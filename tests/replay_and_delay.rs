@@ -25,6 +25,7 @@ fn quiet_config() -> SystemConfig {
         workers: 2,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 

@@ -33,6 +33,7 @@ fn config(chain_len: usize, mu: f64) -> SystemConfig {
         workers: 2,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 
@@ -184,7 +185,7 @@ fn mixed_specs(
         .map(|(round, &dialing)| {
             let round = round as u64;
             if dialing {
-                let batch = (0..clients)
+                let batch: Vec<Vec<u8>> = (0..clients)
                     .map(|_| {
                         let payload = vuvuzela::wire::dialing::DialRequest::noop(&mut rng).encode();
                         onion::wrap(&mut rng, pks, round, &payload).0
@@ -192,17 +193,20 @@ fn mixed_specs(
                     .collect();
                 RoundSpec::Dialing {
                     round,
-                    batch,
+                    batch: batch.into(),
                     num_drops,
                 }
             } else {
-                let batch = (0..clients)
+                let batch: Vec<Vec<u8>> = (0..clients)
                     .map(|_| {
                         let payload = ExchangeRequest::noise(&mut rng).encode();
                         onion::wrap(&mut rng, pks, round, &payload).0
                     })
                     .collect();
-                RoundSpec::Conversation { round, batch }
+                RoundSpec::Conversation {
+                    round,
+                    batch: batch.into(),
+                }
             }
         })
         .collect()
@@ -342,6 +346,9 @@ fn mixed_schedule_adjacent_and_separated_dialing() {
             &caller.public,
             &callee.public,
         ),
+    };
+    let vuvuzela::core::chain::Batch::Vecs(batch) = batch else {
+        panic!("mixed_specs builds Vecs batches");
     };
     batch.push(onion::wrap(&mut rng, &pks, 5, &request.encode()).0);
 

@@ -34,6 +34,7 @@ fn config(chain_len: usize, mu: f64) -> SystemConfig {
         workers: 2,
         conversation_slots: 1,
         retransmit_after: 2,
+        exchange_shards: 4,
     }
 }
 
