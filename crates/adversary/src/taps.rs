@@ -474,7 +474,7 @@ impl Tap for SizeRecorder {
 mod tests {
     use super::*;
     use vuvuzela_net::link::Direction;
-    use vuvuzela_net::Link;
+    use vuvuzela_net::{Link, LinkId};
 
     fn batch3() -> Vec<Vec<u8>> {
         vec![vec![0], vec![1], vec![2]]
@@ -482,7 +482,7 @@ mod tests {
 
     #[test]
     fn keep_only_filters_forward_traffic() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(KeepOnly {
             indices: vec![0, 2],
             only_round: None,
@@ -496,7 +496,7 @@ mod tests {
 
     #[test]
     fn keep_only_respects_round_filter() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(KeepOnly {
             indices: vec![1],
             only_round: Some(5),
@@ -510,7 +510,7 @@ mod tests {
 
     #[test]
     fn block_client_removes_one() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(BlockClient {
             index: 1,
             from_round: Some(2),
@@ -528,7 +528,7 @@ mod tests {
         // removal shift the second victim (index 3 would hit the
         // *fourth* remaining entry, i.e. original index 4). Tombstoning
         // keeps positions stable until the stack's single sweep.
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(TapStack::new(vec![
             Box::new(BlockClient {
                 index: 1,
@@ -559,7 +559,7 @@ mod tests {
         let mut batch = batch3();
         tap.intercept(
             &TapContext {
-                link: "t".to_string(),
+                link: LinkId::Hop(0),
                 round: 0,
                 direction: Direction::Forward,
             },
@@ -570,7 +570,7 @@ mod tests {
 
     #[test]
     fn delay_tap_shifts_batches_by_one_round() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DelayOneRound::new())));
         // Round 0's batch is swallowed.
         let out0 = link.transmit(0, Direction::Forward, vec![vec![0]]);
@@ -587,7 +587,7 @@ mod tests {
 
     #[test]
     fn crash_on_round_fires_once_and_only_forward() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(CrashOnRound::new(2))));
         // Other rounds and backward traffic pass untouched.
         assert_eq!(link.transmit(1, Direction::Forward, batch3()).len(), 3);
@@ -602,7 +602,7 @@ mod tests {
 
     #[test]
     fn stall_link_changes_nothing_but_time() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(StallLink {
             delay: std::time::Duration::from_millis(1),
         })));
@@ -612,7 +612,7 @@ mod tests {
 
     #[test]
     fn size_recorder_sees_sizes_only() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         let tap = std::sync::Arc::new(parking_lot_mutex(SizeRecorder::default()));
         link.attach_tap(tap.clone());
         let _ = link.transmit(9, Direction::Forward, vec![vec![0u8; 7], vec![0u8; 7]]);
@@ -622,7 +622,7 @@ mod tests {
 
     #[test]
     fn drop_fraction_discards_deterministic_stride() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DropFraction {
             numerator: 1,
             denominator: 3,
@@ -645,7 +645,7 @@ mod tests {
         let mut batch = batch3();
         all.intercept(
             &TapContext {
-                link: "t".to_string(),
+                link: LinkId::Hop(0),
                 round: 9,
                 direction: Direction::Forward,
             },
@@ -656,7 +656,7 @@ mod tests {
 
     #[test]
     fn delay_batch_holds_and_merges_into_release_round() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(DelayBatch::new(
             1, 3,
         ))));
@@ -674,7 +674,7 @@ mod tests {
 
     #[test]
     fn replay_batch_copies_without_touching_the_original() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(ReplayBatch::new(
             0, 2,
         ))));
@@ -690,7 +690,7 @@ mod tests {
 
     #[test]
     fn inject_onions_adds_width_matched_garbage() {
-        let mut link = Link::new("t");
+        let mut link = Link::new(LinkId::Hop(0));
         link.attach_tap(std::sync::Arc::new(parking_lot_mutex(InjectOnions {
             count: 2,
             window: RoundWindow::only(1),
@@ -715,7 +715,7 @@ mod tests {
         let mut batch = vec![vec![5u8; 64], vec![6u8; 64]];
         twin.intercept(
             &TapContext {
-                link: "t".to_string(),
+                link: LinkId::Hop(0),
                 round: 1,
                 direction: Direction::Forward,
             },

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use vuvuzela_crypto::onion;
 use vuvuzela_crypto::x25519::{Keypair, PublicKey};
 use vuvuzela_net::link::{Direction, Link};
+use vuvuzela_net::LinkId;
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
@@ -309,43 +310,17 @@ impl Chain {
     #[must_use]
     pub fn new(config: SystemConfig, seed: u64) -> Chain {
         config.validate();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let keypairs: Vec<Keypair> = (0..config.chain_len)
-            .map(|_| Keypair::generate(&mut rng))
-            .collect();
-        let publics: Vec<PublicKey> = keypairs.iter().map(|kp| kp.public).collect();
-
-        let servers: Vec<MixServer> = keypairs
-            .into_iter()
-            .enumerate()
-            .map(|(i, kp)| {
-                MixServer::new(
-                    i,
-                    config.chain_len,
-                    kp,
-                    publics[i + 1..].to_vec(),
-                    config.clone(),
-                    seed.wrapping_add(1 + i as u64),
-                )
-            })
-            .collect();
-
+        let servers = build_servers(&config, seed);
         let links = (0..config.chain_len)
-            .map(|i| {
-                if i == 0 {
-                    Link::new("entry->server0")
-                } else {
-                    Link::new(format!("server{}->server{}", i - 1, i))
-                }
-            })
+            .map(|i| Link::new(LinkId::Hop(i as u32)))
             .collect();
 
         Chain {
             config,
             servers,
             links,
-            client_link: Link::new("clients->entry"),
-            cdn_link: Link::new("cdn->clients"),
+            client_link: Link::new(LinkId::Clients),
+            cdn_link: Link::new(LinkId::Cdn),
             seed,
             conversation_log: Vec::new(),
             dialing_log: Vec::new(),
@@ -613,6 +588,61 @@ impl Chain {
     pub fn tap_resized(&self) -> u64 {
         self.tap_resized
     }
+}
+
+/// The chain's server keypairs as a pure function of `(chain_len,
+/// seed)` — one sequential `StdRng` stream, exactly as [`Chain::new`]
+/// has always drawn them. Factored out so a distributed deployment
+/// (every server its own OS process) derives byte-identical keys from
+/// the shared config without ever holding the whole chain: clients use
+/// the public halves, server *i* keeps only its own secret.
+#[must_use]
+pub fn server_keypairs(chain_len: usize, seed: u64) -> Vec<Keypair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..chain_len)
+        .map(|_| Keypair::generate(&mut rng))
+        .collect()
+}
+
+/// Builds the mix server at `position` with the deterministic key and
+/// per-server seed scheme shared by every execution mode (sequential
+/// chain, streaming pipeline, transport-backed node).
+#[must_use]
+pub fn build_server(config: &SystemConfig, seed: u64, position: usize) -> MixServer {
+    let keypairs = server_keypairs(config.chain_len, seed);
+    let publics: Vec<PublicKey> = keypairs.iter().map(|kp| kp.public).collect();
+    let keypair = keypairs
+        .into_iter()
+        .nth(position)
+        .expect("position in range");
+    MixServer::new(
+        position,
+        config.chain_len,
+        keypair,
+        publics[position + 1..].to_vec(),
+        config.clone(),
+        seed.wrapping_add(1 + position as u64),
+    )
+}
+
+/// All of a chain's servers (the in-process deployments).
+fn build_servers(config: &SystemConfig, seed: u64) -> Vec<MixServer> {
+    let keypairs = server_keypairs(config.chain_len, seed);
+    let publics: Vec<PublicKey> = keypairs.iter().map(|kp| kp.public).collect();
+    keypairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            MixServer::new(
+                i,
+                config.chain_len,
+                kp,
+                publics[i + 1..].to_vec(),
+                config.clone(),
+                seed.wrapping_add(1 + i as u64),
+            )
+        })
+        .collect()
 }
 
 /// The last server's dead-drop exchange for one conversation round

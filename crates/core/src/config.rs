@@ -1,5 +1,13 @@
 //! Deployment-wide configuration.
+//!
+//! [`SystemConfig`] is the one config surface every execution mode
+//! shares: the in-process chain, the streaming pipeline, the simulator,
+//! and the deployment bins. The bins read it from a JSON deployment
+//! file, so the struct round-trips through `serde_json` values with
+//! **strict** field checking — an unknown key is a config-file typo and
+//! must be rejected, not silently ignored.
 
+use serde_json::{json, Value};
 use vuvuzela_dp::{NoiseDistribution, NoiseMode};
 
 /// Configuration shared by every component of a Vuvuzela deployment.
@@ -72,6 +80,60 @@ impl SystemConfig {
         }
     }
 
+    /// Serializes to a JSON value ([`SystemConfig::from_json`] inverts
+    /// it exactly; object keys render sorted, so the canonical pretty
+    /// form is deterministic and digestable).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        json!({
+            "chain_len": self.chain_len,
+            "conversation_noise": noise_to_json(self.conversation_noise),
+            "dialing_noise": noise_to_json(self.dialing_noise),
+            "noise_mode": noise_mode_str(self.noise_mode),
+            "workers": self.workers,
+            "conversation_slots": self.conversation_slots,
+            "retransmit_after": self.retransmit_after,
+            "exchange_shards": self.exchange_shards,
+        })
+    }
+
+    /// Deserializes from a JSON value, rejecting unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing, unknown, or ill-typed field.
+    pub fn from_json(value: &Value) -> Result<SystemConfig, String> {
+        let map = expect_object(value, "system config")?;
+        reject_unknown(
+            map,
+            &[
+                "chain_len",
+                "conversation_noise",
+                "dialing_noise",
+                "noise_mode",
+                "workers",
+                "conversation_slots",
+                "retransmit_after",
+                "exchange_shards",
+            ],
+            "system config",
+        )?;
+        Ok(SystemConfig {
+            chain_len: get_usize(map, "chain_len")?,
+            conversation_noise: noise_from_json(require(map, "conversation_noise")?)?,
+            dialing_noise: noise_from_json(require(map, "dialing_noise")?)?,
+            noise_mode: noise_mode_from_str(
+                require(map, "noise_mode")?
+                    .as_str()
+                    .ok_or("noise_mode must be a string")?,
+            )?,
+            workers: get_usize(map, "workers")?,
+            conversation_slots: get_usize(map, "conversation_slots")?,
+            retransmit_after: get_u64(map, "retransmit_after")?,
+            exchange_shards: get_usize(map, "exchange_shards")?,
+        })
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -92,6 +154,90 @@ impl SystemConfig {
     }
 }
 
+fn noise_to_json(noise: NoiseDistribution) -> Value {
+    json!({ "mu": noise.mu, "b": noise.b })
+}
+
+fn noise_from_json(value: &Value) -> Result<NoiseDistribution, String> {
+    let map = expect_object(value, "noise distribution")?;
+    reject_unknown(map, &["mu", "b"], "noise distribution")?;
+    let mu = require(map, "mu")?.as_f64().ok_or("mu must be a number")?;
+    let b = require(map, "b")?.as_f64().ok_or("b must be a number")?;
+    Ok(NoiseDistribution::new(mu, b))
+}
+
+fn noise_mode_str(mode: NoiseMode) -> &'static str {
+    match mode {
+        NoiseMode::Sampled => "sampled",
+        NoiseMode::Deterministic => "deterministic",
+        NoiseMode::Off => "off",
+    }
+}
+
+fn noise_mode_from_str(s: &str) -> Result<NoiseMode, String> {
+    match s {
+        "sampled" => Ok(NoiseMode::Sampled),
+        "deterministic" => Ok(NoiseMode::Deterministic),
+        "off" => Ok(NoiseMode::Off),
+        other => Err(format!(
+            "unknown noise_mode {other:?} (expected sampled / deterministic / off)"
+        )),
+    }
+}
+
+/// The object map inside `value`, or an error naming `what`.
+///
+/// These small helpers are shared with the deployment-file parser in
+/// the umbrella crate, which layers its own strict object on top of
+/// [`SystemConfig`].
+pub fn expect_object<'v>(
+    value: &'v Value,
+    what: &str,
+) -> Result<&'v std::collections::BTreeMap<String, Value>, String> {
+    match value {
+        Value::Object(map) => Ok(map),
+        _ => Err(format!("{what} must be a JSON object")),
+    }
+}
+
+/// Fails on any key of `map` not listed in `known` — a config-file typo
+/// must be an error, never silently ignored.
+pub fn reject_unknown(
+    map: &std::collections::BTreeMap<String, Value>,
+    known: &[&str],
+    what: &str,
+) -> Result<(), String> {
+    for key in map.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+/// The value at `key`, or an error naming the missing field.
+pub fn require<'v>(
+    map: &'v std::collections::BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'v Value, String> {
+    map.get(key).ok_or(format!("missing field {key:?}"))
+}
+
+/// A required `u64` field.
+pub fn get_u64(map: &std::collections::BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    require(map, key)?
+        .as_u64()
+        .ok_or(format!("field {key:?} must be a non-negative integer"))
+}
+
+/// A required `usize` field.
+pub fn get_usize(
+    map: &std::collections::BTreeMap<String, Value>,
+    key: &str,
+) -> Result<usize, String> {
+    get_u64(map, key).map(|v| v as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +245,72 @@ mod tests {
     #[test]
     fn default_is_valid() {
         SystemConfig::default().validate();
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        for cfg in [
+            SystemConfig::default(),
+            SystemConfig::paper_scale(),
+            SystemConfig {
+                noise_mode: NoiseMode::Off,
+                chain_len: 5,
+                ..SystemConfig::default()
+            },
+        ] {
+            let value = cfg.to_json();
+            let back = SystemConfig::from_json(&value).expect("round-trips");
+            assert_eq!(back.chain_len, cfg.chain_len);
+            assert_eq!(back.conversation_noise, cfg.conversation_noise);
+            assert_eq!(back.dialing_noise, cfg.dialing_noise);
+            assert_eq!(back.noise_mode, cfg.noise_mode);
+            assert_eq!(back.workers, cfg.workers);
+            assert_eq!(back.conversation_slots, cfg.conversation_slots);
+            assert_eq!(back.retransmit_after, cfg.retransmit_after);
+            assert_eq!(back.exchange_shards, cfg.exchange_shards);
+            // The canonical pretty rendering is stable through the trip.
+            assert_eq!(
+                serde_json::to_string_pretty(&back.to_json()).expect("render"),
+                serde_json::to_string_pretty(&value).expect("render"),
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut value = SystemConfig::default().to_json();
+        if let Value::Object(map) = &mut value {
+            map.insert("chain_length".to_string(), Value::from(3u64));
+        }
+        let err = SystemConfig::from_json(&value).expect_err("typo must fail");
+        assert!(err.contains("chain_length"), "error names the field: {err}");
+
+        let mut nested = SystemConfig::default().to_json();
+        if let Value::Object(map) = &mut nested {
+            map.insert(
+                "conversation_noise".to_string(),
+                json!({"mu": 1.0, "sigma": 2.0}),
+            );
+        }
+        let err = SystemConfig::from_json(&nested).expect_err("nested typo must fail");
+        assert!(err.contains("sigma"), "error names the field: {err}");
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_rejected() {
+        let mut value = SystemConfig::default().to_json();
+        if let Value::Object(map) = &mut value {
+            map.remove("workers");
+        }
+        assert!(SystemConfig::from_json(&value)
+            .expect_err("missing field")
+            .contains("workers"));
+
+        let mut value = SystemConfig::default().to_json();
+        if let Value::Object(map) = &mut value {
+            map.insert("noise_mode".to_string(), Value::from(3u64));
+        }
+        assert!(SystemConfig::from_json(&value).is_err());
     }
 
     #[test]

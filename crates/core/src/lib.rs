@@ -21,6 +21,9 @@
 //!   with a weighted window of rounds in flight, hops overlapped across
 //!   rounds, conversation and dialing rounds mixed in one pipeline,
 //!   byte-identical per-round results.
+//! * [`node`] — transport-driven node runtimes: one mix server or the
+//!   entry as its own process behind the [`vuvuzela_net::Transport`]
+//!   seam, byte-identical to the in-process chain.
 //! * [`client`] — the client state machine (Algorithm 1): real/fake
 //!   exchanges, message framing, retransmission, dialing and invitation
 //!   scanning.
@@ -52,6 +55,7 @@ pub mod config;
 pub mod deaddrops;
 pub mod entry;
 pub mod keystore;
+pub mod node;
 pub mod noise;
 pub mod observables;
 pub mod pipeline;

@@ -1,0 +1,643 @@
+//! Transport-backed node runtimes: the processes of a real deployment.
+//!
+//! [`run_server_node`] and [`run_entry_node`] drive one mix server / the
+//! entry entirely through the [`vuvuzela_net::Transport`] seam, so the
+//! same loop runs over in-memory endpoints (tests, and the equivalence
+//! harness that pins them against [`crate::chain::Chain`]) and over the
+//! framed TCP backend (the `vuvuzela-server` / `vuvuzela-entry` bins,
+//! one OS process per node).
+//!
+//! ## Wire protocol
+//!
+//! Rounds travel as [`BatchFrame`]s. The entry admits one client batch,
+//! re-frames it onto hop 0, and each server peels, noises and shuffles
+//! it forward. The last server runs the round's tail — the dead-drop
+//! exchange for conversations, the invitation deposit for dialing — and
+//! turns the round around: a backward frame carrying the replies (or a
+//! zero-count *completion* frame for forward-only dialing rounds) walks
+//! the chain back to the entry, each server applying its backward pass
+//! to conversation replies and relaying dialing completions untouched.
+//!
+//! The observables the compromised-last-server threat model exposes
+//! ([`ConversationObservables`], [`DialingObservables`]) ride the
+//! backward frame's opaque `trailer`, encoded as a [`RoundTrailer`]:
+//! intermediate hops forward the trailer byte-for-byte, so the entry
+//! (and ultimately the deployment client building the transcript) sees
+//! exactly what the tail measured.
+//!
+//! Rounds are strictly sequential — the entry admits the next batch
+//! only after the previous round's backward frame has returned, exactly
+//! like the reference [`crate::chain::Chain`] scheduler (the paper's §8.2
+//! observation that "one server cannot start processing a round until
+//! the previous server finishes" makes the chain itself sequential per
+//! round; cross-round overlap stays with the in-process
+//! [`crate::pipeline::StreamingChain`]). One batch in flight at a time
+//! also makes the blocking socket-per-link backend deadlock-free by
+//! construction. Orderly shutdown is a [`Frame::Bye`] relayed down the
+//! chain; FIFO links guarantee no batch is abandoned behind it.
+
+use crate::chain::{deposit_dialing, exchange_conversation, Chain};
+use crate::config::SystemConfig;
+use crate::observables::{ConversationObservables, DialingObservables};
+use crate::roundbuf::RoundBuffer;
+use crate::server::{MixServer, RoundKind};
+use vuvuzela_crypto::onion;
+use vuvuzela_net::{Error, Transport};
+use vuvuzela_wire::{BatchFrame, Frame, LinkId, RoundId, RoundType};
+
+/// The tail's per-round observables, encoded into the backward frame's
+/// opaque trailer and relayed untouched by every intermediate hop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoundTrailer {
+    /// A conversation round's dead-drop access histogram.
+    Conversation(ConversationObservables),
+    /// A dialing round's per-drop invitation counts.
+    Dialing(DialingObservables),
+}
+
+const TRAILER_CONVERSATION: u8 = 1;
+const TRAILER_DIALING: u8 = 2;
+
+impl RoundTrailer {
+    /// Serializes to the trailer byte format (tag byte + little-endian
+    /// counts).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            RoundTrailer::Conversation(obs) => {
+                let mut out = Vec::with_capacity(1 + 4 * 8);
+                out.push(TRAILER_CONVERSATION);
+                for v in [obs.m1, obs.m2, obs.m_many, obs.total_requests] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            RoundTrailer::Dialing(obs) => {
+                let mut out = Vec::with_capacity(1 + 8 + 4 + 8 * obs.counts.len());
+                out.push(TRAILER_DIALING);
+                out.extend_from_slice(&obs.noop_writes.to_le_bytes());
+                out.extend_from_slice(&(obs.counts.len() as u32).to_le_bytes());
+                for count in &obs.counts {
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses a trailer produced by [`RoundTrailer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation (bad tag, truncation, trailing
+    /// bytes).
+    pub fn decode(bytes: &[u8]) -> Result<RoundTrailer, String> {
+        let take_u64 = |bytes: &[u8], at: usize| -> Result<u64, String> {
+            bytes
+                .get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| "truncated round trailer".to_string())
+        };
+        match bytes.first() {
+            Some(&TRAILER_CONVERSATION) => {
+                if bytes.len() != 1 + 4 * 8 {
+                    return Err("conversation trailer has wrong length".to_string());
+                }
+                Ok(RoundTrailer::Conversation(ConversationObservables {
+                    m1: take_u64(bytes, 1)?,
+                    m2: take_u64(bytes, 9)?,
+                    m_many: take_u64(bytes, 17)?,
+                    total_requests: take_u64(bytes, 25)?,
+                }))
+            }
+            Some(&TRAILER_DIALING) => {
+                let noop_writes = take_u64(bytes, 1)?;
+                let n = bytes
+                    .get(9..13)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .ok_or("truncated round trailer")? as usize;
+                if bytes.len() != 13 + 8 * n {
+                    return Err("dialing trailer has wrong length".to_string());
+                }
+                let counts = (0..n)
+                    .map(|i| take_u64(bytes, 13 + 8 * i))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                Ok(RoundTrailer::Dialing(DialingObservables {
+                    counts,
+                    noop_writes,
+                }))
+            }
+            Some(tag) => Err(format!("unknown round-trailer tag {tag}")),
+            None => Err("empty round trailer".to_string()),
+        }
+    }
+}
+
+/// What one node processed before its orderly [`Frame::Bye`] shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Conversation rounds completed.
+    pub conversation_rounds: u64,
+    /// Dialing rounds completed.
+    pub dialing_rounds: u64,
+}
+
+impl NodeStats {
+    fn bump(&mut self, round_type: RoundType) {
+        match round_type {
+            RoundType::Conversation => self.conversation_rounds += 1,
+            RoundType::Dialing => self.dialing_rounds += 1,
+        }
+    }
+}
+
+fn protocol(link: LinkId, reason: impl Into<String>) -> Error {
+    Error::Protocol {
+        link,
+        reason: reason.into(),
+    }
+}
+
+fn round_kind(frame: &BatchFrame) -> RoundKind {
+    match frame.round_type {
+        RoundType::Conversation => RoundKind::Conversation,
+        RoundType::Dialing => RoundKind::Dialing {
+            num_drops: frame.num_drops,
+        },
+    }
+}
+
+/// Packs a round arena into a batch frame addressed to `link`,
+/// preserving the arena's exact `(stride, width, len)` geometry so the
+/// receiver reconstructs a byte-identical [`RoundBuffer`].
+fn frame_from_buf(
+    link: LinkId,
+    round: u64,
+    round_type: RoundType,
+    num_drops: u32,
+    backward: bool,
+    buf: RoundBuffer,
+    trailer: Vec<u8>,
+) -> Frame {
+    let (payload, stride, width, len) = buf.into_raw();
+    Frame::Batch(BatchFrame {
+        link,
+        round: RoundId(round),
+        round_type,
+        num_drops,
+        backward,
+        stride: stride as u32,
+        width: width as u32,
+        count: len as u32,
+        payload,
+        trailer,
+    })
+}
+
+/// Reconstructs the round arena a peer packed with [`frame_from_buf`].
+fn buf_from_frame(frame: BatchFrame) -> RoundBuffer {
+    RoundBuffer::from_raw(
+        frame.payload,
+        frame.stride as usize,
+        frame.width as usize,
+        frame.count as usize,
+    )
+}
+
+/// Runs one mix server as a transport-driven node until the upstream
+/// peer says [`Frame::Bye`].
+///
+/// `seed` is the *chain* seed shared by the whole deployment (the tail
+/// derives the round's chain-level RNG from it, exactly like
+/// [`crate::chain::Chain`]); the server's own per-round RNG was fixed
+/// when `server` was built (see [`crate::chain::build_server`]).
+/// `downstream` is `None` for the last server in the chain.
+///
+/// A dialing round's [`crate::deaddrops::InvitationDrops`] are measured
+/// (the observables ride the completion trailer) and dropped — the CDN
+/// download path stays with the in-process deployments.
+///
+/// # Errors
+///
+/// Any transport failure, or a [`Error::Protocol`] when a peer violates
+/// the round protocol (backward frame on the forward leg, mismatched
+/// round number, wrong onion width for this hop).
+pub fn run_server_node(
+    mut server: MixServer,
+    config: &SystemConfig,
+    seed: u64,
+    upstream: &dyn Transport,
+    downstream: Option<&dyn Transport>,
+) -> Result<NodeStats, Error> {
+    let mut stats = NodeStats::default();
+    loop {
+        let frame = match upstream.recv()? {
+            Frame::Batch(frame) => frame,
+            Frame::Bye => {
+                if let Some(down) = downstream {
+                    down.send(Frame::Bye)?;
+                }
+                return Ok(stats);
+            }
+            Frame::Hello(_) => {
+                return Err(protocol(upstream.link_id(), "unexpected hello mid-stream"))
+            }
+        };
+        if frame.backward {
+            return Err(protocol(
+                upstream.link_id(),
+                "backward frame on the forward leg",
+            ));
+        }
+        let round = frame.round.0;
+        let round_type = frame.round_type;
+        let kind = round_kind(&frame);
+        if frame.width as usize != server.incoming_width(kind) {
+            return Err(protocol(
+                upstream.link_id(),
+                format!(
+                    "round {round} batch width {} but this hop expects {}",
+                    frame.width,
+                    server.incoming_width(kind)
+                ),
+            ));
+        }
+        let buf = server.forward_buf(round, kind, buf_from_frame(frame));
+
+        match downstream {
+            Some(down) => {
+                let num_drops = match kind {
+                    RoundKind::Dialing { num_drops } => num_drops,
+                    RoundKind::Conversation => 0,
+                };
+                down.send(frame_from_buf(
+                    down.link_id(),
+                    round,
+                    round_type,
+                    num_drops,
+                    false,
+                    buf,
+                    Vec::new(),
+                ))?;
+                if matches!(kind, RoundKind::Dialing { .. }) {
+                    // Forward-only: this hop keeps no reply state.
+                    server.abort_round(round);
+                }
+                let back = match down.recv()? {
+                    Frame::Batch(back) if back.backward && back.round.0 == round => back,
+                    Frame::Batch(back) => {
+                        return Err(protocol(
+                            down.link_id(),
+                            format!(
+                                "expected the backward frame of round {round}, got round {} \
+                                 (backward: {})",
+                                back.round.0, back.backward
+                            ),
+                        ))
+                    }
+                    other => {
+                        return Err(protocol(
+                            down.link_id(),
+                            format!("expected the backward frame of round {round}, got {other:?}"),
+                        ))
+                    }
+                };
+                match back.round_type {
+                    RoundType::Conversation => {
+                        let trailer = back.trailer.clone();
+                        let replies = server.backward_buf(round, buf_from_frame(back));
+                        upstream.send(frame_from_buf(
+                            upstream.link_id(),
+                            round,
+                            RoundType::Conversation,
+                            0,
+                            true,
+                            replies,
+                            trailer,
+                        ))?;
+                    }
+                    // A dialing completion: relay untouched (trailer and
+                    // all); the round was already aborted above.
+                    RoundType::Dialing => upstream.send(Frame::Batch(BatchFrame {
+                        link: upstream.link_id(),
+                        ..back
+                    }))?,
+                }
+            }
+            None => match kind {
+                RoundKind::Conversation => {
+                    let mut rng = Chain::chain_round_rng(seed, round);
+                    let (replies, observables) = exchange_conversation(
+                        &mut rng,
+                        config.chain_len,
+                        config.exchange_shards,
+                        config.workers,
+                        &buf,
+                    );
+                    let replies = server.backward_buf(round, replies);
+                    upstream.send(frame_from_buf(
+                        upstream.link_id(),
+                        round,
+                        RoundType::Conversation,
+                        0,
+                        true,
+                        replies,
+                        RoundTrailer::Conversation(observables).encode(),
+                    ))?;
+                }
+                RoundKind::Dialing { num_drops } => {
+                    let mut rng = Chain::chain_round_rng(seed, round);
+                    let drops = deposit_dialing(&mut rng, &mut server, round, num_drops, &buf);
+                    let observables = drops.observables();
+                    server.abort_round(round);
+                    upstream.send(Frame::Batch(BatchFrame {
+                        link: upstream.link_id(),
+                        round: RoundId(round),
+                        round_type: RoundType::Dialing,
+                        num_drops,
+                        backward: true,
+                        stride: 0,
+                        width: 0,
+                        count: 0,
+                        payload: Vec::new(),
+                        trailer: RoundTrailer::Dialing(observables).encode(),
+                    }))?;
+                }
+            },
+        }
+        stats.bump(round_type);
+    }
+}
+
+/// Runs the untrusted entry as a transport-driven node until the client
+/// side says [`Frame::Bye`].
+///
+/// The entry validates each client batch's geometry against the round's
+/// full onion width, re-frames it onto hop 0, and relays the round's
+/// backward frame (replies or dialing completion, trailer included)
+/// back to the client side verbatim.
+///
+/// # Errors
+///
+/// Any transport failure, or [`Error::Protocol`] when the client batch
+/// geometry is not the round's onion width or a peer breaks the round
+/// protocol.
+pub fn run_entry_node(
+    config: &SystemConfig,
+    clients: &dyn Transport,
+    downstream: &dyn Transport,
+) -> Result<NodeStats, Error> {
+    let mut stats = NodeStats::default();
+    loop {
+        let frame = match clients.recv()? {
+            Frame::Batch(frame) => frame,
+            Frame::Bye => {
+                downstream.send(Frame::Bye)?;
+                return Ok(stats);
+            }
+            Frame::Hello(_) => {
+                return Err(protocol(clients.link_id(), "unexpected hello mid-stream"))
+            }
+        };
+        if frame.backward {
+            return Err(protocol(
+                clients.link_id(),
+                "backward frame on the client request leg",
+            ));
+        }
+        let round = frame.round.0;
+        let width = onion::wrapped_len(round_kind(&frame).payload_len(), config.chain_len);
+        if frame.width as usize != width || frame.stride as usize != width {
+            return Err(protocol(
+                clients.link_id(),
+                format!(
+                    "round {round} client batch geometry {}/{} but the round's onion width is \
+                     {width}",
+                    frame.width, frame.stride
+                ),
+            ));
+        }
+        downstream.send(Frame::Batch(BatchFrame {
+            link: downstream.link_id(),
+            ..frame
+        }))?;
+        let back = match downstream.recv()? {
+            Frame::Batch(back) if back.backward && back.round.0 == round => back,
+            other => {
+                return Err(protocol(
+                    downstream.link_id(),
+                    format!("expected the backward frame of round {round}, got {other:?}"),
+                ))
+            }
+        };
+        let round_type = back.round_type;
+        clients.send(Frame::Batch(BatchFrame {
+            link: clients.link_id(),
+            ..back
+        }))?;
+        stats.bump(round_type);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::build_server;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+    use vuvuzela_net::link::Link;
+    use vuvuzela_net::transport::memory_pair;
+    use vuvuzela_wire::conversation::ExchangeRequest;
+    use vuvuzela_wire::deaddrop::{DeadDropId, InvitationDropIndex};
+    use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+    use vuvuzela_wire::SEALED_MESSAGE_LEN;
+
+    fn tiny_config(chain_len: usize) -> SystemConfig {
+        SystemConfig {
+            chain_len,
+            conversation_noise: NoiseDistribution::new(4.0, 1.0),
+            dialing_noise: NoiseDistribution::new(2.0, 1.0),
+            noise_mode: NoiseMode::Deterministic,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+            exchange_shards: 4,
+        }
+    }
+
+    #[test]
+    fn trailers_roundtrip() {
+        let conv = RoundTrailer::Conversation(ConversationObservables {
+            m1: 7,
+            m2: 3,
+            m_many: 1,
+            total_requests: 14,
+        });
+        let dial = RoundTrailer::Dialing(DialingObservables {
+            counts: vec![5, 0, 9],
+            noop_writes: 40,
+        });
+        for trailer in [conv, dial] {
+            let bytes = trailer.encode();
+            assert_eq!(RoundTrailer::decode(&bytes).expect("decodes"), trailer);
+            assert!(RoundTrailer::decode(&bytes[..bytes.len() - 1]).is_err());
+        }
+        assert!(RoundTrailer::decode(&[]).is_err());
+        assert!(RoundTrailer::decode(&[9]).is_err());
+    }
+
+    /// The full in-memory deployment: entry + 3 server nodes as threads
+    /// over [`memory_pair`] endpoints, fed a mixed schedule by a client
+    /// thread, must be byte-identical to the sequential [`Chain`] on the
+    /// same seed — replies, conversation observables, dialing counts.
+    #[test]
+    fn memory_nodes_match_sequential_chain() {
+        let config = tiny_config(3);
+        let seed = 21;
+        let mut rng = StdRng::seed_from_u64(77);
+
+        // Two clients exchanging through a shared drop, plus a loner.
+        let mut chain = Chain::new(config.clone(), seed);
+        let pks = chain.server_public_keys();
+        let drop = DeadDropId([4u8; 16]);
+        let wrap_exchange = |fill: u8, rng: &mut StdRng| {
+            let request = ExchangeRequest {
+                drop,
+                sealed_message: vec![fill; SEALED_MESSAGE_LEN],
+            };
+            onion::wrap(rng, &pks, 0, &request.encode())
+        };
+        let (onion_a, _) = wrap_exchange(0xAA, &mut rng);
+        let (onion_b, _) = wrap_exchange(0xBB, &mut rng);
+        let (onion_c, _) = {
+            let request = ExchangeRequest {
+                drop: DeadDropId([5u8; 16]),
+                sealed_message: vec![0xCC; SEALED_MESSAGE_LEN],
+            };
+            onion::wrap(&mut rng, &pks, 0, &request.encode())
+        };
+        let conv_batch = vec![onion_a, onion_b, onion_c];
+
+        // One dial invitation into 2 drops.
+        let caller = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let callee = vuvuzela_crypto::x25519::Keypair::generate(&mut rng);
+        let num_drops = 2;
+        let dial_request = DialRequest {
+            drop: InvitationDropIndex::for_recipient(&callee.public, num_drops),
+            invitation: SealedInvitation::seal(&mut rng, &caller.public, &callee.public),
+        };
+        let (dial_onion, _) = onion::wrap(&mut rng, &pks, 1, &dial_request.encode());
+        let dial_batch = vec![dial_onion];
+
+        // Reference: the sequential chain.
+        let (ref_replies, _) = chain.run_conversation_round(0, conv_batch.clone());
+        chain.run_dialing_round(1, dial_batch.clone(), num_drops);
+        let (_, ref_conv_obs) = chain.conversation_observables()[0];
+        let (_, ref_dial_obs) = chain.dialing_observables()[0].clone();
+
+        // The same deployment as four transport-driven nodes.
+        let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+        let (entry_down, s0_up) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+        let (s0_down, s1_up) = memory_pair(Arc::new(Link::new(LinkId::Hop(1))));
+        let (s1_down, s2_up) = memory_pair(Arc::new(Link::new(LinkId::Hop(2))));
+
+        let mut handles = Vec::new();
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(move || {
+            run_entry_node(&cfg, &entry_client_end, &entry_down).expect("entry")
+        }));
+        for (position, up, down) in [
+            (0, s0_up, Some(s0_down)),
+            (1, s1_up, Some(s1_down)),
+            (2, s2_up, None),
+        ] {
+            let server = build_server(&config, seed, position);
+            let cfg = config.clone();
+            handles.push(std::thread::spawn(move || {
+                run_server_node(server, &cfg, seed, &up, down.as_ref().map(|d| d as _))
+                    .expect("server")
+            }));
+        }
+
+        // Client side: feed the same two rounds as flat frames.
+        let send_batch = |round: u64, round_type: RoundType, num_drops: u32, batch: &[Vec<u8>]| {
+            let width = batch[0].len();
+            let payload: Vec<u8> = batch.concat();
+            client_end
+                .send(Frame::Batch(BatchFrame {
+                    link: LinkId::Clients,
+                    round: RoundId(round),
+                    round_type,
+                    num_drops,
+                    backward: false,
+                    stride: width as u32,
+                    width: width as u32,
+                    count: batch.len() as u32,
+                    payload,
+                    trailer: Vec::new(),
+                }))
+                .expect("send batch");
+        };
+
+        send_batch(0, RoundType::Conversation, 0, &conv_batch);
+        let back = match client_end.recv().expect("conversation replies") {
+            Frame::Batch(back) => back,
+            other => panic!("expected replies, got {other:?}"),
+        };
+        assert_eq!(back.round.0, 0);
+        let trailer = RoundTrailer::decode(&back.trailer).expect("trailer");
+        assert_eq!(trailer, RoundTrailer::Conversation(ref_conv_obs));
+        assert_eq!(
+            buf_from_frame(back).to_vecs(),
+            ref_replies,
+            "distributed replies must be byte-identical to the chain's"
+        );
+
+        send_batch(1, RoundType::Dialing, num_drops, &dial_batch);
+        let completion = match client_end.recv().expect("dialing completion") {
+            Frame::Batch(back) => back,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!((completion.round.0, completion.count), (1, 0));
+        let trailer = RoundTrailer::decode(&completion.trailer).expect("trailer");
+        assert_eq!(trailer, RoundTrailer::Dialing(ref_dial_obs));
+
+        client_end.send(Frame::Bye).expect("bye");
+        for handle in handles {
+            let stats = handle.join().expect("node thread");
+            assert_eq!(
+                stats,
+                NodeStats {
+                    conversation_rounds: 1,
+                    dialing_rounds: 1,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn entry_rejects_bad_geometry() {
+        let config = tiny_config(2);
+        let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+        let (entry_down, _s0_up) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+        client_end
+            .send(Frame::Batch(BatchFrame {
+                link: LinkId::Clients,
+                round: RoundId(0),
+                round_type: RoundType::Conversation,
+                num_drops: 0,
+                backward: false,
+                stride: 8,
+                width: 8,
+                count: 1,
+                payload: vec![0; 8],
+                trailer: Vec::new(),
+            }))
+            .expect("send");
+        let err = run_entry_node(&config, &entry_client_end, &entry_down)
+            .expect_err("wrong width must be rejected");
+        assert!(matches!(err, Error::Protocol { .. }), "got {err}");
+    }
+}

@@ -174,6 +174,37 @@ impl RoundBuffer {
         &mut self.data
     }
 
+    /// Decomposes into `(arena bytes, stride, width, len)` — the wire
+    /// transport moves a round buffer into a batch frame's payload with
+    /// this, zero-copy (the arena is exactly `len * stride` bytes).
+    #[must_use]
+    pub fn into_raw(self) -> (Vec<u8>, usize, usize, usize) {
+        debug_assert_eq!(self.data.len(), self.len * self.stride);
+        (self.data, self.stride, self.width, self.len)
+    }
+
+    /// Rebuilds a buffer from [`RoundBuffer::into_raw`] parts (or a
+    /// decoded batch frame's payload), zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (`data.len() != len * stride`,
+    /// `width > stride`, zero stride) — a frame decoded by
+    /// `vuvuzela_wire` has already validated all three, so this guards
+    /// local construction bugs, not remote input.
+    #[must_use]
+    pub fn from_raw(data: Vec<u8>, stride: usize, width: usize, len: usize) -> RoundBuffer {
+        assert!(stride > 0, "stride must be positive");
+        assert!(width <= stride, "width cannot exceed stride");
+        assert_eq!(data.len(), len * stride, "arena must be len * stride bytes");
+        RoundBuffer {
+            data,
+            stride,
+            width,
+            len,
+        }
+    }
+
     /// Applies a permutation by index remapping: afterwards slot `j`
     /// holds what slot `perm[j]` held before (`out[j] = in[perm[j]]`,
     /// matching the shuffle semantics of the mix servers). In-place cycle
@@ -259,6 +290,22 @@ mod tests {
         assert_eq!(buf.slot(0), vec![7u8; 10].as_slice());
         assert_eq!(buf.slot(1), vec![0u8; 10].as_slice(), "mismatch zeroed");
         assert_eq!(buf.to_vecs()[2], vec![9u8; 10]);
+    }
+
+    #[test]
+    fn raw_roundtrip_is_lossless() {
+        let buf = filled(24, 20, 3);
+        let expect = buf.to_vecs();
+        let (data, stride, width, len) = buf.into_raw();
+        assert_eq!(data.len(), len * stride);
+        let back = RoundBuffer::from_raw(data, stride, width, len);
+        assert_eq!(back.to_vecs(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "len * stride")]
+    fn from_raw_rejects_bad_geometry() {
+        let _ = RoundBuffer::from_raw(vec![0u8; 10], 4, 4, 3);
     }
 
     #[test]

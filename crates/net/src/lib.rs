@@ -23,10 +23,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod link;
 pub mod meter;
 pub mod parallel;
+pub mod tcp;
+pub mod transport;
 
+pub use error::Error;
 pub use link::{Direction, Link, RecordingTap, Tap, TapContext};
 pub use meter::Meter;
 pub use parallel::WorkerPool;
+pub use tcp::TcpTransport;
+pub use transport::{memory_pair, MemoryEndpoint, Transport};
+pub use vuvuzela_wire::LinkId;

@@ -7,9 +7,11 @@
 //! Taps receive the batch *by mutable reference* and may do anything to
 //! it; whatever remains is what the next hop sees.
 
+use crate::error::Error;
 use crate::meter::Meter;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use vuvuzela_wire::LinkId;
 
 /// Direction of a transfer over a link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,8 +25,10 @@ pub enum Direction {
 /// Metadata handed to a tap alongside each batch.
 #[derive(Clone, Debug)]
 pub struct TapContext {
-    /// Human-readable link name, e.g. `"entry->server0"`.
-    pub link: String,
+    /// Which deployment link the batch crosses. `Display` renders the
+    /// legacy diagnostic names (`"entry->server0"`, …), so log and
+    /// panic messages are unchanged by the move to typed ids.
+    pub link: LinkId,
     /// Protocol round the batch belongs to.
     pub round: u64,
     /// Transfer direction.
@@ -79,6 +83,9 @@ impl Tap for RecordingTap {
 /// what lets tests assert that pipelined execution changes *when* bytes
 /// move, never *which round* they belong to.
 pub struct Link {
+    id: LinkId,
+    /// Rendered `id`, cached so [`Link::name`] can keep returning a
+    /// borrowed `&str`.
     name: String,
     forward_meter: Arc<Meter>,
     backward_meter: Arc<Meter>,
@@ -98,11 +105,12 @@ pub struct Link {
 const PER_ROUND_LOG_CAP: usize = 4096;
 
 impl Link {
-    /// Creates a link with the given diagnostic name.
+    /// Creates the link with the given typed identity.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Link {
+    pub fn new(id: LinkId) -> Link {
         Link {
-            name: name.into(),
+            id,
+            name: id.to_string(),
             forward_meter: Arc::new(Meter::new()),
             backward_meter: Arc::new(Meter::new()),
             per_round: Mutex::new(std::collections::BTreeMap::new()),
@@ -110,10 +118,27 @@ impl Link {
         }
     }
 
-    /// Attaches an adversary tap. At most one tap per link; a coalition
-    /// multiplexes inside its own `Tap` implementation.
+    /// Attaches an adversary tap, replacing any current one. At most one
+    /// tap per link; a coalition multiplexes inside its own `Tap`
+    /// implementation. Use [`Link::try_attach_tap`] when silently
+    /// replacing an existing tap would be a harness bug.
     pub fn attach_tap(&mut self, tap: Arc<Mutex<dyn Tap>>) {
         self.tap = Some(tap);
+    }
+
+    /// Attaches an adversary tap, failing with [`Error::TapOccupied`]
+    /// if one is already present — the API-honest form of what used to
+    /// be an ad-hoc panic in harnesses stacking taps by mistake.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TapOccupied`] when the link already has a tap.
+    pub fn try_attach_tap(&mut self, tap: Arc<Mutex<dyn Tap>>) -> Result<(), Error> {
+        if self.tap.is_some() {
+            return Err(Error::TapOccupied { link: self.id });
+        }
+        self.tap = Some(tap);
+        Ok(())
     }
 
     /// Removes the tap, restoring an unobserved link.
@@ -202,7 +227,7 @@ impl Link {
     pub fn tap_intercept(&self, round: u64, direction: Direction, batch: &mut Vec<Vec<u8>>) {
         if let Some(tap) = &self.tap {
             let ctx = TapContext {
-                link: self.name.clone(),
+                link: self.id,
                 round,
                 direction,
             };
@@ -210,7 +235,13 @@ impl Link {
         }
     }
 
-    /// The link's diagnostic name.
+    /// The link's typed identity.
+    #[must_use]
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The link's diagnostic name (the rendered [`LinkId`]).
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
@@ -238,10 +269,11 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vuvuzela_wire::LinkId;
 
     #[test]
     fn untapped_link_passes_through_and_meters() {
-        let link = Link::new("a->b");
+        let link = Link::new(LinkId::Hop(0));
         let batch = vec![vec![1u8; 10], vec![2u8; 20]];
         let out = link.transmit(0, Direction::Forward, batch.clone());
         assert_eq!(out, batch);
@@ -254,7 +286,7 @@ mod tests {
     fn per_round_accounting_attributes_overlapped_rounds() {
         // Two rounds interleaved on the wire (as the streaming scheduler
         // produces) must still be attributable round by round.
-        let link = Link::new("a->b");
+        let link = Link::new(LinkId::Hop(0));
         let _ = link.transmit(0, Direction::Forward, vec![vec![1u8; 10]]);
         let _ = link.transmit(1, Direction::Forward, vec![vec![2u8; 20], vec![3u8; 20]]);
         let _ = link.transmit(0, Direction::Backward, vec![vec![4u8; 5]]);
@@ -275,7 +307,7 @@ mod tests {
 
     #[test]
     fn recording_tap_sees_everything() {
-        let mut link = Link::new("a->b");
+        let mut link = Link::new(LinkId::Hop(0));
         let tap = Arc::new(Mutex::new(RecordingTap::new()));
         link.attach_tap(tap.clone());
         let _ = link.transmit(3, Direction::Forward, vec![vec![0u8; 5]]);
@@ -300,7 +332,7 @@ mod tests {
 
     #[test]
     fn blocking_tap_drops_traffic() {
-        let mut link = Link::new("clients->entry");
+        let mut link = Link::new(LinkId::Clients);
         link.attach_tap(Arc::new(Mutex::new(KeepFirstN(1))));
         let out = link.transmit(0, Direction::Forward, vec![vec![1], vec![2], vec![3]]);
         assert_eq!(out, vec![vec![1]]);
@@ -319,7 +351,7 @@ mod tests {
 
     #[test]
     fn injecting_tap_adds_traffic() {
-        let mut link = Link::new("x");
+        let mut link = Link::new(LinkId::Cdn);
         link.attach_tap(Arc::new(Mutex::new(Inject(vec![9, 9]))));
         let out = link.transmit(0, Direction::Forward, vec![vec![1]]);
         assert_eq!(out, vec![vec![1], vec![9, 9]]);
@@ -327,7 +359,7 @@ mod tests {
 
     #[test]
     fn detach_restores_passthrough() {
-        let mut link = Link::new("x");
+        let mut link = Link::new(LinkId::Cdn);
         link.attach_tap(Arc::new(Mutex::new(KeepFirstN(0))));
         assert!(link
             .transmit(0, Direction::Forward, vec![vec![1]])

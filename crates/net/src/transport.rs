@@ -1,0 +1,238 @@
+//! The transport seam: one trait, two backends.
+//!
+//! A [`Transport`] is one end of one deployment link, moving
+//! [`Frame`]s between two protocol processes. Everything above this
+//! seam — the mix servers, the entry, the launch harness — is written
+//! against the trait, so the same node code runs
+//!
+//! * **in process** over [`MemoryEndpoint`] pairs, which carry frames
+//!   over std mpsc channels and route every batch through the same
+//!   byte-metered, tappable [`Link`] the simulator uses (meter first,
+//!   then tap — the adversary cannot hide traffic from our own
+//!   accounting), and
+//! * **across processes** over [`crate::tcp::TcpTransport`], the framed
+//!   length-prefixed TCP backend.
+//!
+//! Both return the unified [`Error`]; the in-memory backend is
+//! infallible by construction for everything except a dropped peer,
+//! but its signatures stay honest about what a real wire can do.
+
+use crate::error::Error;
+use crate::link::{Direction, Link};
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use vuvuzela_wire::{BatchFrame, Frame, LinkId};
+
+/// One end of one deployment link.
+///
+/// `send`/`recv` take `&self` (backends use internal locking) so a node
+/// can hold its upstream and downstream ends without juggling mutable
+/// borrows, and reader threads can share an endpoint behind an `Arc`.
+pub trait Transport: Send + Sync {
+    /// Which deployment link this endpoint terminates.
+    fn link_id(&self) -> LinkId;
+
+    /// Sends one frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Disconnected`] when the peer is gone; TCP backends also
+    /// surface IO failures.
+    fn send(&self, frame: Frame) -> Result<(), Error>;
+
+    /// Receives the next frame from the peer, blocking until one
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Disconnected`] at orderly end-of-stream; TCP backends
+    /// also surface IO and frame-decode failures.
+    fn recv(&self) -> Result<Frame, Error>;
+}
+
+/// Runs a batch frame through a [`Link`]: meters it (attributed to its
+/// round and direction), and — only when an adversary tap is attached —
+/// pays the per-message conversion, lets the tap interfere, and
+/// rebuilds the flat payload with resized entries zero-filled, exactly
+/// like the in-process chain's `transmit_buf`. Returns how many entries
+/// the tap resized.
+pub fn batch_through_link(link: &Link, batch: &mut BatchFrame) -> u64 {
+    let direction = if batch.backward {
+        Direction::Backward
+    } else {
+        Direction::Forward
+    };
+    let round = batch.round.0;
+    let width = batch.width as usize;
+    let stride = batch.stride as usize;
+    link.record(
+        round,
+        direction,
+        u64::from(batch.count),
+        (u64::from(batch.count)) * batch.width as u64,
+    );
+    if !link.has_tap() || stride == 0 {
+        return 0;
+    }
+    let mut msgs: Vec<Vec<u8>> = batch
+        .payload
+        .chunks(stride)
+        .map(|slot| slot[..width].to_vec())
+        .collect();
+    link.tap_intercept(round, direction, &mut msgs);
+    let mut payload = vec![0u8; msgs.len() * stride];
+    let mut resized = 0;
+    for (i, msg) in msgs.iter().enumerate() {
+        if msg.len() == width {
+            payload[i * stride..i * stride + width].copy_from_slice(msg);
+        } else {
+            resized += 1;
+        }
+    }
+    batch.count = msgs.len() as u32;
+    batch.payload = payload;
+    resized
+}
+
+/// The in-memory backend: one end of a bidirectional in-process link.
+///
+/// Created in pairs by [`memory_pair`]; both ends share one [`Link`],
+/// whose meters and optional tap see every batch frame either end
+/// sends.
+pub struct MemoryEndpoint {
+    link: Arc<Link>,
+    tx: Mutex<mpsc::Sender<Frame>>,
+    rx: Mutex<mpsc::Receiver<Frame>>,
+}
+
+/// Creates the two ends of one in-memory link. Frames sent on either
+/// end arrive at the other in order; batch frames are metered (and
+/// tapped, when a tap is attached) on the shared `link` at send time.
+#[must_use]
+pub fn memory_pair(link: Arc<Link>) -> (MemoryEndpoint, MemoryEndpoint) {
+    let (a_tx, b_rx) = mpsc::channel();
+    let (b_tx, a_rx) = mpsc::channel();
+    (
+        MemoryEndpoint {
+            link: link.clone(),
+            tx: Mutex::new(a_tx),
+            rx: Mutex::new(a_rx),
+        },
+        MemoryEndpoint {
+            link,
+            tx: Mutex::new(b_tx),
+            rx: Mutex::new(b_rx),
+        },
+    )
+}
+
+impl MemoryEndpoint {
+    /// The shared link (metering, tap attachment).
+    #[must_use]
+    pub fn link(&self) -> &Arc<Link> {
+        &self.link
+    }
+}
+
+impl Transport for MemoryEndpoint {
+    fn link_id(&self) -> LinkId {
+        self.link.id()
+    }
+
+    fn send(&self, mut frame: Frame) -> Result<(), Error> {
+        if let Frame::Batch(batch) = &mut frame {
+            let _resized = batch_through_link(&self.link, batch);
+        }
+        self.tx.lock().send(frame).map_err(|_| Error::Disconnected {
+            link: self.link.id(),
+        })
+    }
+
+    fn recv(&self) -> Result<Frame, Error> {
+        self.rx.lock().recv().map_err(|_| Error::Disconnected {
+            link: self.link.id(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Tap, TapContext};
+    use vuvuzela_wire::{RoundId, RoundType};
+
+    fn batch(count: u32, backward: bool) -> BatchFrame {
+        BatchFrame {
+            link: LinkId::Hop(0),
+            round: RoundId(5),
+            round_type: RoundType::Conversation,
+            num_drops: 0,
+            backward,
+            stride: 4,
+            width: 3,
+            count,
+            payload: (0..count as usize * 4).map(|b| b as u8).collect(),
+            trailer: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pair_carries_frames_both_ways_and_meters() {
+        let link = Arc::new(Link::new(LinkId::Hop(0)));
+        let (up, down) = memory_pair(link.clone());
+        assert_eq!(up.link_id(), LinkId::Hop(0));
+
+        up.send(Frame::Batch(batch(2, false))).expect("send");
+        down.send(Frame::Batch(batch(1, true))).expect("send back");
+        up.send(Frame::Bye).expect("bye");
+
+        assert!(matches!(down.recv(), Ok(Frame::Batch(b)) if b.count == 2));
+        assert!(matches!(down.recv(), Ok(Frame::Bye)));
+        assert!(matches!(up.recv(), Ok(Frame::Batch(b)) if b.backward));
+
+        // Metered like transmit_buf: count × logical width, per direction.
+        assert_eq!(link.forward_meter().messages(), 2);
+        assert_eq!(link.forward_meter().bytes(), 6);
+        assert_eq!(link.backward_meter().bytes(), 3);
+        assert_eq!(link.round_traffic(5, Direction::Forward), (2, 6));
+    }
+
+    #[test]
+    fn dropped_peer_reports_disconnected() {
+        let link = Arc::new(Link::new(LinkId::Clients));
+        let (up, down) = memory_pair(link);
+        drop(down);
+        assert!(matches!(
+            up.send(Frame::Bye),
+            Err(Error::Disconnected { .. })
+        ));
+        assert!(matches!(up.recv(), Err(Error::Disconnected { .. })));
+    }
+
+    /// A tap that truncates the batch and resizes one entry.
+    struct Mangle;
+    impl Tap for Mangle {
+        fn intercept(&mut self, ctx: &TapContext, batch: &mut Vec<Vec<u8>>) {
+            assert_eq!(ctx.link, LinkId::Hop(0));
+            assert_eq!(ctx.round, 5);
+            batch.truncate(2);
+            batch[1] = vec![7; 99];
+        }
+    }
+
+    #[test]
+    fn attached_tap_sees_and_mutates_batches() {
+        let mut link = Link::new(LinkId::Hop(0));
+        link.attach_tap(Arc::new(parking_lot::Mutex::new(Mangle)));
+        let (up, down) = memory_pair(Arc::new(link));
+
+        up.send(Frame::Batch(batch(3, false))).expect("send");
+        let Ok(Frame::Batch(got)) = down.recv() else {
+            panic!("expected batch");
+        };
+        assert_eq!(got.count, 2, "tap truncated the batch");
+        assert_eq!(&got.payload[..3], &[0, 1, 2], "entry 0 intact");
+        assert_eq!(&got.payload[4..7], &[0, 0, 0], "resized entry zeroed");
+    }
+}

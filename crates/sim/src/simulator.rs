@@ -31,7 +31,7 @@ use vuvuzela_core::pipeline::StreamingChain;
 use vuvuzela_crypto::onion;
 use vuvuzela_crypto::x25519::{Keypair, PublicKey};
 use vuvuzela_dp::{PrivacyLedger, Protocol};
-use vuvuzela_net::Tap;
+use vuvuzela_net::{LinkId, Tap};
 use vuvuzela_wire::deaddrop::InvitationDropIndex;
 use vuvuzela_wire::{RoundType, DIAL_REQUEST_LEN, EXCHANGE_REQUEST_LEN, EXCHANGE_RESPONSE_LEN};
 
@@ -519,7 +519,8 @@ impl Simulator {
                 let dyn_tap: Arc<Mutex<dyn Tap>> = tap.clone();
                 self.attach_exclusive_tap(link, dyn_tap);
                 self.recorders.push((link, tap));
-                self.transcript.push(format!("event observe link {link}"));
+                self.transcript
+                    .push(format!("event observe link {}", LinkId::Hop(link as u32)));
             }
             Step::StallLink { link, millis } => {
                 self.attach_exclusive_tap(
@@ -528,13 +529,16 @@ impl Simulator {
                         delay: std::time::Duration::from_millis(millis),
                     })),
                 );
-                self.transcript
-                    .push(format!("event stall link {link} millis {millis}"));
+                self.transcript.push(format!(
+                    "event stall link {} millis {millis}",
+                    LinkId::Hop(link as u32)
+                ));
             }
             Step::CrashLink { link, round_offset } => {
                 self.pending_crash = Some((link, round_offset));
                 self.transcript.push(format!(
-                    "event crash-armed link {link} offset {round_offset}"
+                    "event crash-armed link {} offset {round_offset}",
+                    LinkId::Hop(link as u32)
                 ));
             }
             Step::Population(n) => {
@@ -620,12 +624,13 @@ impl Simulator {
     ///
     /// On script misuse: the link is already tapped.
     fn attach_exclusive_tap(&mut self, link: usize, tap: Arc<Mutex<dyn Tap>>) {
-        let link_ref = self.chain.chain_mut().link_mut(link);
-        assert!(
-            !link_ref.has_tap(),
-            "script bug: link {link} already has a tap (one tap per link)"
-        );
-        link_ref.attach_tap(tap);
+        self.chain
+            .chain_mut()
+            .link_mut(link)
+            .try_attach_tap(tap)
+            .unwrap_or_else(|err| {
+                panic!("script bug: {err} (one tap per link)");
+            });
     }
 
     /// Pairs of participants in a mutual active conversation. Constant
@@ -1250,7 +1255,8 @@ impl Simulator {
             self.note(checked)?;
             for (round, forward, sizes) in &batches {
                 self.transcript.push(format!(
-                    "tap link {link} round {round} {} onions {} width {}",
+                    "tap link {} round {round} {} onions {} width {}",
+                    LinkId::Hop(link as u32),
                     if *forward { "forward" } else { "backward" },
                     sizes.len(),
                     sizes.first().copied().unwrap_or(0)

@@ -16,6 +16,11 @@
 //! * [`round`] — round identifiers tagging every in-flight batch, so the
 //!   streaming scheduler (and any adversary tap) can attribute
 //!   overlapped rounds correctly.
+//! * [`linkid`] — typed identifiers for every link of a deployment,
+//!   shared by adversary taps, the wire handshake and transcripts.
+//! * [`frame`] — the length-prefixed frame format (handshake, round
+//!   batches, orderly termination) the TCP transport speaks between
+//!   deployment processes.
 //!
 //! Sizes follow §8.1 of the paper: 256-byte sealed conversation messages
 //! (240 bytes of payload + 16 bytes of encryption overhead) and 80-byte
@@ -27,9 +32,13 @@
 pub mod conversation;
 pub mod deaddrop;
 pub mod dialing;
+pub mod frame;
+pub mod linkid;
 pub mod message;
 pub mod round;
 
+pub use frame::{BatchFrame, Frame, FrameError, Hello, FRAME_VERSION, MAX_FRAME_LEN};
+pub use linkid::LinkId;
 pub use round::{RoundId, RoundType};
 
 /// Payload bytes available to a conversation message before sealing

@@ -1,0 +1,112 @@
+//! Typed identifiers for the links a deployment is made of.
+//!
+//! Every hop-to-hop connection — the aggregated clients→entry leg, each
+//! inter-server hop, the CDN download leg, and (in a real deployment)
+//! each individual client's connection to the entry — is named by a
+//! [`LinkId`]. The id appears in three places that must agree:
+//!
+//! * adversary taps receive it in their `TapContext`, replacing the
+//!   stringly-typed link names the taps used to match on;
+//! * the wire handshake ([`crate::frame::Hello`]) carries it so both
+//!   ends of a TCP connection verify they agree on *which* link of
+//!   *which* deployment they terminate;
+//! * transcripts render it through `Display`, which reproduces the
+//!   legacy diagnostic names (`"entry->server0"`, …) byte for byte, so
+//!   typed ids never perturb a pinned transcript.
+
+/// One link of a Vuvuzela deployment, as a typed endpoint pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkId {
+    /// The aggregated clients→entry request leg.
+    Clients,
+    /// Inter-server hop `i`: `Hop(0)` is entry→server 0, `Hop(i)` is
+    /// server i−1 → server i.
+    Hop(u32),
+    /// The CDN leg serving invitation-drop downloads (§5.5).
+    Cdn,
+    /// One individual client's connection to the entry (real
+    /// deployments; the sim aggregates clients onto [`LinkId::Clients`]).
+    Client(u32),
+}
+
+impl LinkId {
+    /// Encodes as a `u64` for the wire: the variant tag in the high 32
+    /// bits, the index in the low 32.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            LinkId::Clients => 0,
+            LinkId::Hop(i) => (1 << 32) | u64::from(i),
+            LinkId::Cdn => 2 << 32,
+            LinkId::Client(i) => (3 << 32) | u64::from(i),
+        }
+    }
+
+    /// Decodes a wire `u64`; `None` for an unknown tag or an index on a
+    /// variant that has none.
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<LinkId> {
+        let index = (code & 0xFFFF_FFFF) as u32;
+        match code >> 32 {
+            0 if index == 0 => Some(LinkId::Clients),
+            1 => Some(LinkId::Hop(index)),
+            2 if index == 0 => Some(LinkId::Cdn),
+            3 => Some(LinkId::Client(index)),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for LinkId {
+    /// Renders the legacy diagnostic names exactly, so transcripts and
+    /// log lines are unchanged by the move to typed ids.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkId::Clients => f.write_str("clients->entry"),
+            LinkId::Hop(0) => f.write_str("entry->server0"),
+            LinkId::Hop(i) => write!(f, "server{}->server{}", i - 1, i),
+            LinkId::Cdn => f.write_str("cdn->clients"),
+            LinkId::Client(i) => write!(f, "client{i}->entry"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_names() {
+        assert_eq!(LinkId::Clients.to_string(), "clients->entry");
+        assert_eq!(LinkId::Hop(0).to_string(), "entry->server0");
+        assert_eq!(LinkId::Hop(1).to_string(), "server0->server1");
+        assert_eq!(LinkId::Hop(5).to_string(), "server4->server5");
+        assert_eq!(LinkId::Cdn.to_string(), "cdn->clients");
+        assert_eq!(LinkId::Client(7).to_string(), "client7->entry");
+    }
+
+    #[test]
+    fn code_roundtrips() {
+        for id in [
+            LinkId::Clients,
+            LinkId::Hop(0),
+            LinkId::Hop(3),
+            LinkId::Hop(u32::MAX),
+            LinkId::Cdn,
+            LinkId::Client(0),
+            LinkId::Client(41),
+        ] {
+            assert_eq!(LinkId::from_code(id.code()), Some(id));
+        }
+    }
+
+    #[test]
+    fn bad_codes_rejected() {
+        assert_eq!(LinkId::from_code(9 << 32), None);
+        assert_eq!(LinkId::from_code(u64::MAX), None);
+        // Index bits on index-less variants are malformed, not ignored:
+        // two distinct codes must never decode to the same id.
+        assert_eq!(LinkId::from_code(1), None);
+        assert_eq!(LinkId::from_code((2 << 32) | 5), None);
+    }
+}

@@ -1,0 +1,866 @@
+//! Real-deployment plumbing for the `vuvuzela-*` bins.
+//!
+//! A deployment is described by one JSON file ([`DeploymentConfig`]):
+//! the shared [`SystemConfig`], the chain seed, one TCP address per
+//! node, and a scripted round schedule. Every process loads the same
+//! file; the framed-TCP handshake carries a SHA-256 digest of its
+//! canonical rendering, so two processes started with different configs
+//! fail at connect time instead of corrupting a round.
+//!
+//! The schedule is replayed by a *deterministic* client driver: every
+//! batch is a pure function of `(seed, round)`, so the distributed run
+//! (`vuvuzela-launch`: entry + servers + client as separate OS
+//! processes over loopback TCP) and the in-process reference
+//! ([`run_reference`], the sequential [`Chain`]) must produce
+//! **byte-identical transcripts** — replies, dead-drop histograms and
+//! dialing counts included. `vuvuzela-launch --check` asserts exactly
+//! that, and CI runs it on every push.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use serde_json::{json, Value};
+use vuvuzela_core::chain::{build_server, server_keypairs, Chain};
+use vuvuzela_core::config::{expect_object, get_u64, reject_unknown, require};
+use vuvuzela_core::node::{run_entry_node, run_server_node, NodeStats, RoundTrailer};
+use vuvuzela_core::observables::{ConversationObservables, DialingObservables};
+use vuvuzela_core::server::RoundKind;
+use vuvuzela_core::SystemConfig;
+use vuvuzela_crypto::onion::{self, LayerKey};
+use vuvuzela_crypto::sha256::{sha256, Sha256};
+use vuvuzela_crypto::x25519::{Keypair, PublicKey};
+use vuvuzela_net::{Error, LinkId, TcpTransport, Transport};
+use vuvuzela_sim::transcript::{hex, Transcript};
+use vuvuzela_wire::conversation::ExchangeRequest;
+use vuvuzela_wire::deaddrop::DeadDropId;
+use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
+use vuvuzela_wire::{BatchFrame, Frame, RoundId, RoundType, SEALED_MESSAGE_LEN};
+
+/// How long connecting processes retry a refused connection: deployment
+/// processes start in arbitrary order.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Domain separator for the client driver's per-round batch RNG,
+/// keeping it disjoint from the chain- and server-level streams.
+const CLIENT_RNG_DOMAIN: u64 = 0xC11E_47B0_0000_0000;
+
+/// One scripted round of a deployment schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleEntry {
+    /// A conversation round: `pairs` client pairs exchanging through
+    /// shared dead drops plus `singles` lone requests.
+    Conversation {
+        /// Client pairs that complete a real exchange.
+        pairs: u32,
+        /// Lone clients whose requests meet no partner.
+        singles: u32,
+    },
+    /// A dialing round: `dials` real invitations into `drops` drops.
+    Dialing {
+        /// Real invitations sent.
+        dials: u32,
+        /// Invitation dead drops this round (§5.4's `m`).
+        drops: u32,
+    },
+}
+
+impl ScheduleEntry {
+    fn to_json(self) -> Value {
+        match self {
+            ScheduleEntry::Conversation { pairs, singles } => json!({
+                "type": "conversation",
+                "pairs": pairs,
+                "singles": singles,
+            }),
+            ScheduleEntry::Dialing { dials, drops } => json!({
+                "type": "dialing",
+                "dials": dials,
+                "drops": drops,
+            }),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<ScheduleEntry, String> {
+        let map = expect_object(value, "schedule entry")?;
+        match require(map, "type")?.as_str() {
+            Some("conversation") => {
+                reject_unknown(map, &["type", "pairs", "singles"], "conversation entry")?;
+                Ok(ScheduleEntry::Conversation {
+                    pairs: get_u64(map, "pairs")? as u32,
+                    singles: get_u64(map, "singles")? as u32,
+                })
+            }
+            Some("dialing") => {
+                reject_unknown(map, &["type", "dials", "drops"], "dialing entry")?;
+                Ok(ScheduleEntry::Dialing {
+                    dials: get_u64(map, "dials")? as u32,
+                    drops: get_u64(map, "drops")? as u32,
+                })
+            }
+            Some(other) => Err(format!("unknown schedule entry type {other:?}")),
+            None => Err("schedule entry type must be a string".to_string()),
+        }
+    }
+}
+
+/// Everything the `vuvuzela-*` bins need to run one deployment.
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// The protocol parameters every node shares.
+    pub system: SystemConfig,
+    /// Chain seed: server keys, noise, and the scripted client batches
+    /// all derive from it.
+    pub seed: u64,
+    /// TCP address the entry listens on for the client driver.
+    pub entry_addr: String,
+    /// TCP address each mix server listens on for its upstream peer
+    /// (`server_addrs[i]` is server *i*; must match
+    /// `system.chain_len`). A `:0` port is resolved to a free one by
+    /// [`resolve_ephemeral_ports`].
+    pub server_addrs: Vec<String>,
+    /// The scripted rounds, replayed in order as rounds `0..n`.
+    pub schedule: Vec<ScheduleEntry>,
+}
+
+impl DeploymentConfig {
+    /// Serializes to the deployment-file JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        json!({
+            "system": self.system.to_json(),
+            "seed": self.seed,
+            "entry_addr": self.entry_addr.clone(),
+            "server_addrs": self.server_addrs.clone(),
+            "schedule": self.schedule.iter().map(|e| e.to_json()).collect::<Vec<Value>>(),
+        })
+    }
+
+    /// Deserializes a deployment file, rejecting unknown fields at
+    /// every level.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing, unknown, or ill-typed field.
+    pub fn from_json(value: &Value) -> Result<DeploymentConfig, String> {
+        let map = expect_object(value, "deployment config")?;
+        reject_unknown(
+            map,
+            &["system", "seed", "entry_addr", "server_addrs", "schedule"],
+            "deployment config",
+        )?;
+        let system = SystemConfig::from_json(require(map, "system")?)?;
+        let entry_addr = require(map, "entry_addr")?
+            .as_str()
+            .ok_or("entry_addr must be a string")?
+            .to_string();
+        let server_addrs = match require(map, "server_addrs")? {
+            Value::Array(addrs) => addrs
+                .iter()
+                .map(|addr| {
+                    addr.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "server_addrs entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<String>, String>>()?,
+            _ => return Err("server_addrs must be an array".to_string()),
+        };
+        if server_addrs.len() != system.chain_len {
+            return Err(format!(
+                "server_addrs has {} entries but chain_len is {}",
+                server_addrs.len(),
+                system.chain_len
+            ));
+        }
+        let schedule = match require(map, "schedule")? {
+            Value::Array(entries) => entries
+                .iter()
+                .map(ScheduleEntry::from_json)
+                .collect::<Result<Vec<ScheduleEntry>, String>>()?,
+            _ => return Err("schedule must be an array".to_string()),
+        };
+        Ok(DeploymentConfig {
+            system,
+            seed: get_u64(map, "seed")?,
+            entry_addr,
+            server_addrs,
+            schedule,
+        })
+    }
+
+    /// The SHA-256 digest of the canonical config rendering, exchanged
+    /// in every TCP handshake so mismatched processes fail fast.
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        let rendered = serde_json::to_string_pretty(&self.to_json())
+            .expect("deployment config always renders");
+        sha256(rendered.as_bytes())
+    }
+
+    /// The chain's public keys, derived from `(chain_len, seed)` just
+    /// like every server derives its own secret.
+    #[must_use]
+    pub fn server_public_keys(&self) -> Vec<PublicKey> {
+        server_keypairs(self.system.chain_len, self.seed)
+            .iter()
+            .map(|kp| kp.public)
+            .collect()
+    }
+}
+
+/// Loads and strictly parses a deployment file.
+///
+/// # Errors
+///
+/// IO failures and parse errors, rendered with the offending path.
+pub fn load_config(path: &Path) -> Result<DeploymentConfig, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|err| format!("{} is not valid JSON: {err}", path.display()))?;
+    DeploymentConfig::from_json(&value).map_err(|err| format!("{}: {err}", path.display()))
+}
+
+/// One scripted round's client-side state: the onions fed in, and what
+/// is needed to verify the replies.
+pub struct ClientRound {
+    /// Request onions, in feed order.
+    pub onions: Vec<Vec<u8>>,
+    /// Reply-layer keys per onion (conversation rounds only).
+    pub keys: Vec<Vec<LayerKey>>,
+    /// `pair_of[i] = Some(j)` when onions `i` and `j` share a dead drop.
+    pub pair_of: Vec<Option<usize>>,
+    /// The sealed message each conversation onion deposited.
+    pub messages: Vec<Vec<u8>>,
+}
+
+/// Builds round `round`'s client batch — a pure function of the config
+/// seed and the round number, so the distributed client driver and the
+/// in-process reference feed byte-identical onions.
+#[must_use]
+pub fn build_client_round(cfg: &DeploymentConfig, pks: &[PublicKey], round: u64) -> ClientRound {
+    let mut rng = StdRng::seed_from_u64((cfg.seed ^ CLIENT_RNG_DOMAIN).wrapping_add(round));
+    let mut data = ClientRound {
+        onions: Vec::new(),
+        keys: Vec::new(),
+        pair_of: Vec::new(),
+        messages: Vec::new(),
+    };
+    let push_exchange = |rng: &mut StdRng, data: &mut ClientRound, drop: DeadDropId| {
+        let mut sealed_message = vec![0u8; SEALED_MESSAGE_LEN];
+        rng.fill_bytes(&mut sealed_message);
+        let request = ExchangeRequest {
+            drop,
+            sealed_message: sealed_message.clone(),
+        };
+        let (onion, keys) = onion::wrap(rng, pks, round, &request.encode());
+        data.onions.push(onion);
+        data.keys.push(keys);
+        data.messages.push(sealed_message);
+    };
+    match cfg.schedule[round as usize] {
+        ScheduleEntry::Conversation { pairs, singles } => {
+            for pair in 0..pairs {
+                let mut id = [0u8; 16];
+                rng.fill_bytes(&mut id);
+                let drop = DeadDropId(id);
+                push_exchange(&mut rng, &mut data, drop);
+                push_exchange(&mut rng, &mut data, drop);
+                let base = 2 * pair as usize;
+                data.pair_of.push(Some(base + 1));
+                data.pair_of.push(Some(base));
+            }
+            for _ in 0..singles {
+                let mut id = [0u8; 16];
+                rng.fill_bytes(&mut id);
+                push_exchange(&mut rng, &mut data, DeadDropId(id));
+                data.pair_of.push(None);
+            }
+        }
+        ScheduleEntry::Dialing { dials, drops } => {
+            for _ in 0..dials {
+                let caller = Keypair::generate(&mut rng);
+                let callee = Keypair::generate(&mut rng);
+                let request = DialRequest {
+                    drop: vuvuzela_wire::deaddrop::InvitationDropIndex::for_recipient(
+                        &callee.public,
+                        drops,
+                    ),
+                    invitation: SealedInvitation::seal(&mut rng, &caller.public, &callee.public),
+                };
+                let (onion, _) = onion::wrap(&mut rng, pks, round, &request.encode());
+                data.onions.push(onion);
+                data.pair_of.push(None);
+            }
+        }
+    }
+    data
+}
+
+/// Counts the paired exchanges whose replies decrypt to the partner's
+/// sealed message — the end-to-end correctness check of a round.
+fn verify_pairs(data: &ClientRound, round: u64, replies: &[Vec<u8>]) -> usize {
+    data.pair_of
+        .iter()
+        .enumerate()
+        .filter(|&(i, &pair)| {
+            pair.is_some_and(|j| {
+                i < replies.len()
+                    && onion::unwrap_reply_layers(&data.keys[i], round, &replies[i])
+                        .is_ok_and(|plain| plain == data.messages[j])
+            })
+        })
+        .count()
+}
+
+fn transcript_header(cfg: &DeploymentConfig) -> Transcript {
+    let mut transcript = Transcript::new();
+    transcript.push(format!(
+        "deploy digest {} seed {} chain {} rounds {}",
+        hex(&cfg.digest()),
+        cfg.seed,
+        cfg.system.chain_len,
+        cfg.schedule.len()
+    ));
+    transcript
+}
+
+fn transcribe_conversation(
+    transcript: &mut Transcript,
+    round: u64,
+    data: &ClientRound,
+    replies: &[Vec<u8>],
+    obs: ConversationObservables,
+) {
+    let mut hasher = Sha256::new();
+    for reply in replies {
+        hasher.update(reply);
+    }
+    transcript.push(format!(
+        "round {round} conversation clients {} replies {} sha256 {} verified {}",
+        data.onions.len(),
+        replies.len(),
+        hex(&hasher.finalize()),
+        verify_pairs(data, round, replies)
+    ));
+    transcript.push(format!(
+        "round {round} obs m1 {} m2 {} m_many {} total {}",
+        obs.m1, obs.m2, obs.m_many, obs.total_requests
+    ));
+}
+
+fn transcribe_dialing(
+    transcript: &mut Transcript,
+    round: u64,
+    data: &ClientRound,
+    drops: u32,
+    obs: &DialingObservables,
+) {
+    transcript.push(format!(
+        "round {round} dialing clients {} drops {drops} counts {:?} noop {}",
+        data.onions.len(),
+        obs.counts,
+        obs.noop_writes
+    ));
+}
+
+/// Replays the schedule on the in-process sequential [`Chain`] — the
+/// reference transcript every distributed run is diffed against.
+#[must_use]
+pub fn run_reference(cfg: &DeploymentConfig) -> String {
+    let mut chain = Chain::new(cfg.system.clone(), cfg.seed);
+    let pks = chain.server_public_keys();
+    let mut transcript = transcript_header(cfg);
+    for (index, entry) in cfg.schedule.iter().enumerate() {
+        let round = index as u64;
+        let data = build_client_round(cfg, &pks, round);
+        match *entry {
+            ScheduleEntry::Conversation { .. } => {
+                let (replies, _) = chain.run_conversation_round(round, data.onions.clone());
+                let (_, obs) = *chain
+                    .conversation_observables()
+                    .last()
+                    .expect("round just ran");
+                transcribe_conversation(&mut transcript, round, &data, &replies, obs);
+            }
+            ScheduleEntry::Dialing { drops, .. } => {
+                chain.run_dialing_round(round, data.onions.clone(), drops);
+                let (_, obs) = chain.dialing_observables().last().expect("round just ran");
+                let obs = obs.clone();
+                transcribe_dialing(&mut transcript, round, &data, drops, &obs);
+            }
+        }
+    }
+    transcript.push(format!("end rounds {}", cfg.schedule.len()));
+    transcript.render()
+}
+
+fn protocol(link: LinkId, reason: String) -> Error {
+    Error::Protocol { link, reason }
+}
+
+/// Replays the schedule against a live entry over any [`Transport`]
+/// (the TCP client bin, or in-memory endpoints in tests) and builds the
+/// client-side transcript.
+///
+/// # Errors
+///
+/// Transport failures, or [`Error::Protocol`] when the chain answers
+/// out of protocol (wrong round, malformed trailer, bad geometry).
+pub fn run_client(cfg: &DeploymentConfig, entry: &dyn Transport) -> Result<String, Error> {
+    let pks = cfg.server_public_keys();
+    let link = entry.link_id();
+    let mut transcript = transcript_header(cfg);
+    for (index, sched) in cfg.schedule.iter().enumerate() {
+        let round = index as u64;
+        let data = build_client_round(cfg, &pks, round);
+        let (round_type, num_drops, kind) = match *sched {
+            ScheduleEntry::Conversation { .. } => {
+                (RoundType::Conversation, 0, RoundKind::Conversation)
+            }
+            ScheduleEntry::Dialing { drops, .. } => (
+                RoundType::Dialing,
+                drops,
+                RoundKind::Dialing { num_drops: drops },
+            ),
+        };
+        let width = onion::wrapped_len(kind.payload_len(), cfg.system.chain_len);
+        entry.send(Frame::Batch(BatchFrame {
+            link,
+            round: RoundId(round),
+            round_type,
+            num_drops,
+            backward: false,
+            stride: width as u32,
+            width: width as u32,
+            count: data.onions.len() as u32,
+            payload: data.onions.concat(),
+            trailer: Vec::new(),
+        }))?;
+        let back = match entry.recv()? {
+            Frame::Batch(back) if back.backward && back.round.0 == round => back,
+            other => {
+                return Err(protocol(
+                    link,
+                    format!("expected the backward frame of round {round}, got {other:?}"),
+                ))
+            }
+        };
+        let trailer = RoundTrailer::decode(&back.trailer)
+            .map_err(|reason| protocol(link, format!("round {round}: {reason}")))?;
+        match (back.round_type, trailer) {
+            (RoundType::Conversation, RoundTrailer::Conversation(obs)) => {
+                let stride = back.stride as usize;
+                let replies: Vec<Vec<u8>> = back
+                    .payload
+                    .chunks(stride.max(1))
+                    .map(|chunk| chunk[..back.width as usize].to_vec())
+                    .collect();
+                transcribe_conversation(&mut transcript, round, &data, &replies, obs);
+            }
+            (RoundType::Dialing, RoundTrailer::Dialing(obs)) => {
+                transcribe_dialing(&mut transcript, round, &data, num_drops, &obs);
+            }
+            (round_type, _) => {
+                return Err(protocol(
+                    link,
+                    format!("round {round}: trailer does not match round type {round_type:?}"),
+                ))
+            }
+        }
+    }
+    entry.send(Frame::Bye)?;
+    transcript.push(format!("end rounds {}", cfg.schedule.len()));
+    Ok(transcript.render())
+}
+
+/// Runs mix server `position` over TCP: bind the upstream listener,
+/// connect downstream (retrying while peers start up), accept the
+/// upstream peer, then hand the connections to the node runtime.
+///
+/// # Errors
+///
+/// Bind/connect/handshake failures and any protocol violation from
+/// [`run_server_node`].
+pub fn serve_server(cfg: &DeploymentConfig, position: usize) -> Result<NodeStats, Error> {
+    let digest = cfg.digest();
+    let upstream_link = LinkId::Hop(position as u32);
+    let listener = TcpListener::bind(&cfg.server_addrs[position]).map_err(|source| Error::Io {
+        link: upstream_link,
+        op: "bind",
+        source,
+    })?;
+    let downstream = if position + 1 < cfg.system.chain_len {
+        Some(TcpTransport::connect(
+            cfg.server_addrs[position + 1].as_str(),
+            LinkId::Hop(position as u32 + 1),
+            digest,
+            CONNECT_TIMEOUT,
+        )?)
+    } else {
+        None
+    };
+    let upstream = TcpTransport::accept(&listener, upstream_link, digest)?;
+    let server = build_server(&cfg.system, cfg.seed, position);
+    run_server_node(
+        server,
+        &cfg.system,
+        cfg.seed,
+        &upstream,
+        downstream.as_ref().map(|d| d as &dyn Transport),
+    )
+}
+
+/// Runs the entry over TCP: bind the client listener, connect to
+/// server 0, accept the client driver, relay rounds until its
+/// [`Frame::Bye`].
+///
+/// # Errors
+///
+/// Bind/connect/handshake failures and any protocol violation from
+/// [`run_entry_node`].
+pub fn serve_entry(cfg: &DeploymentConfig) -> Result<NodeStats, Error> {
+    let digest = cfg.digest();
+    let listener = TcpListener::bind(&cfg.entry_addr).map_err(|source| Error::Io {
+        link: LinkId::Clients,
+        op: "bind",
+        source,
+    })?;
+    let downstream = TcpTransport::connect(
+        cfg.server_addrs[0].as_str(),
+        LinkId::Hop(0),
+        digest,
+        CONNECT_TIMEOUT,
+    )?;
+    let clients = TcpTransport::accept(&listener, LinkId::Clients, digest)?;
+    run_entry_node(&cfg.system, &clients, &downstream)
+}
+
+/// Runs the scripted client driver over TCP against a live entry.
+///
+/// # Errors
+///
+/// Connect/handshake failures and any protocol violation from
+/// [`run_client`].
+pub fn run_client_tcp(cfg: &DeploymentConfig) -> Result<String, Error> {
+    let entry = TcpTransport::connect(
+        cfg.entry_addr.as_str(),
+        LinkId::Clients,
+        cfg.digest(),
+        CONNECT_TIMEOUT,
+    )?;
+    run_client(cfg, &entry)
+}
+
+/// Rewrites every `:0` address to a concrete free loopback port
+/// (pre-binding a listener to discover one), so one deployment file can
+/// say "any free port" and all processes still agree.
+///
+/// # Errors
+///
+/// Bind failures while probing for free ports.
+pub fn resolve_ephemeral_ports(cfg: &mut DeploymentConfig) -> Result<(), String> {
+    let resolve = |addr: &mut String| -> Result<(), String> {
+        if addr.ends_with(":0") {
+            let listener = TcpListener::bind(addr.as_str())
+                .map_err(|err| format!("cannot probe a free port on {addr}: {err}"))?;
+            *addr = listener
+                .local_addr()
+                .map_err(|err| format!("no local addr for {addr}: {err}"))?
+                .to_string();
+        }
+        Ok(())
+    };
+    resolve(&mut cfg.entry_addr)?;
+    for addr in &mut cfg.server_addrs {
+        resolve(addr)?;
+    }
+    Ok(())
+}
+
+/// Options for [`launch`].
+pub struct LaunchOptions {
+    /// Also run the in-process reference and fail on any transcript
+    /// difference.
+    pub check: bool,
+    /// Where transcripts, the resolved config, and the bench artefact
+    /// are written.
+    pub out_dir: PathBuf,
+    /// Directory holding the `vuvuzela-server` / `vuvuzela-entry` /
+    /// `vuvuzela-client` bins; defaults to the launcher's own
+    /// directory.
+    pub bin_dir: Option<PathBuf>,
+}
+
+/// What [`launch`] produced.
+pub struct LaunchReport {
+    /// The distributed run's transcript (also written to
+    /// `distributed.txt`).
+    pub distributed: String,
+    /// The reference transcript, when `--check` ran.
+    pub reference: Option<String>,
+    /// Wall-clock seconds of the distributed run (client connect →
+    /// transcript complete; includes process startup).
+    pub distributed_secs: f64,
+    /// Wall-clock seconds of the in-process reference run.
+    pub reference_secs: Option<f64>,
+}
+
+fn kill_all(children: &mut [(String, Child)]) {
+    for (_, child) in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Launches one deployment as separate OS processes — `chain_len`
+/// `vuvuzela-server`s, one `vuvuzela-entry`, one `vuvuzela-client` —
+/// replays the schedule, and writes `distributed.txt`,
+/// `reference.txt` (with `check`), `resolved.json` and
+/// `BENCH_wire_chain.json` into the out dir.
+///
+/// # Errors
+///
+/// Spawn failures, a non-zero child exit, or (with `check`) a
+/// transcript mismatch.
+pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchReport, String> {
+    resolve_ephemeral_ports(&mut cfg)?;
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|err| format!("cannot create {}: {err}", opts.out_dir.display()))?;
+    let resolved_path = opts.out_dir.join("resolved.json");
+    let rendered =
+        serde_json::to_string_pretty(&cfg.to_json()).expect("deployment config always renders");
+    std::fs::write(&resolved_path, rendered + "\n")
+        .map_err(|err| format!("cannot write {}: {err}", resolved_path.display()))?;
+
+    let bin_dir = match &opts.bin_dir {
+        Some(dir) => dir.clone(),
+        None => std::env::current_exe()
+            .map_err(|err| format!("cannot locate the launcher binary: {err}"))?
+            .parent()
+            .ok_or("the launcher binary has no parent directory")?
+            .to_path_buf(),
+    };
+    let bin = |name: &str| bin_dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+
+    let started = Instant::now();
+    let mut children: Vec<(String, Child)> = Vec::new();
+    // Servers first (tail to head so downstream listeners exist early,
+    // although the connect retry loop tolerates any order), then the
+    // entry, then the client driver.
+    for position in (0..cfg.system.chain_len).rev() {
+        let child = Command::new(bin("vuvuzela-server"))
+            .arg("--config")
+            .arg(&resolved_path)
+            .arg("--position")
+            .arg(position.to_string())
+            .spawn()
+            .map_err(|err| format!("cannot spawn vuvuzela-server {position}: {err}"))?;
+        children.push((format!("vuvuzela-server {position}"), child));
+    }
+    match Command::new(bin("vuvuzela-entry"))
+        .arg("--config")
+        .arg(&resolved_path)
+        .spawn()
+    {
+        Ok(child) => children.push(("vuvuzela-entry".to_string(), child)),
+        Err(err) => {
+            kill_all(&mut children);
+            return Err(format!("cannot spawn vuvuzela-entry: {err}"));
+        }
+    }
+    let transcript_path = opts.out_dir.join("distributed.txt");
+    match Command::new(bin("vuvuzela-client"))
+        .arg("--config")
+        .arg(&resolved_path)
+        .arg("--out")
+        .arg(&transcript_path)
+        .spawn()
+    {
+        Ok(child) => children.push(("vuvuzela-client".to_string(), child)),
+        Err(err) => {
+            kill_all(&mut children);
+            return Err(format!("cannot spawn vuvuzela-client: {err}"));
+        }
+    }
+
+    let mut failure = None;
+    for (name, child) in &mut children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                failure = Some(format!("{name} exited with {status}"));
+                break;
+            }
+            Err(err) => {
+                failure = Some(format!("cannot wait for {name}: {err}"));
+                break;
+            }
+        }
+    }
+    if let Some(failure) = failure {
+        kill_all(&mut children);
+        return Err(failure);
+    }
+    let distributed_secs = started.elapsed().as_secs_f64();
+    let distributed = std::fs::read_to_string(&transcript_path).map_err(|err| {
+        format!(
+            "client wrote no transcript at {}: {err}",
+            transcript_path.display()
+        )
+    })?;
+
+    let (reference, reference_secs) = if opts.check {
+        let started = Instant::now();
+        let reference = run_reference(&cfg);
+        let secs = started.elapsed().as_secs_f64();
+        let reference_path = opts.out_dir.join("reference.txt");
+        std::fs::write(&reference_path, &reference)
+            .map_err(|err| format!("cannot write {}: {err}", reference_path.display()))?;
+        (Some(reference), Some(secs))
+    } else {
+        (None, None)
+    };
+
+    let rounds = cfg.schedule.len();
+    let bench = json!({
+        "bench": "wire_chain",
+        "rounds": rounds,
+        "loopback_multiprocess": {
+            "secs": distributed_secs,
+            "rounds_per_sec": rounds as f64 / distributed_secs.max(1e-9),
+        },
+        "in_process_reference": reference_secs.map(|secs| json!({
+            "secs": secs,
+            "rounds_per_sec": rounds as f64 / secs.max(1e-9),
+        })).unwrap_or(Value::Null),
+        "note": "informational: loopback TCP on a shared-core box, includes process startup; \
+                 not a distributed-deployment throughput claim",
+    });
+    let bench_path = opts.out_dir.join("BENCH_wire_chain.json");
+    std::fs::write(
+        &bench_path,
+        serde_json::to_string_pretty(&bench).expect("bench renders") + "\n",
+    )
+    .map_err(|err| format!("cannot write {}: {err}", bench_path.display()))?;
+
+    if let Some(reference) = &reference {
+        if *reference != distributed {
+            return Err(format!(
+                "transcript mismatch: {} differs from {} (distributed sha256 {}, reference {})",
+                transcript_path.display(),
+                opts.out_dir.join("reference.txt").display(),
+                hex(&sha256(distributed.as_bytes())),
+                hex(&sha256(reference.as_bytes())),
+            ));
+        }
+    }
+    Ok(LaunchReport {
+        distributed,
+        reference,
+        distributed_secs,
+        reference_secs,
+    })
+}
+
+/// A small deployment suitable for smoke tests: 3 servers, low noise,
+/// ephemeral loopback ports, a mixed 4-round schedule.
+#[must_use]
+pub fn smoke_config() -> DeploymentConfig {
+    use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+    DeploymentConfig {
+        system: SystemConfig {
+            chain_len: 3,
+            conversation_noise: NoiseDistribution::new(6.0, 2.0),
+            dialing_noise: NoiseDistribution::new(3.0, 1.0),
+            noise_mode: NoiseMode::Sampled,
+            workers: 2,
+            conversation_slots: 1,
+            retransmit_after: 2,
+            exchange_shards: 4,
+        },
+        seed: 42,
+        entry_addr: "127.0.0.1:0".to_string(),
+        server_addrs: vec!["127.0.0.1:0".to_string(); 3],
+        schedule: vec![
+            ScheduleEntry::Conversation {
+                pairs: 2,
+                singles: 1,
+            },
+            ScheduleEntry::Dialing { dials: 2, drops: 4 },
+            ScheduleEntry::Conversation {
+                pairs: 1,
+                singles: 0,
+            },
+            ScheduleEntry::Conversation {
+                pairs: 0,
+                singles: 2,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_smoke_deployment_matches_builtin() {
+        // `deploy/smoke.json` is what CI's deploy-smoke job launches;
+        // regenerate it with `vuvuzela-launch --dump-config` if
+        // `smoke_config` changes.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("deploy/smoke.json");
+        let committed = load_config(&path).expect("committed smoke deployment parses");
+        assert_eq!(committed.digest(), smoke_config().digest());
+    }
+
+    #[test]
+    fn deployment_config_roundtrips_and_rejects_typos() {
+        let cfg = smoke_config();
+        let back = DeploymentConfig::from_json(&cfg.to_json()).expect("round-trips");
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.entry_addr, cfg.entry_addr);
+        assert_eq!(back.server_addrs, cfg.server_addrs);
+        assert_eq!(back.schedule, cfg.schedule);
+        assert_eq!(back.digest(), cfg.digest());
+
+        let mut value = cfg.to_json();
+        if let Value::Object(map) = &mut value {
+            map.insert("entry_address".to_string(), Value::from("x"));
+        }
+        let err = DeploymentConfig::from_json(&value).expect_err("typo");
+        assert!(err.contains("entry_address"), "{err}");
+
+        let mut value = cfg.to_json();
+        if let Value::Object(map) = &mut value {
+            if let Some(Value::Array(schedule)) = map.get_mut("schedule") {
+                schedule[0] = json!({"type": "conversation", "pair": 1, "singles": 0});
+            }
+        }
+        let err = DeploymentConfig::from_json(&value).expect_err("nested typo");
+        assert!(err.contains("pair"), "{err}");
+    }
+
+    #[test]
+    fn addr_count_must_match_chain_len() {
+        let mut cfg = smoke_config();
+        cfg.server_addrs.pop();
+        let err = DeploymentConfig::from_json(&cfg.to_json()).expect_err("mismatch");
+        assert!(err.contains("chain_len"), "{err}");
+    }
+
+    #[test]
+    fn client_rounds_are_deterministic() {
+        let cfg = smoke_config();
+        let pks = cfg.server_public_keys();
+        let a = build_client_round(&cfg, &pks, 0);
+        let b = build_client_round(&cfg, &pks, 0);
+        assert_eq!(a.onions, b.onions);
+        assert_eq!(a.messages, b.messages);
+        let c = build_client_round(&cfg, &pks, 2);
+        assert_ne!(a.onions, c.onions, "rounds draw distinct batches");
+    }
+}

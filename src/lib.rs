@@ -43,6 +43,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod deploy;
+
+pub use serde_json;
 pub use vuvuzela_adversary as adversary;
 pub use vuvuzela_baseline as baseline;
 pub use vuvuzela_core as core;

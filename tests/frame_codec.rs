@@ -1,0 +1,150 @@
+//! Property tests over the wire frame codec and the framed TCP reader:
+//! arbitrary frames round-trip, truncation never panics, and oversized
+//! length prefixes are rejected before any body is read.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use vuvuzela::net::tcp::{read_frame, write_frame};
+use vuvuzela::net::{Error, LinkId};
+use vuvuzela::wire::{BatchFrame, Frame, FrameError, Hello, RoundId, RoundType, MAX_FRAME_LEN};
+
+fn link_from(selector: u8, index: u32) -> LinkId {
+    match selector % 4 {
+        0 => LinkId::Clients,
+        1 => LinkId::Hop(index),
+        2 => LinkId::Cdn,
+        _ => LinkId::Client(index),
+    }
+}
+
+/// Builds one arbitrary frame from primitive draws (the vendored
+/// proptest has no tuple/oneof combinators).
+#[allow(clippy::too_many_arguments)]
+fn frame_from(
+    kind: u8,
+    link_selector: u8,
+    link_index: u32,
+    digest: [u8; 32],
+    round: u64,
+    flags: u8,
+    num_drops: u32,
+    stride: usize,
+    slack: usize,
+    count: usize,
+    trailer: Vec<u8>,
+) -> Frame {
+    let link = link_from(link_selector, link_index);
+    match kind % 3 {
+        0 => Frame::Hello(Hello {
+            link,
+            config_digest: digest,
+        }),
+        1 => {
+            let width = stride - slack.min(stride);
+            Frame::Batch(BatchFrame {
+                link,
+                round: RoundId(round),
+                round_type: if flags & 1 == 0 {
+                    RoundType::Conversation
+                } else {
+                    RoundType::Dialing
+                },
+                num_drops,
+                backward: flags & 2 != 0,
+                stride: stride as u32,
+                width: width as u32,
+                count: count as u32,
+                payload: vec![0xA7; stride * count],
+                trailer,
+            })
+        }
+        _ => Frame::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every encodable frame decodes back to itself, both through the
+    /// raw codec and through the length-prefixed TCP framing.
+    #[test]
+    fn frames_roundtrip(
+        kind in 0u8..3,
+        link_selector in any::<u8>(),
+        link_index in 0u32..16,
+        digest in any::<[u8; 32]>(),
+        round in any::<u64>(),
+        flags in any::<u8>(),
+        num_drops in 0u32..64,
+        stride in 1usize..32,
+        slack in 0usize..8,
+        count in 0usize..32,
+        trailer in collection::vec(any::<u8>(), 0..48),
+    ) {
+        let frame = frame_from(
+            kind, link_selector, link_index, digest, round, flags, num_drops,
+            stride, slack, count, trailer,
+        );
+        let body = frame.encode();
+        prop_assert_eq!(body.len(), frame.encoded_len());
+        prop_assert_eq!(Frame::decode(&body).expect("decodes"), frame.clone());
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, LinkId::Clients, &frame).expect("writes");
+        let mut cursor = Cursor::new(wire);
+        prop_assert_eq!(read_frame(&mut cursor, LinkId::Clients).expect("reads"), frame);
+        prop_assert!(matches!(
+            read_frame(&mut cursor, LinkId::Clients),
+            Err(Error::Disconnected { .. })
+        ));
+    }
+
+    /// Truncating an encoded frame at any point yields a decode error,
+    /// never a panic or a bogus success.
+    #[test]
+    fn truncation_never_panics(
+        kind in 0u8..3,
+        stride in 1usize..32,
+        count in 0usize..32,
+        trailer in collection::vec(any::<u8>(), 0..48),
+        cut in 0usize..4096,
+    ) {
+        let frame = frame_from(
+            kind, 1, 3, [7; 32], 12, 1, 5, stride, 0, count, trailer,
+        );
+        let body = frame.encode();
+        let cut = cut % body.len().max(1);
+        prop_assert!(Frame::decode(&body[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of an encoded frame either still decodes
+    /// (payload/trailer bytes are opaque) or errors — it never panics.
+    #[test]
+    fn corruption_never_panics(
+        kind in 0u8..3,
+        stride in 1usize..32,
+        count in 0usize..32,
+        at in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let frame = frame_from(
+            kind, 0, 0, [9; 32], 3, 2, 0, stride, 1, count, vec![1, 2],
+        );
+        let mut body = frame.encode();
+        let at = at % body.len();
+        body[at] ^= xor;
+        let _ = Frame::decode(&body);
+    }
+
+    /// Length prefixes above MAX_FRAME_LEN are rejected on the prefix
+    /// alone — no body allocation, no read past the prefix.
+    #[test]
+    fn oversized_prefix_rejected(extra in 1u64..=u64::from(u32::MAX) - MAX_FRAME_LEN as u64) {
+        let len = MAX_FRAME_LEN as u64 + extra;
+        let mut cursor = Cursor::new((len as u32).to_le_bytes().to_vec());
+        prop_assert!(matches!(
+            read_frame(&mut cursor, LinkId::Hop(0)),
+            Err(Error::Frame { source: FrameError::Oversized { .. }, .. })
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Transport-equivalence pins: the same scripted deployment schedule
+//! must produce **byte-identical transcripts** across all three
+//! execution modes —
+//!
+//! 1. the in-process sequential [`vuvuzela::core::Chain`]
+//!    (`deploy::run_reference`),
+//! 2. transport-driven nodes over in-memory endpoints
+//!    ([`vuvuzela::net::memory_pair`]),
+//! 3. transport-driven nodes over loopback TCP (ephemeral ports, one
+//!    thread per node standing in for the per-process bins).
+//!
+//! The separate-OS-process variant of (3) is exercised by
+//! `vuvuzela-launch --check` in CI's deploy-smoke job.
+
+use std::sync::Arc;
+use vuvuzela::core::chain::build_server;
+use vuvuzela::core::node::{run_entry_node, run_server_node};
+use vuvuzela::deploy::{self, DeploymentConfig};
+use vuvuzela::net::link::Link;
+use vuvuzela::net::transport::memory_pair;
+use vuvuzela::net::{LinkId, Transport};
+
+fn smoke() -> DeploymentConfig {
+    deploy::smoke_config()
+}
+
+/// Mode 2: nodes over in-memory endpoints, client driven by the same
+/// `deploy::run_client` the TCP bin uses.
+fn run_memory(cfg: &DeploymentConfig) -> String {
+    let chain_len = cfg.system.chain_len;
+    let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+    // For hop i, `send_ends[i]` goes to the upstream node (entry or
+    // server i-1) and `recv_ends[i]` to server i.
+    let mut send_ends = Vec::new();
+    let mut recv_ends = Vec::new();
+    for i in 0..chain_len {
+        let (a, b) = memory_pair(Arc::new(Link::new(LinkId::Hop(i as u32))));
+        send_ends.push(a);
+        recv_ends.push(b);
+    }
+
+    let mut handles = Vec::new();
+    let entry_down = send_ends.remove(0);
+    let cfg_entry = cfg.system.clone();
+    handles.push(std::thread::spawn(move || {
+        run_entry_node(&cfg_entry, &entry_client_end, &entry_down).expect("entry node");
+    }));
+    for position in 0..chain_len {
+        let up = recv_ends.remove(0);
+        // After removing the entry's end, `send_ends[0]` is hop
+        // `position + 1`'s sending side.
+        let down = if position + 1 < chain_len {
+            Some(send_ends.remove(0))
+        } else {
+            None
+        };
+        let server = build_server(&cfg.system, cfg.seed, position);
+        let system = cfg.system.clone();
+        let seed = cfg.seed;
+        handles.push(std::thread::spawn(move || {
+            run_server_node(
+                server,
+                &system,
+                seed,
+                &up,
+                down.as_ref().map(|d| d as &dyn Transport),
+            )
+            .expect("server node");
+        }));
+    }
+
+    let transcript = deploy::run_client(cfg, &client_end).expect("memory client");
+    for handle in handles {
+        handle.join().expect("node thread");
+    }
+    transcript
+}
+
+/// Mode 3: nodes over loopback TCP with ephemeral ports, one thread per
+/// node running exactly the code the bins run.
+fn run_loopback_tcp(cfg: &DeploymentConfig) -> String {
+    let cfg = cfg.clone();
+    let mut handles = Vec::new();
+    for position in (0..cfg.system.chain_len).rev() {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            deploy::serve_server(&cfg, position).expect("server");
+        }));
+    }
+    {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            deploy::serve_entry(&cfg).expect("entry");
+        }));
+    }
+    let transcript = deploy::run_client_tcp(&cfg).expect("tcp client");
+    for handle in handles {
+        handle.join().expect("node thread");
+    }
+    transcript
+}
+
+#[test]
+fn all_three_transports_produce_identical_transcripts() {
+    // Resolve `:0` ports once so all three modes share one concrete
+    // config (the digest in the transcript header covers addresses).
+    let mut cfg = smoke();
+    deploy::resolve_ephemeral_ports(&mut cfg).expect("free loopback ports");
+    let reference = deploy::run_reference(&cfg);
+    assert!(
+        reference.contains("round 0 conversation"),
+        "reference transcript covers the schedule:\n{reference}"
+    );
+
+    let memory = run_memory(&cfg);
+    assert_eq!(
+        memory, reference,
+        "in-memory transport diverged from the sequential chain"
+    );
+
+    let tcp = run_loopback_tcp(&cfg);
+    assert_eq!(
+        tcp, reference,
+        "loopback TCP transport diverged from the sequential chain"
+    );
+}
+
+#[test]
+fn transcripts_react_to_seed_and_schedule() {
+    let cfg = smoke();
+    let mut other = smoke();
+    other.seed ^= 1;
+    assert_ne!(
+        deploy::run_reference(&cfg),
+        deploy::run_reference(&other),
+        "different seeds must not collide"
+    );
+
+    let mut shorter = smoke();
+    shorter.schedule.pop();
+    assert_ne!(deploy::run_reference(&cfg), deploy::run_reference(&shorter));
+}
+
+#[test]
+fn paired_exchanges_verify_in_every_round() {
+    let cfg = smoke();
+    let reference = deploy::run_reference(&cfg);
+    // smoke_config rounds: 2 pairs -> 4 verified, then 1 pair -> 2, then
+    // 0 pairs -> 0. Pin the counts so verification is known-effective.
+    assert!(reference.contains("verified 4"), "{reference}");
+    assert!(reference.contains("verified 2"), "{reference}");
+    assert!(reference.contains("verified 0"), "{reference}");
+}
