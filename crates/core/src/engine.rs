@@ -1,0 +1,345 @@
+//! The shared per-server **round engine**: one implementation of the
+//! round state machine, two runtimes.
+//!
+//! Both deployment shapes — the in-process streaming pipeline
+//! ([`crate::pipeline::StreamingChain`], one OS thread per server) and
+//! the transport-driven wire nodes ([`crate::node`], one OS *process*
+//! per server) — used to carry their own copy of the same per-server
+//! round loop: peel/noise/shuffle on the forward leg, the tail's
+//! dead-drop exchange or invitation deposit, the backward pass on
+//! conversation replies. This module is that loop, extracted once:
+//!
+//! * [`RoundEngine`] wraps one [`MixServer`] (whose `rounds` table
+//!   already holds per-round state for any number of in-flight rounds
+//!   of both protocols) and turns each round-tagged input batch into
+//!   the *step* its runtime must perform next — forward the batch,
+//!   turn a conversation round around, or complete a forward-only
+//!   dialing round. The engine is transport-agnostic: the pipeline
+//!   routes steps onto mpsc hand-off queues, the wire nodes onto
+//!   [`vuvuzela_net::Transport`] frames. Because every source of round
+//!   randomness is a pure function of `(seed, round)` (see
+//!   [`crate::pipeline`] module docs), the two runtimes produce
+//!   byte-identical rounds by construction — there is no second copy
+//!   of the recipe left to drift.
+//! * [`AdmissionWindow`] is the bounded in-flight window both drivers
+//!   enforce, measured in weighted slots priced by
+//!   [`admission_weights`]: the streaming feeder and the wire client
+//!   driver *block* on a full window, the wire entry node *rejects*
+//!   (a peer pushing past the window is a protocol violation, and the
+//!   rejection is deterministic — it depends only on the admitted-minus
+//!   -completed ledger, never on timing).
+
+use crate::chain::{deposit_dialing, exchange_conversation, Chain, RoundTiming};
+use crate::config::SystemConfig;
+use crate::deaddrops::InvitationDrops;
+use crate::noise::expected_noise_per_server;
+use crate::observables::ConversationObservables;
+use crate::roundbuf::RoundBuffer;
+use crate::server::{MixServer, RoundKind};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What a server's runtime must do with the batch the engine just
+/// processed.
+pub enum EngineStep {
+    /// Hand the peeled/noised/shuffled batch to the downstream
+    /// neighbour (every non-tail server, both protocols).
+    Forward {
+        /// Round the batch belongs to.
+        round: u64,
+        /// The round's protocol tag (carries dialing's drop count).
+        kind: RoundKind,
+        /// The batch to forward.
+        buf: RoundBuffer,
+    },
+    /// Tail conversation turnaround: the dead-drop exchange ran, the
+    /// tail's backward pass is applied — hand the replies to the
+    /// upstream neighbour together with the round's observables.
+    Turnaround {
+        /// Round that turned around.
+        round: u64,
+        /// The replies, tail backward pass applied.
+        replies: RoundBuffer,
+        /// What a compromised tail observes of this round.
+        observables: ConversationObservables,
+    },
+    /// Tail dialing completion: the invitations are deposited and the
+    /// round's reply state discarded (dialing is forward-only). The
+    /// runtime decides whether to retain the drops (in-process CDN
+    /// download path) or only their observables (the wire completion
+    /// notice's trailer).
+    DialingComplete {
+        /// Round that completed.
+        round: u64,
+        /// The round's invitation drop count (§5.4's *m*).
+        num_drops: u32,
+        /// The filled invitation drops.
+        drops: InvitationDrops,
+    },
+}
+
+/// One mix server's round state machine, shared by the streaming
+/// pipeline stages and the wire node runtime.
+///
+/// The engine borrows the server for the duration of one schedule; the
+/// server's own `rounds` table is the per-round state store, so any
+/// number of rounds of both protocols may be in flight at once —
+/// exactly what the windowed/pipelined wire mode needs.
+pub struct RoundEngine<'a> {
+    server: &'a mut MixServer,
+    chain_len: usize,
+    exchange_shards: usize,
+    workers: usize,
+    seed: u64,
+}
+
+impl<'a> RoundEngine<'a> {
+    /// Wraps `server` (built by [`crate::chain::build_server`] or taken
+    /// from a [`Chain`]) for one schedule. `seed` is the *chain* seed
+    /// shared by the whole deployment — the tail derives each round's
+    /// chain-level RNG from it.
+    #[must_use]
+    pub fn new(server: &'a mut MixServer, config: &SystemConfig, seed: u64) -> RoundEngine<'a> {
+        RoundEngine {
+            server,
+            chain_len: config.chain_len,
+            exchange_shards: config.exchange_shards,
+            workers: config.workers,
+            seed,
+        }
+    }
+
+    /// Whether this server is the chain's tail (runs the exchange /
+    /// deposit instead of forwarding).
+    #[must_use]
+    pub fn is_tail(&self) -> bool {
+        self.server.is_last()
+    }
+
+    /// The onion width this server expects on its incoming forward leg
+    /// for a round of `kind` — protocol validation for wire inputs.
+    #[must_use]
+    pub fn incoming_width(&self, kind: RoundKind) -> usize {
+        self.server.incoming_width(kind)
+    }
+
+    /// Runs the forward pass for one round-tagged batch and says what
+    /// to do next. Non-tail servers get [`EngineStep::Forward`] (the
+    /// engine has already discarded a dialing round's reply state —
+    /// dialing is forward-only); the tail gets the round's turnaround
+    /// or completion. Per-stage durations accumulate into `timing`.
+    pub fn forward(
+        &mut self,
+        round: u64,
+        kind: RoundKind,
+        buf: RoundBuffer,
+        timing: &mut RoundTiming,
+    ) -> EngineStep {
+        let clock = Instant::now();
+        let buf = self.server.forward_buf(round, kind, buf);
+        timing.forward.push(clock.elapsed());
+        if !self.is_tail() {
+            if matches!(kind, RoundKind::Dialing { .. }) {
+                // Forward-only: this hop keeps no reply state.
+                self.server.abort_round(round);
+            }
+            return EngineStep::Forward { round, kind, buf };
+        }
+        match kind {
+            RoundKind::Conversation => {
+                let clock = Instant::now();
+                let mut rng = Chain::chain_round_rng(self.seed, round);
+                let (replies, observables) = exchange_conversation(
+                    &mut rng,
+                    self.chain_len,
+                    self.exchange_shards,
+                    self.workers,
+                    &buf,
+                );
+                timing.exchange = clock.elapsed();
+                let clock = Instant::now();
+                let replies = self.server.backward_buf(round, replies);
+                timing.backward.push(clock.elapsed());
+                EngineStep::Turnaround {
+                    round,
+                    replies,
+                    observables,
+                }
+            }
+            RoundKind::Dialing { num_drops } => {
+                let clock = Instant::now();
+                let mut rng = Chain::chain_round_rng(self.seed, round);
+                let drops = deposit_dialing(&mut rng, self.server, round, num_drops, &buf);
+                timing.exchange = clock.elapsed();
+                self.server.abort_round(round);
+                EngineStep::DialingComplete {
+                    round,
+                    num_drops,
+                    drops,
+                }
+            }
+        }
+    }
+
+    /// Runs this server's backward pass on a conversation round's
+    /// replies arriving from downstream (non-tail servers only — the
+    /// tail's backward pass already ran inside its turnaround).
+    pub fn backward(
+        &mut self,
+        round: u64,
+        replies: RoundBuffer,
+        timing: &mut RoundTiming,
+    ) -> RoundBuffer {
+        let clock = Instant::now();
+        let replies = self.server.backward_buf(round, replies);
+        timing.backward.push(clock.elapsed());
+        replies
+    }
+}
+
+/// A round's admission cost: the expected number of onions it puts in
+/// flight across the chain — its client batch plus every noising
+/// server's expected cover traffic (the dp planner's per-round-type
+/// noise budget).
+fn round_cost(config: &SystemConfig, kind: RoundKind, batch_len: usize) -> f64 {
+    let noising_servers = config.chain_len.saturating_sub(1) as f64;
+    batch_len as f64 + noising_servers * expected_noise_per_server(kind, config)
+}
+
+/// The number of window slots each `(kind, batch_len)` round of a
+/// schedule occupies under weighted admission: cost relative to the
+/// mean conversation round, rounded, clamped to `[1, window]`. A
+/// schedule containing a single round kind collapses to weight 1 per
+/// round — homogeneous schedules keep the plain round-counting window;
+/// weights only throttle genuinely mixed schedules, where the two
+/// protocols' per-round costs diverge by orders of magnitude. Both the
+/// streaming feeder and the wire client driver price their schedules
+/// with this one function, so the two runtimes throttle identically.
+#[must_use]
+pub fn admission_weights(
+    config: &SystemConfig,
+    window: usize,
+    rounds: &[(RoundKind, usize)],
+) -> Vec<usize> {
+    let conversation_costs: Vec<f64> = rounds
+        .iter()
+        .filter(|(kind, _)| matches!(kind, RoundKind::Conversation))
+        .map(|&(kind, batch_len)| round_cost(config, kind, batch_len))
+        .collect();
+    if conversation_costs.is_empty() || conversation_costs.len() == rounds.len() {
+        return vec![1; rounds.len()];
+    }
+    let slot = (conversation_costs.iter().sum::<f64>() / conversation_costs.len() as f64).max(1.0);
+    rounds
+        .iter()
+        .map(|&(kind, batch_len)| {
+            let cost = round_cost(config, kind, batch_len);
+            ((cost / slot).round() as usize).clamp(1, window.max(1))
+        })
+        .collect()
+}
+
+/// The bounded in-flight window, measured in weighted slots.
+///
+/// One ledger, three drivers: the streaming feeder and the wire client
+/// driver ask [`AdmissionWindow::would_block`] and *wait* for a
+/// completion when it says so; the wire entry node asks the same
+/// question and *rejects* the round instead (a client pushing past the
+/// window violates the wire protocol). The progress guarantee is built
+/// into `would_block`: a round heavier than the whole window does not
+/// block an *empty* window, so heavy dialing rounds throttle admission
+/// but can never wedge it.
+#[derive(Debug)]
+pub struct AdmissionWindow {
+    window: usize,
+    occupied: usize,
+    admitted: HashMap<u64, usize>,
+}
+
+impl AdmissionWindow {
+    /// A window of `window` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> AdmissionWindow {
+        assert!(window > 0, "need at least one round in flight");
+        AdmissionWindow {
+            window,
+            occupied: 0,
+            admitted: HashMap::new(),
+        }
+    }
+
+    /// Whether admitting a round of `weight` slots must wait for a
+    /// completion first. An empty window never blocks (progress
+    /// guarantee for rounds heavier than the whole window).
+    #[must_use]
+    pub fn would_block(&self, weight: usize) -> bool {
+        self.occupied > 0 && self.occupied + weight > self.window
+    }
+
+    /// Records `round` as admitted at `weight` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round is already in flight (duplicate round ids
+    /// are a caller bug, not a runtime condition).
+    pub fn admit(&mut self, round: u64, weight: usize) {
+        let previous = self.admitted.insert(round, weight);
+        assert!(previous.is_none(), "round {round} admitted twice");
+        self.occupied += weight;
+    }
+
+    /// Releases `round`'s slots; returns the weight released, or `None`
+    /// if the round was never admitted (the wire runtimes turn that
+    /// into a protocol error).
+    pub fn complete(&mut self, round: u64) -> Option<usize> {
+        let weight = self.admitted.remove(&round)?;
+        self.occupied -= weight;
+        Some(weight)
+    }
+
+    /// Rounds currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Slots currently occupied.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_blocks_and_releases() {
+        let mut window = AdmissionWindow::new(3);
+        assert!(!window.would_block(5), "empty window never blocks");
+        window.admit(0, 2);
+        assert!(window.would_block(2), "2 + 2 > 3");
+        assert!(!window.would_block(1));
+        window.admit(1, 1);
+        assert_eq!(window.in_flight(), 2);
+        assert_eq!(window.occupied(), 3);
+        assert!(window.would_block(1));
+        assert_eq!(window.complete(0), Some(2));
+        assert!(!window.would_block(2));
+        assert_eq!(window.complete(0), None, "double completion is caught");
+        assert_eq!(window.complete(7), None, "unknown rounds are caught");
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn duplicate_admission_panics() {
+        let mut window = AdmissionWindow::new(2);
+        window.admit(3, 1);
+        window.admit(3, 1);
+    }
+}

@@ -21,9 +21,14 @@
 //!   with a weighted window of rounds in flight, hops overlapped across
 //!   rounds, conversation and dialing rounds mixed in one pipeline,
 //!   byte-identical per-round results.
+//! * [`engine`] — the shared per-server round engine: the one
+//!   implementation of the forward/turnaround/backward state machine
+//!   and the weighted admission window, driven by both the streaming
+//!   pipeline stages and the wire node runtimes.
 //! * [`node`] — transport-driven node runtimes: one mix server or the
 //!   entry as its own process behind the [`vuvuzela_net::Transport`]
-//!   seam, byte-identical to the in-process chain.
+//!   seam, byte-identical to the in-process chain; supports windowed
+//!   (pipelined) rounds over demuxed blocking links.
 //! * [`client`] — the client state machine (Algorithm 1): real/fake
 //!   exchanges, message framing, retransmission, dialing and invitation
 //!   scanning.
@@ -53,6 +58,7 @@ pub mod client;
 pub mod cohort;
 pub mod config;
 pub mod deaddrops;
+pub mod engine;
 pub mod entry;
 pub mod keystore;
 pub mod node;

@@ -5,13 +5,15 @@
 //! same loop runs over in-memory endpoints (tests, and the equivalence
 //! harness that pins them against [`crate::chain::Chain`]) and over the
 //! framed TCP backend (the `vuvuzela-server` / `vuvuzela-entry` bins,
-//! one OS process per node).
+//! one OS process per node). The round recipe itself — peel, noise,
+//! shuffle, exchange/deposit, backward pass — lives in the shared
+//! [`crate::engine::RoundEngine`]; this module only moves frames.
 //!
 //! ## Wire protocol
 //!
-//! Rounds travel as [`BatchFrame`]s. The entry admits one client batch,
-//! re-frames it onto hop 0, and each server peels, noises and shuffles
-//! it forward. The last server runs the round's tail — the dead-drop
+//! Rounds travel as [`BatchFrame`]s. The entry admits client batches,
+//! re-frames them onto hop 0, and each server peels, noises and shuffles
+//! them forward. The last server runs each round's tail — the dead-drop
 //! exchange for conversations, the invitation deposit for dialing — and
 //! turns the round around: a backward frame carrying the replies (or a
 //! zero-count *completion* frame for forward-only dialing rounds) walks
@@ -25,25 +27,44 @@
 //! (and ultimately the deployment client building the transcript) sees
 //! exactly what the tail measured.
 //!
-//! Rounds are strictly sequential — the entry admits the next batch
-//! only after the previous round's backward frame has returned, exactly
-//! like the reference [`crate::chain::Chain`] scheduler (the paper's §8.2
-//! observation that "one server cannot start processing a round until
-//! the previous server finishes" makes the chain itself sequential per
-//! round; cross-round overlap stays with the in-process
-//! [`crate::pipeline::StreamingChain`]). One batch in flight at a time
-//! also makes the blocking socket-per-link backend deadlock-free by
-//! construction. Orderly shutdown is a [`Frame::Bye`] relayed down the
-//! chain; FIFO links guarantee no batch is abandoned behind it.
+//! ## Windowed rounds
+//!
+//! Up to `chain_len` rounds may be in flight at once — the wire
+//! counterpart of [`crate::pipeline::StreamingChain`]'s in-process
+//! window, and the paper's §8.2 pipelining argument applied across
+//! process boundaries: the chain is sequential *within* a round, so
+//! throughput comes from overlapping consecutive rounds across hops.
+//! The entry enforces the window with
+//! [`crate::engine::AdmissionWindow`] and rejects a client pushing past
+//! it (deterministically — the decision depends only on the
+//! admitted-minus-completed ledger). Because links now carry
+//! interleaved rounds, each node demuxes its blocking transports
+//! through [`vuvuzela_net::Demux`] (one reader thread per link feeding
+//! one event queue), which keeps every socket's receive side drained —
+//! the deadlock-freedom argument for blocking sends. Frame order per
+//! link and direction follows [`vuvuzela_wire::sequence`]'s rules,
+//! asserted here with [`RoundSequencer`]s on the forward legs and
+//! admission-order matching on the backward legs.
+//!
+//! Shutdown is a bidirectional [`Frame::Bye`] handshake: the client
+//! side sends the forward `Bye` after its last batch, each node relays
+//! it downstream (FIFO guarantees no batch is abandoned behind it), the
+//! tail answers with the backward `Bye` after its last backward frame,
+//! and each node relays that upstream once every round it forwarded has
+//! come back — so a node returning its [`NodeStats`] has provably
+//! finished every admitted round.
 
-use crate::chain::{deposit_dialing, exchange_conversation, Chain};
+use crate::chain::RoundTiming;
 use crate::config::SystemConfig;
+use crate::engine::{AdmissionWindow, EngineStep, RoundEngine};
 use crate::observables::{ConversationObservables, DialingObservables};
 use crate::roundbuf::RoundBuffer;
 use crate::server::{MixServer, RoundKind};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use vuvuzela_crypto::onion;
-use vuvuzela_net::{Error, Transport};
-use vuvuzela_wire::{BatchFrame, Frame, LinkId, RoundId, RoundType};
+use vuvuzela_net::{Demux, Error, Transport};
+use vuvuzela_wire::{BatchFrame, Frame, LinkId, RoundId, RoundSequencer, RoundType};
 
 /// The tail's per-round observables, encoded into the backward frame's
 /// opaque trailer and relayed untouched by every intermediate hop.
@@ -204,8 +225,18 @@ fn buf_from_frame(frame: BatchFrame) -> RoundBuffer {
     )
 }
 
-/// Runs one mix server as a transport-driven node until the upstream
-/// peer says [`Frame::Bye`].
+/// Which neighbour a demuxed frame arrived from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    /// The upstream neighbour (clients for the entry, the previous hop
+    /// for a server).
+    Upstream,
+    /// The downstream neighbour (the next hop).
+    Downstream,
+}
+
+/// Runs one mix server as a transport-driven node until the `Bye`
+/// handshake completes, any number of rounds in flight.
 ///
 /// `seed` is the *chain* seed shared by the whole deployment (the tail
 /// derives the round's chain-level RNG from it, exactly like
@@ -219,95 +250,162 @@ fn buf_from_frame(frame: BatchFrame) -> RoundBuffer {
 ///
 /// # Errors
 ///
-/// Any transport failure, or a [`Error::Protocol`] when a peer violates
-/// the round protocol (backward frame on the forward leg, mismatched
-/// round number, wrong onion width for this hop).
+/// Any transport failure, or a [`Error::Protocol`] / [`Error::Frame`]
+/// when a peer violates the round protocol (backward frame on the
+/// forward leg, out-of-order round ids, wrong onion width for this hop,
+/// a `Bye` with rounds still in flight).
 pub fn run_server_node(
     mut server: MixServer,
     config: &SystemConfig,
     seed: u64,
-    upstream: &dyn Transport,
-    downstream: Option<&dyn Transport>,
+    upstream: Arc<dyn Transport>,
+    downstream: Option<Arc<dyn Transport>>,
 ) -> Result<NodeStats, Error> {
+    let up_link = upstream.link_id();
+    let mut engine = RoundEngine::new(&mut server, config, seed);
     let mut stats = NodeStats::default();
-    loop {
-        let frame = match upstream.recv()? {
-            Frame::Batch(frame) => frame,
-            Frame::Bye => {
-                if let Some(down) = downstream {
-                    down.send(Frame::Bye)?;
-                }
-                return Ok(stats);
-            }
-            Frame::Hello(_) => {
-                return Err(protocol(upstream.link_id(), "unexpected hello mid-stream"))
-            }
-        };
-        if frame.backward {
-            return Err(protocol(
-                upstream.link_id(),
-                "backward frame on the forward leg",
-            ));
-        }
-        let round = frame.round.0;
-        let round_type = frame.round_type;
-        let kind = round_kind(&frame);
-        if frame.width as usize != server.incoming_width(kind) {
-            return Err(protocol(
-                upstream.link_id(),
-                format!(
-                    "round {round} batch width {} but this hop expects {}",
-                    frame.width,
-                    server.incoming_width(kind)
-                ),
-            ));
-        }
-        let buf = server.forward_buf(round, kind, buf_from_frame(frame));
+    let mut forward_seq = RoundSequencer::new();
+    // Rounds forwarded downstream whose backward frame is still out;
+    // backward frames must return in exactly this order (see the wire
+    // crate's sequencing rules).
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    let mut upstream_done = false;
 
-        match downstream {
-            Some(down) => {
-                let num_drops = match kind {
-                    RoundKind::Dialing { num_drops } => num_drops,
-                    RoundKind::Conversation => 0,
-                };
-                down.send(frame_from_buf(
-                    down.link_id(),
-                    round,
-                    round_type,
-                    num_drops,
-                    false,
-                    buf,
-                    Vec::new(),
-                ))?;
-                if matches!(kind, RoundKind::Dialing { .. }) {
-                    // Forward-only: this hop keeps no reply state.
-                    server.abort_round(round);
+    let mut links: Vec<(Side, Arc<dyn Transport>)> = vec![(Side::Upstream, Arc::clone(&upstream))];
+    if let Some(down) = &downstream {
+        links.push((Side::Downstream, Arc::clone(down)));
+    }
+    let demux = Demux::new(links);
+
+    while let Some(event) = demux.recv() {
+        match (event.from, event.event?) {
+            (Side::Upstream, Frame::Batch(frame)) => {
+                if frame.backward {
+                    return Err(protocol(up_link, "backward frame on the forward leg"));
                 }
-                let back = match down.recv()? {
-                    Frame::Batch(back) if back.backward && back.round.0 == round => back,
-                    Frame::Batch(back) => {
-                        return Err(protocol(
+                forward_seq
+                    .observe(frame.round)
+                    .map_err(|source| Error::Frame {
+                        link: up_link,
+                        source,
+                    })?;
+                let round = frame.round.0;
+                let round_type = frame.round_type;
+                let kind = round_kind(&frame);
+                if frame.width as usize != engine.incoming_width(kind) {
+                    return Err(protocol(
+                        up_link,
+                        format!(
+                            "round {round} batch width {} but this hop expects {}",
+                            frame.width,
+                            engine.incoming_width(kind)
+                        ),
+                    ));
+                }
+                let mut timing = RoundTiming::default();
+                match engine.forward(round, kind, buf_from_frame(frame), &mut timing) {
+                    EngineStep::Forward { round, kind, buf } => {
+                        let down = downstream.as_ref().expect("non-tail has a downstream");
+                        let num_drops = match kind {
+                            RoundKind::Dialing { num_drops } => num_drops,
+                            RoundKind::Conversation => 0,
+                        };
+                        down.send(frame_from_buf(
                             down.link_id(),
+                            round,
+                            round_type,
+                            num_drops,
+                            false,
+                            buf,
+                            Vec::new(),
+                        ))?;
+                        pending.push_back(round);
+                    }
+                    EngineStep::Turnaround {
+                        round,
+                        replies,
+                        observables,
+                    } => {
+                        upstream.send(frame_from_buf(
+                            up_link,
+                            round,
+                            RoundType::Conversation,
+                            0,
+                            true,
+                            replies,
+                            RoundTrailer::Conversation(observables).encode(),
+                        ))?;
+                        stats.bump(RoundType::Conversation);
+                    }
+                    EngineStep::DialingComplete {
+                        round,
+                        num_drops,
+                        drops,
+                    } => {
+                        upstream.send(Frame::Batch(BatchFrame {
+                            link: up_link,
+                            round: RoundId(round),
+                            round_type: RoundType::Dialing,
+                            num_drops,
+                            backward: true,
+                            stride: 0,
+                            width: 0,
+                            count: 0,
+                            payload: Vec::new(),
+                            trailer: RoundTrailer::Dialing(drops.observables()).encode(),
+                        }))?;
+                        stats.bump(RoundType::Dialing);
+                    }
+                }
+            }
+            (Side::Upstream, Frame::Bye) => {
+                upstream_done = true;
+                match &downstream {
+                    // Relay and keep draining the backward leg.
+                    Some(down) => down.send(Frame::Bye)?,
+                    None => {
+                        // Tail: FIFO means every admitted round is
+                        // already turned around — answer the backward
+                        // bye and finish.
+                        upstream.send(Frame::Bye)?;
+                        return Ok(stats);
+                    }
+                }
+            }
+            (Side::Downstream, Frame::Batch(back)) => {
+                let down_link = downstream.as_ref().expect("tagged downstream").link_id();
+                if !back.backward {
+                    return Err(protocol(down_link, "forward frame on the backward leg"));
+                }
+                let round = back.round.0;
+                match pending.front() {
+                    Some(&expected) if expected == round => {
+                        pending.pop_front();
+                    }
+                    Some(&expected) => {
+                        return Err(protocol(
+                            down_link,
                             format!(
-                                "expected the backward frame of round {round}, got round {} \
-                                 (backward: {})",
-                                back.round.0, back.backward
+                                "expected the backward frame of round {expected}, got round \
+                                 {round}"
                             ),
                         ))
                     }
-                    other => {
+                    None => {
                         return Err(protocol(
-                            down.link_id(),
-                            format!("expected the backward frame of round {round}, got {other:?}"),
+                            down_link,
+                            format!("unsolicited backward frame for round {round}"),
                         ))
                     }
-                };
-                match back.round_type {
+                }
+                let round_type = back.round_type;
+                match round_type {
                     RoundType::Conversation => {
                         let trailer = back.trailer.clone();
-                        let replies = server.backward_buf(round, buf_from_frame(back));
+                        let mut timing = RoundTiming::default();
+                        let replies = engine.backward(round, buf_from_frame(back), &mut timing);
                         upstream.send(frame_from_buf(
-                            upstream.link_id(),
+                            up_link,
                             round,
                             RoundType::Conversation,
                             0,
@@ -317,135 +415,196 @@ pub fn run_server_node(
                         ))?;
                     }
                     // A dialing completion: relay untouched (trailer and
-                    // all); the round was already aborted above.
+                    // all); the round was aborted on the forward pass.
                     RoundType::Dialing => upstream.send(Frame::Batch(BatchFrame {
-                        link: upstream.link_id(),
+                        link: up_link,
                         ..back
                     }))?,
                 }
+                stats.bump(round_type);
             }
-            None => match kind {
-                RoundKind::Conversation => {
-                    let mut rng = Chain::chain_round_rng(seed, round);
-                    let (replies, observables) = exchange_conversation(
-                        &mut rng,
-                        config.chain_len,
-                        config.exchange_shards,
-                        config.workers,
-                        &buf,
-                    );
-                    let replies = server.backward_buf(round, replies);
-                    upstream.send(frame_from_buf(
-                        upstream.link_id(),
-                        round,
-                        RoundType::Conversation,
-                        0,
-                        true,
-                        replies,
-                        RoundTrailer::Conversation(observables).encode(),
-                    ))?;
+            (Side::Downstream, Frame::Bye) => {
+                if !upstream_done || !pending.is_empty() {
+                    return Err(protocol(
+                        downstream.as_ref().expect("tagged downstream").link_id(),
+                        format!(
+                            "backward bye with {} rounds still in flight (forward bye seen: \
+                             {upstream_done})",
+                            pending.len()
+                        ),
+                    ));
                 }
-                RoundKind::Dialing { num_drops } => {
-                    let mut rng = Chain::chain_round_rng(seed, round);
-                    let drops = deposit_dialing(&mut rng, &mut server, round, num_drops, &buf);
-                    let observables = drops.observables();
-                    server.abort_round(round);
-                    upstream.send(Frame::Batch(BatchFrame {
-                        link: upstream.link_id(),
-                        round: RoundId(round),
-                        round_type: RoundType::Dialing,
-                        num_drops,
-                        backward: true,
-                        stride: 0,
-                        width: 0,
-                        count: 0,
-                        payload: Vec::new(),
-                        trailer: RoundTrailer::Dialing(observables).encode(),
-                    }))?;
-                }
-            },
+                upstream.send(Frame::Bye)?;
+                return Ok(stats);
+            }
+            (side, Frame::Hello(_)) => {
+                let link = match side {
+                    Side::Upstream => up_link,
+                    Side::Downstream => downstream.as_ref().expect("tagged downstream").link_id(),
+                };
+                return Err(protocol(link, "unexpected hello mid-stream"));
+            }
         }
-        stats.bump(round_type);
     }
+    Err(protocol(
+        up_link,
+        "links closed before the bye handshake completed",
+    ))
 }
 
-/// Runs the untrusted entry as a transport-driven node until the client
-/// side says [`Frame::Bye`].
+/// Runs the untrusted entry as a transport-driven node until the `Bye`
+/// handshake completes, admitting up to `chain_len` rounds in flight.
 ///
 /// The entry validates each client batch's geometry against the round's
-/// full onion width, re-frames it onto hop 0, and relays the round's
+/// full onion width, re-frames it onto hop 0, and relays each round's
 /// backward frame (replies or dialing completion, trailer included)
-/// back to the client side verbatim.
+/// back to the client side verbatim, in admission order. A client batch
+/// arriving while the admission window is full is a *protocol error*,
+/// not backpressure — the client driver owns pacing (it blocks before
+/// sending), so an over-admitting peer is misbehaving, and the
+/// rejection is deterministic because the window ledger depends only on
+/// the frames admitted and completed, never on timing.
 ///
 /// # Errors
 ///
-/// Any transport failure, or [`Error::Protocol`] when the client batch
-/// geometry is not the round's onion width or a peer breaks the round
-/// protocol.
+/// Any transport failure, or [`Error::Protocol`] / [`Error::Frame`]
+/// when the client batch geometry is not the round's onion width, the
+/// admission window is exceeded, round ids go out of order, or a peer
+/// breaks the round protocol.
 pub fn run_entry_node(
     config: &SystemConfig,
-    clients: &dyn Transport,
-    downstream: &dyn Transport,
+    clients: Arc<dyn Transport>,
+    downstream: Arc<dyn Transport>,
 ) -> Result<NodeStats, Error> {
+    let clients_link = clients.link_id();
+    let down_link = downstream.link_id();
     let mut stats = NodeStats::default();
-    loop {
-        let frame = match clients.recv()? {
-            Frame::Batch(frame) => frame,
-            Frame::Bye => {
+    let window_slots = config.chain_len.max(1);
+    let mut window = AdmissionWindow::new(window_slots);
+    let mut forward_seq = RoundSequencer::new();
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    let mut client_done = false;
+
+    let demux = Demux::new([
+        (Side::Upstream, Arc::clone(&clients)),
+        (Side::Downstream, Arc::clone(&downstream)),
+    ]);
+
+    while let Some(event) = demux.recv() {
+        match (event.from, event.event?) {
+            (Side::Upstream, Frame::Batch(frame)) => {
+                if frame.backward {
+                    return Err(protocol(
+                        clients_link,
+                        "backward frame on the client request leg",
+                    ));
+                }
+                forward_seq
+                    .observe(frame.round)
+                    .map_err(|source| Error::Frame {
+                        link: clients_link,
+                        source,
+                    })?;
+                let round = frame.round.0;
+                let width = onion::wrapped_len(round_kind(&frame).payload_len(), config.chain_len);
+                if frame.width as usize != width || frame.stride as usize != width {
+                    return Err(protocol(
+                        clients_link,
+                        format!(
+                            "round {round} client batch geometry {}/{} but the round's onion \
+                             width is {width}",
+                            frame.width, frame.stride
+                        ),
+                    ));
+                }
+                if window.would_block(1) {
+                    return Err(protocol(
+                        clients_link,
+                        format!(
+                            "round {round} exceeds the admission window ({} of {window_slots} \
+                             rounds in flight)",
+                            window.in_flight()
+                        ),
+                    ));
+                }
+                window.admit(round, 1);
+                pending.push_back(round);
+                downstream.send(Frame::Batch(BatchFrame {
+                    link: down_link,
+                    ..frame
+                }))?;
+            }
+            (Side::Upstream, Frame::Bye) => {
+                client_done = true;
                 downstream.send(Frame::Bye)?;
+            }
+            (Side::Downstream, Frame::Batch(back)) => {
+                if !back.backward {
+                    return Err(protocol(down_link, "forward frame on the backward leg"));
+                }
+                let round = back.round.0;
+                match pending.front() {
+                    Some(&expected) if expected == round => {
+                        pending.pop_front();
+                        window.complete(round);
+                    }
+                    Some(&expected) => {
+                        return Err(protocol(
+                            down_link,
+                            format!(
+                                "expected the backward frame of round {expected}, got round \
+                                 {round}"
+                            ),
+                        ))
+                    }
+                    None => {
+                        return Err(protocol(
+                            down_link,
+                            format!("unsolicited backward frame for round {round}"),
+                        ))
+                    }
+                }
+                let round_type = back.round_type;
+                clients.send(Frame::Batch(BatchFrame {
+                    link: clients_link,
+                    ..back
+                }))?;
+                stats.bump(round_type);
+            }
+            (Side::Downstream, Frame::Bye) => {
+                if !client_done || window.in_flight() > 0 {
+                    return Err(protocol(
+                        down_link,
+                        format!(
+                            "backward bye with {} rounds still in flight (client bye seen: \
+                             {client_done})",
+                            window.in_flight()
+                        ),
+                    ));
+                }
                 return Ok(stats);
             }
-            Frame::Hello(_) => {
-                return Err(protocol(clients.link_id(), "unexpected hello mid-stream"))
+            (side, Frame::Hello(_)) => {
+                let link = match side {
+                    Side::Upstream => clients_link,
+                    Side::Downstream => down_link,
+                };
+                return Err(protocol(link, "unexpected hello mid-stream"));
             }
-        };
-        if frame.backward {
-            return Err(protocol(
-                clients.link_id(),
-                "backward frame on the client request leg",
-            ));
         }
-        let round = frame.round.0;
-        let width = onion::wrapped_len(round_kind(&frame).payload_len(), config.chain_len);
-        if frame.width as usize != width || frame.stride as usize != width {
-            return Err(protocol(
-                clients.link_id(),
-                format!(
-                    "round {round} client batch geometry {}/{} but the round's onion width is \
-                     {width}",
-                    frame.width, frame.stride
-                ),
-            ));
-        }
-        downstream.send(Frame::Batch(BatchFrame {
-            link: downstream.link_id(),
-            ..frame
-        }))?;
-        let back = match downstream.recv()? {
-            Frame::Batch(back) if back.backward && back.round.0 == round => back,
-            other => {
-                return Err(protocol(
-                    downstream.link_id(),
-                    format!("expected the backward frame of round {round}, got {other:?}"),
-                ))
-            }
-        };
-        let round_type = back.round_type;
-        clients.send(Frame::Batch(BatchFrame {
-            link: clients.link_id(),
-            ..back
-        }))?;
-        stats.bump(round_type);
     }
+    Err(protocol(
+        clients_link,
+        "links closed before the bye handshake completed",
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chain::build_server;
+    use crate::chain::{build_server, Chain};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::Arc;
     use vuvuzela_dp::{NoiseDistribution, NoiseMode};
     use vuvuzela_net::link::Link;
     use vuvuzela_net::transport::memory_pair;
@@ -490,7 +649,8 @@ mod tests {
 
     /// The full in-memory deployment: entry + 3 server nodes as threads
     /// over [`memory_pair`] endpoints, fed a mixed schedule by a client
-    /// thread, must be byte-identical to the sequential [`Chain`] on the
+    /// thread *pipelined* (both rounds admitted before either reply is
+    /// read), must be byte-identical to the sequential [`Chain`] on the
     /// same seed — replies, conversation observables, dialing counts.
     #[test]
     fn memory_nodes_match_sequential_chain() {
@@ -546,22 +706,21 @@ mod tests {
         let mut handles = Vec::new();
         let cfg = config.clone();
         handles.push(std::thread::spawn(move || {
-            run_entry_node(&cfg, &entry_client_end, &entry_down).expect("entry")
+            run_entry_node(&cfg, Arc::new(entry_client_end), Arc::new(entry_down)).expect("entry")
         }));
-        for (position, up, down) in [
-            (0, s0_up, Some(s0_down)),
-            (1, s1_up, Some(s1_down)),
-            (2, s2_up, None),
-        ] {
+        let downs: [Option<Arc<dyn Transport>>; 3] =
+            [Some(Arc::new(s0_down)), Some(Arc::new(s1_down)), None];
+        let ups: [Arc<dyn Transport>; 3] = [Arc::new(s0_up), Arc::new(s1_up), Arc::new(s2_up)];
+        for (position, (up, down)) in ups.into_iter().zip(downs).enumerate() {
             let server = build_server(&config, seed, position);
             let cfg = config.clone();
             handles.push(std::thread::spawn(move || {
-                run_server_node(server, &cfg, seed, &up, down.as_ref().map(|d| d as _))
-                    .expect("server")
+                run_server_node(server, &cfg, seed, up, down).expect("server")
             }));
         }
 
-        // Client side: feed the same two rounds as flat frames.
+        // Client side: feed the same two rounds as flat frames — both
+        // admitted before either reply is read (the window is 3).
         let send_batch = |round: u64, round_type: RoundType, num_drops: u32, batch: &[Vec<u8>]| {
             let width = batch[0].len();
             let payload: Vec<u8> = batch.concat();
@@ -582,6 +741,10 @@ mod tests {
         };
 
         send_batch(0, RoundType::Conversation, 0, &conv_batch);
+        send_batch(1, RoundType::Dialing, num_drops, &dial_batch);
+
+        // Backward frames return in admission order: round 0's replies,
+        // then round 1's completion.
         let back = match client_end.recv().expect("conversation replies") {
             Frame::Batch(back) => back,
             other => panic!("expected replies, got {other:?}"),
@@ -595,7 +758,6 @@ mod tests {
             "distributed replies must be byte-identical to the chain's"
         );
 
-        send_batch(1, RoundType::Dialing, num_drops, &dial_batch);
         let completion = match client_end.recv().expect("dialing completion") {
             Frame::Batch(back) => back,
             other => panic!("expected completion, got {other:?}"),
@@ -636,8 +798,59 @@ mod tests {
                 trailer: Vec::new(),
             }))
             .expect("send");
-        let err = run_entry_node(&config, &entry_client_end, &entry_down)
+        let err = run_entry_node(&config, Arc::new(entry_client_end), Arc::new(entry_down))
             .expect_err("wrong width must be rejected");
         assert!(matches!(err, Error::Protocol { .. }), "got {err}");
+    }
+
+    /// The entry's windowed admission rejects the (window+1)th in-flight
+    /// round deterministically, and repeated round ids die at the
+    /// sequencer.
+    #[test]
+    fn entry_rejects_out_of_window_and_out_of_order_rounds() {
+        let config = tiny_config(2);
+        let width = onion::wrapped_len(RoundKind::Conversation.payload_len(), config.chain_len);
+        let batch = |round: u64| {
+            Frame::Batch(BatchFrame {
+                link: LinkId::Clients,
+                round: RoundId(round),
+                round_type: RoundType::Conversation,
+                num_drops: 0,
+                backward: false,
+                stride: width as u32,
+                width: width as u32,
+                count: 0,
+                payload: Vec::new(),
+                trailer: Vec::new(),
+            })
+        };
+
+        // A downstream that accepts frames but never answers, so the
+        // entry's event order is fully deterministic.
+        let (entry_down, dummy) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+        let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+        for round in 0..=config.chain_len as u64 {
+            client_end.send(batch(round)).expect("send");
+        }
+        let err = run_entry_node(&config, Arc::new(entry_client_end), Arc::new(entry_down))
+            .expect_err("window must reject");
+        match err {
+            Error::Protocol { reason, .. } => {
+                assert!(reason.contains("admission window"), "got: {reason}")
+            }
+            other => panic!("expected protocol error, got {other}"),
+        }
+        // Exactly `window` rounds were forwarded before the rejection.
+        for _ in 0..config.chain_len {
+            assert!(matches!(dummy.recv(), Ok(Frame::Batch(_))));
+        }
+
+        let (entry_down, _dummy) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+        let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+        client_end.send(batch(3)).expect("send");
+        client_end.send(batch(3)).expect("send repeat");
+        let err = run_entry_node(&config, Arc::new(entry_client_end), Arc::new(entry_down))
+            .expect_err("repeat must be rejected");
+        assert!(matches!(err, Error::Frame { .. }), "got {err}");
     }
 }

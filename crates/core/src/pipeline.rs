@@ -95,12 +95,9 @@
 //! `bench_streaming_chain` and `bench_mixed_schedule` artefacts measure
 //! both schedulers on the same homogeneous resp. mixed workloads.
 
-use crate::chain::{
-    admit_batch, deposit_dialing, exchange_conversation, transmit_buf, Chain, RoundOutcome,
-    RoundSpec, RoundTiming,
-};
+use crate::chain::{admit_batch, transmit_buf, Chain, RoundOutcome, RoundSpec, RoundTiming};
 use crate::config::SystemConfig;
-use crate::noise::expected_noise_per_server;
+use crate::engine::{AdmissionWindow, EngineStep, RoundEngine};
 use crate::observables::ConversationObservables;
 use crate::roundbuf::RoundBuffer;
 use crate::server::{MixServer, RoundKind};
@@ -153,7 +150,9 @@ struct StageReport {
 struct StageCtx<'a> {
     /// Chain position of this stage's server.
     index: usize,
-    chain_len: usize,
+    /// The deployment config ([`crate::engine::RoundEngine`] reads the
+    /// chain length, exchange shards and worker budget from it).
+    config: &'a SystemConfig,
     /// Rounds the schedule feeds (forward passes to expect).
     total: usize,
     /// Conversation rounds in the schedule (backward passes a non-tail
@@ -161,10 +160,6 @@ struct StageCtx<'a> {
     total_conversation: usize,
     /// Chain seed, for the tail's chain-level per-round RNG.
     seed: u64,
-    /// Dead-drop shards for the tail's conversation exchange.
-    exchange_shards: usize,
-    /// Worker parallelism budget for the tail's sharded exchange.
-    workers: usize,
     /// The link feeding this stage's forward pass (and carrying its
     /// backward output).
     link: &'a vuvuzela_net::Link,
@@ -181,42 +176,20 @@ struct StageCtx<'a> {
     abort: &'a AtomicBool,
 }
 
-/// A round's admission cost: the expected number of onions it puts in
-/// flight across the chain — its client batch plus every noising
-/// server's expected cover traffic (the dp planner's per-round-type
-/// noise budget).
-fn round_cost(config: &SystemConfig, kind: RoundKind, batch_len: usize) -> f64 {
-    let noising_servers = config.chain_len.saturating_sub(1) as f64;
-    batch_len as f64 + noising_servers * expected_noise_per_server(kind, config)
-}
-
 /// The number of window slots each round of `specs` occupies under
-/// weighted admission (see the module docs): cost relative to the mean
-/// conversation round, rounded, clamped to `[1, window]`. A schedule
-/// containing a single round kind collapses to weight 1 per round —
-/// homogeneous schedules keep the plain round-counting window the
-/// streaming scheduler always had; weights only throttle genuinely
-/// mixed schedules, where the two protocols' per-round costs diverge
-/// by orders of magnitude. Exposed so tests and the mixed-schedule
-/// benchmark can inspect the pricing the scheduler will use.
+/// weighted admission (see the module docs). A thin [`RoundSpec`] view
+/// over [`crate::engine::admission_weights`] — the pricing itself lives
+/// in the engine, shared verbatim with the wire client driver, so both
+/// runtimes throttle mixed schedules identically. Exposed so tests and
+/// the mixed-schedule benchmark can inspect the pricing the scheduler
+/// will use.
 #[must_use]
 pub fn admission_weights(config: &SystemConfig, window: usize, specs: &[RoundSpec]) -> Vec<usize> {
-    let conversation_costs: Vec<f64> = specs
+    let rounds: Vec<(RoundKind, usize)> = specs
         .iter()
-        .filter(|spec| matches!(spec.kind(), RoundKind::Conversation))
-        .map(|spec| round_cost(config, spec.kind(), spec.batch_len()))
+        .map(|spec| (spec.kind(), spec.batch_len()))
         .collect();
-    if conversation_costs.is_empty() || conversation_costs.len() == specs.len() {
-        return vec![1; specs.len()];
-    }
-    let slot = (conversation_costs.iter().sum::<f64>() / conversation_costs.len() as f64).max(1.0);
-    specs
-        .iter()
-        .map(|spec| {
-            let cost = round_cost(config, spec.kind(), spec.batch_len());
-            ((cost / slot).round() as usize).clamp(1, window.max(1))
-        })
-        .collect()
+    crate::engine::admission_weights(config, window, &rounds)
 }
 
 /// A deployment driven by the streaming scheduler. Wraps the same
@@ -377,8 +350,7 @@ impl StreamingChain {
         }
         let n = self.chain.config.chain_len;
         let seed = self.chain.seed;
-        let exchange_shards = self.chain.config.exchange_shards;
-        let workers = self.chain.config.workers;
+        let config = self.chain.config.clone();
         let window = self.max_in_flight;
         let weights = admission_weights(&self.chain.config, window, &specs);
         let total_conversation = specs
@@ -410,12 +382,10 @@ impl StreamingChain {
                 let rx = rx_iter.next().expect("one receiver per stage");
                 let ctx = StageCtx {
                     index: i,
-                    chain_len: n,
+                    config: &config,
                     total,
                     total_conversation,
                     seed,
-                    exchange_shards,
-                    workers,
                     link: &links[i],
                     next_tx: stage_tx.get(i + 1).cloned(),
                     // Backward flow for stage 0 goes straight to the
@@ -477,23 +447,21 @@ impl StreamingChain {
                     round
                 };
             let mut done = 0usize;
-            let mut occupied = 0usize;
-            let mut admitted: HashMap<u64, usize> = HashMap::new();
+            let mut admission = AdmissionWindow::new(window);
             for (spec, weight) in specs.into_iter().zip(weights) {
                 // Admit while the weighted window has room; a round
                 // heavier than the whole window still enters once the
-                // pipeline is empty (progress guarantee).
-                while occupied > 0 && occupied + weight > window {
+                // pipeline is empty (the window's progress guarantee).
+                while admission.would_block(weight) {
                     let finished = collect_one(&mut resized, &mut collected);
-                    occupied -= admitted
-                        .remove(&finished)
+                    admission
+                        .complete(finished)
                         .expect("finished round was admitted");
                     done += 1;
                 }
                 let (round, kind, batch) = spec.into_parts();
                 let buf = admit_batch(client_link, round, kind, n, batch);
-                admitted.insert(round, weight);
-                occupied += weight;
+                admission.admit(round, weight);
                 assert!(
                     feed_tx
                         .send(StageMsg::Forward(Tagged {
@@ -549,20 +517,22 @@ fn recv_or_abort(rx: &Receiver<StageMsg>, abort: &AtomicBool) -> Option<StageMsg
     }
 }
 
-/// One pipeline stage: runs server `i`'s forward pass on every round
+/// One pipeline stage: drives one [`RoundEngine`] over every round
 /// arriving from upstream — each processed under the batch's own tagged
 /// round kind — and its backward pass on every conversation round
-/// arriving from downstream, in arrival order. The tail stage
-/// additionally runs the per-round dead-drop exchange (conversation) or
-/// invitation deposit (dialing) and turns the round around / completes
-/// it on the spot. Every stage discards a dialing round's reply state
-/// right after forwarding: no replies will ever come back.
+/// arriving from downstream, in arrival order. The engine runs the
+/// round recipe (forward pass, the tail's dead-drop exchange /
+/// invitation deposit, backward passes — the same state machine the
+/// wire node runtimes drive); the stage only meters the batch through
+/// its link, routes the engine's steps onto the hand-off queues, and
+/// logs what the tail observed.
 fn pipeline_stage(
     server: &mut MixServer,
     ctx: &StageCtx<'_>,
     rx: &Receiver<StageMsg>,
 ) -> StageReport {
-    let is_last = ctx.index + 1 == ctx.chain_len;
+    let mut engine = RoundEngine::new(server, ctx.config, ctx.seed);
+    let is_last = ctx.index + 1 == ctx.config.chain_len;
     let mut report = StageReport {
         tap_resized: 0,
         conversation_log: Vec::new(),
@@ -579,19 +549,11 @@ fn pipeline_stage(
         let sent_ok = match msg {
             StageMsg::Forward(mut tagged) => {
                 forwards += 1;
-                let kind = tagged.kind;
                 let (buf, r) =
                     transmit_buf(ctx.link, tagged.round.0, Direction::Forward, tagged.buf);
                 report.tap_resized += r;
-                let clock = Instant::now();
-                let buf = server.forward_buf(tagged.round.0, kind, buf);
-                tagged.timing.forward.push(clock.elapsed());
-                match (is_last, kind) {
-                    (false, _) => {
-                        if matches!(kind, RoundKind::Dialing { .. }) {
-                            // Forward-only: no replies will come back.
-                            server.abort_round(tagged.round.0);
-                        }
+                match engine.forward(tagged.round.0, tagged.kind, buf, &mut tagged.timing) {
+                    EngineStep::Forward { buf, .. } => {
                         tagged.buf = buf;
                         ctx.next_tx
                             .as_ref()
@@ -599,40 +561,21 @@ fn pipeline_stage(
                             .send(StageMsg::Forward(tagged))
                             .is_ok()
                     }
-                    (true, RoundKind::Conversation) => {
-                        // Dead-drop exchange + tail backward, then turn
-                        // the round around immediately.
-                        let clock = Instant::now();
-                        let mut rng = Chain::chain_round_rng(ctx.seed, tagged.round.0);
-                        let (replies, observables) = exchange_conversation(
-                            &mut rng,
-                            ctx.chain_len,
-                            ctx.exchange_shards,
-                            ctx.workers,
-                            &buf,
-                        );
-                        report.conversation_log.push((tagged.round.0, observables));
-                        tagged.timing.exchange = clock.elapsed();
-                        let clock = Instant::now();
-                        let replies = server.backward_buf(tagged.round.0, replies);
-                        tagged.timing.backward.push(clock.elapsed());
+                    EngineStep::Turnaround {
+                        round,
+                        replies,
+                        observables,
+                    } => {
+                        report.conversation_log.push((round, observables));
                         let (replies, r) =
-                            transmit_buf(ctx.link, tagged.round.0, Direction::Backward, replies);
+                            transmit_buf(ctx.link, round, Direction::Backward, replies);
                         report.tap_resized += r;
                         tagged.buf = replies;
                         ctx.back_tx.send(StageMsg::Backward(tagged)).is_ok()
                     }
-                    (true, RoundKind::Dialing { num_drops }) => {
-                        let clock = Instant::now();
-                        let mut rng = Chain::chain_round_rng(ctx.seed, tagged.round.0);
-                        let drops =
-                            deposit_dialing(&mut rng, server, tagged.round.0, num_drops, &buf);
-                        tagged.timing.exchange = clock.elapsed();
-                        report
-                            .dialing_log
-                            .push((tagged.round.0, drops.observables()));
-                        report.invitation_drops = Some((tagged.round.0, drops));
-                        server.abort_round(tagged.round.0);
+                    EngineStep::DialingComplete { round, drops, .. } => {
+                        report.dialing_log.push((round, drops.observables()));
+                        report.invitation_drops = Some((round, drops));
                         tagged.buf = RoundBuffer::new(1, 0);
                         // Completion notice straight to the exit queue.
                         ctx.done_tx.send(StageMsg::Backward(tagged)).is_ok()
@@ -641,9 +584,7 @@ fn pipeline_stage(
             }
             StageMsg::Backward(mut tagged) => {
                 backwards += 1;
-                let clock = Instant::now();
-                let replies = server.backward_buf(tagged.round.0, tagged.buf);
-                tagged.timing.backward.push(clock.elapsed());
+                let replies = engine.backward(tagged.round.0, tagged.buf, &mut tagged.timing);
                 let (replies, r) =
                     transmit_buf(ctx.link, tagged.round.0, Direction::Backward, replies);
                 report.tap_resized += r;

@@ -1,0 +1,112 @@
+//! Demuxed receive over blocking transports: one reader thread per
+//! link, one event queue per node.
+//!
+//! The windowed (pipelined) wire mode interleaves rounds on every
+//! link, and a node terminating two blocking links (its upstream and
+//! downstream neighbours) cannot `recv` on either without risking a
+//! deadlock: a frame it needs next may be waiting on the *other*
+//! socket while both peers block on sends. The fix is the classic
+//! reactor shape scaled down to std threads: every [`Transport`] gets
+//! a dedicated reader thread that does nothing but pull frames and
+//! push them — round tags and all — onto one unbounded mpsc queue the
+//! node drains. Every socket's receive side is therefore *always*
+//! drained, so a blocking send anywhere in the chain eventually makes
+//! progress, and the admission window (at most `chain_len` rounds in
+//! flight) bounds how much the queues can hold.
+//!
+//! Reader threads are detached, not scoped: a scoped join would hang
+//! on a reader still blocked in `recv` when the node errors out early.
+//! Each reader exits deterministically in normal operation — after
+//! forwarding its link's `Bye` (each direction of each link carries
+//! exactly one, see the wire crate's framing rules) or its first
+//! error — and an abandoned reader holds only its `Arc<dyn Transport>`
+//! until the peer endpoint drops.
+
+use crate::error::Error;
+use crate::transport::Transport;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use vuvuzela_wire::Frame;
+
+/// One frame (or terminal error) pulled off one of a node's links.
+pub struct DemuxEvent<T> {
+    /// The caller's tag for the link the event arrived on.
+    pub from: T,
+    /// The frame, or the error that ended the link. After an `Err`
+    /// event no further events arrive from that link.
+    pub event: Result<Frame, Error>,
+}
+
+/// Merges any number of blocking transports into one event stream.
+pub struct Demux<T> {
+    // Senders live only in the reader threads, so `recv` observes
+    // hangup exactly when every reader has exited.
+    rx: Receiver<DemuxEvent<T>>,
+}
+
+impl<T: Copy + Send + 'static> Demux<T> {
+    /// Spawns one detached reader per `(tag, transport)` pair. Each
+    /// reader forwards frames until its link yields `Bye` (forwarded,
+    /// then the reader exits) or an error (forwarded, then the reader
+    /// exits).
+    #[must_use]
+    pub fn new(links: impl IntoIterator<Item = (T, Arc<dyn Transport>)>) -> Demux<T> {
+        let (tx, rx) = channel();
+        for (from, transport) in links {
+            let tx: Sender<DemuxEvent<T>> = tx.clone();
+            std::thread::spawn(move || loop {
+                let event = transport.recv();
+                let done = !matches!(event, Ok(ref frame) if !matches!(frame, Frame::Bye));
+                if tx.send(DemuxEvent { from, event }).is_err() || done {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        Demux { rx }
+    }
+
+    /// The next event from any link, blocking until one arrives.
+    /// `None` means every reader has exited (all links saw their `Bye`
+    /// or failed) and the queue is drained.
+    pub fn recv(&self) -> Option<DemuxEvent<T>> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::memory_pair;
+    use crate::Link;
+    use vuvuzela_wire::LinkId;
+
+    #[test]
+    fn merges_two_links_and_ends_on_byes() {
+        let (a_near, a_far) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+        let (b_near, b_far) = memory_pair(Arc::new(Link::new(LinkId::Hop(1))));
+        let demux = Demux::new([
+            (0u8, Arc::new(a_near) as Arc<dyn Transport>),
+            (1u8, Arc::new(b_near) as Arc<dyn Transport>),
+        ]);
+        b_far.send(Frame::Bye).expect("bye b");
+        a_far.send(Frame::Bye).expect("bye a");
+        let mut tags = Vec::new();
+        while let Some(ev) = demux.recv() {
+            assert!(matches!(ev.event, Ok(Frame::Bye)));
+            tags.push(ev.from);
+        }
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1], "one bye per link, then hangup");
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_one_error_then_hangup() {
+        let (near, far) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+        let demux = Demux::new([((), Arc::new(near) as Arc<dyn Transport>)]);
+        drop(far);
+        let ev = demux.recv().expect("error event");
+        assert!(matches!(ev.event, Err(Error::Disconnected { .. })));
+        assert!(demux.recv().is_none(), "reader exits after its error");
+    }
+}

@@ -23,6 +23,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demux;
 pub mod error;
 pub mod link;
 pub mod meter;
@@ -30,10 +31,11 @@ pub mod parallel;
 pub mod tcp;
 pub mod transport;
 
+pub use demux::{Demux, DemuxEvent};
 pub use error::Error;
 pub use link::{Direction, Link, RecordingTap, Tap, TapContext};
 pub use meter::Meter;
 pub use parallel::WorkerPool;
-pub use tcp::TcpTransport;
+pub use tcp::{RetryPolicy, TcpTransport};
 pub use transport::{memory_pair, MemoryEndpoint, Transport};
 pub use vuvuzela_wire::LinkId;

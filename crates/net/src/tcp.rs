@@ -82,6 +82,76 @@ pub fn read_frame<R: Read>(r: &mut R, link: LinkId) -> Result<Frame, Error> {
         .unwrap_or_else(|source| Err(Error::Frame { link, source }))
 }
 
+/// Retry schedule for [`TcpTransport::connect`]: jittered exponential
+/// backoff under a total deadline.
+///
+/// Processes of one deployment start in arbitrary order, so refused
+/// connections are expected during bring-up and retried. A fixed short
+/// sleep (the old behaviour) makes every waiting process hammer the
+/// listener in lock-step; the backoff doubles the delay per failed
+/// attempt up to `cap` and scales each delay by a deterministic jitter
+/// in `[0.5, 1.0)` derived from `seed` and the link id, so co-started
+/// peers spread out without any shared state. Deployments surface the
+/// deadline through their config (see the deploy layer's
+/// `connect_timeout_ms`).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total time to keep retrying refused connections.
+    pub deadline: Duration,
+    /// Delay after the first failed attempt (before jitter).
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Jitter seed; mixed with the link id so each link of one process
+    /// de-correlates too.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 30 s deadline, 25 ms base, 1 s cap — the old fixed loop's
+    /// envelope with backoff inside it.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            deadline: Duration::from_secs(30),
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a different total deadline.
+    #[must_use]
+    pub fn with_deadline(deadline: Duration) -> RetryPolicy {
+        RetryPolicy {
+            deadline,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered delay before retry number `attempt` (0-based).
+    fn delay(&self, link: LinkId, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // splitmix64: good avalanche from a trivially correlated input,
+        // no dependency on a rand crate (net stays rand-free).
+        let mut z = self
+            .seed
+            .wrapping_add(link.code())
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Scale into [0.5, 1.0): half the delay is guaranteed, the
+        // other half is where peers spread out.
+        let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
 /// One end of one deployment link over TCP.
 pub struct TcpTransport {
     link: LinkId,
@@ -91,34 +161,38 @@ pub struct TcpTransport {
 
 impl TcpTransport {
     /// Connects to the peer listening at `addr`, retrying refused
-    /// connections until `timeout` elapses (processes of one deployment
-    /// start in arbitrary order), then performs the [`Hello`] exchange
-    /// as initiator.
+    /// connections per `policy` (processes of one deployment start in
+    /// arbitrary order), then performs the [`Hello`] exchange as
+    /// initiator.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] when no connection is established within the
-    /// timeout; [`Error::Handshake`] when the peer disagrees about the
-    /// link or the config digest.
+    /// policy's deadline; [`Error::Handshake`] when the peer disagrees
+    /// about the link or the config digest.
     pub fn connect<A: ToSocketAddrs + Clone>(
         addr: A,
         link: LinkId,
         config_digest: [u8; 32],
-        timeout: Duration,
+        policy: &RetryPolicy,
     ) -> Result<TcpTransport, Error> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + policy.deadline;
+        let mut attempt = 0u32;
         let stream = loop {
             match TcpStream::connect(addr.clone()) {
                 Ok(stream) => break stream,
                 Err(source) => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(Error::Io {
                             link,
                             op: "connect",
                             source,
                         });
                     }
-                    std::thread::sleep(Duration::from_millis(25));
+                    let delay = policy.delay(link, attempt).min(deadline - now);
+                    attempt = attempt.saturating_add(1);
+                    std::thread::sleep(delay);
                 }
             }
         };
@@ -224,6 +298,49 @@ mod tests {
     }
 
     #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy::default();
+        let base = Duration::from_millis(25);
+        for attempt in 0..20 {
+            let d = policy.delay(LinkId::Hop(0), attempt);
+            let exp = base.saturating_mul(1u32 << attempt.min(16)).min(policy.cap);
+            assert!(d >= exp / 2 && d < exp, "jitter stays in [0.5, 1.0)·exp");
+            assert!(d <= policy.cap, "cap bounds every delay");
+            assert_eq!(
+                d,
+                policy.delay(LinkId::Hop(0), attempt),
+                "same seed, same schedule"
+            );
+        }
+        // Different links de-correlate even under one seed.
+        assert_ne!(
+            policy.delay(LinkId::Hop(0), 3),
+            policy.delay(LinkId::Hop(1), 3)
+        );
+    }
+
+    #[test]
+    fn connect_deadline_expires_quickly_on_refused_port() {
+        // Bind-then-drop to get a port with (very likely) no listener.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").port()
+        };
+        let start = Instant::now();
+        let result = TcpTransport::connect(
+            ("127.0.0.1", port),
+            LinkId::Hop(0),
+            digest(0),
+            &RetryPolicy::with_deadline(Duration::from_millis(100)),
+        );
+        assert!(matches!(result, Err(Error::Io { op: "connect", .. })));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline is honoured"
+        );
+    }
+
+    #[test]
     fn framed_io_roundtrips() {
         let frame = Frame::Batch(BatchFrame {
             link: LinkId::Hop(2),
@@ -289,9 +406,13 @@ mod tests {
             t.send(got).expect("echo");
             t.send(Frame::Bye).expect("bye");
         });
-        let client =
-            TcpTransport::connect(addr, LinkId::Hop(0), digest(7), Duration::from_secs(10))
-                .expect("connect");
+        let client = TcpTransport::connect(
+            addr,
+            LinkId::Hop(0),
+            digest(7),
+            &RetryPolicy::with_deadline(Duration::from_secs(10)),
+        )
+        .expect("connect");
         let frame = Frame::Batch(BatchFrame {
             link: LinkId::Hop(0),
             round: RoundId(1),
@@ -317,8 +438,12 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let server =
             std::thread::spawn(move || TcpTransport::accept(&listener, LinkId::Hop(0), digest(1)));
-        let client =
-            TcpTransport::connect(addr, LinkId::Hop(0), digest(2), Duration::from_secs(10));
+        let client = TcpTransport::connect(
+            addr,
+            LinkId::Hop(0),
+            digest(2),
+            &RetryPolicy::with_deadline(Duration::from_secs(10)),
+        );
         let server_result = server.join().expect("thread");
         assert!(matches!(server_result, Err(Error::Handshake { .. })));
         // The acceptor drops the connection without answering, so the
@@ -332,8 +457,12 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let server =
             std::thread::spawn(move || TcpTransport::accept(&listener, LinkId::Hop(1), digest(1)));
-        let client =
-            TcpTransport::connect(addr, LinkId::Hop(2), digest(1), Duration::from_secs(10));
+        let client = TcpTransport::connect(
+            addr,
+            LinkId::Hop(2),
+            digest(1),
+            &RetryPolicy::with_deadline(Duration::from_secs(10)),
+        );
         let server_result = server.join().expect("thread");
         match server_result {
             Err(Error::Handshake { reason, .. }) => {

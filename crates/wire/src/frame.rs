@@ -116,6 +116,15 @@ pub enum FrameError {
     /// Arena geometry is inconsistent (`width > stride`, zero stride
     /// with nonzero count, or `payload.len() != count * stride`).
     BadGeometry,
+    /// A batch frame violated a link's per-direction ordering rule:
+    /// round ids must strictly increase and nothing follows the
+    /// direction's `Bye` (see [`crate::sequence`]).
+    OutOfOrder {
+        /// The last round id legally observed on the link + direction.
+        prev: u64,
+        /// The violating round id.
+        next: u64,
+    },
 }
 
 impl core::fmt::Display for FrameError {
@@ -136,6 +145,12 @@ impl core::fmt::Display for FrameError {
             FrameError::BadRoundType(b) => write!(f, "unknown round type {b}"),
             FrameError::BadFlag(b) => write!(f, "flag byte {b} is neither 0 nor 1"),
             FrameError::BadGeometry => f.write_str("inconsistent arena geometry"),
+            FrameError::OutOfOrder { prev, next } => {
+                write!(
+                    f,
+                    "round {next} out of order after round {prev} on this link direction"
+                )
+            }
         }
     }
 }

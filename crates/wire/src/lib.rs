@@ -21,6 +21,9 @@
 //! * [`frame`] — the length-prefixed frame format (handshake, round
 //!   batches, orderly termination) the TCP transport speaks between
 //!   deployment processes.
+//! * [`sequence`] — the per-link frame ordering rules that make
+//!   windowed (pipelined) rounds safe on blocking connections, and the
+//!   [`sequence::RoundSequencer`] that asserts them.
 //!
 //! Sizes follow §8.1 of the paper: 256-byte sealed conversation messages
 //! (240 bytes of payload + 16 bytes of encryption overhead) and 80-byte
@@ -36,10 +39,12 @@ pub mod frame;
 pub mod linkid;
 pub mod message;
 pub mod round;
+pub mod sequence;
 
 pub use frame::{BatchFrame, Frame, FrameError, Hello, FRAME_VERSION, MAX_FRAME_LEN};
 pub use linkid::LinkId;
 pub use round::{RoundId, RoundType};
+pub use sequence::RoundSequencer;
 
 /// Payload bytes available to a conversation message before sealing
 /// (paper: "text messages (up to 240 bytes each)").

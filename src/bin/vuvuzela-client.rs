@@ -2,8 +2,13 @@
 //! against a live entry and writes the resulting transcript.
 //!
 //! ```text
-//! vuvuzela-client --config deploy.json --out transcript.txt
+//! vuvuzela-client --config deploy.json --out transcript.txt [--pipeline <depth>]
 //! ```
+//!
+//! `--pipeline` sets the admission-window depth: how many rounds the
+//! driver keeps in flight at once (default 1, i.e. strictly
+//! sequential; clamped to the chain length). The transcript is
+//! byte-identical at every depth.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,27 +16,39 @@ use vuvuzela::crypto::sha256::sha256;
 use vuvuzela::deploy;
 use vuvuzela::sim::transcript::hex;
 
-fn parse_args() -> Result<(PathBuf, Option<PathBuf>), String> {
+fn parse_args() -> Result<(PathBuf, Option<PathBuf>, usize), String> {
     let mut config = None;
     let mut out = None;
+    let mut pipeline = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config = Some(PathBuf::from(args.next().ok_or("--config needs a path")?)),
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?)),
+            "--pipeline" => {
+                pipeline = args
+                    .next()
+                    .ok_or("--pipeline needs a window depth")?
+                    .parse::<usize>()
+                    .map_err(|err| format!("--pipeline: {err}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok((
-        config.ok_or("usage: vuvuzela-client --config <deploy.json> [--out <transcript.txt>]")?,
+        config.ok_or(
+            "usage: vuvuzela-client --config <deploy.json> \
+             [--out <transcript.txt>] [--pipeline <depth>]",
+        )?,
         out,
+        pipeline,
     ))
 }
 
 fn run() -> Result<(), String> {
-    let (config_path, out) = parse_args()?;
+    let (config_path, out, pipeline) = parse_args()?;
     let cfg = deploy::load_config(&config_path)?;
-    let transcript = deploy::run_client_tcp(&cfg).map_err(|err| err.to_string())?;
+    let transcript = deploy::run_client_tcp(&cfg, pipeline).map_err(|err| err.to_string())?;
     match out {
         Some(path) => std::fs::write(&path, &transcript)
             .map_err(|err| format!("cannot write {}: {err}", path.display()))?,

@@ -2,8 +2,15 @@
 //! (optionally) diffs its transcript against the in-process reference.
 //!
 //! ```text
-//! vuvuzela-launch --config deploy.json --check --out-dir target/deploy-out
+//! vuvuzela-launch --config deploy.json --check --out-dir target/deploy-out \
+//!     [--pipeline <depth>]
 //! ```
+//!
+//! `--pipeline <depth>` additionally runs a second process set whose
+//! client keeps `depth` rounds in flight (clamped to the chain
+//! length); its transcript must match the sequential run round for
+//! round, and `--check` also diffs it against the in-process
+//! reference.
 //!
 //! With no `--config`, a built-in smoke deployment (3 servers,
 //! ephemeral loopback ports, a mixed 4-round schedule) is used.
@@ -20,6 +27,7 @@ struct Args {
     dump_config: bool,
     out_dir: PathBuf,
     bin_dir: Option<PathBuf>,
+    pipeline: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         dump_config: false,
         out_dir: PathBuf::from("target/deploy-out"),
         bin_dir: None,
+        pipeline: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,6 +52,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bin-dir" => {
                 parsed.bin_dir = Some(PathBuf::from(args.next().ok_or("--bin-dir needs a path")?));
+            }
+            "--pipeline" => {
+                parsed.pipeline = args
+                    .next()
+                    .ok_or("--pipeline needs a window depth")?
+                    .parse::<usize>()
+                    .map_err(|err| format!("--pipeline: {err}"))?;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -69,6 +85,7 @@ fn run() -> Result<(), String> {
             check: args.check,
             out_dir: args.out_dir.clone(),
             bin_dir: args.bin_dir,
+            pipeline: args.pipeline,
         },
     )?;
     println!(
@@ -76,6 +93,14 @@ fn run() -> Result<(), String> {
         report.distributed_secs,
         rounds as f64 / report.distributed_secs.max(1e-9)
     );
+    if let Some(secs) = report.pipelined_secs {
+        println!(
+            "vuvuzela-launch: pipelined (depth {}) run took {secs:.3}s ({:.2} rounds/s, \
+             informational; round-for-round identical to the sequential run)",
+            report.pipeline_depth,
+            rounds as f64 / secs.max(1e-9)
+        );
+    }
     if let Some(secs) = report.reference_secs {
         println!(
             "vuvuzela-launch: in-process reference took {secs:.3}s; transcripts are byte-identical"

@@ -18,14 +18,17 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde_json::{json, Value};
 use vuvuzela_core::chain::{build_server, server_keypairs, Chain};
 use vuvuzela_core::config::{expect_object, get_u64, reject_unknown, require};
+use vuvuzela_core::engine::{admission_weights, AdmissionWindow};
 use vuvuzela_core::node::{run_entry_node, run_server_node, NodeStats, RoundTrailer};
 use vuvuzela_core::observables::{ConversationObservables, DialingObservables};
 use vuvuzela_core::server::RoundKind;
@@ -33,16 +36,17 @@ use vuvuzela_core::SystemConfig;
 use vuvuzela_crypto::onion::{self, LayerKey};
 use vuvuzela_crypto::sha256::{sha256, Sha256};
 use vuvuzela_crypto::x25519::{Keypair, PublicKey};
-use vuvuzela_net::{Error, LinkId, TcpTransport, Transport};
+use vuvuzela_net::{Error, LinkId, RetryPolicy, TcpTransport, Transport};
 use vuvuzela_sim::transcript::{hex, Transcript};
 use vuvuzela_wire::conversation::ExchangeRequest;
 use vuvuzela_wire::deaddrop::DeadDropId;
 use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
 use vuvuzela_wire::{BatchFrame, Frame, RoundId, RoundType, SEALED_MESSAGE_LEN};
 
-/// How long connecting processes retry a refused connection: deployment
-/// processes start in arbitrary order.
-pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default for [`DeploymentConfig::connect_timeout_ms`]: deployment
+/// processes start in arbitrary order, so peers retry refused
+/// connections this long before giving up.
+pub const DEFAULT_CONNECT_TIMEOUT_MS: u64 = 30_000;
 
 /// Domain separator for the client driver's per-round batch RNG,
 /// keeping it disjoint from the chain- and server-level streams.
@@ -124,6 +128,11 @@ pub struct DeploymentConfig {
     pub server_addrs: Vec<String>,
     /// The scripted rounds, replayed in order as rounds `0..n`.
     pub schedule: Vec<ScheduleEntry>,
+    /// How long (milliseconds) connecting processes retry a refused
+    /// connection before giving up; retries back off exponentially with
+    /// per-link jitter. Optional in the JSON file, defaulting to
+    /// [`DEFAULT_CONNECT_TIMEOUT_MS`].
+    pub connect_timeout_ms: u64,
 }
 
 impl DeploymentConfig {
@@ -136,6 +145,7 @@ impl DeploymentConfig {
             "entry_addr": self.entry_addr.clone(),
             "server_addrs": self.server_addrs.clone(),
             "schedule": self.schedule.iter().map(|e| e.to_json()).collect::<Vec<Value>>(),
+            "connect_timeout_ms": self.connect_timeout_ms,
         })
     }
 
@@ -149,7 +159,14 @@ impl DeploymentConfig {
         let map = expect_object(value, "deployment config")?;
         reject_unknown(
             map,
-            &["system", "seed", "entry_addr", "server_addrs", "schedule"],
+            &[
+                "system",
+                "seed",
+                "entry_addr",
+                "server_addrs",
+                "schedule",
+                "connect_timeout_ms",
+            ],
             "deployment config",
         )?;
         let system = SystemConfig::from_json(require(map, "system")?)?;
@@ -182,12 +199,19 @@ impl DeploymentConfig {
                 .collect::<Result<Vec<ScheduleEntry>, String>>()?,
             _ => return Err("schedule must be an array".to_string()),
         };
+        let connect_timeout_ms = match map.get("connect_timeout_ms") {
+            Some(value) => value
+                .as_u64()
+                .ok_or("field \"connect_timeout_ms\" must be a non-negative integer")?,
+            None => DEFAULT_CONNECT_TIMEOUT_MS,
+        };
         Ok(DeploymentConfig {
             system,
             seed: get_u64(map, "seed")?,
             entry_addr,
             server_addrs,
             schedule,
+            connect_timeout_ms,
         })
     }
 
@@ -198,6 +222,13 @@ impl DeploymentConfig {
         let rendered = serde_json::to_string_pretty(&self.to_json())
             .expect("deployment config always renders");
         sha256(rendered.as_bytes())
+    }
+
+    /// The connect-retry policy every process in this deployment uses:
+    /// jittered exponential backoff up to the configured deadline.
+    #[must_use]
+    pub fn connect_retry(&self) -> RetryPolicy {
+        RetryPolicy::with_deadline(Duration::from_millis(self.connect_timeout_ms))
     }
 
     /// The chain's public keys, derived from `(chain_len, seed)` just
@@ -402,20 +433,113 @@ fn protocol(link: LinkId, reason: String) -> Error {
     Error::Protocol { link, reason }
 }
 
+/// One in-flight round on the client side: what was fed in, kept until
+/// its backward frame is collected.
+struct InFlightRound {
+    round: u64,
+    data: ClientRound,
+    num_drops: u32,
+}
+
+/// Receives the backward frame of the *oldest* in-flight round —
+/// backward frames return in admission order, so anything else is a
+/// protocol violation — and appends its transcript lines.
+fn collect_reply(
+    entry: &dyn Transport,
+    pending: &mut VecDeque<InFlightRound>,
+    window: &mut AdmissionWindow,
+    transcript: &mut Transcript,
+) -> Result<(), Error> {
+    let link = entry.link_id();
+    let InFlightRound {
+        round,
+        data,
+        num_drops,
+    } = pending.pop_front().expect("collect with a round in flight");
+    let back = match entry.recv()? {
+        Frame::Batch(back) if back.backward && back.round.0 == round => back,
+        other => {
+            return Err(protocol(
+                link,
+                format!("expected the backward frame of round {round}, got {other:?}"),
+            ))
+        }
+    };
+    let trailer = RoundTrailer::decode(&back.trailer)
+        .map_err(|reason| protocol(link, format!("round {round}: {reason}")))?;
+    match (back.round_type, trailer) {
+        (RoundType::Conversation, RoundTrailer::Conversation(obs)) => {
+            let stride = back.stride as usize;
+            let replies: Vec<Vec<u8>> = back
+                .payload
+                .chunks(stride.max(1))
+                .map(|chunk| chunk[..back.width as usize].to_vec())
+                .collect();
+            transcribe_conversation(transcript, round, &data, &replies, obs);
+        }
+        (RoundType::Dialing, RoundTrailer::Dialing(obs)) => {
+            transcribe_dialing(transcript, round, &data, num_drops, &obs);
+        }
+        (round_type, _) => {
+            return Err(protocol(
+                link,
+                format!("round {round}: trailer does not match round type {round_type:?}"),
+            ))
+        }
+    }
+    window
+        .complete(round)
+        .expect("collected round was admitted");
+    Ok(())
+}
+
 /// Replays the schedule against a live entry over any [`Transport`]
 /// (the TCP client bin, or in-memory endpoints in tests) and builds the
 /// client-side transcript.
+///
+/// `depth` is the admission-window size in weighted slots (clamped to
+/// `1..=chain_len`, the entry's own window): with `depth == 1` rounds
+/// run strictly sequentially; deeper windows keep several rounds in
+/// flight, priced by [`admission_weights`] so heavyweight rounds
+/// consume more of the window. Backward frames return in admission
+/// order and rounds are transcribed as they are collected, so the
+/// transcript is byte-identical at every depth.
 ///
 /// # Errors
 ///
 /// Transport failures, or [`Error::Protocol`] when the chain answers
 /// out of protocol (wrong round, malformed trailer, bad geometry).
-pub fn run_client(cfg: &DeploymentConfig, entry: &dyn Transport) -> Result<String, Error> {
+pub fn run_client(
+    cfg: &DeploymentConfig,
+    entry: &dyn Transport,
+    depth: usize,
+) -> Result<String, Error> {
+    let depth = depth.clamp(1, cfg.system.chain_len.max(1));
     let pks = cfg.server_public_keys();
     let link = entry.link_id();
     let mut transcript = transcript_header(cfg);
+    let round_shapes: Vec<(RoundKind, usize)> = cfg
+        .schedule
+        .iter()
+        .map(|sched| match *sched {
+            ScheduleEntry::Conversation { pairs, singles } => {
+                (RoundKind::Conversation, (2 * pairs + singles) as usize)
+            }
+            ScheduleEntry::Dialing { dials, drops } => {
+                (RoundKind::Dialing { num_drops: drops }, dials as usize)
+            }
+        })
+        .collect();
+    let weights = admission_weights(&cfg.system, depth, &round_shapes);
+    let mut window = AdmissionWindow::new(depth);
+    let mut pending: VecDeque<InFlightRound> = VecDeque::new();
+
     for (index, sched) in cfg.schedule.iter().enumerate() {
         let round = index as u64;
+        let weight = weights[index];
+        while window.would_block(weight) {
+            collect_reply(entry, &mut pending, &mut window, &mut transcript)?;
+        }
         let data = build_client_round(cfg, &pks, round);
         let (round_type, num_drops, kind) = match *sched {
             ScheduleEntry::Conversation { .. } => {
@@ -440,37 +564,15 @@ pub fn run_client(cfg: &DeploymentConfig, entry: &dyn Transport) -> Result<Strin
             payload: data.onions.concat(),
             trailer: Vec::new(),
         }))?;
-        let back = match entry.recv()? {
-            Frame::Batch(back) if back.backward && back.round.0 == round => back,
-            other => {
-                return Err(protocol(
-                    link,
-                    format!("expected the backward frame of round {round}, got {other:?}"),
-                ))
-            }
-        };
-        let trailer = RoundTrailer::decode(&back.trailer)
-            .map_err(|reason| protocol(link, format!("round {round}: {reason}")))?;
-        match (back.round_type, trailer) {
-            (RoundType::Conversation, RoundTrailer::Conversation(obs)) => {
-                let stride = back.stride as usize;
-                let replies: Vec<Vec<u8>> = back
-                    .payload
-                    .chunks(stride.max(1))
-                    .map(|chunk| chunk[..back.width as usize].to_vec())
-                    .collect();
-                transcribe_conversation(&mut transcript, round, &data, &replies, obs);
-            }
-            (RoundType::Dialing, RoundTrailer::Dialing(obs)) => {
-                transcribe_dialing(&mut transcript, round, &data, num_drops, &obs);
-            }
-            (round_type, _) => {
-                return Err(protocol(
-                    link,
-                    format!("round {round}: trailer does not match round type {round_type:?}"),
-                ))
-            }
-        }
+        window.admit(round, weight);
+        pending.push_back(InFlightRound {
+            round,
+            data,
+            num_drops,
+        });
+    }
+    while !pending.is_empty() {
+        collect_reply(entry, &mut pending, &mut window, &mut transcript)?;
     }
     entry.send(Frame::Bye)?;
     transcript.push(format!("end rounds {}", cfg.schedule.len()));
@@ -487,31 +589,27 @@ pub fn run_client(cfg: &DeploymentConfig, entry: &dyn Transport) -> Result<Strin
 /// [`run_server_node`].
 pub fn serve_server(cfg: &DeploymentConfig, position: usize) -> Result<NodeStats, Error> {
     let digest = cfg.digest();
+    let retry = cfg.connect_retry();
     let upstream_link = LinkId::Hop(position as u32);
     let listener = TcpListener::bind(&cfg.server_addrs[position]).map_err(|source| Error::Io {
         link: upstream_link,
         op: "bind",
         source,
     })?;
-    let downstream = if position + 1 < cfg.system.chain_len {
-        Some(TcpTransport::connect(
+    let downstream: Option<Arc<dyn Transport>> = if position + 1 < cfg.system.chain_len {
+        Some(Arc::new(TcpTransport::connect(
             cfg.server_addrs[position + 1].as_str(),
             LinkId::Hop(position as u32 + 1),
             digest,
-            CONNECT_TIMEOUT,
-        )?)
+            &retry,
+        )?))
     } else {
         None
     };
-    let upstream = TcpTransport::accept(&listener, upstream_link, digest)?;
+    let upstream: Arc<dyn Transport> =
+        Arc::new(TcpTransport::accept(&listener, upstream_link, digest)?);
     let server = build_server(&cfg.system, cfg.seed, position);
-    run_server_node(
-        server,
-        &cfg.system,
-        cfg.seed,
-        &upstream,
-        downstream.as_ref().map(|d| d as &dyn Transport),
-    )
+    run_server_node(server, &cfg.system, cfg.seed, upstream, downstream)
 }
 
 /// Runs the entry over TCP: bind the client listener, connect to
@@ -529,30 +627,32 @@ pub fn serve_entry(cfg: &DeploymentConfig) -> Result<NodeStats, Error> {
         op: "bind",
         source,
     })?;
-    let downstream = TcpTransport::connect(
+    let downstream: Arc<dyn Transport> = Arc::new(TcpTransport::connect(
         cfg.server_addrs[0].as_str(),
         LinkId::Hop(0),
         digest,
-        CONNECT_TIMEOUT,
-    )?;
-    let clients = TcpTransport::accept(&listener, LinkId::Clients, digest)?;
-    run_entry_node(&cfg.system, &clients, &downstream)
+        &cfg.connect_retry(),
+    )?);
+    let clients: Arc<dyn Transport> =
+        Arc::new(TcpTransport::accept(&listener, LinkId::Clients, digest)?);
+    run_entry_node(&cfg.system, clients, downstream)
 }
 
-/// Runs the scripted client driver over TCP against a live entry.
+/// Runs the scripted client driver over TCP against a live entry, with
+/// a `depth`-round admission window (see [`run_client`]).
 ///
 /// # Errors
 ///
 /// Connect/handshake failures and any protocol violation from
 /// [`run_client`].
-pub fn run_client_tcp(cfg: &DeploymentConfig) -> Result<String, Error> {
+pub fn run_client_tcp(cfg: &DeploymentConfig, depth: usize) -> Result<String, Error> {
     let entry = TcpTransport::connect(
         cfg.entry_addr.as_str(),
         LinkId::Clients,
         cfg.digest(),
-        CONNECT_TIMEOUT,
+        &cfg.connect_retry(),
     )?;
-    run_client(cfg, &entry)
+    run_client(cfg, &entry, depth)
 }
 
 /// Rewrites every `:0` address to a concrete free loopback port
@@ -584,7 +684,7 @@ pub fn resolve_ephemeral_ports(cfg: &mut DeploymentConfig) -> Result<(), String>
 /// Options for [`launch`].
 pub struct LaunchOptions {
     /// Also run the in-process reference and fail on any transcript
-    /// difference.
+    /// difference (for the pipelined run too, when `pipeline > 1`).
     pub check: bool,
     /// Where transcripts, the resolved config, and the bench artefact
     /// are written.
@@ -593,6 +693,10 @@ pub struct LaunchOptions {
     /// `vuvuzela-client` bins; defaults to the launcher's own
     /// directory.
     pub bin_dir: Option<PathBuf>,
+    /// Client admission-window depth for an *additional* pipelined
+    /// process set run after the sequential one (clamped to
+    /// `1..=chain_len`); `0` or `1` means sequential only.
+    pub pipeline: usize,
 }
 
 /// What [`launch`] produced.
@@ -607,6 +711,14 @@ pub struct LaunchReport {
     pub distributed_secs: f64,
     /// Wall-clock seconds of the in-process reference run.
     pub reference_secs: Option<f64>,
+    /// The pipelined run's transcript (also written to
+    /// `distributed_pipelined.txt`), when `pipeline > 1`.
+    pub pipelined: Option<String>,
+    /// Wall-clock seconds of the pipelined run.
+    pub pipelined_secs: Option<f64>,
+    /// The clamped window depth the pipelined run used (1 when no
+    /// pipelined run happened).
+    pub pipeline_depth: usize,
 }
 
 fn kill_all(children: &mut [(String, Child)]) {
@@ -616,76 +728,64 @@ fn kill_all(children: &mut [(String, Child)]) {
     }
 }
 
-/// Launches one deployment as separate OS processes — `chain_len`
-/// `vuvuzela-server`s, one `vuvuzela-entry`, one `vuvuzela-client` —
-/// replays the schedule, and writes `distributed.txt`,
-/// `reference.txt` (with `check`), `resolved.json` and
-/// `BENCH_wire_chain.json` into the out dir.
-///
-/// # Errors
-///
-/// Spawn failures, a non-zero child exit, or (with `check`) a
-/// transcript mismatch.
-pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchReport, String> {
-    resolve_ephemeral_ports(&mut cfg)?;
-    std::fs::create_dir_all(&opts.out_dir)
-        .map_err(|err| format!("cannot create {}: {err}", opts.out_dir.display()))?;
-    let resolved_path = opts.out_dir.join("resolved.json");
-    let rendered =
-        serde_json::to_string_pretty(&cfg.to_json()).expect("deployment config always renders");
-    std::fs::write(&resolved_path, rendered + "\n")
-        .map_err(|err| format!("cannot write {}: {err}", resolved_path.display()))?;
-
-    let bin_dir = match &opts.bin_dir {
-        Some(dir) => dir.clone(),
-        None => std::env::current_exe()
-            .map_err(|err| format!("cannot locate the launcher binary: {err}"))?
-            .parent()
-            .ok_or("the launcher binary has no parent directory")?
-            .to_path_buf(),
-    };
-    let bin = |name: &str| bin_dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
-
+/// Spawns one full process set — servers tail-to-head, entry, client —
+/// against `resolved_path`, waits for every process, and returns the
+/// client transcript plus the wall-clock seconds of the whole run.
+fn run_process_set(
+    cfg: &DeploymentConfig,
+    bin: &dyn Fn(&str) -> PathBuf,
+    resolved_path: &Path,
+    transcript_path: &Path,
+    depth: usize,
+) -> Result<(String, f64), String> {
     let started = Instant::now();
     let mut children: Vec<(String, Child)> = Vec::new();
+    let spawn = |children: &mut Vec<(String, Child)>,
+                 name: String,
+                 command: &mut Command|
+     -> Result<(), String> {
+        match command.spawn() {
+            Ok(child) => {
+                children.push((name, child));
+                Ok(())
+            }
+            Err(err) => {
+                kill_all(children);
+                Err(format!("cannot spawn {name}: {err}"))
+            }
+        }
+    };
     // Servers first (tail to head so downstream listeners exist early,
     // although the connect retry loop tolerates any order), then the
     // entry, then the client driver.
     for position in (0..cfg.system.chain_len).rev() {
-        let child = Command::new(bin("vuvuzela-server"))
+        spawn(
+            &mut children,
+            format!("vuvuzela-server {position}"),
+            Command::new(bin("vuvuzela-server"))
+                .arg("--config")
+                .arg(resolved_path)
+                .arg("--position")
+                .arg(position.to_string()),
+        )?;
+    }
+    spawn(
+        &mut children,
+        "vuvuzela-entry".to_string(),
+        Command::new(bin("vuvuzela-entry"))
             .arg("--config")
-            .arg(&resolved_path)
-            .arg("--position")
-            .arg(position.to_string())
-            .spawn()
-            .map_err(|err| format!("cannot spawn vuvuzela-server {position}: {err}"))?;
-        children.push((format!("vuvuzela-server {position}"), child));
-    }
-    match Command::new(bin("vuvuzela-entry"))
+            .arg(resolved_path),
+    )?;
+    let mut client = Command::new(bin("vuvuzela-client"));
+    client
         .arg("--config")
-        .arg(&resolved_path)
-        .spawn()
-    {
-        Ok(child) => children.push(("vuvuzela-entry".to_string(), child)),
-        Err(err) => {
-            kill_all(&mut children);
-            return Err(format!("cannot spawn vuvuzela-entry: {err}"));
-        }
-    }
-    let transcript_path = opts.out_dir.join("distributed.txt");
-    match Command::new(bin("vuvuzela-client"))
-        .arg("--config")
-        .arg(&resolved_path)
+        .arg(resolved_path)
         .arg("--out")
-        .arg(&transcript_path)
-        .spawn()
-    {
-        Ok(child) => children.push(("vuvuzela-client".to_string(), child)),
-        Err(err) => {
-            kill_all(&mut children);
-            return Err(format!("cannot spawn vuvuzela-client: {err}"));
-        }
+        .arg(transcript_path);
+    if depth > 1 {
+        client.arg("--pipeline").arg(depth.to_string());
     }
+    spawn(&mut children, "vuvuzela-client".to_string(), &mut client)?;
 
     let mut failure = None;
     for (name, child) in &mut children {
@@ -705,13 +805,91 @@ pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchR
         kill_all(&mut children);
         return Err(failure);
     }
-    let distributed_secs = started.elapsed().as_secs_f64();
-    let distributed = std::fs::read_to_string(&transcript_path).map_err(|err| {
+    let secs = started.elapsed().as_secs_f64();
+    let transcript = std::fs::read_to_string(transcript_path).map_err(|err| {
         format!(
             "client wrote no transcript at {}: {err}",
             transcript_path.display()
         )
     })?;
+    Ok((transcript, secs))
+}
+
+/// Strips the transcript header (whose digest covers the deployment's
+/// concrete addresses) so runs on different ports remain comparable.
+fn transcript_body(transcript: &str) -> &str {
+    transcript
+        .split_once('\n')
+        .map_or(transcript, |(_, body)| body)
+}
+
+/// Launches one deployment as separate OS processes — `chain_len`
+/// `vuvuzela-server`s, one `vuvuzela-entry`, one `vuvuzela-client` —
+/// replays the schedule, and writes `distributed.txt`,
+/// `reference.txt` (with `check`), `resolved.json` and
+/// `BENCH_wire_chain.json` into the out dir.
+///
+/// With `pipeline > 1` a second process set replays the same schedule
+/// with a pipelined client window (`distributed_pipelined.txt`). Its
+/// `:0` addresses are re-resolved to fresh ports — rebinding the
+/// sequential run's listeners immediately can trip over `TIME_WAIT` —
+/// so its transcript header carries a different config digest; the
+/// body (every round line) must still match the sequential run
+/// byte-for-byte, and with `check` the pipelined transcript is also
+/// diffed in full against its own sequential in-process reference.
+///
+/// # Errors
+///
+/// Spawn failures, a non-zero child exit, or (with `check`) a
+/// transcript mismatch.
+pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchReport, String> {
+    let unresolved = cfg.clone();
+    resolve_ephemeral_ports(&mut cfg)?;
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|err| format!("cannot create {}: {err}", opts.out_dir.display()))?;
+    let write_resolved = |name: &str, cfg: &DeploymentConfig| -> Result<PathBuf, String> {
+        let path = opts.out_dir.join(name);
+        let rendered =
+            serde_json::to_string_pretty(&cfg.to_json()).expect("deployment config always renders");
+        std::fs::write(&path, rendered + "\n")
+            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+        Ok(path)
+    };
+    let resolved_path = write_resolved("resolved.json", &cfg)?;
+
+    let bin_dir = match &opts.bin_dir {
+        Some(dir) => dir.clone(),
+        None => std::env::current_exe()
+            .map_err(|err| format!("cannot locate the launcher binary: {err}"))?
+            .parent()
+            .ok_or("the launcher binary has no parent directory")?
+            .to_path_buf(),
+    };
+    let bin = |name: &str| bin_dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+
+    let transcript_path = opts.out_dir.join("distributed.txt");
+    let (distributed, distributed_secs) =
+        run_process_set(&cfg, &bin, &resolved_path, &transcript_path, 1)?;
+
+    let depth = opts.pipeline.clamp(1, cfg.system.chain_len.max(1));
+    let pipelined_run = if depth > 1 {
+        let mut pcfg = unresolved;
+        resolve_ephemeral_ports(&mut pcfg)?;
+        let presolved_path = write_resolved("resolved_pipelined.json", &pcfg)?;
+        let ptranscript_path = opts.out_dir.join("distributed_pipelined.txt");
+        let (transcript, secs) =
+            run_process_set(&pcfg, &bin, &presolved_path, &ptranscript_path, depth)?;
+        if transcript_body(&transcript) != transcript_body(&distributed) {
+            return Err(format!(
+                "pipelined transcript body diverged from the sequential run: {} vs {}",
+                ptranscript_path.display(),
+                transcript_path.display(),
+            ));
+        }
+        Some((pcfg, transcript, secs))
+    } else {
+        None
+    };
 
     let (reference, reference_secs) = if opts.check {
         let started = Instant::now();
@@ -726,6 +904,7 @@ pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchR
     };
 
     let rounds = cfg.schedule.len();
+    let pipelined_secs = pipelined_run.as_ref().map(|(_, _, secs)| *secs);
     let bench = json!({
         "bench": "wire_chain",
         "rounds": rounds,
@@ -733,6 +912,14 @@ pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchR
             "secs": distributed_secs,
             "rounds_per_sec": rounds as f64 / distributed_secs.max(1e-9),
         },
+        "pipelined_multiprocess": pipelined_secs.map(|secs| json!({
+            "secs": secs,
+            "rounds_per_sec": rounds as f64 / secs.max(1e-9),
+            "depth": depth,
+        })).unwrap_or(Value::Null),
+        "speedup_pipelined_wire": pipelined_secs
+            .map(|secs| json!(distributed_secs / secs.max(1e-9)))
+            .unwrap_or(Value::Null),
         "in_process_reference": reference_secs.map(|secs| json!({
             "secs": secs,
             "rounds_per_sec": rounds as f64 / secs.max(1e-9),
@@ -757,12 +944,35 @@ pub fn launch(mut cfg: DeploymentConfig, opts: &LaunchOptions) -> Result<LaunchR
                 hex(&sha256(reference.as_bytes())),
             ));
         }
+        if let Some((pcfg, ptranscript, _)) = &pipelined_run {
+            let preference = run_reference(pcfg);
+            let preference_path = opts.out_dir.join("reference_pipelined.txt");
+            std::fs::write(&preference_path, &preference)
+                .map_err(|err| format!("cannot write {}: {err}", preference_path.display()))?;
+            if preference != *ptranscript {
+                return Err(format!(
+                    "pipelined transcript mismatch: {} differs from {} \
+                     (distributed sha256 {}, reference {})",
+                    opts.out_dir.join("distributed_pipelined.txt").display(),
+                    preference_path.display(),
+                    hex(&sha256(ptranscript.as_bytes())),
+                    hex(&sha256(preference.as_bytes())),
+                ));
+            }
+        }
     }
+    let (pipelined, pipelined_secs) = match pipelined_run {
+        Some((_, transcript, secs)) => (Some(transcript), Some(secs)),
+        None => (None, None),
+    };
     Ok(LaunchReport {
         distributed,
         reference,
         distributed_secs,
         reference_secs,
+        pipelined,
+        pipelined_secs,
+        pipeline_depth: depth,
     })
 }
 
@@ -800,6 +1010,7 @@ pub fn smoke_config() -> DeploymentConfig {
                 singles: 2,
             },
         ],
+        connect_timeout_ms: DEFAULT_CONNECT_TIMEOUT_MS,
     }
 }
 
@@ -825,7 +1036,16 @@ mod tests {
         assert_eq!(back.entry_addr, cfg.entry_addr);
         assert_eq!(back.server_addrs, cfg.server_addrs);
         assert_eq!(back.schedule, cfg.schedule);
+        assert_eq!(back.connect_timeout_ms, cfg.connect_timeout_ms);
         assert_eq!(back.digest(), cfg.digest());
+
+        // The connect timeout is optional and defaults when absent.
+        let mut value = cfg.to_json();
+        if let Value::Object(map) = &mut value {
+            map.remove("connect_timeout_ms");
+        }
+        let defaulted = DeploymentConfig::from_json(&value).expect("timeout defaults");
+        assert_eq!(defaulted.connect_timeout_ms, DEFAULT_CONNECT_TIMEOUT_MS);
 
         let mut value = cfg.to_json();
         if let Value::Object(map) = &mut value {

@@ -7,43 +7,63 @@
 //! 2. transport-driven nodes over in-memory endpoints
 //!    ([`vuvuzela::net::memory_pair`]),
 //! 3. transport-driven nodes over loopback TCP (ephemeral ports, one
-//!    thread per node standing in for the per-process bins).
+//!    thread per node standing in for the per-process bins) — at
+//!    window depth 1 (sequential) and pipelined depths up to
+//!    `chain_len`.
 //!
 //! The separate-OS-process variant of (3) is exercised by
 //! `vuvuzela-launch --check` in CI's deploy-smoke job.
 
+use proptest::prelude::*;
 use std::sync::Arc;
 use vuvuzela::core::chain::build_server;
 use vuvuzela::core::node::{run_entry_node, run_server_node};
-use vuvuzela::deploy::{self, DeploymentConfig};
+use vuvuzela::core::server::RoundKind;
+use vuvuzela::crypto::onion;
+use vuvuzela::deploy::{self, DeploymentConfig, ScheduleEntry};
 use vuvuzela::net::link::Link;
 use vuvuzela::net::transport::memory_pair;
-use vuvuzela::net::{LinkId, Transport};
+use vuvuzela::net::{Error, LinkId, Transport};
+use vuvuzela::wire::{BatchFrame, Frame, RoundId, RoundType};
 
 fn smoke() -> DeploymentConfig {
     deploy::smoke_config()
 }
 
+/// The smoke deployment with two extra rounds so pipelined windows see
+/// a conversation/dialing interleaving deeper than the window itself.
+fn mixed() -> DeploymentConfig {
+    let mut cfg = smoke();
+    cfg.schedule
+        .push(ScheduleEntry::Dialing { dials: 1, drops: 3 });
+    cfg.schedule.push(ScheduleEntry::Conversation {
+        pairs: 1,
+        singles: 1,
+    });
+    cfg
+}
+
 /// Mode 2: nodes over in-memory endpoints, client driven by the same
 /// `deploy::run_client` the TCP bin uses.
-fn run_memory(cfg: &DeploymentConfig) -> String {
+fn run_memory(cfg: &DeploymentConfig, depth: usize) -> String {
     let chain_len = cfg.system.chain_len;
     let (client_end, entry_client_end) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
     // For hop i, `send_ends[i]` goes to the upstream node (entry or
     // server i-1) and `recv_ends[i]` to server i.
-    let mut send_ends = Vec::new();
-    let mut recv_ends = Vec::new();
+    let mut send_ends: Vec<Arc<dyn Transport>> = Vec::new();
+    let mut recv_ends: Vec<Arc<dyn Transport>> = Vec::new();
     for i in 0..chain_len {
         let (a, b) = memory_pair(Arc::new(Link::new(LinkId::Hop(i as u32))));
-        send_ends.push(a);
-        recv_ends.push(b);
+        send_ends.push(Arc::new(a));
+        recv_ends.push(Arc::new(b));
     }
 
     let mut handles = Vec::new();
     let entry_down = send_ends.remove(0);
+    let entry_clients: Arc<dyn Transport> = Arc::new(entry_client_end);
     let cfg_entry = cfg.system.clone();
     handles.push(std::thread::spawn(move || {
-        run_entry_node(&cfg_entry, &entry_client_end, &entry_down).expect("entry node");
+        run_entry_node(&cfg_entry, entry_clients, entry_down).expect("entry node");
     }));
     for position in 0..chain_len {
         let up = recv_ends.remove(0);
@@ -58,18 +78,11 @@ fn run_memory(cfg: &DeploymentConfig) -> String {
         let system = cfg.system.clone();
         let seed = cfg.seed;
         handles.push(std::thread::spawn(move || {
-            run_server_node(
-                server,
-                &system,
-                seed,
-                &up,
-                down.as_ref().map(|d| d as &dyn Transport),
-            )
-            .expect("server node");
+            run_server_node(server, &system, seed, up, down).expect("server node");
         }));
     }
 
-    let transcript = deploy::run_client(cfg, &client_end).expect("memory client");
+    let transcript = deploy::run_client(cfg, &client_end, depth).expect("memory client");
     for handle in handles {
         handle.join().expect("node thread");
     }
@@ -78,7 +91,7 @@ fn run_memory(cfg: &DeploymentConfig) -> String {
 
 /// Mode 3: nodes over loopback TCP with ephemeral ports, one thread per
 /// node running exactly the code the bins run.
-fn run_loopback_tcp(cfg: &DeploymentConfig) -> String {
+fn run_loopback_tcp(cfg: &DeploymentConfig, depth: usize) -> String {
     let cfg = cfg.clone();
     let mut handles = Vec::new();
     for position in (0..cfg.system.chain_len).rev() {
@@ -93,7 +106,7 @@ fn run_loopback_tcp(cfg: &DeploymentConfig) -> String {
             deploy::serve_entry(&cfg).expect("entry");
         }));
     }
-    let transcript = deploy::run_client_tcp(&cfg).expect("tcp client");
+    let transcript = deploy::run_client_tcp(&cfg, depth).expect("tcp client");
     for handle in handles {
         handle.join().expect("node thread");
     }
@@ -112,16 +125,46 @@ fn all_three_transports_produce_identical_transcripts() {
         "reference transcript covers the schedule:\n{reference}"
     );
 
-    let memory = run_memory(&cfg);
+    let memory = run_memory(&cfg, 1);
     assert_eq!(
         memory, reference,
         "in-memory transport diverged from the sequential chain"
     );
 
-    let tcp = run_loopback_tcp(&cfg);
+    let tcp = run_loopback_tcp(&cfg, 1);
     assert_eq!(
         tcp, reference,
         "loopback TCP transport diverged from the sequential chain"
+    );
+}
+
+#[test]
+fn pipelined_tcp_matches_sequential_reference_at_every_depth() {
+    // One fresh port resolution per depth: back-to-back runs must not
+    // rebind the previous run's listeners (TIME_WAIT), so each run
+    // gets its own concrete config and its own reference transcript.
+    let chain_len = mixed().system.chain_len;
+    for depth in [1, 2, chain_len] {
+        let mut cfg = mixed();
+        deploy::resolve_ephemeral_ports(&mut cfg).expect("free loopback ports");
+        let reference = deploy::run_reference(&cfg);
+        let tcp = run_loopback_tcp(&cfg, depth);
+        assert_eq!(
+            tcp, reference,
+            "pipelined TCP at depth {depth} diverged from the sequential reference"
+        );
+    }
+}
+
+#[test]
+fn pipelined_memory_matches_sequential_reference() {
+    let mut cfg = mixed();
+    deploy::resolve_ephemeral_ports(&mut cfg).expect("free loopback ports");
+    let reference = deploy::run_reference(&cfg);
+    let memory = run_memory(&cfg, cfg.system.chain_len);
+    assert_eq!(
+        memory, reference,
+        "pipelined in-memory transport diverged from the sequential reference"
     );
 }
 
@@ -150,4 +193,90 @@ fn paired_exchanges_verify_in_every_round() {
     assert!(reference.contains("verified 4"), "{reference}");
     assert!(reference.contains("verified 2"), "{reference}");
     assert!(reference.contains("verified 0"), "{reference}");
+}
+
+/// Drives a bare entry node (dummy never-replying downstream) with
+/// `window + extra` zero-count rounds and returns the entry's error.
+fn overfill_entry(chain_len: usize, extra: usize) -> Error {
+    let mut system = smoke().system;
+    system.chain_len = chain_len;
+    let (client_end, entry_clients) = memory_pair(Arc::new(Link::new(LinkId::Clients)));
+    let (entry_down, dummy) = memory_pair(Arc::new(Link::new(LinkId::Hop(0))));
+    // The dummy tail drains exactly the admitted rounds but never
+    // answers, so the entry's window can only fill, never drain:
+    // admission behaviour is a pure function of the client's sends.
+    let window = chain_len.max(1);
+    let drain = std::thread::spawn(move || {
+        for _ in 0..window {
+            dummy.recv().expect("forwarded round");
+        }
+    });
+    let entry_clients: Arc<dyn Transport> = Arc::new(entry_clients);
+    let entry_down: Arc<dyn Transport> = Arc::new(entry_down);
+    let entry = {
+        let system = system.clone();
+        std::thread::spawn(move || run_entry_node(&system, entry_clients, entry_down))
+    };
+
+    let width = onion::wrapped_len(RoundKind::Conversation.payload_len(), chain_len) as u32;
+    for round in 0..(window + extra) as u64 {
+        let sent = client_end.send(Frame::Batch(BatchFrame {
+            link: LinkId::Clients,
+            round: RoundId(round),
+            round_type: RoundType::Conversation,
+            num_drops: 0,
+            backward: false,
+            stride: width,
+            width,
+            count: 0,
+            payload: Vec::new(),
+            trailer: Vec::new(),
+        }));
+        if sent.is_err() {
+            // The entry already errored out and hung up; that error is
+            // what the test asserts on.
+            break;
+        }
+    }
+    let err = entry
+        .join()
+        .expect("entry thread")
+        .expect_err("overfilled entry must reject");
+    drop(client_end);
+    drain.join().expect("drain thread");
+    err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Out-of-window admission is rejected *deterministically*: the
+    /// entry errors with the same protocol violation — naming the
+    /// window size — for any chain length and any overshoot, and two
+    /// identical runs produce byte-identical error messages.
+    #[test]
+    fn out_of_window_admission_is_rejected_deterministically(
+        chain_len in 1usize..=4,
+        extra in 1usize..=3,
+    ) {
+        let err = overfill_entry(chain_len, extra);
+        let reason = match &err {
+            Error::Protocol { link, reason } => {
+                prop_assert_eq!(*link, LinkId::Clients);
+                reason.clone()
+            }
+            other => panic!("expected a protocol rejection, got {other:?}"),
+        };
+        prop_assert!(
+            reason.contains("admission window"),
+            "rejection names the window: {reason}"
+        );
+        prop_assert!(
+            reason.contains(&format!("round {}", chain_len.max(1))),
+            "the first out-of-window round is rejected: {reason}"
+        );
+        // Same inputs, same rejection, byte for byte.
+        let again = overfill_entry(chain_len, extra);
+        prop_assert_eq!(format!("{err}"), format!("{again}"));
+    }
 }
