@@ -40,6 +40,12 @@ impl IntersectionAttack {
     /// uncertainty about them is *not* modelled — the paper conservatively
     /// assumes the adversary knows all other users' behaviour, §9, so we
     /// keep them constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`: with no observed rounds [`Self::guess`]
+    /// compares two empty means and degenerates to a constant `false`,
+    /// which would report a fake 50% accuracy instead of an error.
     pub fn evaluate<R: Rng>(
         &self,
         rng: &mut R,
@@ -47,6 +53,10 @@ impl IntersectionAttack {
         background_pairs: u64,
         trials: usize,
     ) -> f64 {
+        assert!(
+            self.window > 0,
+            "intersection attack needs at least one observed round per condition"
+        );
         let mut correct = 0usize;
         for _ in 0..trials {
             let talking = rng.gen_bool(0.5);
@@ -252,6 +262,16 @@ mod tests {
             (0.44..=0.56).contains(&accuracy),
             "noised accuracy {accuracy} should be ≈ 0.5"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observed round")]
+    fn intersection_attack_rejects_empty_window() {
+        // Regression: window = 0 used to evaluate every trial against two
+        // empty means (guess always false → a fake ≈50% accuracy).
+        let mut rng = StdRng::seed_from_u64(7);
+        let attack = IntersectionAttack { window: 0 };
+        let _ = attack.evaluate(&mut rng, &no_noise_model(), 5, 10);
     }
 
     #[test]

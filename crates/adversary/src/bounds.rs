@@ -14,10 +14,33 @@ pub fn max_accuracy(epsilon: f64, delta: f64) -> f64 {
     (epsilon.exp() / (1.0 + epsilon.exp()) + delta).min(1.0)
 }
 
-/// The corresponding advantage over random guessing (accuracy − ½).
+/// The corresponding advantage over random guessing (accuracy − ½),
+/// clamped to the meaningful range `[0, 0.5]`: advantage can neither be
+/// negative (guessing randomly always achieves 0) nor exceed ½ (accuracy
+/// is capped at 1), regardless of how degenerate the (ε, δ) inputs are.
 #[must_use]
 pub fn max_advantage(epsilon: f64, delta: f64) -> f64 {
-    max_accuracy(epsilon, delta) - 0.5
+    (max_accuracy(epsilon, delta) - 0.5).clamp(0.0, 0.5)
+}
+
+/// Two-sided Hoeffding deviation bound for an empirical accuracy
+/// estimated from `trials` Bernoulli outcomes: with probability ≥ 1 − α
+/// the empirical mean is within `sqrt(ln(2/α) / (2·trials))` of the true
+/// accuracy. The attack gate adds this slack to the measured advantage
+/// before comparing against [`max_advantage`], so a finite trial count
+/// cannot produce a false "bound exceeded" verdict (at confidence 1 − α).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `alpha` is outside `(0, 1)`.
+#[must_use]
+pub fn hoeffding_slack(trials: usize, alpha: f64) -> f64 {
+    assert!(trials > 0, "slack is undefined for zero trials");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "confidence parameter must be in (0, 1)"
+    );
+    ((2.0 / alpha).ln() / (2.0 * trials as f64)).sqrt()
 }
 
 #[cfg(test)]
@@ -47,5 +70,36 @@ mod tests {
     fn delta_adds_linearly() {
         let base = max_accuracy(0.1, 0.0);
         assert!((max_accuracy(0.1, 1e-3) - base - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advantage_is_clamped_to_meaningful_range() {
+        // ε = 0, large δ: accuracy saturates at 1.0, so advantage must
+        // cap at exactly 0.5 — the corner the attack gate's negative
+        // controls rely on.
+        assert_eq!(max_advantage(0.0, 0.7), 0.5);
+        assert_eq!(max_advantage(100.0, 0.5), 0.5);
+        // ε = 0, small δ: advantage is exactly δ.
+        assert!((max_advantage(0.0, 1e-3) - 1e-3).abs() < 1e-12);
+        // Degenerate negative ε pushes raw accuracy below ½; advantage
+        // must clamp at 0, never go negative.
+        assert_eq!(max_advantage(-1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hoeffding_slack_shrinks_with_trials() {
+        let wide = hoeffding_slack(100, 0.01);
+        let narrow = hoeffding_slack(10_000, 0.01);
+        assert!(wide > narrow);
+        // Closed form: sqrt(ln(200) / 200).
+        assert!((wide - (200.0f64.ln() / 200.0).sqrt()).abs() < 1e-12);
+        // More confidence (smaller α) → more slack.
+        assert!(hoeffding_slack(100, 1e-6) > wide);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn hoeffding_slack_rejects_zero_trials() {
+        let _ = hoeffding_slack(0, 0.01);
     }
 }

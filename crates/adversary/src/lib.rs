@@ -25,9 +25,15 @@
 
 pub mod attacks;
 pub mod bounds;
+pub mod detector;
 pub mod model;
 pub mod taps;
+pub mod transcript;
 
 pub use attacks::{DisruptionAttack, IntersectionAttack, StatisticalDisclosureAttack};
-pub use bounds::max_accuracy;
+pub use bounds::{hoeffding_slack, max_accuracy, max_advantage};
+pub use detector::{
+    pair_activity_feature, split_by_seed, DetectionGrade, DetectionOutcome, ThresholdDetector,
+};
 pub use model::ObservableModel;
+pub use transcript::TranscriptView;

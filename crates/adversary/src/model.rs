@@ -46,8 +46,12 @@ impl ObservableModel {
         let mut m2 = truth.talking_pairs;
         for _ in 0..self.noising_servers {
             m1 += self.noise.sample_count(rng, self.mode);
-            // Algorithm 2: n2 requests → ⌈n2/2⌉ pairs.
-            m2 += self.noise.sample_count(rng, self.mode).div_ceil(2);
+            // Algorithm 2: n2 requests → ⌊n2/2⌋ same-drop pairs; an odd
+            // draw's leftover request is a singleton drop in the real
+            // chain (1 access), so it counts toward m1, not m2.
+            let n2 = self.noise.sample_count(rng, self.mode);
+            m2 += n2 / 2;
+            m1 += n2 % 2;
         }
         ConversationObservables {
             m1,
@@ -95,6 +99,29 @@ mod tests {
         // Each server: m1 += 4, m2 += 2.
         assert_eq!(obs.m1, 3 + 8);
         assert_eq!(obs.m2, 1 + 4);
+        assert_eq!(obs.total_requests, obs.m1 + 2 * obs.m2);
+    }
+
+    #[test]
+    fn odd_n2_draw_credits_a_singleton() {
+        // µ = 5 deterministic → every server draws n1 = n2 = 5: the n2
+        // requests pair into ⌊5/2⌋ = 2 drops and the leftover request is
+        // a singleton, so each server adds m1 += 5 + 1 and m2 += 2.
+        let model = ObservableModel {
+            noising_servers: 2,
+            noise: NoiseDistribution::new(5.0, 1.0),
+            mode: NoiseMode::Deterministic,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = model.sample(
+            &mut rng,
+            RoundTruth {
+                talking_pairs: 1,
+                lone_users: 3,
+            },
+        );
+        assert_eq!(obs.m1, 3 + 2 * 6);
+        assert_eq!(obs.m2, 1 + 2 * 2);
         assert_eq!(obs.total_requests, obs.m1 + 2 * obs.m2);
     }
 

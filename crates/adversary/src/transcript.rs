@@ -1,0 +1,619 @@
+//! The adversary's reconstruction of a deployment from its transcript.
+//!
+//! The `vuvuzela-sim` simulator emits a canonical line-oriented
+//! transcript of everything that happened in a run. A real network
+//! adversary tapping every link sees a strict *subset* of it: batch
+//! sizes per link and round, the last server's public dead-drop
+//! histograms (`m1`/`m2`/`m_many`, per-drop invitation counts), the
+//! connected-participant counts, the round kinds, and — because the
+//! noise parameters are public protocol configuration — the composed
+//! (ε′, δ′) the deployment has spent. [`TranscriptView::parse`]
+//! reconstructs exactly that view and **discards the ground truth**
+//! the transcript also records for test assertions: the `mutual`
+//! pair count inside round lines, and the `event`/`delivered`/`scan`
+//! lines that say who actually dialed, talked or received. Attacks
+//! built on a [`TranscriptView`] therefore consume only information a
+//! real adversary would have, which is what makes grading them against
+//! the DP bound ([`crate::bounds`]) meaningful.
+//!
+//! The parser is strict: every line of the canonical format must be
+//! recognised, so format drift in the simulator fails loudly here
+//! instead of silently blinding the attacker.
+
+use vuvuzela_dp::ComposedPrivacy;
+
+/// The public noise configuration announced in the transcript header.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseHeader {
+    /// Conversation noise mean µ per noising server.
+    pub conversation_mu: f64,
+    /// Conversation noise scale b.
+    pub conversation_b: f64,
+    /// Dialing noise mean µ per server per drop.
+    pub dialing_mu: f64,
+    /// Dialing noise scale b.
+    pub dialing_b: f64,
+    /// Noise mode: `sampled`, `deterministic` or `off`.
+    pub mode: NoiseModeTag,
+    /// Invitation drops per dialing round.
+    pub drops: u32,
+}
+
+/// The transcript's noise-mode tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseModeTag {
+    /// Real truncated-Laplace draws.
+    Sampled,
+    /// Exactly `⌈µ⌉` per draw.
+    Deterministic,
+    /// No cover traffic at all.
+    Off,
+}
+
+/// The dead-drop histogram of one completed conversation round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConversationCounts {
+    /// Requests submitted on the client link (participants × slots).
+    pub submitted: u64,
+    /// Dead drops accessed exactly once.
+    pub m1: u64,
+    /// Dead drops accessed exactly twice.
+    pub m2: u64,
+    /// Dead drops accessed three or more times.
+    pub m_many: u64,
+    /// Total requests the last server exchanged.
+    pub total: u64,
+}
+
+/// One conversation round as the adversary sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConversationRound {
+    /// Round id.
+    pub round: u64,
+    /// Connected participants (the connected-client set is public).
+    pub participants: u64,
+    /// The observed histogram; `None` when the transcript recorded the
+    /// round as `missing-observables`.
+    pub counts: Option<ConversationCounts>,
+    /// The composed conversation-protocol (ε′, δ′) after this round.
+    pub spent: ComposedPrivacy,
+}
+
+/// One dialing round as the adversary sees it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DialingRound {
+    /// Round id.
+    pub round: u64,
+    /// Connected participants.
+    pub participants: u64,
+    /// Per-drop invitation counts plus the no-op drop write count;
+    /// `None` for a `missing-observables` round.
+    pub counts: Option<DialingCounts>,
+    /// The composed dialing-protocol (ε′, δ′) after this round.
+    pub spent: ComposedPrivacy,
+}
+
+/// The per-drop histogram of one completed dialing round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DialingCounts {
+    /// Invitation drops this round.
+    pub drops: u32,
+    /// Observed invitation count per drop.
+    pub per_drop: Vec<u64>,
+    /// Writes to the designated no-op drop.
+    pub noop_writes: u64,
+}
+
+/// One protocol round, either kind, in transcript order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoundView {
+    /// A conversation round.
+    Conversation(ConversationRound),
+    /// A dialing round.
+    Dialing(DialingRound),
+}
+
+/// One tap observation: a batch on a chain link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TapBatchView {
+    /// The observed link, in the transcript's diagnostic name
+    /// (e.g. `entry->server0`).
+    pub link: String,
+    /// Round id.
+    pub round: u64,
+    /// `true` for the forward direction.
+    pub forward: bool,
+    /// Onions in the batch.
+    pub onions: u64,
+    /// Uniform onion width in bytes.
+    pub width: u64,
+}
+
+/// The adversary's complete reconstructed view of one transcript.
+#[derive(Clone, Debug)]
+pub struct TranscriptView {
+    /// Scenario name from the header.
+    pub scenario: String,
+    /// Deployment seed (public in the simulator's world; unused by
+    /// attacks, kept for artefact labelling).
+    pub seed: u64,
+    /// Chain length.
+    pub servers: usize,
+    /// The announced noise configuration.
+    pub noise: NoiseHeader,
+    /// The noise the *ledger* charges with, when the transcript
+    /// declares it separately (a mis-deployment advertising a budget
+    /// its servers do not draw). `None` means the ledger uses
+    /// [`TranscriptView::noise`].
+    pub claimed_noise: Option<NoiseHeader>,
+    /// Every protocol round, in transcript order.
+    pub rounds: Vec<RoundView>,
+    /// Every tap-observed batch, in transcript order.
+    pub taps: Vec<TapBatchView>,
+    /// `violation …` lines the run recorded (tolerant mode).
+    pub violations: usize,
+    /// The `end` line's completed-round count, if the transcript has
+    /// one.
+    pub completed_rounds: Option<u64>,
+    /// Last composed conversation spend seen (round or ledger lines).
+    last_conversation: Option<ComposedPrivacy>,
+    /// Last composed dialing spend seen (round or ledger lines).
+    last_dialing: Option<ComposedPrivacy>,
+}
+
+impl TranscriptView {
+    /// Parses a rendered transcript into the adversary's view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unrecognised
+    /// line — the parser is strict by design (see the module docs).
+    pub fn parse(text: &str) -> Result<TranscriptView, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty transcript")?;
+        if header != "vuvuzela-sim transcript v1" {
+            return Err(format!("unsupported transcript header {header:?}"));
+        }
+        let mut view = TranscriptView {
+            scenario: String::new(),
+            seed: 0,
+            servers: 0,
+            noise: NoiseHeader {
+                conversation_mu: 0.0,
+                conversation_b: 0.0,
+                dialing_mu: 0.0,
+                dialing_b: 0.0,
+                mode: NoiseModeTag::Deterministic,
+                drops: 0,
+            },
+            claimed_noise: None,
+            rounds: Vec::new(),
+            taps: Vec::new(),
+            violations: 0,
+            completed_rounds: None,
+            last_conversation: None,
+            last_dialing: None,
+        };
+        for (index, line) in lines {
+            view.parse_line(line)
+                .map_err(|e| format!("line {}: {e} in {line:?}", index + 1))?;
+        }
+        Ok(view)
+    }
+
+    /// The whole transcript's composed budget as one (ε′, δ′) pair:
+    /// the last conversation and dialing spends (Theorem 2 each),
+    /// combined by basic composition ([`vuvuzela_dp::accounting::combine`]).
+    /// A protocol with no charged rounds contributes (0, 0).
+    #[must_use]
+    pub fn composed_budget(&self) -> ComposedPrivacy {
+        let zero = ComposedPrivacy {
+            epsilon: 0.0,
+            delta: 0.0,
+        };
+        vuvuzela_dp::accounting::combine(
+            self.last_conversation.unwrap_or(zero),
+            self.last_dialing.unwrap_or(zero),
+        )
+    }
+
+    /// The conversation rounds, in order.
+    pub fn conversation_rounds(&self) -> impl Iterator<Item = &ConversationRound> {
+        self.rounds.iter().filter_map(|r| match r {
+            RoundView::Conversation(c) => Some(c),
+            RoundView::Dialing(_) => None,
+        })
+    }
+
+    /// The dialing rounds, in order.
+    pub fn dialing_rounds(&self) -> impl Iterator<Item = &DialingRound> {
+        self.rounds.iter().filter_map(|r| match r {
+            RoundView::Dialing(d) => Some(d),
+            RoundView::Conversation(_) => None,
+        })
+    }
+
+    fn parse_line(&mut self, line: &str) -> Result<(), String> {
+        let mut t = Tokens::new(line);
+        match t.word()? {
+            "scenario" => self.scenario = t.rest(),
+            "seed" => {
+                self.seed = t.u64()?;
+                t.expect("servers")?;
+                self.servers = t.u64()? as usize;
+                // workers/shards/slots/retransmit_after: deployment
+                // tuning, irrelevant to the adversary's statistics.
+            }
+            "noise" => self.parse_noise(&mut t)?,
+            "round" => {
+                let round = t.u64()?;
+                match t.word()? {
+                    "conversation" => self.parse_conversation_round(round, &mut t)?,
+                    "dialing" => self.parse_dialing_round(round, &mut t)?,
+                    kind => return Err(format!("unknown round kind {kind:?}")),
+                }
+            }
+            "tap" => {
+                t.expect("link")?;
+                let link = t.word()?.to_string();
+                t.expect("round")?;
+                let round = t.u64()?;
+                let forward = match t.word()? {
+                    "forward" => true,
+                    "backward" => false,
+                    dir => return Err(format!("unknown direction {dir:?}")),
+                };
+                t.expect("onions")?;
+                let onions = t.u64()?;
+                t.expect("width")?;
+                let width = t.u64()?;
+                self.taps.push(TapBatchView {
+                    link,
+                    round,
+                    forward,
+                    onions,
+                    width,
+                });
+            }
+            "ledger" => {
+                // Abort-path budget line: both protocols' spends.
+                t.expect("conversation")?;
+                t.expect("eps")?;
+                let ce = t.f64()?;
+                t.expect("delta")?;
+                let cd = t.f64()?;
+                self.last_conversation = Some(ComposedPrivacy {
+                    epsilon: ce,
+                    delta: cd,
+                });
+                t.expect("dialing")?;
+                t.expect("eps")?;
+                let de = t.f64()?;
+                t.expect("delta")?;
+                let dd = t.f64()?;
+                self.last_dialing = Some(ComposedPrivacy {
+                    epsilon: de,
+                    delta: dd,
+                });
+            }
+            "violation" => self.violations += 1,
+            "end" => {
+                t.expect("rounds")?;
+                self.completed_rounds = Some(t.u64()?);
+            }
+            // Ground truth the adversary must not consume: script
+            // events (who dialed whom), deliveries, invitation scans.
+            // Schedule plans and the end-of-run soak tallies carry no
+            // per-user signal either way; all are skipped.
+            "event" | "delivered" | "scan" | "schedule" | "soak" => {}
+            other => return Err(format!("unrecognised record {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn parse_noise(&mut self, t: &mut Tokens<'_>) -> Result<(), String> {
+        let mut word = t.word()?;
+        let claimed = word == "claimed";
+        if claimed {
+            word = t.word()?;
+        }
+        if word != "conversation" {
+            return Err(format!("unknown noise record {word:?}"));
+        }
+        t.expect("mu")?;
+        let conversation_mu = t.f64()?;
+        t.expect("b")?;
+        let conversation_b = t.f64()?;
+        t.expect("dialing")?;
+        t.expect("mu")?;
+        let dialing_mu = t.f64()?;
+        t.expect("b")?;
+        let dialing_b = t.f64()?;
+        let (mode, drops) = if claimed {
+            // The claimed line re-uses the deployed line's mode/drops.
+            (self.noise.mode, self.noise.drops)
+        } else {
+            t.expect("mode")?;
+            let mode = match t.word()? {
+                "sampled" => NoiseModeTag::Sampled,
+                "deterministic" => NoiseModeTag::Deterministic,
+                "off" => NoiseModeTag::Off,
+                m => return Err(format!("unknown noise mode {m:?}")),
+            };
+            t.expect("drops")?;
+            (mode, t.u64()? as u32)
+        };
+        let header = NoiseHeader {
+            conversation_mu,
+            conversation_b,
+            dialing_mu,
+            dialing_b,
+            mode,
+            drops,
+        };
+        if claimed {
+            self.claimed_noise = Some(header);
+        } else {
+            self.noise = header;
+        }
+        Ok(())
+    }
+
+    fn parse_conversation_round(&mut self, round: u64, t: &mut Tokens<'_>) -> Result<(), String> {
+        t.expect("participants")?;
+        let participants = t.u64()?;
+        let counts = match t.word()? {
+            "missing-observables" => None,
+            "submitted" => {
+                let submitted = t.u64()?;
+                // `mutual` is ground truth (who is actually talking):
+                // parse past it, never store it.
+                t.expect("mutual")?;
+                let _ground_truth_mutual = t.u64()?;
+                t.expect("m1")?;
+                let m1 = t.u64()?;
+                t.expect("m2")?;
+                let m2 = t.u64()?;
+                t.expect("mmany")?;
+                let m_many = t.u64()?;
+                t.expect("total")?;
+                let total = t.u64()?;
+                Some(ConversationCounts {
+                    submitted,
+                    m1,
+                    m2,
+                    m_many,
+                    total,
+                })
+            }
+            w => return Err(format!("unexpected token {w:?} in conversation round")),
+        };
+        t.expect("eps")?;
+        let epsilon = t.f64()?;
+        t.expect("delta")?;
+        let delta = t.f64()?;
+        let spent = ComposedPrivacy { epsilon, delta };
+        self.last_conversation = Some(spent);
+        self.rounds.push(RoundView::Conversation(ConversationRound {
+            round,
+            participants,
+            counts,
+            spent,
+        }));
+        Ok(())
+    }
+
+    fn parse_dialing_round(&mut self, round: u64, t: &mut Tokens<'_>) -> Result<(), String> {
+        t.expect("participants")?;
+        let participants = t.u64()?;
+        let counts = match t.word()? {
+            "missing-observables" => None,
+            "drops" => {
+                let drops = t.u64()? as u32;
+                t.expect("counts")?;
+                let list = t.word()?;
+                let inner = list
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| format!("malformed counts list {list:?}"))?;
+                let per_drop = inner
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse::<u64>().map_err(|e| format!("count {s:?}: {e}")))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                t.expect("noop")?;
+                let noop_writes = t.u64()?;
+                Some(DialingCounts {
+                    drops,
+                    per_drop,
+                    noop_writes,
+                })
+            }
+            w => return Err(format!("unexpected token {w:?} in dialing round")),
+        };
+        t.expect("eps")?;
+        let epsilon = t.f64()?;
+        t.expect("delta")?;
+        let delta = t.f64()?;
+        let spent = ComposedPrivacy { epsilon, delta };
+        self.last_dialing = Some(spent);
+        self.rounds.push(RoundView::Dialing(DialingRound {
+            round,
+            participants,
+            counts,
+            spent,
+        }));
+        Ok(())
+    }
+}
+
+/// A whitespace token walker with descriptive errors.
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Tokens<'a> {
+        Tokens {
+            iter: line.split_whitespace(),
+        }
+    }
+
+    fn word(&mut self) -> Result<&'a str, String> {
+        self.iter.next().ok_or_else(|| "truncated line".to_string())
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), String> {
+        let got = self.word()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let w = self.word()?;
+        w.parse::<u64>().map_err(|e| format!("integer {w:?}: {e}"))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let w = self.word()?;
+        w.parse::<f64>().map_err(|e| format!("float {w:?}: {e}"))
+    }
+
+    /// Everything remaining, joined by single spaces.
+    fn rest(&mut self) -> String {
+        self.iter.clone().collect::<Vec<&str>>().join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+vuvuzela-sim transcript v1
+scenario attack_twin
+seed 42 servers 3 workers 2 shards 4 slots 1 retransmit_after 2
+noise conversation mu 200 b 40 dialing mu 160 b 32 mode sampled drops 1
+event join clients 0..8
+event dial caller 0 callee 1
+schedule rounds [0:dialing]
+round 0 dialing participants 8 drops 1 counts [482] noop 7 eps 3.039e-1 delta 3.49e-3
+scan round 0 client 1 callers [0]
+event accept client 1 caller 0
+schedule rounds [1:conversation,2:conversation]
+round 1 conversation participants 8 submitted 8 mutual 1 m1 412 m2 203 mmany 0 total 818 eps 5.2e-1 delta 7.1e-3
+tap link entry->server0 round 1 forward onions 412 width 224
+delivered round 1 client 1 from 0 body 6869
+round 2 conversation participants 8 submitted 8 mutual 1 m1 399 m2 210 mmany 0 total 819 eps 7.4e-1 delta 1.42e-2
+violation uniform-participation round 2: whatever
+soak conversation draws 4 singles 812 pairs 401 dialing draws 3 sum 482
+end rounds 3 aborted 0
+";
+
+    #[test]
+    fn parses_the_adversary_visible_fields() {
+        let view = TranscriptView::parse(SAMPLE).expect("parse");
+        assert_eq!(view.scenario, "attack_twin");
+        assert_eq!(view.seed, 42);
+        assert_eq!(view.servers, 3);
+        assert_eq!(view.noise.conversation_mu, 200.0);
+        assert_eq!(view.noise.mode, NoiseModeTag::Sampled);
+        assert!(view.claimed_noise.is_none());
+        assert_eq!(view.rounds.len(), 3);
+        assert_eq!(view.conversation_rounds().count(), 2);
+        assert_eq!(view.dialing_rounds().count(), 1);
+        let first = view.conversation_rounds().next().expect("round");
+        assert_eq!(first.round, 1);
+        let counts = first.counts.expect("observables");
+        assert_eq!(counts.m1, 412);
+        assert_eq!(counts.m2, 203);
+        assert_eq!(counts.total, 818);
+        let dial = view.dialing_rounds().next().expect("round");
+        assert_eq!(dial.counts.as_ref().expect("counts").per_drop, vec![482]);
+        assert_eq!(view.taps.len(), 1);
+        assert_eq!(view.taps[0].link, "entry->server0");
+        assert_eq!(view.taps[0].onions, 412);
+        assert_eq!(view.violations, 1);
+        assert_eq!(view.completed_rounds, Some(3));
+    }
+
+    #[test]
+    fn budget_combines_the_last_spend_of_each_protocol() {
+        let view = TranscriptView::parse(SAMPLE).expect("parse");
+        let budget = view.composed_budget();
+        // Last conversation spend + the single dialing spend.
+        assert!((budget.epsilon - (0.74 + 0.3039)).abs() < 1e-12);
+        assert!((budget.delta - (1.42e-2 + 3.49e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn claimed_noise_line_is_recognised() {
+        let text = "\
+vuvuzela-sim transcript v1
+scenario undersized
+seed 1 servers 3 workers 2 shards 4 slots 1 retransmit_after 2
+noise conversation mu 2 b 0.5 dialing mu 2 b 0.5 mode sampled drops 1
+noise claimed conversation mu 200 b 40 dialing mu 160 b 32
+end rounds 0 aborted 0
+";
+        let view = TranscriptView::parse(text).expect("parse");
+        let claimed = view.claimed_noise.expect("claimed noise");
+        assert_eq!(claimed.conversation_mu, 200.0);
+        assert_eq!(claimed.dialing_b, 32.0);
+        assert_eq!(claimed.mode, NoiseModeTag::Sampled);
+        assert_eq!(view.noise.conversation_mu, 2.0);
+    }
+
+    #[test]
+    fn missing_observables_rounds_parse_without_counts() {
+        let text = "\
+vuvuzela-sim transcript v1
+scenario degraded
+seed 1 servers 3 workers 2 shards 4 slots 1 retransmit_after 2
+noise conversation mu 6 b 0.5 dialing mu 3 b 0.5 mode sampled drops 1
+round 4 conversation participants 10 missing-observables eps 1e-1 delta 1e-3
+round 5 dialing participants 10 missing-observables eps 2e-2 delta 1e-4
+";
+        let view = TranscriptView::parse(text).expect("parse");
+        assert_eq!(view.rounds.len(), 2);
+        assert!(view
+            .conversation_rounds()
+            .next()
+            .expect("r")
+            .counts
+            .is_none());
+        assert!(view.dialing_rounds().next().expect("r").counts.is_none());
+    }
+
+    #[test]
+    fn ledger_abort_line_updates_the_budget() {
+        let text = "\
+vuvuzela-sim transcript v1
+scenario aborted
+seed 1 servers 3 workers 2 shards 4 slots 1 retransmit_after 2
+noise conversation mu 6 b 0.5 dialing mu 3 b 0.5 mode deterministic drops 1
+schedule aborted rounds [0:conversation]
+ledger conversation eps 1.5e0 delta 2e-3 dialing eps 0e0 delta 1e-5
+";
+        let view = TranscriptView::parse(text).expect("parse");
+        let budget = view.composed_budget();
+        assert!((budget.epsilon - 1.5).abs() < 1e-12);
+        assert!((budget.delta - 2.01e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_records_are_rejected() {
+        let text = "vuvuzela-sim transcript v1\ngremlin in the mix\n";
+        let err = TranscriptView::parse(text).expect_err("must reject");
+        assert!(err.contains("gremlin"), "{err}");
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        assert!(TranscriptView::parse("vuvuzela-sim transcript v2\n").is_err());
+        assert!(TranscriptView::parse("").is_err());
+    }
+}

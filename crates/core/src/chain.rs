@@ -625,6 +625,18 @@ pub fn build_server(config: &SystemConfig, seed: u64, position: usize) -> MixSer
     )
 }
 
+/// Replays the round RNG of the server at `position` in a chain seeded
+/// with `seed` — the same `(seed, position, round)` derivation
+/// [`build_server`] wires into every [`MixServer`]. In an honest
+/// conversation round the first two 64-bit words this RNG yields are
+/// exactly the uniforms behind that server's `n1`/`n2` Laplace noise
+/// draws, which lets cross-validation tests and attack harnesses replay
+/// a deployment's noise streams without running the chain.
+#[must_use]
+pub fn server_round_rng(seed: u64, position: usize, round: u64) -> StdRng {
+    crate::server::round_rng(seed.wrapping_add(1 + position as u64), round)
+}
+
 /// All of a chain's servers (the in-process deployments).
 fn build_servers(config: &SystemConfig, seed: u64) -> Vec<MixServer> {
     let keypairs = server_keypairs(config.chain_len, seed);

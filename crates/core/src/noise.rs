@@ -26,10 +26,12 @@ use vuvuzela_wire::dialing::{DialRequest, SealedInvitation};
 pub struct NoiseBatch {
     /// The wrapped (or, for the last server, plain) request bytes.
     pub onions: Vec<Vec<u8>>,
-    /// How many single-access noise requests were generated (⌈n1⌉).
+    /// How many single-access noise requests were generated: the `n1`
+    /// draw plus, when `n2` is odd, its unpaired leftover request (a
+    /// singleton drop, indistinguishable from a single access).
     pub singles: u64,
     /// How many *pairs* of same-drop noise requests were generated
-    /// (⌈n2/2⌉); the pair contributes two onions.
+    /// (⌊n2/2⌋); each pair contributes two onions.
     pub pairs: u64,
 }
 
@@ -37,8 +39,10 @@ pub struct NoiseBatch {
 /// given chain position.
 ///
 /// Samples `n1, n2 ~ ⌈max(0, Laplace(µ, b))⌉` and emits `n1` single
-/// accesses to random dead drops plus `⌈n2/2⌉` pairs of accesses to a
-/// shared random drop, each onion-wrapped for `remaining_chain` (the
+/// accesses to random dead drops plus `⌊n2/2⌋` pairs of accesses to a
+/// shared random drop; when `n2` is odd the unpaired leftover request is
+/// emitted as one more singleton access (1 access to its drop → it lands
+/// in m1, not m2). Every onion is wrapped for `remaining_chain` (the
 /// servers after this one). An empty `remaining_chain` yields plain
 /// encoded requests (used when substituting for malformed input at the
 /// last server).
@@ -52,10 +56,11 @@ pub fn conversation_noise<R: RngCore + CryptoRng>(
 ) -> NoiseBatch {
     let n1 = dist.sample_count(rng, mode);
     let n2 = dist.sample_count(rng, mode);
-    let pairs = n2.div_ceil(2);
+    let pairs = n2 / 2;
+    let singles = n1 + n2 % 2;
 
-    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity((n1 + 2 * pairs) as usize);
-    for _ in 0..n1 {
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity((singles + 2 * pairs) as usize);
+    for _ in 0..singles {
         payloads.push(ExchangeRequest::noise(rng).encode());
     }
     for _ in 0..pairs {
@@ -71,7 +76,7 @@ pub fn conversation_noise<R: RngCore + CryptoRng>(
 
     NoiseBatch {
         onions: wrap_payloads(rng, payloads, remaining_chain, round, workers),
-        singles: n1,
+        singles,
         pairs,
     }
 }
@@ -138,11 +143,12 @@ pub fn conversation_noise_into<R: RngCore + CryptoRng>(
     );
     let n1 = dist.sample_count(rng, mode);
     let n2 = dist.sample_count(rng, mode);
-    let pairs = n2.div_ceil(2);
+    let pairs = n2 / 2;
+    let singles = n1 + n2 % 2;
     let payload_offset = 32 * remaining_chain.len();
 
     let first_noise = batch.len();
-    for _ in 0..n1 {
+    for _ in 0..singles {
         batch.push_with(|slot| {
             ExchangeRequest::noise_into(rng, None, &mut slot[payload_offset..]);
         });
@@ -159,7 +165,7 @@ pub fn conversation_noise_into<R: RngCore + CryptoRng>(
     }
 
     wrap_slots_in_place(rng, batch, first_noise, remaining_chain, round, workers);
-    (n1, pairs)
+    (singles, pairs)
 }
 
 /// Zero-copy variant of [`dialing_noise`]; see
@@ -370,6 +376,32 @@ mod tests {
         assert_eq!(batch.singles, 50);
         assert_eq!(batch.pairs, 25);
         assert_eq!(batch.onions.len(), 100);
+    }
+
+    #[test]
+    fn odd_n2_leftover_is_a_singleton() {
+        // µ = 5 deterministic → n1 = n2 = 5. Algorithm 2 pairs the n2
+        // draw as ⌊5/2⌋ = 2 same-drop pairs; the 5th request has no
+        // partner and must surface as one more *singleton* access
+        // (1 access → m1), never as a ⌈5/2⌉ = 3rd "pair".
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = NoiseDistribution::new(5.0, 1.0);
+        let batch = conversation_noise(&mut rng, &[], 0, dist, NoiseMode::Deterministic, 1);
+        assert_eq!(batch.singles, 6);
+        assert_eq!(batch.pairs, 2);
+        assert_eq!(batch.onions.len(), 10);
+        let requests: Vec<ExchangeRequest> = batch
+            .onions
+            .iter()
+            .map(|o| ExchangeRequest::decode(o).expect("decode"))
+            .collect();
+        // All six singles (incl. the leftover) use distinct drops.
+        let singles = &requests[..batch.singles as usize];
+        let unique: std::collections::HashSet<_> = singles.iter().map(|r| r.drop).collect();
+        assert_eq!(unique.len(), singles.len());
+        for chunk in requests[batch.singles as usize..].chunks(2) {
+            assert_eq!(chunk[0].drop, chunk[1].drop);
+        }
     }
 
     #[test]

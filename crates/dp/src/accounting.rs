@@ -92,6 +92,20 @@ pub fn conversation_params_for(epsilon: f64, delta: f64) -> (f64, f64) {
     (mu, b)
 }
 
+/// Basic (sequential) composition of two already-composed guarantees:
+/// a mechanism running both protocols against the same user is
+/// (ε′₁ + ε′₂, δ′₁ + δ′₂)-DP. This is how a whole transcript's budget —
+/// conversation rounds Theorem-2-composed, dialing rounds Theorem-2-
+/// composed, then the two protocols combined — is quoted as one (ε′, δ′)
+/// pair for the attack gate.
+#[must_use]
+pub fn combine(a: ComposedPrivacy, b: ComposedPrivacy) -> ComposedPrivacy {
+    ComposedPrivacy {
+        epsilon: a.epsilon + b.epsilon,
+        delta: a.delta + b.delta,
+    }
+}
+
 /// Theorem 2: adaptive ("advanced") composition over `k` rounds.
 ///
 /// `ε′ = √(2k·ln(1/d))·ε + k·ε·(e^ε − 1)` and `δ′ = k·δ + d`, for any free
@@ -197,6 +211,16 @@ impl PrivacyLedger {
     pub fn spent(&self, protocol: Protocol) -> ComposedPrivacy {
         let side = self.side(protocol);
         compose(side.round, side.rounds, self.d)
+    }
+
+    /// The whole deployment's budget in one pair: both protocols'
+    /// Theorem-2 spends, [`combine`]d by basic composition.
+    #[must_use]
+    pub fn total_spent(&self) -> ComposedPrivacy {
+        combine(
+            self.spent(Protocol::Conversation),
+            self.spent(Protocol::Dialing),
+        )
     }
 }
 
@@ -332,6 +356,27 @@ mod tests {
         );
         assert_eq!(ledger.rounds(Protocol::Conversation), 40);
         assert_eq!(ledger.spent(Protocol::Conversation).epsilon, last.epsilon);
+    }
+
+    #[test]
+    fn total_spend_is_basic_composition_of_both_protocols() {
+        let mut ledger = PrivacyLedger::new(
+            crate::laplace::NoiseDistribution::new(50.0, 10.0),
+            crate::laplace::NoiseDistribution::new(10.0, 2.0),
+            1e-5,
+        );
+        for _ in 0..3 {
+            ledger.charge(Protocol::Conversation);
+        }
+        ledger.charge(Protocol::Dialing);
+        let conv = ledger.spent(Protocol::Conversation);
+        let dial = ledger.spent(Protocol::Dialing);
+        let total = ledger.total_spent();
+        assert_eq!(total.epsilon, conv.epsilon + dial.epsilon);
+        assert_eq!(total.delta, conv.delta + dial.delta);
+        let combined = combine(conv, dial);
+        assert_eq!(total.epsilon, combined.epsilon);
+        assert_eq!(total.delta, combined.delta);
     }
 
     #[test]

@@ -81,8 +81,9 @@ impl NoiseDistribution {
 
     /// The distribution with the same total mass split over *pairs* of
     /// accesses: Algorithm 2 samples `n2 ~ Laplace(µ, b)` and emits
-    /// `⌈n2/2⌉` pairs, so the *pair count* follows `Laplace(µ/2, b/2)`
-    /// (this is the (µ/2, b/2) mechanism of Theorem 1).
+    /// `⌊n2/2⌋` pairs (the odd leftover is a singleton), so the *pair
+    /// count* follows `Laplace(µ/2, b/2)` (this is the (µ/2, b/2)
+    /// mechanism of Theorem 1).
     #[must_use]
     pub fn halved(&self) -> NoiseDistribution {
         NoiseDistribution {

@@ -22,7 +22,7 @@ pub mod accounting;
 pub mod laplace;
 pub mod planner;
 
-pub use accounting::{compose, ComposedPrivacy, PrivacyLedger, Protocol, RoundPrivacy};
+pub use accounting::{combine, compose, ComposedPrivacy, PrivacyLedger, Protocol, RoundPrivacy};
 pub use laplace::{NoiseDistribution, NoiseMode};
 pub use planner::{
     expected_noise_requests, max_protected_rounds, posterior_bound, tune_scale, PrivacyTarget,

@@ -1,0 +1,89 @@
+//! Property tests pinning the distributional API of
+//! [`NoiseDistribution`]: the certified `count_bounds(p)` windows must
+//! actually bracket empirical `sample_count` draws at rate ≥ 1 − p, and
+//! `quantile` / `tail_radius` must stay mutually consistent — these are
+//! the primitives the simulator's sampled-mode invariants and the
+//! attack harness's noise sizing both lean on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vuvuzela_dp::{NoiseDistribution, NoiseMode};
+
+/// A deterministic seed per proptest case, derived from the case's
+/// parameters so every (µ, b, p) triple replays identically.
+fn case_seed(mu: f64, b: f64, p: f64) -> u64 {
+    mu.to_bits() ^ b.to_bits().rotate_left(21) ^ p.to_bits().rotate_left(42)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `count_bounds(p)` certifies a per-draw escape probability ≤ p.
+    /// Over n seeded draws the escape count is Binomial(n, ≤p); we allow
+    /// the mean plus six standard deviations, so an honest sampler
+    /// passes every seed while a mis-derived window (e.g. one-sided, or
+    /// using b instead of √2·b) fails immediately.
+    #[test]
+    fn count_bounds_bracket_empirical_draws(
+        mu_tenths in 0u32..30_000,
+        b_tenths in 5u32..600,
+        p_exp_tenths in 20u32..50,
+    ) {
+        let mu = f64::from(mu_tenths) / 10.0;
+        let b = f64::from(b_tenths) / 10.0;
+        let p = 10f64.powf(-f64::from(p_exp_tenths) / 10.0);
+        let dist = NoiseDistribution::new(mu, b);
+        let (lo, hi) = dist.count_bounds(p);
+        let n = 40_000u32;
+        let mut rng = StdRng::seed_from_u64(case_seed(mu, b, p));
+        let escapes = (0..n)
+            .filter(|_| {
+                let v = dist.sample_count(&mut rng, NoiseMode::Sampled);
+                v < lo || v > hi
+            })
+            .count() as f64;
+        let expected = f64::from(n) * p;
+        let slack = 6.0 * (f64::from(n) * p).sqrt().max(1.0);
+        prop_assert!(
+            escapes <= expected + slack,
+            "{escapes} of {n} draws escaped [{lo}, {hi}] (budget {expected:.1} + {slack:.1})"
+        );
+        // The bracket rate itself clears 1 − p up to that same slack.
+        let rate = 1.0 - escapes / f64::from(n);
+        prop_assert!(rate >= 1.0 - p - slack / f64::from(n));
+    }
+
+    /// `quantile(1 − p/2) − µ == tail_radius(p)` (and mirrored below the
+    /// mean): the two closed forms describe the same two-sided tail.
+    /// Extreme tails lose ~half the bits of p to `1 − p/2` cancellation
+    /// before the log, so the tolerance scales with the radius.
+    #[test]
+    fn quantile_and_tail_radius_are_mutually_consistent(
+        mu_tenths in 0u32..30_000,
+        b_tenths in 5u32..600,
+        p_millionths in 1u32..500_000,
+    ) {
+        let mu = f64::from(mu_tenths) / 10.0;
+        let b = f64::from(b_tenths) / 10.0;
+        let p = f64::from(p_millionths) / 1e6;
+        let dist = NoiseDistribution::new(mu, b);
+        let t = dist.tail_radius(p);
+        let tol = 1e-5 * (1.0 + t);
+        prop_assert!(
+            (dist.quantile(1.0 - p / 2.0) - mu - t).abs() < tol,
+            "upper quantile {} vs µ + t {}",
+            dist.quantile(1.0 - p / 2.0),
+            mu + t
+        );
+        prop_assert!(
+            (dist.quantile(p / 2.0) - (mu - t)).abs() < tol,
+            "lower quantile {} vs µ − t {}",
+            dist.quantile(p / 2.0),
+            mu - t
+        );
+        // tail_radius is monotone decreasing in p: half the budget, a
+        // wider certified window.
+        prop_assert!(dist.tail_radius(p / 2.0) > t);
+    }
+}

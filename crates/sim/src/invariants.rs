@@ -63,12 +63,13 @@ fn violation(
 }
 
 /// The deterministic-mode conversation noise one noising server adds:
-/// `(singles, pairs)` with `singles = n1 = ⌈µ⌉` and `pairs = ⌈n2/2⌉`,
-/// `n2 = ⌈µ⌉` (Algorithm 2 step 2).
+/// `(singles, pairs)` with `n1 = n2 = ⌈µ⌉`, `pairs = ⌊n2/2⌋`, and
+/// `singles = n1` plus the odd-n2 leftover request, which forms a
+/// singleton drop (Algorithm 2 step 2).
 #[must_use]
 pub fn deterministic_conversation_noise(mu: f64) -> (u64, u64) {
     let n = mu.ceil() as u64;
-    (n, n.div_ceil(2))
+    (n + n % 2, n / 2)
 }
 
 /// The deterministic-mode dialing noise one server adds per real drop.
@@ -123,8 +124,9 @@ pub fn check_conversation_round(
 }
 
 /// Checks invariants 1 and 2 for a conversation round with inclusive
-/// per-noising-server draw bounds: `singles = [lo, hi]` on each n1
-/// draw, `pairs = [lo, hi]` on each ⌈n2/2⌉ pair count. Participation
+/// per-noising-server draw bounds: `singles = [lo, hi]` on each
+/// server's singleton count (n1 plus the odd-n2 leftover), `pairs =
+/// [lo, hi]` on each ⌊n2/2⌋ pair count. Participation
 /// (submission count, onion width, reply count) stays exact — it is
 /// noise-free arithmetic — while the histogram decomposition is checked
 /// against the windows; deterministic mode passes `lo == hi`.
@@ -589,11 +591,13 @@ impl NoiseSoakStats {
 
 /// Checks the `noise-concentration` invariant for one draw family: the
 /// empirical mean of `draws` inferred noise draws summing to `sum` must
-/// land in `[µ − k·σ/√n, µ + ceil_bias + k·σ/√n]`. The `ceil_bias`
-/// covers the deterministic upward bias of ceiling each draw (1 for
-/// plain counts; 1.5 for conversation pairs, whose `⌈n2/2⌉` rounds
-/// twice). Zero draws trivially pass — an all-dialing run has no
-/// conversation draws to concentrate.
+/// land in `[µ − bias_lo − k·σ/√n, µ + bias_hi + k·σ/√n]` for
+/// `bias = (bias_lo, bias_hi)`. The deterministic biases cover the
+/// rounding in each family's recipe: ceiling a draw shifts it up by as
+/// much as 1 (singles, dialing), Algorithm 2's `⌊n2/2⌋` pairing shifts
+/// the pair count *down* by up to ½ a pair, and the odd leftover adds
+/// up to 1 more singleton per draw. Zero draws trivially pass — an
+/// all-dialing run has no conversation draws to concentrate.
 ///
 /// # Errors
 ///
@@ -603,7 +607,7 @@ pub fn check_noise_concentration(
     mu: f64,
     sigma: f64,
     k: f64,
-    ceil_bias: f64,
+    bias: (f64, f64),
     draws: u64,
     sum: i128,
 ) -> Result<(), InvariantViolation> {
@@ -612,8 +616,8 @@ pub fn check_noise_concentration(
     }
     let mean = sum as f64 / draws as f64;
     let half_width = k * sigma / (draws as f64).sqrt();
-    let lo = mu - half_width;
-    let hi = mu + ceil_bias + half_width;
+    let lo = mu - bias.0 - half_width;
+    let hi = mu + bias.1 + half_width;
     if mean < lo || mean > hi {
         return Err(violation(
             None,
@@ -634,9 +638,11 @@ mod tests {
     #[test]
     fn deterministic_noise_recipe() {
         assert_eq!(deterministic_conversation_noise(6.0), (6, 3));
-        assert_eq!(deterministic_conversation_noise(5.0), (5, 3));
+        // Odd ⌈µ⌉: n2 = 5 pairs into ⌊5/2⌋ = 2 drops and the leftover
+        // request becomes a 6th singleton; total onions stay n1 + n2.
+        assert_eq!(deterministic_conversation_noise(5.0), (6, 2));
         assert_eq!(conversation_noise_onions(6.0), 12);
-        assert_eq!(conversation_noise_onions(5.0), 11);
+        assert_eq!(conversation_noise_onions(5.0), 10);
         assert_eq!(deterministic_dialing_noise(3.0), 3);
     }
 
@@ -848,17 +854,27 @@ mod tests {
     #[test]
     fn concentration_check_windows_the_empirical_mean() {
         // 100 draws at mean 6.30 against µ = 6, σ = √2·0.5: inside
-        // [6 − k·σ/10, 7 + k·σ/10] for k = 6.
+        // [6 − k·σ/10, 7 + k·σ/10] for k = 6 and bias (0, 1).
         let sigma = std::f64::consts::SQRT_2 * 0.5;
-        check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 630)
+        let bias = (0.0, 1.0);
+        check_noise_concentration("singles", 6.0, sigma, 6.0, bias, 100, 630)
             .expect("near-mean passes");
         // A mean far below µ trips even the ceil-biased window.
-        let err = check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 400)
+        let err = check_noise_concentration("singles", 6.0, sigma, 6.0, bias, 100, 400)
             .expect_err("must fail");
         assert_eq!(err.invariant, "noise-concentration");
         assert!(err.detail.contains("singles"), "{}", err.detail);
         // A mean far above µ + bias trips too, and zero draws pass.
-        assert!(check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 100, 900).is_err());
-        check_noise_concentration("singles", 6.0, sigma, 6.0, 1.0, 0, 0).expect("vacuous");
+        assert!(check_noise_concentration("singles", 6.0, sigma, 6.0, bias, 100, 900).is_err());
+        check_noise_concentration("singles", 6.0, sigma, 6.0, bias, 0, 0).expect("vacuous");
+        // A downward bias widens the floor: mean 2.7 vs µ/2 = 3 passes
+        // with pairs bias (0.5, 1.0) but a mean below µ/2 − 0.5 − k·σ/√n
+        // still trips.
+        check_noise_concentration("pairs", 3.0, sigma / 2.0, 6.0, (0.5, 1.0), 100, 270)
+            .expect("floor-biased mean passes");
+        assert!(
+            check_noise_concentration("pairs", 3.0, sigma / 2.0, 6.0, (0.5, 1.0), 100, 180)
+                .is_err()
+        );
     }
 }

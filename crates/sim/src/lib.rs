@@ -137,17 +137,36 @@
 //!   and an un-tripped declaration is *also* a failure (the checker
 //!   lost its teeth). `sim_soak` runs the whole crossed matrix and
 //!   writes one transcript artefact per case.
+//!
+//! ## The attack matrix
+//!
+//! [`attack`] closes the loop on the (ε′, δ′) accounting: it runs
+//! *adjacent-world* twin scenarios (one target user talking vs. idle),
+//! hands the rendered transcripts to the
+//! [`vuvuzela_adversary::TranscriptView`] parser — which reconstructs
+//! only what a tapping adversary sees — trains a
+//! [`vuvuzela_adversary::ThresholdDetector`] on half the seeds, and
+//! asserts the held-out advantage against
+//! `max_advantage(ε′, δ′)` with the budget read from the transcript's
+//! own ledger lines. Honest sampled noise must stay under the bound;
+//! the noise-off and undersized-µ negative controls must *beat* it.
+//! `sim_attack` runs the matrix and writes a JSON verdict artefact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod invariants;
 pub mod scenario;
 pub mod simulator;
 pub mod soak;
 pub mod transcript;
 
-pub use scenario::{bundled_matrix, RoundPlan, Scale, Scenario, Step};
+pub use attack::{
+    attack_matrix, run_attack_case, twin_scenario, AttackCase, AttackControl, AttackOutcome,
+    AttackVerdict, ATTACK_ALPHA,
+};
+pub use scenario::{bundled_matrix, LedgerNoise, RoundPlan, Scale, Scenario, Step};
 pub use simulator::{run_scenario, SimError, SimReport, Simulator};
 pub use soak::{run_soak_case, soak_matrix, AdversaryStrategy, SoakCase, SoakOutcome};
 pub use transcript::Transcript;

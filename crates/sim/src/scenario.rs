@@ -108,6 +108,21 @@ pub struct Scenario {
     /// Dialing noise mean µ per server per drop; scale
     /// `b = max(µ/10, 0.5)`, clamped like the conversation scale.
     pub dialing_mu: f64,
+    /// Explicit conversation noise scale b, overriding the derived
+    /// `max(µ/20, 0.5)`. The attack matrix needs µ and b decoupled:
+    /// a meaningful composed budget wants a large b (ε = 4/b) while µ
+    /// only has to clear `b·ln(1/(2δ))` for a small δ — the derived
+    /// ratio would force µ 5–15× higher than necessary.
+    pub conversation_b: Option<f64>,
+    /// Explicit dialing noise scale b, overriding `max(µ/10, 0.5)`.
+    pub dialing_b: Option<f64>,
+    /// When set, the privacy ledger charges with *these* noise
+    /// parameters instead of the deployed ones — modelling a broken
+    /// deployment that advertises a budget its servers do not draw
+    /// enough noise to honour. The transcript records both lines, and
+    /// the attack harness's undersized-µ negative control relies on
+    /// the detector *beating* the claimed bound.
+    pub ledger_noise: Option<LedgerNoise>,
     /// Real invitation drops per dialing round (§5.4's m).
     pub num_drops: u32,
     /// Conversation slots per client.
@@ -132,6 +147,16 @@ pub struct Scenario {
     pub steps: Vec<Step>,
 }
 
+/// The noise parameters a mis-deployment *claims* in its privacy
+/// ledger (see [`Scenario::ledger_noise`]).
+#[derive(Clone, Copy, Debug)]
+pub struct LedgerNoise {
+    /// Claimed conversation noise distribution.
+    pub conversation: vuvuzela_dp::NoiseDistribution,
+    /// Claimed dialing noise distribution.
+    pub dialing: vuvuzela_dp::NoiseDistribution,
+}
+
 impl Scenario {
     /// A scenario skeleton with the defaults the bundled matrix uses:
     /// 3 servers, 2 workers, µ = 6 conversation / 3 dialing noise, one
@@ -145,6 +170,9 @@ impl Scenario {
             workers: 2,
             conversation_mu: 6.0,
             dialing_mu: 3.0,
+            conversation_b: None,
+            dialing_b: None,
+            ledger_noise: None,
             num_drops: 1,
             slots: 1,
             retransmit_after: 2,

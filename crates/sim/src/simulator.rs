@@ -61,12 +61,16 @@ const CONCENTRATION_K: f64 = 6.0;
 pub enum SimError {
     /// A per-round invariant did not hold.
     Invariant(InvariantViolation),
+    /// The attack harness could not use a run's transcript (parse
+    /// failure or missing observables) — see [`crate::attack`].
+    Attack(String),
 }
 
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::Invariant(v) => write!(f, "{v}"),
+            SimError::Attack(e) => write!(f, "attack harness: {e}"),
         }
     }
 }
@@ -185,11 +189,15 @@ impl Simulator {
             chain_len: scenario.servers,
             conversation_noise: vuvuzela_dp::NoiseDistribution::new(
                 scenario.conversation_mu,
-                (scenario.conversation_mu / 20.0).max(0.5),
+                scenario
+                    .conversation_b
+                    .unwrap_or((scenario.conversation_mu / 20.0).max(0.5)),
             ),
             dialing_noise: vuvuzela_dp::NoiseDistribution::new(
                 scenario.dialing_mu,
-                (scenario.dialing_mu / 10.0).max(0.5),
+                scenario
+                    .dialing_b
+                    .unwrap_or((scenario.dialing_mu / 10.0).max(0.5)),
             ),
             noise_mode: scenario.noise_mode,
             workers: scenario.workers,
@@ -198,7 +206,14 @@ impl Simulator {
             exchange_shards: scenario.exchange_shards,
         };
         let chain = StreamingChain::new(config.clone(), scenario.seed);
-        let ledger = PrivacyLedger::new(config.conversation_noise, config.dialing_noise, LEDGER_D);
+        // A ledger override models a mis-deployment: servers draw the
+        // config's noise but the accounting charges (and the transcript
+        // advertises) the claimed parameters.
+        let (ledger_conversation, ledger_dialing) = match scenario.ledger_noise {
+            Some(claimed) => (claimed.conversation, claimed.dialing),
+            None => (config.conversation_noise, config.dialing_noise),
+        };
+        let ledger = PrivacyLedger::new(ledger_conversation, ledger_dialing, LEDGER_D);
         let last_spent = [
             ledger.spent(Protocol::Conversation),
             ledger.spent(Protocol::Dialing),
@@ -228,6 +243,12 @@ impl Simulator {
             config.dialing_noise.b,
             scenario.num_drops
         ));
+        if scenario.ledger_noise.is_some() {
+            transcript.push(format!(
+                "noise claimed conversation mu {} b {} dialing mu {} b {}",
+                ledger_conversation.mu, ledger_conversation.b, ledger_dialing.mu, ledger_dialing.b
+            ));
+        }
         Simulator {
             rng: StdRng::seed_from_u64(scenario.seed.wrapping_add(0x51u64)),
             chain,
@@ -341,23 +362,26 @@ impl Simulator {
             "soak conversation draws {} singles {} pairs {} dialing draws {} sum {}",
             s.conversation_draws, s.singles_sum, s.pairs_sum, s.dialing_draws, s.dialing_sum
         ));
+        // Singletons are n1 (ceil bias ≤ 1) plus the odd-n2 leftover
+        // (≤ 1 more per draw): bias (0, 2).
         self.note(check_noise_concentration(
             "conversation-singles",
             conv.mu,
             conv.std_dev(),
             CONCENTRATION_K,
-            1.0,
+            (0.0, 2.0),
             s.conversation_draws,
             s.singles_sum,
         ))?;
-        // Pairs are ⌈n2/2⌉ per draw: half the mean and deviation, and
-        // up to 1.5 of combined ceil bias (count ceil, then pair ceil).
+        // Pairs are ⌊n2/2⌋ per draw: half the mean and deviation;
+        // ceiling the count biases up ≤ ½ pair while floor pairing
+        // biases *down* ≤ ½ pair: bias (0.5, 1.0).
         self.note(check_noise_concentration(
             "conversation-pairs",
             conv.mu / 2.0,
             conv.std_dev() / 2.0,
             CONCENTRATION_K,
-            1.5,
+            (0.5, 1.0),
             s.conversation_draws,
             s.pairs_sum,
         ))?;
@@ -366,7 +390,7 @@ impl Simulator {
             dial.mu,
             dial.std_dev(),
             CONCENTRATION_K,
-            1.0,
+            (0.0, 1.0),
             s.dialing_draws,
             s.dialing_sum,
         ))?;
@@ -384,7 +408,9 @@ impl Simulator {
             }
             vuvuzela_dp::NoiseMode::Sampled => {
                 let (lo, hi) = self.config.conversation_noise.count_bounds(SAMPLED_TAIL_P);
-                ((lo, hi), (lo.div_ceil(2), hi.div_ceil(2)))
+                // Singletons: n1 ∈ [lo, hi] plus the odd-n2 leftover
+                // (0 or 1); pairs: ⌊n2/2⌋ for n2 ∈ [lo, hi].
+                ((lo, hi + 1), (lo / 2, hi / 2))
             }
             vuvuzela_dp::NoiseMode::Off => ((0, 0), (0, 0)),
         }
@@ -1160,12 +1186,16 @@ impl Simulator {
     ) -> Result<vuvuzela_dp::ComposedPrivacy, SimError> {
         let spent = self.ledger.charge(protocol);
         let previous = self.last_spent[protocol_slot(protocol)];
+        // The charge invariant recomputes the per-round (ε, δ) from the
+        // noise the ledger *charges with* — the claimed parameters when
+        // a ledger override is in play, the deployed ones otherwise.
+        let (conversation_noise, dialing_noise) = match self.scenario.ledger_noise {
+            Some(claimed) => (claimed.conversation, claimed.dialing),
+            None => (self.config.conversation_noise, self.config.dialing_noise),
+        };
         let (mu, b) = match protocol {
-            Protocol::Conversation => (
-                self.config.conversation_noise.mu,
-                self.config.conversation_noise.b,
-            ),
-            Protocol::Dialing => (self.config.dialing_noise.mu, self.config.dialing_noise.b),
+            Protocol::Conversation => (conversation_noise.mu, conversation_noise.b),
+            Protocol::Dialing => (dialing_noise.mu, dialing_noise.b),
         };
         self.note(check_privacy_charge(
             round,

@@ -289,10 +289,12 @@ pub fn expected_trips(base: &str, strategy: AdversaryStrategy) -> BTreeSet<&'sta
         AdversaryStrategy::Delay => {
             // Capture empties round 10's replies, release doubles
             // round 12's: replies trip both ends. The histogram trips
-            // too — except in redial_after_miss, whose 10-client
-            // deficit/surplus stays inside the sampled windows.
+            // too — except in redial_after_miss (10 clients) and
+            // server_fault (12 clients), whose small deficit/surplus
+            // stays inside the sampled windows (the odd-n2 leftover
+            // accounting widens each singles window by +1 per draw).
             trips.insert(UNIFORM);
-            if base != "redial_after_miss" {
+            if !matches!(base, "redial_after_miss" | "server_fault") {
                 trips.insert(COVERED);
             }
             if matches!(base, "steady_state" | "idle_cover") {
@@ -301,11 +303,13 @@ pub fn expected_trips(base: &str, strategy: AdversaryStrategy) -> BTreeSet<&'sta
         }
         AdversaryStrategy::Replay => match base {
             // 48 replayed onions become 48 substituted noise singles
-            // in round 12: replies double, m1 and the observed link-1
-            // count blow past their windows, and the surplus is big
-            // enough to drag even the run-long singles mean out.
+            // in round 12: replies double, and m1 and the observed
+            // link-1 count blow past their windows. The run-long
+            // singles mean stays inside its concentration window —
+            // one disturbed round spreads over ~30 draws, and the
+            // odd-n2 leftover bias allowance absorbs the rest.
             "steady_state" => {
-                trips.extend([UNIFORM, COVERED, CONCENTRATION, SIZES]);
+                trips.extend([UNIFORM, COVERED, SIZES]);
             }
             // Round 12 is a *dialing* round here: no replies to
             // count, but each replayed request is substituted with a
@@ -313,9 +317,11 @@ pub fn expected_trips(base: &str, strategy: AdversaryStrategy) -> BTreeSet<&'sta
             "dial_storm" => {
                 trips.insert(COVERED);
             }
-            // 10 clients: replies double (20 vs 10) but the 10-single
-            // histogram surplus fits inside the sampled windows.
-            "redial_after_miss" => {
+            // Small populations (10 and 12 clients): replies double
+            // but the histogram surplus fits inside the sampled
+            // windows (widened +1 per draw by the leftover
+            // accounting).
+            "redial_after_miss" | "server_fault" => {
                 trips.insert(UNIFORM);
             }
             // Mid-size populations: replies and the round-12

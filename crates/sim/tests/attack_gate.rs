@@ -1,0 +1,127 @@
+//! The attack matrix's acceptance gates, asserted in both directions:
+//! the honest deployment stays under the composed (ε′, δ′) bound, and
+//! both negative controls — noise off, undersized µ — beat it. Plus
+//! the glue contracts: the transcript budget matches an independent
+//! dp-crate recomputation, and the strict parser handles real bundled
+//! transcripts.
+
+use vuvuzela_adversary::TranscriptView;
+use vuvuzela_dp::accounting::combine;
+use vuvuzela_dp::{NoiseDistribution, PrivacyLedger, Protocol};
+use vuvuzela_sim::{
+    attack_matrix, bundled_matrix, run_attack_case, run_scenario, AttackControl, Scale,
+};
+
+fn run_control(control: AttackControl) -> vuvuzela_sim::AttackVerdict {
+    let case = attack_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|c| c.control == control)
+        .expect("matrix covers every control");
+    run_attack_case(&case).expect("case runs").verdict
+}
+
+#[test]
+fn honest_deployment_stays_within_the_composed_bound() {
+    let v = run_control(AttackControl::Honest);
+    assert!(v.expect_within_bound);
+    assert!(
+        v.within_bound,
+        "honest advantage {} + slack {} must be ≤ bound {} (ε′={}, δ′={})",
+        v.advantage, v.slack, v.bound, v.epsilon, v.delta
+    );
+    assert!(v.passed);
+    // The budget must be meaningful — a vacuous bound (0.5) would make
+    // the gate impossible to fail.
+    assert!(v.bound < 0.45, "bound {} is close to vacuous", v.bound);
+    assert!(v.trials >= 90, "held-out sample too small: {}", v.trials);
+}
+
+#[test]
+fn noise_off_control_beats_the_claimed_bound() {
+    let v = run_control(AttackControl::NoiseOff);
+    assert!(!v.expect_within_bound);
+    // Zero cover traffic: the twin worlds are perfectly separable.
+    assert!(
+        v.exceeds_bound,
+        "noise-off advantage {} must exceed bound {}",
+        v.advantage, v.bound
+    );
+    assert!(v.passed);
+    assert!(
+        v.accuracy > 0.95,
+        "a noiseless mixnet should be nearly perfectly distinguishable, got {}",
+        v.accuracy
+    );
+}
+
+#[test]
+fn undersized_mu_control_beats_the_claimed_bound() {
+    let v = run_control(AttackControl::UndersizedMu);
+    assert!(!v.expect_within_bound);
+    assert!(
+        v.exceeds_bound,
+        "undersized-µ advantage {} must exceed claimed bound {}",
+        v.advantage, v.bound
+    );
+    assert!(v.passed);
+    // The claimed budget (not the actual tiny noise) sets the bound.
+    assert!((v.epsilon - honest_budget().0).abs() < 1e-9);
+}
+
+/// Independent recomputation of the honest composed budget: 4
+/// conversation + 1 dialing rounds at (µ=200, b=40)/(µ=160, b=32)
+/// through the dp crate's own ledger.
+fn honest_budget() -> (f64, f64) {
+    let mut ledger = PrivacyLedger::new(
+        NoiseDistribution::new(200.0, 40.0),
+        NoiseDistribution::new(160.0, 32.0),
+        1e-5,
+    );
+    ledger.charge(Protocol::Dialing);
+    for _ in 0..4 {
+        ledger.charge(Protocol::Conversation);
+    }
+    let total = combine(
+        ledger.spent(Protocol::Conversation),
+        ledger.spent(Protocol::Dialing),
+    );
+    (total.epsilon, total.delta)
+}
+
+#[test]
+fn transcript_budget_matches_independent_dp_recomputation() {
+    let case = &attack_matrix(Scale::Smoke)[0];
+    let scenario = vuvuzela_sim::twin_scenario(case, 7, true);
+    let report = run_scenario(&scenario).expect("runs");
+    let view = TranscriptView::parse(&report.transcript.render()).expect("parses");
+    let budget = view.composed_budget();
+    let (eps, delta) = honest_budget();
+    assert!(
+        (budget.epsilon - eps).abs() < 1e-12,
+        "transcript ε′ {} vs recomputed {}",
+        budget.epsilon,
+        eps
+    );
+    assert!((budget.delta - delta).abs() < 1e-12);
+}
+
+#[test]
+fn parser_reconstructs_a_real_bundled_transcript() {
+    // The strict parser must accept every line the simulator emits for
+    // a full-featured scenario (taps, scans, deliveries, mixed
+    // schedules) while exposing only the adversary-visible fields.
+    let scenario = bundled_matrix(Scale::Smoke)
+        .into_iter()
+        .find(|s| s.name == "steady_state")
+        .expect("bundled matrix has steady_state");
+    let report = run_scenario(&scenario).expect("runs");
+    let view = TranscriptView::parse(&report.transcript.render()).expect("parses");
+    assert_eq!(view.scenario, "steady_state");
+    assert_eq!(view.servers, 3);
+    assert!(view.conversation_rounds().count() >= 5);
+    assert!(view.dialing_rounds().count() >= 2);
+    assert!(!view.taps.is_empty(), "steady_state observes a link");
+    let budget = view.composed_budget();
+    assert!(budget.epsilon > 0.0 && budget.delta > 0.0);
+    assert_eq!(view.completed_rounds, Some(report.rounds_completed));
+}

@@ -90,7 +90,11 @@ proptest! {
         // Four accesses to one drop: exactly one many-accessed drop
         // (noise drops are fresh 128-bit IDs, disjoint w.h.p.).
         prop_assert_eq!(seq_obs.m_many, 1);
-        prop_assert_eq!(seq_obs.total_requests, 4 + 2 * (3 + 2 * 2));
+        // µ = 3 deterministic per noising server: n1 = n2 = 3 → one
+        // same-drop pair and leftover + n1 = 4 singletons of noise, so
+        // total = 4 client requests + 2 servers × (4 singles + 2 in
+        // the pair) = 16 onions.
+        prop_assert_eq!(seq_obs.total_requests, 16);
 
         // Exchange semantics under collision: whichever sealed message
         // a client got back, its own pair keys either fail (filler, or

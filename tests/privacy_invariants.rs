@@ -159,6 +159,87 @@ fn observable_model_cross_validates_against_chain() {
     assert_eq!(chain_obs.m2, model_obs.m2);
 }
 
+/// And in `Sampled` mode the agreement is byte-identical, not just
+/// distributional: feeding the model the very words each noising server
+/// consumed for its `n1`/`n2` draws (its round RNG's first two) must
+/// reproduce the chain's observables exactly. An odd µ makes the
+/// leftover-singleton path (the Algorithm 2 pairing fix) load-bearing —
+/// odd `n2` draws occur with probability ≈ ½ per server.
+#[test]
+fn observable_model_cross_validates_in_sampled_mode() {
+    use rand::RngCore;
+    use vuvuzela::adversary::model::{ObservableModel, RoundTruth};
+    use vuvuzela::core::chain::server_round_rng;
+    use vuvuzela::dp::{NoiseDistribution, NoiseMode};
+
+    /// Replays a recorded word stream — the shared noise stream between
+    /// the real deployment and the model.
+    struct Replay(std::vec::IntoIter<u64>);
+    impl RngCore for Replay {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next().expect("replay stream exhausted")
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    let mu = 7.0;
+    let seed = 0xA11CE_u64;
+    for round_seed in 0..8u64 {
+        let mut net = TestNet::builder()
+            .servers(3)
+            .noise_mu(mu)
+            .noise_mode(NoiseMode::Sampled)
+            .seed(seed.wrapping_add(round_seed))
+            .build();
+        let alice = net.add_user("alice");
+        let bob = net.add_user("bob");
+        let _lone = net.add_user("lone");
+        net.dial(alice, bob);
+        net.run_dialing_round();
+        net.accept_all_invitations();
+        net.run_conversation_round();
+        let (round, chain_obs) = *net
+            .chain()
+            .conversation_observables()
+            .last()
+            .expect("round");
+
+        // Noising servers are every position but the last; each consumes
+        // its n1 then n2 uniform as the first two words of its round RNG.
+        let mut words = Vec::new();
+        for position in 0..2 {
+            let mut rng = server_round_rng(seed.wrapping_add(round_seed), position, round);
+            words.push(rng.next_u64());
+            words.push(rng.next_u64());
+        }
+        let model = ObservableModel {
+            noising_servers: 2,
+            // Mirror the builder's b = max(µ/20, 0.5) derivation.
+            noise: NoiseDistribution::new(mu, (mu / 20.0).max(0.5)),
+            mode: NoiseMode::Sampled,
+        };
+        let model_obs = model.sample(
+            &mut Replay(words.into_iter()),
+            RoundTruth {
+                talking_pairs: 1,
+                lone_users: 1,
+            },
+        );
+        assert_eq!(
+            chain_obs, model_obs,
+            "seed {round_seed}: chain and model disagree on shared noise"
+        );
+    }
+}
+
 /// Dialing: every drop gets noise from every server — even drops nobody
 /// wrote a real invitation to (§5.3).
 #[test]
